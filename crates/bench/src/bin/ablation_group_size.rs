@@ -1,0 +1,33 @@
+//! **Ablation** (paper §3.2's tuning discussion) — the maximum-group-size
+//! bound G trades coordination cost against logging volume: larger groups
+//! log less (fewer inter-group channels) but coordinate more.
+
+use gcr_bench::table::{f1, kb, Table};
+use gcr_bench::{run_averaged, Proto, RunSpec, Schedule, WorkloadSpec};
+use gcr_workloads::HplConfig;
+
+fn main() {
+    let n = 64usize;
+    let bounds = [1usize, 2, 4, 8, 16, 32, 64];
+    println!("Ablation: max group size G for HPL on {n} processes, one ckpt at t=60s\n");
+    let mut t = Table::new(&["G", "groups", "agg ckpt (s)", "agg restart (s)", "logged (KB)"]);
+    for &g in &bounds {
+        let spec = RunSpec::new(
+            WorkloadSpec::Hpl(HplConfig::paper(n)),
+            Proto::Gp { max_size: g },
+            Schedule::SingleAt(60.0),
+        )
+        .with_restart();
+        let r = run_averaged(&[spec], 3);
+        t.row(vec![
+            g.to_string(),
+            r[0].group_count.to_string(),
+            f1(r[0].agg_ckpt_s),
+            f1(r[0].agg_restart_s),
+            kb(r[0].total_logged_bytes),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("expected: logging volume falls as G grows; coordination cost rises;");
+    println!("the sweet spot sits at the application's natural group size (G = P = 8)");
+}

@@ -1,0 +1,52 @@
+//! **Paper §6 claim check** — "A recently released protocol, MPICH-PCL,
+//! which follows a blocking approach, is expected to have a similar
+//! behavior to LAM/MPI when applied to large-scale systems."
+//!
+//! PCL is blocking coordinated checkpointing writing to the remote
+//! checkpoint servers — in this model, exactly NORM with remote storage.
+//! We compare PCL (NORM+remote), VCL, and GP on CG at scale.
+
+use gcr_bench::table::{f1, Table};
+use gcr_bench::{run_averaged, Proto, RunSpec, Schedule, WorkloadSpec};
+use gcr_workloads::CgConfig;
+
+fn main() {
+    println!("Paper §6: PCL (blocking, remote) should degrade like LAM/MPI at scale\n");
+    let mut t = Table::new(&[
+        "procs",
+        "GP exec (s)",
+        "PCL exec (s)",
+        "VCL exec (s)",
+        "GP agg ckpt",
+        "PCL agg ckpt",
+        "VCL agg ckpt",
+    ]);
+    for n in [16usize, 64, 128] {
+        let cfg = CgConfig::class_c(n);
+        let (_, cols) = cfg.grid();
+        let mk = |p| {
+            RunSpec::new(
+                WorkloadSpec::Cg(cfg.clone()),
+                p,
+                Schedule::Interval { start_s: 45.0, every_s: 45.0 },
+            )
+            .with_remote_storage()
+        };
+        let r = run_averaged(
+            &[mk(Proto::Gp { max_size: cols }), mk(Proto::Norm), mk(Proto::Vcl)],
+            3,
+        );
+        t.row(vec![
+            n.to_string(),
+            f1(r[0].exec_s),
+            f1(r[1].exec_s),
+            f1(r[2].exec_s),
+            f1(r[0].agg_ckpt_s),
+            f1(r[1].agg_ckpt_s),
+            f1(r[2].agg_ckpt_s),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("expected: PCL's aggregate checkpoint cost blows up with scale like NORM's");
+    println!("(global coordination + shared-server incast), while GP stays bounded");
+}

@@ -1,0 +1,40 @@
+//! Calibration check for the VCL/CG path: blocking gaps (Fig 2) and
+//! remote-storage scaling (Figs 13/14) at two scales.
+
+use gcr_bench::{run_traced, Proto, RunSpec, Schedule, WorkloadSpec};
+use gcr_trace::gaps;
+use gcr_workloads::CgConfig;
+
+fn main() {
+    for n in [32usize, 128] {
+        let wl = WorkloadSpec::Cg(CgConfig::class_c(n));
+        let spec = RunSpec::new(wl, Proto::Vcl, Schedule::Interval { start_s: 30.0, every_s: 30.0 })
+            .with_remote_storage();
+        let t0 = std::time::Instant::now();
+        let tr = run_traced(&spec);
+        let stats = gaps::analyze(&tr.trace, &tr.windows);
+        let mean_gap = if stats.is_empty() {
+            0.0
+        } else {
+            stats.iter().map(|s| s.gap_fraction).sum::<f64>() / stats.len() as f64
+        };
+        println!(
+            "VCL CG n={n:3} exec={:7.1}s waves={} mean_ckpt={:5.1}s mean_gap_frac={:.2} windows={} wall={:.1}s",
+            tr.result.exec_s, tr.result.waves, tr.result.mean_ckpt_s, mean_gap, tr.windows.len(),
+            t0.elapsed().as_secs_f64()
+        );
+    }
+    // GP on CG with remote storage for the Fig 13 comparison.
+    for n in [32usize, 128] {
+        let wl = WorkloadSpec::Cg(CgConfig::class_c(n));
+        let spec = RunSpec::new(wl, Proto::Gp { max_size: 16 }, Schedule::Interval { start_s: 30.0, every_s: 30.0 })
+            .with_remote_storage();
+        let t0 = std::time::Instant::now();
+        let tr = run_traced(&spec);
+        println!(
+            "GP  CG n={n:3} exec={:7.1}s waves={} mean_ckpt={:5.1}s groups={} wall={:.1}s",
+            tr.result.exec_s, tr.result.waves, tr.result.mean_ckpt_s, tr.result.group_count,
+            t0.elapsed().as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! **Figure 5** — HPL execution time with one checkpoint at t = 60 s,
+//! GP / GP1 / GP4 / NORM, 16–128 processes.
+//!
+//! (a) absolute execution time; (b) difference from NORM (lower = better).
+//! The paper finds all four close; NORM fluctuates (checkpoint delays leak
+//! into total time), GP's edge over NORM grows with scale.
+
+use gcr_bench::hpl_paper::hpl_paper_sweep;
+use gcr_bench::table::{f1, f2, Table};
+
+fn main() {
+    let sweep = hpl_paper_sweep(false, 3);
+    println!("Figure 5a: HPL execution time (s), one checkpoint at t=60s\n");
+    let mut a = Table::new(&["procs", "GP", "GP1", "GP4", "NORM"]);
+    let mut b = Table::new(&["procs", "GP-NORM", "GP1-NORM", "GP4-NORM"]);
+    for (i, &n) in sweep.sizes.iter().enumerate() {
+        let r = &sweep.results[i];
+        a.row(vec![
+            n.to_string(),
+            f1(r[0].exec_s),
+            f1(r[1].exec_s),
+            f1(r[2].exec_s),
+            f1(r[3].exec_s),
+        ]);
+        let norm = r[3].exec_s;
+        b.row(vec![
+            n.to_string(),
+            f2(r[0].exec_s - norm),
+            f2(r[1].exec_s - norm),
+            f2(r[2].exec_s - norm),
+        ]);
+    }
+    println!("{}", a.render());
+    println!("\nFigure 5b: difference from NORM (s, negative = faster than NORM)\n");
+    println!("{}", b.render());
+    println!("paper shape: all within ±10 s of NORM; GP drifts below NORM as n grows");
+}

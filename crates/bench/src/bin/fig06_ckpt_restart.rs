@@ -1,0 +1,38 @@
+//! **Figure 6** — Summed (per-process aggregate) checkpoint and restart
+//! times for HPL, GP / GP1 / GP4 / NORM, 16–128 processes.
+//!
+//! The paper: (a) GP1 cheapest to checkpoint, GP close behind, NORM worst
+//! and rising with spikes; (b) NORM cheapest to restart, GP slightly worse,
+//! GP1 slowest and most erratic.
+
+use gcr_bench::hpl_paper::hpl_paper_sweep;
+use gcr_bench::table::{f1, Table};
+
+fn main() {
+    let sweep = hpl_paper_sweep(true, 3);
+    println!("Figure 6a: aggregate checkpoint time (s), HPL, one ckpt at t=60s\n");
+    let mut a = Table::new(&["procs", "GP", "GP1", "GP4", "NORM"]);
+    let mut b = Table::new(&["procs", "GP", "GP1", "GP4", "NORM"]);
+    for (i, &n) in sweep.sizes.iter().enumerate() {
+        let r = &sweep.results[i];
+        a.row(vec![
+            n.to_string(),
+            f1(r[0].agg_ckpt_s),
+            f1(r[1].agg_ckpt_s),
+            f1(r[2].agg_ckpt_s),
+            f1(r[3].agg_ckpt_s),
+        ]);
+        b.row(vec![
+            n.to_string(),
+            f1(r[0].agg_restart_s),
+            f1(r[1].agg_restart_s),
+            f1(r[2].agg_restart_s),
+            f1(r[3].agg_restart_s),
+        ]);
+    }
+    println!("{}", a.render());
+    println!("paper shape: GP1 <= GP << GP4 < NORM; NORM rises steeply with spikes\n");
+    println!("Figure 6b: aggregate restart time (s)\n");
+    println!("{}", b.render());
+    println!("paper shape: NORM lowest; GP slightly above; GP1 highest and most erratic");
+}

@@ -1,0 +1,28 @@
+//! **Figure 7** — Total amount of data to resend during an HPL restart
+//! (KB), GP / GP1 / GP4, 16–128 processes.
+//!
+//! NORM resends nothing by construction. The paper's values are noisy
+//! (0–12 MB) and grow with scale; GP1 varies the most because its
+//! checkpoints are completely uncoordinated.
+
+use gcr_bench::hpl_paper::hpl_paper_sweep;
+use gcr_bench::table::{kb, Table};
+
+fn main() {
+    let sweep = hpl_paper_sweep(true, 3);
+    println!("Figure 7: total data to resend on restart (KB), HPL\n");
+    let mut t = Table::new(&["procs", "GP", "GP1", "GP4", "NORM"]);
+    for (i, &n) in sweep.sizes.iter().enumerate() {
+        let r = &sweep.results[i];
+        t.row(vec![
+            n.to_string(),
+            kb(r[0].resend_bytes),
+            kb(r[1].resend_bytes),
+            kb(r[2].resend_bytes),
+            kb(r[3].resend_bytes),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper shape: noisy, growing with n (0–12000 KB); GP1 the most variable;");
+    println!("NORM is identically zero (global coordination leaves nothing in flight)");
+}

@@ -1,0 +1,23 @@
+//! **Figure 8** — Number of resend operations to complete an HPL restart,
+//! GP / GP1 / GP4, 16–128 processes.
+
+use gcr_bench::hpl_paper::hpl_paper_sweep;
+use gcr_bench::table::Table;
+
+fn main() {
+    let sweep = hpl_paper_sweep(true, 3);
+    println!("Figure 8: number of resend operations on restart, HPL\n");
+    let mut t = Table::new(&["procs", "GP", "GP1", "GP4", "NORM"]);
+    for (i, &n) in sweep.sizes.iter().enumerate() {
+        let r = &sweep.results[i];
+        t.row(vec![
+            n.to_string(),
+            r[0].resend_ops.to_string(),
+            r[1].resend_ops.to_string(),
+            r[2].resend_ops.to_string(),
+            r[3].resend_ops.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper shape: 0–70 operations, noisy, loosely growing with n");
+}

@@ -1,0 +1,44 @@
+//! **Figure 11** — CG class C: aggregate checkpoint and restart time,
+//! GP / GP1 / GP4 / NORM, 16–128 processes (powers of two).
+
+use gcr_bench::table::{f1, Table};
+use gcr_bench::{run_averaged, Proto, RunSpec, Schedule, WorkloadSpec};
+use gcr_workloads::CgConfig;
+
+fn main() {
+    let sizes = [16usize, 32, 64, 128];
+    println!("Figure 11: CG class C aggregate checkpoint / restart time (s)\n");
+    let mut a = Table::new(&["procs", "GP", "GP1", "GP4", "NORM"]);
+    let mut b = Table::new(&["procs", "GP", "GP1", "GP4", "NORM"]);
+    for &n in &sizes {
+        let cfg = CgConfig::class_c(n);
+        let (_, cols) = cfg.grid();
+        let protos =
+            [Proto::Gp { max_size: cols }, Proto::Gp1, Proto::GpK { k: 4 }, Proto::Norm];
+        let specs: Vec<RunSpec> = protos
+            .iter()
+            .map(|&p| {
+                RunSpec::new(WorkloadSpec::Cg(cfg.clone()), p, Schedule::SingleAt(60.0))
+                    .with_restart()
+            })
+            .collect();
+        let r = run_averaged(&specs, 3);
+        a.row(vec![
+            n.to_string(),
+            f1(r[0].agg_ckpt_s),
+            f1(r[1].agg_ckpt_s),
+            f1(r[2].agg_ckpt_s),
+            f1(r[3].agg_ckpt_s),
+        ]);
+        b.row(vec![
+            n.to_string(),
+            f1(r[0].agg_restart_s),
+            f1(r[1].agg_restart_s),
+            f1(r[2].agg_restart_s),
+            f1(r[3].agg_restart_s),
+        ]);
+    }
+    println!("Figure 11a: aggregate checkpoint time\n{}", a.render());
+    println!("\nFigure 11b: aggregate restart time\n{}", b.render());
+    println!("paper shape: checkpoints — GP ~ GP1 << NORM; restarts — GP ~ NORM, GP1 varies");
+}

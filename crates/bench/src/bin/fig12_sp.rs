@@ -1,0 +1,38 @@
+//! **Figure 12** — SP class C: aggregate checkpoint and restart time,
+//! GP / GP1 / NORM, on the square process counts 64, 81, 100, 121
+//! (GP4 is omitted, as in the paper — 4 does not divide SP's grids evenly).
+
+use gcr_bench::table::{f1, Table};
+use gcr_bench::{run_averaged, Proto, RunSpec, Schedule, WorkloadSpec};
+use gcr_workloads::SpConfig;
+
+fn main() {
+    let sizes = [64usize, 81, 100, 121];
+    println!("Figure 12: SP class C aggregate checkpoint / restart time (s)\n");
+    let mut a = Table::new(&["procs", "GP", "GP1", "NORM"]);
+    let mut b = Table::new(&["procs", "GP", "GP1", "NORM"]);
+    for &n in &sizes {
+        let cfg = SpConfig::class_c(n);
+        let side = cfg.side();
+        let protos = [Proto::Gp { max_size: side }, Proto::Gp1, Proto::Norm];
+        let specs: Vec<RunSpec> = protos
+            .iter()
+            .map(|&p| {
+                RunSpec::new(WorkloadSpec::Sp(cfg.clone()), p, Schedule::SingleAt(60.0))
+                    .with_restart()
+            })
+            .collect();
+        let r = run_averaged(&specs, 3);
+        a.row(vec![n.to_string(), f1(r[0].agg_ckpt_s), f1(r[1].agg_ckpt_s), f1(r[2].agg_ckpt_s)]);
+        b.row(vec![
+            n.to_string(),
+            f1(r[0].agg_restart_s),
+            f1(r[1].agg_restart_s),
+            f1(r[2].agg_restart_s),
+        ]);
+    }
+    println!("Figure 12a: aggregate checkpoint time\n{}", a.render());
+    println!("\nFigure 12b: aggregate restart time\n{}", b.render());
+    println!("paper shape: same ordering as CG — GP ~ GP1 << NORM on checkpoints;");
+    println!("GP as efficient as NORM on restarts, GP1 more variable");
+}

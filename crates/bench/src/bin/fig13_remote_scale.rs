@@ -1,0 +1,69 @@
+//! **Figure 13** — Effect of scale with remote checkpoint storage: CG class
+//! C on 16–128 processes, checkpoint images on 4 shared servers.
+//!
+//! VCL checkpoints every 120 s; GP is then forced to take the same number
+//! of checkpoints (via an interval derived from its own baseline execution
+//! time), as in the paper's fairness procedure. Reported: total execution
+//! time and checkpoints completed.
+
+use gcr_bench::table::{f1, Table};
+use gcr_bench::{run_averaged, run_one, Proto, RunSpec, Schedule, WorkloadSpec};
+use gcr_workloads::CgConfig;
+
+fn main() {
+    let sizes = [16usize, 32, 64, 128];
+    println!("Figure 13: CG class C with remote checkpoint servers (4 shared)\n");
+    let mut t = Table::new(&["procs", "GP time (s)", "GP #ckpt", "VCL time (s)", "VCL #ckpt"]);
+    for &n in &sizes {
+        let cfg = CgConfig::class_c(n);
+        let (_, cols) = cfg.grid();
+        // The paper checkpoints VCL every 120 s on runs of 400–900 s
+        // (~2–3 checkpoints per run). Our simulated CG executes faster in
+        // absolute terms, so the interval is scaled to preserve the
+        // procedure: a third of VCL's checkpoint-free execution time,
+        // yielding the paper's ~2 checkpoints per run.
+        let vcl_base = run_one(
+            &RunSpec::new(WorkloadSpec::Cg(cfg.clone()), Proto::Vcl, Schedule::None)
+                .with_remote_storage(),
+        );
+        let vcl_every = vcl_base.exec_s / 3.0;
+        let vcl_spec = RunSpec::new(
+            WorkloadSpec::Cg(cfg.clone()),
+            Proto::Vcl,
+            Schedule::Interval { start_s: vcl_every, every_s: vcl_every },
+        )
+        .with_remote_storage();
+        let vcl = run_averaged(&[vcl_spec], 3).remove(0);
+
+        // GP forced to the same checkpoint count: derive the interval from
+        // GP's own checkpoint-free execution time.
+        let gp_base = run_one(
+            &RunSpec::new(
+                WorkloadSpec::Cg(cfg.clone()),
+                Proto::Gp { max_size: cols },
+                Schedule::None,
+            )
+            .with_remote_storage(),
+        );
+        let waves = vcl.waves.max(1);
+        let every = gp_base.exec_s / (waves as f64 + 1.0);
+        let gp_spec = RunSpec::new(
+            WorkloadSpec::Cg(cfg.clone()),
+            Proto::Gp { max_size: cols },
+            Schedule::Interval { start_s: every, every_s: every },
+        )
+        .with_remote_storage();
+        let gp = run_averaged(&[gp_spec], 3).remove(0);
+
+        t.row(vec![
+            n.to_string(),
+            f1(gp.exec_s),
+            gp.waves.to_string(),
+            f1(vcl.exec_s),
+            vcl.waves.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper shape: equal checkpoint counts per scale; GP's execution-time edge over");
+    println!("VCL grows as the system scales up");
+}

@@ -1,0 +1,28 @@
+//! **Figure 14** — Average time per checkpoint, GP vs VCL, CG class C with
+//! remote storage, 16–128 processes.
+
+use gcr_bench::table::{f1, Table};
+use gcr_bench::{run_averaged, Proto, RunSpec, Schedule, WorkloadSpec};
+use gcr_workloads::CgConfig;
+
+fn main() {
+    let sizes = [16usize, 32, 64, 128];
+    println!("Figure 14: average time per checkpoint (s), CG class C, remote storage\n");
+    let mut t = Table::new(&["procs", "GP", "VCL"]);
+    for &n in &sizes {
+        let cfg = CgConfig::class_c(n);
+        let (_, cols) = cfg.grid();
+        let mk = |p| {
+            RunSpec::new(
+                WorkloadSpec::Cg(cfg.clone()),
+                p,
+                Schedule::Interval { start_s: 60.0, every_s: 60.0 },
+            )
+            .with_remote_storage()
+        };
+        let r = run_averaged(&[mk(Proto::Gp { max_size: cols }), mk(Proto::Vcl)], 3);
+        t.row(vec![n.to_string(), f1(r[0].mean_ckpt_s), f1(r[1].mean_ckpt_s)]);
+    }
+    println!("{}", t.render());
+    println!("paper shape: GP cheaper per checkpoint throughout; the gap widens with scale");
+}

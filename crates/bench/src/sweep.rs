@@ -1,0 +1,55 @@
+//! Parallel parameter sweeps.
+//!
+//! Each simulation is single-threaded and deterministic; a sweep runs many
+//! independent simulations, so it parallelizes across OS threads with a
+//! shared work queue (crossbeam scoped threads — specs and results are
+//! `Send`, simulations never are).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::runner::run_one;
+use crate::spec::{RunResult, RunSpec};
+
+/// Run every spec, in parallel, returning results in input order.
+pub fn run_all(specs: &[RunSpec]) -> Vec<RunResult> {
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    run_all_with(specs, workers.min(specs.len().max(1)))
+}
+
+/// Run with an explicit worker count.
+pub fn run_all_with(specs: &[RunSpec], workers: usize) -> Vec<RunResult> {
+    if specs.is_empty() {
+        return Vec::new();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<RunResult>>> = Mutex::new(vec![None; specs.len()]);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers.max(1) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let r = run_one(&specs[i]);
+                results.lock().expect("poisoned")[i] = Some(r);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    results
+        .into_inner()
+        .expect("poisoned")
+        .into_iter()
+        .map(|r| r.expect("missing result"))
+        .collect()
+}
+
+/// Run each spec `trials` times with varied seeds (in parallel) and return
+/// the per-spec averages, in input order.
+pub fn run_averaged(specs: &[RunSpec], trials: u64) -> Vec<RunResult> {
+    let expanded: Vec<RunSpec> =
+        specs.iter().flat_map(|s| crate::spec::with_trials(s, trials)).collect();
+    let results = run_all(&expanded);
+    results.chunks(trials as usize).map(crate::spec::average).collect()
+}

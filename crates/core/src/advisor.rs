@@ -1,0 +1,204 @@
+//! Checkpoint-interval advice and work-loss analysis (the paper's §7:
+//! traces "give a hint to select a fixed optimal checkpoint interval", and
+//! more checkpoints "reduce work loss due to rollback recovery").
+//!
+//! * [`optimal_interval`] — Young's first-order optimum
+//!   `τ* = √(2 · C · MTBF)` for a per-checkpoint cost `C`.
+//! * [`expected_lost_work`] — expected work lost per failure for a given
+//!   interval (half an interval plus the recovery time, first order).
+//! * [`WorkLossReport`] / [`analyze_schedule`] — evaluate an *actual*
+//!   checkpoint schedule (from [`crate::metrics::Metrics`]) against a
+//!   failure rate: overhead paid vs expected loss avoided.
+
+use gcr_sim::SimDuration;
+
+use crate::metrics::Metrics;
+
+/// Young's approximation of the optimal checkpoint interval.
+///
+/// ```
+/// use gcr_sim::SimDuration;
+///
+/// // 50 s per checkpoint, 10 000 s MTBF → checkpoint every 1000 s.
+/// let tau = gcr_ckpt::optimal_interval(
+///     SimDuration::from_secs(50),
+///     SimDuration::from_secs(10_000),
+/// );
+/// assert_eq!(tau.as_secs_f64().round() as u64, 1000);
+/// ```
+///
+/// # Panics
+/// Panics unless both inputs are positive.
+pub fn optimal_interval(ckpt_cost: SimDuration, mtbf: SimDuration) -> SimDuration {
+    assert!(!ckpt_cost.is_zero() && !mtbf.is_zero(), "cost and MTBF must be positive");
+    SimDuration::from_secs_f64((2.0 * ckpt_cost.as_secs_f64() * mtbf.as_secs_f64()).sqrt())
+}
+
+/// First-order expected work lost per failure when checkpointing every
+/// `interval` with recovery cost `restart_cost`: half an interval of lost
+/// progress plus the recovery itself.
+pub fn expected_lost_work(interval: SimDuration, restart_cost: SimDuration) -> SimDuration {
+    SimDuration::from_secs_f64(interval.as_secs_f64() / 2.0) + restart_cost
+}
+
+/// Evaluation of an executed checkpoint schedule under a failure model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkLossReport {
+    /// Number of checkpoints taken.
+    pub checkpoints: u64,
+    /// Mean per-rank checkpoint duration (s).
+    pub mean_ckpt_s: f64,
+    /// Mean gap between consecutive checkpoint waves (s).
+    pub mean_interval_s: f64,
+    /// Expected work lost per failure (s): half the mean interval plus the
+    /// measured mean restart time (0 if no restart was measured).
+    pub expected_loss_per_failure_s: f64,
+    /// Expected failures during the run for the given MTBF.
+    pub expected_failures: f64,
+    /// Effective run time including expected rollback losses (s).
+    pub effective_time_s: f64,
+}
+
+/// Analyze a run's checkpoint schedule against a whole-system MTBF.
+///
+/// # Panics
+/// Panics if `mtbf` is zero.
+pub fn analyze_schedule(metrics: &Metrics, exec_s: f64, mtbf: SimDuration) -> WorkLossReport {
+    assert!(!mtbf.is_zero(), "MTBF must be positive");
+    let waves = metrics.waves();
+    let recs = metrics.ckpt_records();
+    // Mean interval between wave starts (falls back to the full run when
+    // fewer than two waves exist).
+    let mut starts: Vec<f64> = Vec::new();
+    for w in 0..waves {
+        if let Some(t) =
+            recs.iter().filter(|r| r.wave == w).map(|r| r.started.as_secs_f64()).reduce(f64::min)
+        {
+            starts.push(t);
+        }
+    }
+    starts.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+    let mean_interval_s = if starts.len() >= 2 {
+        (starts.last().unwrap() - starts.first().unwrap()) / (starts.len() - 1) as f64
+    } else {
+        exec_s
+    };
+    let restarts = metrics.restart_records();
+    let mean_restart_s = if restarts.is_empty() {
+        0.0
+    } else {
+        restarts.iter().map(|r| r.duration().as_secs_f64()).sum::<f64>() / restarts.len() as f64
+    };
+    let expected_loss = mean_interval_s / 2.0 + mean_restart_s;
+    let expected_failures = exec_s / mtbf.as_secs_f64();
+    WorkLossReport {
+        checkpoints: waves,
+        mean_ckpt_s: metrics.mean_ckpt_time(),
+        mean_interval_s,
+        expected_loss_per_failure_s: expected_loss,
+        expected_failures,
+        effective_time_s: exec_s + expected_failures * expected_loss,
+    }
+}
+
+/// Work lost if the given ranks fail at `t_fail_s`: for each rank, the time
+/// since its last completed checkpoint (or since t = 0 if it never
+/// checkpointed), summed. This is the quantity group-based recovery bounds
+/// to one group while a global restart charges it to every rank.
+pub fn work_lost_at(metrics: &Metrics, ranks: &[u32], t_fail_s: f64) -> f64 {
+    let recs = metrics.ckpt_records();
+    ranks
+        .iter()
+        .map(|&r| {
+            let last = recs
+                .iter()
+                .filter(|c| c.rank == r && c.finished.as_secs_f64() <= t_fail_s)
+                .map(|c| c.finished.as_secs_f64())
+                .fold(0.0f64, f64::max);
+            (t_fail_s - last).max(0.0)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{CkptRecord, PhaseBreakdown, RestartRecord};
+    use gcr_sim::SimTime;
+
+    #[test]
+    fn youngs_formula() {
+        // C = 50 s, MTBF = 10000 s → τ* = √(2·50·10000) = 1000 s.
+        let tau = optimal_interval(SimDuration::from_secs(50), SimDuration::from_secs(10_000));
+        assert!((tau.as_secs_f64() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lost_work_is_half_interval_plus_recovery() {
+        let loss =
+            expected_lost_work(SimDuration::from_secs(600), SimDuration::from_secs(30));
+        assert!((loss.as_secs_f64() - 330.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_mtbf_rejected() {
+        let _ = optimal_interval(SimDuration::from_secs(1), SimDuration::ZERO);
+    }
+
+    fn rec(wave: u64, start_s: u64) -> CkptRecord {
+        CkptRecord {
+            wave,
+            rank: 0,
+            started: SimTime::from_secs(start_s),
+            finished: SimTime::from_secs(start_s + 4),
+            phases: PhaseBreakdown::default(),
+            log_flushed_bytes: 0,
+            image_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn schedule_analysis_counts_intervals() {
+        let m = Metrics::new();
+        for (w, t) in [(0u64, 100u64), (1, 200), (2, 300)] {
+            m.push_ckpt(rec(w, t));
+            m.wave_completed();
+        }
+        m.push_restart(RestartRecord {
+            rank: 0,
+            started: SimTime::ZERO,
+            finished: SimTime::from_secs(10),
+            image_load: SimDuration::from_secs(5),
+            resend_ops: 0,
+            resend_bytes: 0,
+            skip_bytes: 0,
+        });
+        let r = analyze_schedule(&m, 400.0, SimDuration::from_secs(4_000));
+        assert_eq!(r.checkpoints, 3);
+        assert!((r.mean_interval_s - 100.0).abs() < 1e-9);
+        // loss = 50 + 10 restart; failures = 0.1; effective = 400 + 6.
+        assert!((r.expected_loss_per_failure_s - 60.0).abs() < 1e-9);
+        assert!((r.effective_time_s - 406.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn work_lost_counts_time_since_last_ckpt() {
+        let m = Metrics::new();
+        m.push_ckpt(rec(0, 100)); // rank 0 finishes its ckpt at t = 104
+        // Failure at t = 150: rank 0 loses 46 s, rank 1 (never ckpted) 150 s.
+        let lost = work_lost_at(&m, &[0, 1], 150.0);
+        assert!((lost - (46.0 + 150.0)).abs() < 1e-9);
+        // A failure before the checkpoint ignores it.
+        let lost = work_lost_at(&m, &[0], 50.0);
+        assert!((lost - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_checkpoints_means_full_run_at_risk() {
+        let m = Metrics::new();
+        let r = analyze_schedule(&m, 1000.0, SimDuration::from_secs(10_000));
+        assert_eq!(r.checkpoints, 0);
+        assert!((r.mean_interval_s - 1000.0).abs() < 1e-9);
+    }
+}

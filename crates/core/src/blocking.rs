@@ -1,0 +1,79 @@
+//! Blocking coordinated checkpointing, scoped to a group (LAM/MPI-style).
+//!
+//! With one global group this is the paper's `NORM`; with trace-formed
+//! groups it is `GP` (Algorithm 1); with singleton groups, `GP1`. The wave
+//! at each rank runs the four phases of the paper's Figure 9:
+//!
+//! 1. **Lock MPI** — freeze the application (no new sends/receives/compute).
+//! 2. **Coordination** — synchronize (flush) message logs, record the
+//!    `RR`/`S` snapshots for out-of-group peers, run the bookmark drain so
+//!    no intra-group bytes remain in flight, and barrier with the group.
+//! 3. **Checkpoint** — write the image through the storage model.
+//! 4. **Finalize** — barrier again, then resume execution regardless of
+//!    other groups' progress.
+
+use crate::ctrlplane::{bookmark_drain, ctrl_barrier, tags};
+use crate::metrics::{CkptRecord, PhaseBreakdown};
+use crate::runtime::RankProto;
+
+/// Execute one blocking coordinated checkpoint wave at one rank.
+pub(crate) async fn blocking_wave(p: &RankProto, wave: u64) {
+    let ctx = &p.ctx;
+    let world = ctx.world().clone();
+    let sim = world.sim().clone();
+    let rank = ctx.rank();
+    let storage = world.cluster().storage().clone();
+    let started = ctx.now();
+
+    // Phase 1: Lock MPI. The checkpoint signal is handled only when the
+    // process is scheduled — the straggler delay happens *before* the
+    // freeze, so a delayed rank keeps executing (and sending) while its
+    // peers are already locked. This skew is what the coordination drain
+    // pays for, and what creates inter-group replay volume.
+    if p.cfg.stragglers {
+        let d = world.cluster().sample_straggler(&mut p.rng.borrow_mut());
+        sim.sleep(d).await;
+    }
+    world.freeze(rank);
+    sim.sleep(p.cfg.lock_overhead).await;
+    let t_lock = ctx.now();
+
+    // Phase 2: Coordination.
+    // Synchronize message logs (Algorithm 1). Logging streams to disk in
+    // the background between checkpoints; here we only wait for the
+    // un-synced tail to hit stable storage.
+    let log_flushed_bytes = p.gp.on_checkpoint();
+    if log_flushed_bytes > 0 {
+        storage.drain_local(rank.idx()).await;
+    }
+    let members = p.groups.members(p.groups.group_of(rank.0)).to_vec();
+    bookmark_drain(ctx, &members, wave).await;
+    ctrl_barrier(ctx, &members, tags::BARRIER1 + wave).await;
+    let t_coord = ctx.now();
+
+    // Phase 3: write the checkpoint image.
+    let image_bytes = p.cfg.image_bytes[rank.idx()];
+    storage.write(rank.idx(), image_bytes, p.cfg.storage).await;
+    let t_img = ctx.now();
+
+    // Phase 4: finalize and resume, independent of other groups.
+    ctrl_barrier(ctx, &members, tags::BARRIER2 + wave).await;
+    sim.sleep(p.cfg.finalize_overhead).await;
+    world.thaw(rank);
+    let finished = ctx.now();
+
+    p.metrics.push_ckpt(CkptRecord {
+        wave,
+        rank: rank.0,
+        started,
+        finished,
+        phases: PhaseBreakdown {
+            lock: t_lock.saturating_since(started),
+            coordination: t_coord.saturating_since(t_lock),
+            checkpoint: t_img.saturating_since(t_coord),
+            finalize: finished.saturating_since(t_img),
+        },
+        log_flushed_bytes,
+        image_bytes,
+    });
+}

@@ -1,0 +1,103 @@
+//! Checkpoint-system configuration.
+
+use gcr_net::StorageTarget;
+use gcr_sim::SimDuration;
+
+/// Which protocol family drives checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Blocking coordinated checkpointing scoped to groups (LAM/MPI-style).
+    /// With a single global group this is the paper's `NORM`; with trace
+    /// groups it is `GP`; with singletons, `GP1`.
+    Blocking,
+    /// Non-blocking Chandy–Lamport checkpointing over all ranks
+    /// (MPICH-VCL-style): image written concurrently with execution, new
+    /// sends suspended during the write, markers flush channel state.
+    Vcl,
+}
+
+/// Tunables of the checkpoint system.
+#[derive(Debug, Clone)]
+pub struct CkptConfig {
+    /// Where images and flushed logs are written.
+    pub storage: StorageTarget,
+    /// Per-rank checkpoint image size in bytes (the application's resident
+    /// memory; BLCR writes roughly this much).
+    pub image_bytes: Vec<u64>,
+    /// Fixed cost of locking the MPI layer (signal + quiesce).
+    pub lock_overhead: SimDuration,
+    /// Fixed cost of the finalize step after the barrier.
+    pub finalize_overhead: SimDuration,
+    /// Fixed restart cost: re-creating process spaces and updating the MPI
+    /// runtime's internal structures.
+    pub restart_init: SimDuration,
+    /// Per-peer processing cost of the restart volume exchange (socket
+    /// setup, request handling) — paid serially for every out-of-group
+    /// peer the rank ever communicated with.
+    pub restart_peer_overhead: SimDuration,
+    /// Serial per-process checkpoint-request propagation cost: `mpirun`
+    /// spawns one child per group, and each child signals its group's
+    /// members one after another. With a single global group (NORM) the
+    /// last rank hears about the checkpoint `n × this` late — the linear
+    /// component of the paper's Figure 1; per-group children parallelize
+    /// it for GP.
+    pub propagation_per_proc: SimDuration,
+    /// Apply the cluster's straggler model at coordination points.
+    pub stragglers: bool,
+    /// Honor `RR` piggybacks for message-log garbage collection
+    /// (ablation knob; the paper always GCs).
+    pub piggyback_gc: bool,
+    /// Sender-side log copy bandwidth (bytes/s) — the per-message cost of
+    /// asynchronous logging.
+    pub log_copy_bps: f64,
+    /// Fixed per-logged-message overhead.
+    pub log_fixed: SimDuration,
+    /// Image-size inflation of the VCL baseline relative to BLCR: MPICH-V's
+    /// user-level checkpointer captures the full address space, while BLCR
+    /// dumps resident pages only. Applied to `image_bytes` in VCL waves.
+    pub vcl_image_factor: f64,
+    /// Root seed for the protocol's random substreams.
+    pub seed: u64,
+}
+
+impl CkptConfig {
+    /// A config with uniform image sizes and defaults calibrated to the
+    /// paper's testbed software stack.
+    pub fn uniform(n: usize, image_bytes: u64, storage: StorageTarget) -> Self {
+        CkptConfig {
+            storage,
+            image_bytes: vec![image_bytes; n],
+            lock_overhead: SimDuration::from_millis(5),
+            finalize_overhead: SimDuration::from_millis(5),
+            restart_init: SimDuration::from_millis(150),
+            restart_peer_overhead: SimDuration::from_millis(100),
+            propagation_per_proc: SimDuration::from_millis(20),
+            stragglers: true,
+            piggyback_gc: true,
+            log_copy_bps: 250e6,
+            log_fixed: SimDuration::from_micros(20),
+            vcl_image_factor: 2.0,
+            seed: 0x9c27_b0e1,
+        }
+    }
+
+    /// Disable all randomness (unit tests).
+    pub fn deterministic(mut self) -> Self {
+        self.stragglers = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_fills_image_sizes() {
+        let c = CkptConfig::uniform(4, 1 << 20, StorageTarget::Local);
+        assert_eq!(c.image_bytes, vec![1 << 20; 4]);
+        assert!(c.piggyback_gc);
+        assert!(c.stragglers);
+        assert!(!c.clone().deterministic().stragglers);
+    }
+}

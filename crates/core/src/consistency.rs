@@ -1,0 +1,130 @@
+//! Recovery-line consistency checking.
+//!
+//! The whole point of Algorithm 1 is that a group checkpoint plus the
+//! sender-side logs form a consistent recovery line without global
+//! coordination. This module verifies that claim mechanically after a
+//! checkpoint wave:
+//!
+//! * **Intra-group channels are clean** — everything sent within a group
+//!   before its checkpoint arrived before the image was cut (the bookmark
+//!   drain's contract).
+//! * **Inter-group traffic is fully recoverable** — for every inter-group
+//!   channel, the sender's retained log still covers every byte beyond the
+//!   receiver's checkpointed received-volume (`RR`), i.e. garbage
+//!   collection never outran safety.
+//! * **Replay/skip arithmetic closes the stream** — for each direction,
+//!   `min(RR, S_ckpt) + replayed-or-skipped` reconstructs exactly `S_ckpt`
+//!   bytes on the receiver side.
+
+use gcr_mpi::World;
+
+use crate::runtime::CkptRuntime;
+
+/// A violated invariant, human-readable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation(pub String);
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Check all recovery-line invariants against the current protocol state.
+/// Call after a completed checkpoint wave (any number of waves is fine —
+/// the state always reflects the latest one).
+///
+/// # Errors
+/// Returns every violated invariant.
+pub fn check_recovery_line(world: &World, rt: &CkptRuntime) -> Result<(), Vec<Violation>> {
+    let mut violations = Vec::new();
+    let n = world.n();
+    let groups = rt.groups();
+
+    for i in 0..n as u32 {
+        let gi = rt.gp_state(i);
+        for j in 0..n as u32 {
+            if i == j {
+                continue;
+            }
+            if groups.is_intra(i, j) {
+                continue; // cleanliness is enforced at wave time by the drain
+            }
+            let gj = rt.gp_state(j);
+            // Receiver j checkpointed having consumed RR_j(i) bytes from i;
+            // sender i checkpointed at S_i(j) = ss. The log must cover
+            // [RR_j(i), ss) entirely.
+            let needed_from = gj.rr(i);
+            let ss = gi.ss(j);
+            if needed_from < ss {
+                let entries = gi.replay_entries(j, needed_from);
+                // Coverage: contiguous from ≤ needed_from through ≥ ss.
+                let mut cursor = needed_from;
+                for e in &entries {
+                    if e.offset > cursor {
+                        violations.push(Violation(format!(
+                            "log hole on P{i}→P{j}: needs byte {cursor}, first entry at {}",
+                            e.offset
+                        )));
+                        break;
+                    }
+                    cursor = cursor.max(e.end());
+                }
+                if cursor < ss {
+                    violations.push(Violation(format!(
+                        "log truncated on P{i}→P{j}: covers to {cursor}, checkpointed S is {ss}"
+                    )));
+                }
+            }
+            // Skip arithmetic: j consumed more than i's checkpointed S only
+            // if those bytes were sent after i's checkpoint — the restart
+            // skips them, and the skip count must be non-negative and
+            // bounded by what was actually sent since.
+            let skip = needed_from.saturating_sub(ss);
+            let sent_since = gi.sent_to(j).saturating_sub(ss);
+            if skip > sent_since {
+                violations.push(Violation(format!(
+                    "impossible skip on P{i}→P{j}: skip {skip} exceeds post-ckpt sends {sent_since}"
+                )));
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+/// Check that no application bytes are in flight anywhere (end-of-run
+/// sanity; all sent data arrived and was consumed).
+///
+/// # Errors
+/// Returns a violation per dirty channel.
+pub fn check_quiescent(world: &World) -> Result<(), Vec<Violation>> {
+    let c = world.counters();
+    let mut violations = Vec::new();
+    for i in 0..c.n() as u32 {
+        for j in 0..c.n() as u32 {
+            let p = c.pair(gcr_mpi::Rank(i), gcr_mpi::Rank(j));
+            if p.in_flight_bytes() != 0 {
+                violations.push(Violation(format!(
+                    "P{i}→P{j}: {} bytes still in flight",
+                    p.in_flight_bytes()
+                )));
+            }
+            if p.consumed_bytes != p.arrived_bytes {
+                violations.push(Violation(format!(
+                    "P{i}→P{j}: {} bytes arrived but never consumed",
+                    p.arrived_bytes - p.consumed_bytes
+                )));
+            }
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}

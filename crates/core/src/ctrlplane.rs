@@ -1,0 +1,202 @@
+//! Control-plane primitives shared by the protocol engines: tag layout,
+//! group barriers over control messages, and the bookmark drain.
+//!
+//! Everything here rides on [`gcr_mpi`]'s control message class — it costs
+//! real network time but is invisible to tracing, the app-volume counters,
+//! and the message logs (as in LAM/MPI, where the `crtcp` bookkeeping is
+//! out-of-band with respect to application traffic).
+
+use std::rc::Rc;
+
+use gcr_sim::future::{join2, join_all};
+use gcr_mpi::{Rank, RankCtx};
+
+/// Control-tag namespaces (each offset by the wave / phase id).
+pub mod tags {
+    /// Bookmark exchange during coordinated drain: `BOOKMARK + wave`.
+    pub const BOOKMARK: u64 = 0x0100_0000;
+    /// Pre-image barrier: `BARRIER1 + wave`.
+    pub const BARRIER1: u64 = 0x0200_0000;
+    /// Post-image barrier: `BARRIER2 + wave`.
+    pub const BARRIER2: u64 = 0x0300_0000;
+    /// Chandy–Lamport marker: `MARKER + wave`.
+    pub const MARKER: u64 = 0x0400_0000;
+    /// Restart volume exchange.
+    pub const RESTART_VOL: u64 = 0x0500_0000;
+    /// Restart replay plan (entry count).
+    pub const RESTART_PLAN: u64 = 0x0600_0000;
+    /// Restart replayed message.
+    pub const RESTART_DATA: u64 = 0x0700_0000;
+    /// Restart completion barrier.
+    pub const RESTART_BARRIER: u64 = 0x0800_0000;
+}
+
+/// Wire size of a small control message (bookmarks, barrier tokens).
+pub const CTRL_BYTES: u64 = 32;
+
+/// Dissemination barrier across `members` using control messages with tag
+/// `tag`. All members must call it with identical `members` and `tag`.
+///
+/// # Panics
+/// Panics if the calling rank is not in `members`.
+pub async fn ctrl_barrier(ctx: &RankCtx, members: &[u32], tag: u64) {
+    let n = members.len();
+    if n <= 1 {
+        return;
+    }
+    let me = ctx.rank().0;
+    let pos = members
+        .iter()
+        .position(|&r| r == me)
+        .unwrap_or_else(|| panic!("P{me} not in barrier member set"));
+    let mut k = 1usize;
+    while k < n {
+        let dst = Rank(members[(pos + k) % n]);
+        let src = Rank(members[(pos + n - k) % n]);
+        let (_, _) = join2(
+            ctx.ctrl_send(dst, tag, CTRL_BYTES, None),
+            ctx.ctrl_recv(src, tag),
+        )
+        .await;
+        k <<= 1;
+    }
+}
+
+/// LAM-style bookmark drain among `members` (the calling rank included):
+/// every pair exchanges "bytes I have put on the wire towards you", then
+/// each member waits until that much application data has **arrived** at
+/// its MPI layer. On return, no intra-member-set application bytes are in
+/// flight toward the caller.
+pub async fn bookmark_drain(ctx: &RankCtx, members: &[u32], wave: u64) {
+    let me = ctx.rank();
+    let world = ctx.world().clone();
+    // A rendezvous send that was granted its CTS will put data on the wire
+    // without further application involvement; wait for those so the
+    // bookmark snapshot is complete.
+    world.wait_no_pending_grants(me).await;
+    let tag = tags::BOOKMARK + wave;
+    let peers: Vec<Rank> =
+        members.iter().filter(|&&r| r != me.0).map(|&r| Rank(r)).collect();
+    let futs: Vec<_> = peers
+        .iter()
+        .map(|&peer| {
+            let ctx = ctx.clone();
+            let world = world.clone();
+            async move {
+                let my_sent = world.pair_stats(me, peer).sent_bytes;
+                let (_, env) = join2(
+                    ctx.ctrl_send(peer, tag, CTRL_BYTES, Some(Rc::new(my_sent))),
+                    ctx.ctrl_recv(peer, tag),
+                )
+                .await;
+                let their_sent = *env.payload_as::<u64>().expect("bookmark payload");
+                world.wait_arrived(peer, me, their_sent).await;
+            }
+        })
+        .collect();
+    join_all(futs).await;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_mpi::{World, WorldOpts};
+    use gcr_net::{Cluster, ClusterSpec};
+    use gcr_sim::{Sim, SimDuration, SimTime};
+    use std::cell::Cell;
+
+    fn world(n: usize) -> (Sim, World) {
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::test(n));
+        (sim.clone(), World::new(cluster, WorldOpts::default()))
+    }
+
+    #[test]
+    fn ctrl_barrier_holds_until_all_arrive() {
+        let (sim, world) = world(4);
+        let members: Vec<u32> = vec![0, 1, 2, 3];
+        let min_exit = Rc::new(Cell::new(SimTime::MAX));
+        for r in 0..4u32 {
+            let m = members.clone();
+            let me = Rc::clone(&min_exit);
+            world.launch(Rank(r), move |ctx| async move {
+                ctx.busy(SimDuration::from_millis(r as u64 * 20)).await;
+                ctrl_barrier(&ctx, &m, 77).await;
+                me.set(me.get().min(ctx.now()));
+            });
+        }
+        sim.run().unwrap();
+        assert!(min_exit.get() >= SimTime::from_millis(60));
+    }
+
+    #[test]
+    fn ctrl_barrier_subgroup_only_involves_members() {
+        let (sim, world) = world(4);
+        // Ranks 0 and 2 barrier; ranks 1 and 3 never participate.
+        for r in [0u32, 2] {
+            world.launch(Rank(r), move |ctx| async move {
+                ctrl_barrier(&ctx, &[0, 2], 5).await;
+            });
+        }
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn bookmark_drain_waits_for_in_flight_bytes() {
+        let (sim, world) = world(2);
+        // Rank 0 sends app data, then both drain; the drain at rank 1 must
+        // observe the arrival even though the app never posted a receive
+        // before the drain.
+        let drained_at = Rc::new(Cell::new(SimTime::ZERO));
+        world.launch(Rank(0), |ctx| async move {
+            ctx.send(Rank(1), 1, 50_000).await;
+            bookmark_drain(&ctx, &[0, 1], 0).await;
+        });
+        {
+            let d = Rc::clone(&drained_at);
+            world.launch(Rank(1), |ctx| async move {
+                bookmark_drain(&ctx, &[0, 1], 0).await;
+                d.set(ctx.now());
+                // Consume the message afterwards so counters settle.
+                ctx.recv(Rank(0), 1).await;
+            });
+        }
+        sim.run().unwrap();
+        // 50 KB at 1 GB/s is fast, but arrival is strictly positive.
+        assert!(drained_at.get() > SimTime::ZERO);
+        let c = world.counters();
+        assert_eq!(c.pair(Rank(0), Rank(1)).arrived_bytes, 50_000);
+    }
+
+    #[test]
+    fn drain_is_consistent_under_frozen_senders() {
+        let (sim, world) = world(2);
+        // Rank 0's second send is gated by a freeze before it reaches the
+        // wire; the drain must NOT wait for it.
+        world.launch(Rank(0), |ctx| async move {
+            ctx.send(Rank(1), 1, 1000).await;
+            ctx.world().freeze(ctx.rank());
+            // This send is blocked until thaw (which never happens before
+            // the drain completes at rank 1).
+            ctx.send(Rank(1), 1, 2000).await;
+        });
+        let done = Rc::new(Cell::new(false));
+        {
+            let d = Rc::clone(&done);
+            world.launch(Rank(1), |ctx| async move {
+                // Give the first message time to be committed.
+                ctx.busy(SimDuration::from_millis(10)).await;
+                bookmark_drain(&ctx, &[1], 0).await; // self-only: trivial
+                ctx.world().wait_arrived(Rank(0), Rank(1), 1000).await;
+                d.set(true);
+                ctx.recv(Rank(0), 1).await;
+                // Unfreeze 0 so its second send can complete and the world
+                // can finish.
+                ctx.world().thaw(Rank(0));
+                ctx.recv(Rank(0), 1).await;
+            });
+        }
+        sim.run().unwrap();
+        assert!(done.get());
+    }
+}

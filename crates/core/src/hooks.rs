@@ -1,0 +1,381 @@
+//! Protocol hooks installed on the MPI runtime.
+//!
+//! [`GpState`] is the per-rank data plane of the paper's Algorithm 1: it
+//! logs inter-group sends, maintains the `R`/`S`/`RR` volume counters,
+//! piggybacks `RR` on the first message to each out-of-group peer after a
+//! checkpoint, and garbage-collects the log when a piggyback arrives.
+//!
+//! [`VclState`] records Chandy–Lamport channel state for the MPICH-VCL
+//! model: bytes arriving from a peer between this rank's checkpoint and
+//! that peer's marker belong to the channel state and must be persisted.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use gcr_group::GroupDef;
+use gcr_mpi::{Envelope, MpiHook};
+use gcr_net::Storage;
+use gcr_sim::SimDuration;
+
+use crate::msglog::MsgLog;
+use crate::volume::VolumeCounters;
+
+/// Per-rank GP protocol state (Algorithm 1).
+pub struct GpState {
+    rank: u32,
+    groups: Rc<GroupDef>,
+    log: RefCell<MsgLog>,
+    vols: RefCell<VolumeCounters>,
+    /// `S` values snapshotted at the latest checkpoint (needed because the
+    /// simulation keeps running past the checkpoint; a restarted process
+    /// would read these straight from its image).
+    ss_at_ckpt: RefCell<std::collections::BTreeMap<u32, u64>>,
+    piggyback_gc: bool,
+    /// Sender-side log copy bandwidth (bytes/s); models the memcpy +
+    /// bookkeeping cost of asynchronous logging.
+    log_copy_bps: f64,
+    /// Fixed per-logged-message overhead.
+    log_fixed: SimDuration,
+    /// Background log writer target: queued (non-blocking) disk writes on
+    /// this node's local disk, drained at checkpoint time.
+    log_disk: RefCell<Option<(Rc<Storage>, usize)>>,
+    /// Total bytes ever logged (diagnostics).
+    logged_bytes: Cell<u64>,
+    /// Total log bytes garbage-collected thanks to piggybacks.
+    gc_bytes: Cell<u64>,
+}
+
+impl GpState {
+    /// Create state for one rank. `log_copy_bps` and `log_fixed` model the
+    /// sender-side cost of logging one message.
+    pub fn new(
+        rank: u32,
+        groups: Rc<GroupDef>,
+        piggyback_gc: bool,
+        log_copy_bps: f64,
+        log_fixed: SimDuration,
+    ) -> Rc<Self> {
+        assert!(log_copy_bps > 0.0, "log copy bandwidth must be positive");
+        Rc::new(GpState {
+            rank,
+            groups,
+            log: RefCell::new(MsgLog::new()),
+            vols: RefCell::new(VolumeCounters::new()),
+            ss_at_ckpt: RefCell::new(Default::default()),
+            piggyback_gc,
+            log_copy_bps,
+            log_fixed,
+            log_disk: RefCell::new(None),
+            logged_bytes: Cell::new(0),
+            gc_bytes: Cell::new(0),
+        })
+    }
+
+    /// Attach the background log writer: logged bytes are streamed to the
+    /// node's local disk asynchronously; the checkpoint-time "synchronize
+    /// message logs" step only drains the un-synced tail.
+    pub fn attach_log_disk(&self, storage: Rc<Storage>, node: usize) {
+        *self.log_disk.borrow_mut() = Some((storage, node));
+    }
+
+    /// The rank this state belongs to.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Checkpoint-time bookkeeping (Algorithm 1, "on receiving a group
+    /// checkpoint request"): record `RR_Q` and `S_Q` for each out-of-group
+    /// process Q, arm piggybacks, and return the log bytes that must be
+    /// flushed to stable storage.
+    pub fn on_checkpoint(&self) -> u64 {
+        let out = self.groups.out_of_group(self.rank);
+        let mut vols = self.vols.borrow_mut();
+        vols.record_at_checkpoint(out.iter().copied());
+        let mut ss = self.ss_at_ckpt.borrow_mut();
+        for q in out {
+            ss.insert(q, vols.sent_to(q));
+        }
+        self.log.borrow_mut().take_all_pending_flush()
+    }
+
+    /// `RR_Q` — received-from-Q volume recorded at the latest checkpoint.
+    pub fn rr(&self, q: u32) -> u64 {
+        self.vols.borrow().recorded_received(q)
+    }
+
+    /// `S_Q` snapshotted at the latest checkpoint.
+    pub fn ss(&self, q: u32) -> u64 {
+        self.ss_at_ckpt.borrow().get(&q).copied().unwrap_or(0)
+    }
+
+    /// Messages to replay to peer `q` on a restart where `q` had received
+    /// `q_received` bytes at its checkpoint; bounded by this rank's own
+    /// checkpointed `S`.
+    pub fn replay_entries(&self, q: u32, q_received: u64) -> Vec<crate::msglog::LogEntry> {
+        let to = self.ss(q);
+        self.log
+            .borrow()
+            .peer(q)
+            .map(|l| l.replay_range(q_received, to))
+            .unwrap_or_default()
+    }
+
+    /// Replay entries for a *live* sender serving a rolled-back peer: all
+    /// retained entries overlapping `[peer_rr, to)` where `to` is the
+    /// sender's current `S` (no snapshot — the live rank never rolled
+    /// back).
+    pub fn replay_entries_live(&self, q: u32, peer_rr: u64, to: u64) -> Vec<crate::msglog::LogEntry> {
+        self.log
+            .borrow()
+            .peer(q)
+            .map(|l| l.replay_range(peer_rr, to))
+            .unwrap_or_default()
+    }
+
+    /// Bytes currently retained in the message log.
+    pub fn retained_log_bytes(&self) -> u64 {
+        self.log.borrow().retained_bytes()
+    }
+
+    /// Total bytes ever logged.
+    pub fn total_logged_bytes(&self) -> u64 {
+        self.logged_bytes.get()
+    }
+
+    /// Total bytes garbage-collected via piggybacks.
+    pub fn total_gc_bytes(&self) -> u64 {
+        self.gc_bytes.get()
+    }
+
+    /// Current `S` toward `q` (diagnostics / invariants).
+    pub fn sent_to(&self, q: u32) -> u64 {
+        self.vols.borrow().sent_to(q)
+    }
+
+    /// Current `R` from `q` (diagnostics / invariants).
+    pub fn received_from(&self, q: u32) -> u64 {
+        self.vols.borrow().received_from(q)
+    }
+
+    /// The out-of-group peers this rank actually exchanged data with — the
+    /// only peers a restart needs to exchange volumes with. The set is
+    /// symmetric: `q` lists me iff I list `q`.
+    pub fn comm_peers(&self) -> Vec<u32> {
+        let vols = self.vols.borrow();
+        self.groups
+            .out_of_group(self.rank)
+            .into_iter()
+            .filter(|&q| vols.sent_to(q) > 0 || vols.received_from(q) > 0)
+            .collect()
+    }
+}
+
+impl MpiHook for GpState {
+    fn on_send(&self, env: &mut Envelope) -> SimDuration {
+        let dst = env.dst.0;
+        let mut vols = self.vols.borrow_mut();
+        let mut cost = SimDuration::ZERO;
+        if !self.groups.is_intra(self.rank, dst) {
+            // Asynchronous sender-based logging of the inter-group message:
+            // the copy into the log buffer delays the sender.
+            self.log.borrow_mut().peer_mut(dst).append(env.bytes, env.id.seq);
+            self.logged_bytes.set(self.logged_bytes.get() + env.bytes);
+            cost = self.log_fixed
+                + SimDuration::from_secs_f64(env.bytes as f64 / self.log_copy_bps);
+            // Stream the entry to disk in the background.
+            if let Some((storage, node)) = self.log_disk.borrow().as_ref() {
+                let _ = storage.queue_local_log_write(*node, env.bytes);
+            }
+            // First message to dst since my last checkpoint: piggyback RR.
+            if let Some(rr) = vols.piggyback_for(dst) {
+                env.piggyback_rr = Some(rr);
+            }
+        }
+        vols.on_send(dst, env.bytes);
+        cost
+    }
+
+    fn on_recv(&self, env: &Envelope) {
+        let src = env.src.0;
+        self.vols.borrow_mut().on_recv(src, env.bytes);
+        if let Some(v) = env.piggyback_rr {
+            if self.piggyback_gc {
+                let dropped = self.log.borrow_mut().peer_mut(src).gc(v);
+                self.gc_bytes.set(self.gc_bytes.get() + dropped);
+            }
+        }
+    }
+}
+
+/// Per-rank Chandy–Lamport channel-state recorder (VCL model).
+pub struct VclState {
+    rank: u32,
+    /// recording\[p\] = true while messages from p belong to channel state.
+    recording: RefCell<Vec<bool>>,
+    /// Channel-state bytes accumulated in the current wave.
+    state_bytes: Cell<u64>,
+}
+
+impl VclState {
+    /// Create state for one rank in an `n`-rank world.
+    pub fn new(rank: u32, n: usize) -> Rc<Self> {
+        Rc::new(VclState {
+            rank,
+            recording: RefCell::new(vec![false; n]),
+            state_bytes: Cell::new(0),
+        })
+    }
+
+    /// The rank this state belongs to.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Start a wave: record every incoming channel until its marker shows
+    /// up.
+    pub fn start_wave(&self) {
+        for (p, rec) in self.recording.borrow_mut().iter_mut().enumerate() {
+            *rec = p as u32 != self.rank;
+        }
+        self.state_bytes.set(0);
+    }
+
+    /// A marker from `p` arrived: channel `p → me` state is complete.
+    pub fn marker_from(&self, p: u32) {
+        self.recording.borrow_mut()[p as usize] = false;
+    }
+
+    /// Bytes of channel state accumulated this wave.
+    pub fn take_state_bytes(&self) -> u64 {
+        self.state_bytes.replace(0)
+    }
+}
+
+impl MpiHook for VclState {
+    fn on_arrival(&self, env: &Envelope) {
+        if self.recording.borrow()[env.src.idx()] {
+            self.state_bytes.set(self.state_bytes.get() + env.bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_mpi::{MsgId, MsgKind, Rank, Tag};
+    use gcr_sim::SimTime;
+
+    fn env(src: u32, dst: u32, bytes: u64, seq: u64) -> Envelope {
+        Envelope {
+            src: Rank(src),
+            dst: Rank(dst),
+            tag: Tag::app(0),
+            bytes,
+            id: MsgId { src: Rank(src), seq },
+            kind: MsgKind::App,
+            piggyback_rr: None,
+            payload: None,
+            sent_at: SimTime::ZERO,
+            arrived_at: SimTime::ZERO,
+        }
+    }
+
+    fn groups_2x2() -> Rc<GroupDef> {
+        Rc::new(GroupDef::new(4, vec![vec![0, 1], vec![2, 3]]).unwrap())
+    }
+
+    fn gp_test(rank: u32, gc: bool) -> Rc<GpState> {
+        GpState::new(rank, groups_2x2(), gc, 250e6, SimDuration::from_micros(20))
+    }
+
+    #[test]
+    fn intra_group_sends_are_not_logged() {
+        let gp = gp_test(0, true);
+        let mut e = env(0, 1, 100, 0);
+        gp.on_send(&mut e);
+        assert_eq!(gp.retained_log_bytes(), 0);
+        assert_eq!(gp.sent_to(1), 100);
+        assert!(e.piggyback_rr.is_none());
+    }
+
+    #[test]
+    fn inter_group_sends_are_logged_with_piggyback_after_ckpt() {
+        let gp = gp_test(0, true);
+        // Receive some data from 2, checkpoint, then send to 2.
+        gp.on_recv(&env(2, 0, 500, 0));
+        let flush = gp.on_checkpoint();
+        assert_eq!(flush, 0); // nothing logged yet
+        let mut e = env(0, 2, 100, 0);
+        gp.on_send(&mut e);
+        assert_eq!(e.piggyback_rr, Some(500));
+        assert_eq!(gp.retained_log_bytes(), 100);
+        // Second send has no piggyback.
+        let mut e2 = env(0, 2, 50, 1);
+        gp.on_send(&mut e2);
+        assert_eq!(e2.piggyback_rr, None);
+    }
+
+    #[test]
+    fn piggyback_triggers_gc_at_receiver() {
+        let gp = gp_test(2, true);
+        // Rank 2 logged 300 bytes to rank 0.
+        for (i, b) in [100u64, 100, 100].iter().enumerate() {
+            let mut e = env(2, 0, *b, i as u64);
+            gp.on_send(&mut e);
+        }
+        assert_eq!(gp.retained_log_bytes(), 300);
+        // Piggyback arrives: rank 0 checkpointed having received 200.
+        let mut e = env(0, 2, 10, 0);
+        e.piggyback_rr = Some(200);
+        gp.on_recv(&e);
+        assert_eq!(gp.retained_log_bytes(), 100);
+        assert_eq!(gp.total_gc_bytes(), 200);
+    }
+
+    #[test]
+    fn gc_can_be_disabled() {
+        let gp = gp_test(2, false);
+        let mut e = env(2, 0, 100, 0);
+        gp.on_send(&mut e);
+        let mut p = env(0, 2, 10, 0);
+        p.piggyback_rr = Some(100);
+        gp.on_recv(&p);
+        assert_eq!(gp.retained_log_bytes(), 100);
+    }
+
+    #[test]
+    fn checkpoint_snapshots_ss_and_flush_bytes() {
+        let gp = gp_test(0, true);
+        let mut e = env(0, 3, 700, 0);
+        gp.on_send(&mut e);
+        let flush = gp.on_checkpoint();
+        assert_eq!(flush, 700);
+        assert_eq!(gp.ss(3), 700);
+        // Post-checkpoint sends do not move the snapshot.
+        let mut e2 = env(0, 3, 50, 1);
+        gp.on_send(&mut e2);
+        assert_eq!(gp.ss(3), 700);
+        assert_eq!(gp.sent_to(3), 750);
+        // Replay for a peer that had received 300 at its ckpt: the single
+        // 700-byte entry.
+        let entries = gp.replay_entries(3, 300);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].bytes, 700);
+        // Peer that had everything: nothing to replay.
+        assert!(gp.replay_entries(3, 700).is_empty());
+    }
+
+    #[test]
+    fn vcl_records_only_during_marker_window() {
+        let vcl = VclState::new(0, 3);
+        vcl.on_arrival(&env(1, 0, 100, 0)); // before wave: not recorded
+        vcl.start_wave();
+        vcl.on_arrival(&env(1, 0, 200, 1));
+        vcl.on_arrival(&env(2, 0, 300, 0));
+        vcl.marker_from(1);
+        vcl.on_arrival(&env(1, 0, 400, 2)); // after 1's marker
+        vcl.on_arrival(&env(2, 0, 500, 1)); // 2 still recording
+        assert_eq!(vcl.take_state_bytes(), 200 + 300 + 500);
+        assert_eq!(vcl.take_state_bytes(), 0);
+    }
+}

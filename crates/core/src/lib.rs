@@ -1,0 +1,46 @@
+//! # gcr-ckpt — group-based checkpoint/restart protocols
+//!
+//! The paper's contribution (Ho, Wang, Lau — IPDPS 2008), implemented over
+//! the simulated MPI runtime:
+//!
+//! * **Blocking coordinated checkpointing scoped to groups**
+//!   ([`blocking`]): with one global group this is `NORM` (stock LAM/MPI);
+//!   with trace-formed groups it is the paper's `GP`; with singletons,
+//!   `GP1`; with ad-hoc contiguous groups, `GP4`.
+//! * **Algorithm 1's data plane** ([`hooks::GpState`], [`msglog`],
+//!   [`volume`]): asynchronous sender-based logging of inter-group
+//!   messages, `R`/`S`/`RR` volume counters, `RR` piggybacks on the first
+//!   post-checkpoint message, and piggyback-driven log garbage collection.
+//! * **Group-local restart** ([`restart`]): image reload, pairwise volume
+//!   exchange with out-of-group peers, per-message replay and send
+//!   skipping.
+//! * **The MPICH-VCL baseline** ([`vcl`]): non-blocking Chandy–Lamport
+//!   with a send-suspension window and remote checkpoint servers.
+//! * **Mechanical consistency checking** ([`consistency`]): the recovery
+//!   line formed by group checkpoints + logs is verified, not assumed.
+//!
+//! Entry point: [`runtime::CkptRuntime::install`].
+
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod blocking;
+pub mod config;
+pub mod consistency;
+pub mod ctrlplane;
+pub mod hooks;
+pub mod metrics;
+pub mod msglog;
+pub mod restart;
+pub mod runtime;
+pub mod vcl;
+pub mod volume;
+
+pub use advisor::{analyze_schedule, expected_lost_work, optimal_interval, work_lost_at, WorkLossReport};
+pub use config::{CkptConfig, Mode};
+pub use consistency::{check_quiescent, check_recovery_line, Violation};
+pub use hooks::{GpState, VclState};
+pub use metrics::{CkptRecord, Metrics, PhaseBreakdown, RestartRecord};
+pub use msglog::{LogEntry, MsgLog, PeerLog};
+pub use runtime::{CkptRuntime, RecoveryStats};
+pub use volume::VolumeCounters;

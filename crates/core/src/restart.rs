@@ -1,0 +1,223 @@
+//! Group-based restart (Algorithm 1, "on restart").
+//!
+//! Every rank reloads its image, re-initializes the MPI runtime, and then —
+//! pairwise with each **out-of-group** process Q — exchanges the volume
+//! counters recorded at checkpoint time, replays the logged messages Q is
+//! missing, and notes how many bytes of future sends to skip because Q
+//! already consumed them. Intra-group channels need nothing: the group's
+//! coordinated checkpoint left them empty.
+
+use std::rc::Rc;
+
+use gcr_sim::future::{join2, join_all};
+use gcr_mpi::Rank;
+
+use gcr_net::StorageTarget;
+
+use crate::ctrlplane::{ctrl_barrier, tags, CTRL_BYTES};
+use crate::metrics::RestartRecord;
+use crate::runtime::RankProto;
+
+/// Execute the restart protocol at one rank; returns its record.
+pub(crate) async fn restart_rank(p: &RankProto) -> RestartRecord {
+    let ctx = &p.ctx;
+    let world = ctx.world().clone();
+    let sim = world.sim().clone();
+    let rank = ctx.rank();
+    let storage = world.cluster().storage().clone();
+    let started = ctx.now();
+
+    // Process re-creation noise: restarts are scripted (mpirun re-spawns
+    // everything), so the jitter is bounded — unlike the heavy-tailed
+    // coordination stragglers of a running system.
+    if p.cfg.stragglers {
+        let jitter = p.rng.borrow_mut().uniform(0.0, 0.2);
+        sim.sleep(gcr_sim::SimDuration::from_secs_f64(jitter)).await;
+    }
+
+    // Load the checkpoint image.
+    let image_bytes = p.cfg.image_bytes[rank.idx()];
+    storage.read(rank.idx(), image_bytes, p.cfg.storage).await;
+    let image_loaded = ctx.now();
+
+    // Re-create process spaces / update MPI internal structures.
+    sim.sleep(p.cfg.restart_init).await;
+
+    // Pairwise volume exchange + replay — but only with out-of-group
+    // processes this rank actually communicated with (the paper's "small
+    // set of processes" that makes GP restarts cheap relative to GP1).
+    let out = p.gp.comm_peers();
+    // Per-peer request handling is serial work before the exchanges fly.
+    if !out.is_empty() {
+        sim.sleep(p.cfg.restart_peer_overhead * out.len() as u64).await;
+    }
+    let mut resend_ops = 0u64;
+    let mut resend_bytes = 0u64;
+    let mut skip_bytes = 0u64;
+    let futs: Vec<_> = out
+        .iter()
+        .map(|&q| {
+            let ctx = ctx.clone();
+            let gp = Rc::clone(&p.gp);
+            async move {
+                let peer = Rank(q);
+                // Exchange: I tell Q how much I had received from it at my
+                // checkpoint (RR_Q); Q tells me the same about me.
+                let my_rr = gp.rr(q);
+                let (_, env) = join2(
+                    ctx.ctrl_send(peer, tags::RESTART_VOL, CTRL_BYTES, Some(Rc::new(my_rr))),
+                    ctx.ctrl_recv(peer, tags::RESTART_VOL),
+                )
+                .await;
+                let q_received = *env.payload_as::<u64>().expect("volume payload");
+
+                // Replay: messages I sent before my checkpoint that Q had
+                // not received at its checkpoint.
+                let entries = gp.replay_entries(q, q_received);
+                let ops = entries.len() as u64;
+                // Replay is per-message: whole log entries go back on the
+                // wire (the receiver discards any already-consumed prefix).
+                let bytes: u64 = entries.iter().map(|e| e.bytes).sum();
+                // Skip: bytes Q already consumed beyond my rolled-back S.
+                let skip = q_received.saturating_sub(gp.ss(q));
+
+                // Send my replay plan and data; concurrently drain Q's.
+                let send_side = {
+                    let ctx = ctx.clone();
+                    let entries = entries.clone();
+                    let world = ctx.world().clone();
+                    async move {
+                        // Replayed messages are read back from the on-disk
+                        // log before they can be resent.
+                        if bytes > 0 {
+                            let storage = world.cluster().storage().clone();
+                            storage.read(ctx.rank().idx(), bytes, StorageTarget::Local).await;
+                        }
+                        ctx.ctrl_send(
+                            peer,
+                            tags::RESTART_PLAN,
+                            CTRL_BYTES,
+                            Some(Rc::new(entries.len() as u64)),
+                        )
+                        .await;
+                        for e in entries {
+                            ctx.ctrl_send(peer, tags::RESTART_DATA, e.bytes, None).await;
+                        }
+                    }
+                };
+                let recv_side = {
+                    let ctx = ctx.clone();
+                    async move {
+                        let plan = ctx.ctrl_recv(peer, tags::RESTART_PLAN).await;
+                        let m = *plan.payload_as::<u64>().expect("plan payload");
+                        for _ in 0..m {
+                            ctx.ctrl_recv(peer, tags::RESTART_DATA).await;
+                        }
+                    }
+                };
+                join2(send_side, recv_side).await;
+                (ops, bytes, skip)
+            }
+        })
+        .collect();
+    for (ops, bytes, skip) in join_all(futs).await {
+        resend_ops += ops;
+        resend_bytes += bytes;
+        skip_bytes += skip;
+    }
+
+    // Group members resume together.
+    let members = p.groups.members(p.groups.group_of(rank.0)).to_vec();
+    ctrl_barrier(ctx, &members, tags::RESTART_BARRIER).await;
+    let finished = ctx.now();
+
+    let rec = RestartRecord {
+        rank: rank.0,
+        started,
+        finished,
+        image_load: image_loaded.saturating_since(started),
+        resend_ops,
+        resend_bytes,
+        skip_bytes,
+    };
+    p.metrics.push_restart(rec);
+    rec
+}
+
+/// A live (non-failed) rank's side of a group recovery: serve the volume
+/// exchange and replay for each restarting peer this rank communicated
+/// with. Live ranks do not roll back — they answer with their *current*
+/// counters, replay the retained log suffix the restarted peer is missing,
+/// and absorb the (empty) replay plan from the peer.
+pub(crate) async fn serve_peer_recovery(p: &RankProto, restarting: &[u32]) -> u64 {
+    let ctx = &p.ctx;
+    let peers: Vec<u32> = p
+        .gp
+        .comm_peers()
+        .into_iter()
+        .filter(|q| restarting.contains(q))
+        .collect();
+    let futs: Vec<_> = peers
+        .into_iter()
+        .map(|q| {
+            let ctx = ctx.clone();
+            let gp = Rc::clone(&p.gp);
+            let world = ctx.world().clone();
+            async move {
+                let peer = Rank(q);
+                // I am live: my "received from q" is current, not a snapshot.
+                let my_r = gp.received_from(q);
+                let (_, env) = join2(
+                    ctx.ctrl_send(peer, tags::RESTART_VOL, CTRL_BYTES, Some(Rc::new(my_r))),
+                    ctx.ctrl_recv(peer, tags::RESTART_VOL),
+                )
+                .await;
+                let q_rr = *env.payload_as::<u64>().expect("volume payload");
+                // Replay everything retained beyond the peer's checkpoint —
+                // the peer lost all of it in the rollback. GC safety
+                // guarantees the retained log still covers [q_rr, S).
+                let to = gp.sent_to(q);
+                // All retained entries overlapping [q_rr, current S).
+                let entries: Vec<crate::msglog::LogEntry> =
+                    gp.replay_entries_live(q, q_rr, to);
+                let bytes: u64 = entries.iter().map(|e| e.bytes).sum();
+                let send_side = {
+                    let ctx = ctx.clone();
+                    let entries = entries.clone();
+                    let world = world.clone();
+                    async move {
+                        if bytes > 0 {
+                            let storage = world.cluster().storage().clone();
+                            storage
+                                .read(ctx.rank().idx(), bytes, StorageTarget::Local)
+                                .await;
+                        }
+                        ctx.ctrl_send(
+                            peer,
+                            tags::RESTART_PLAN,
+                            CTRL_BYTES,
+                            Some(Rc::new(entries.len() as u64)),
+                        )
+                        .await;
+                        for e in entries {
+                            ctx.ctrl_send(peer, tags::RESTART_DATA, e.bytes, None).await;
+                        }
+                    }
+                };
+                let recv_side = {
+                    let ctx = ctx.clone();
+                    async move {
+                        let plan = ctx.ctrl_recv(peer, tags::RESTART_PLAN).await;
+                        let m = *plan.payload_as::<u64>().expect("plan payload");
+                        for _ in 0..m {
+                            ctx.ctrl_recv(peer, tags::RESTART_DATA).await;
+                        }
+                    }
+                };
+                join2(send_side, recv_side).await;
+                bytes
+            }
+        })
+        .collect();
+    join_all(futs).await.into_iter().sum()
+}

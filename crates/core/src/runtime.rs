@@ -1,0 +1,391 @@
+//! The checkpoint runtime: per-rank protocol daemons, the `mpirun`-style
+//! controller API, and checkpoint schedules.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use gcr_group::GroupDef;
+use gcr_mpi::{MpiHook, Rank, RankCtx, World};
+use gcr_sim::channel::{channel, Sender};
+use gcr_sim::future::{select2, Either};
+use gcr_sim::sync::WaitGroup;
+use gcr_sim::{DetRng, SimDuration, SimTime};
+
+use crate::blocking::blocking_wave;
+use crate::config::{CkptConfig, Mode};
+use crate::hooks::{GpState, VclState};
+use crate::metrics::Metrics;
+use crate::restart::{restart_rank, serve_peer_recovery};
+use crate::vcl::vcl_wave;
+
+/// Everything one rank's protocol code needs.
+pub(crate) struct RankProto {
+    pub(crate) ctx: RankCtx,
+    pub(crate) groups: Rc<GroupDef>,
+    pub(crate) cfg: Rc<CkptConfig>,
+    pub(crate) metrics: Metrics,
+    pub(crate) gp: Rc<GpState>,
+    pub(crate) vcl: Rc<VclState>,
+    pub(crate) rng: RefCell<DetRng>,
+}
+
+enum Cmd {
+    Ckpt { wave: u64, done: WaitGroup },
+}
+
+struct RtInner {
+    world: World,
+    groups: Rc<GroupDef>,
+    cfg: Rc<CkptConfig>,
+    mode: Mode,
+    metrics: Metrics,
+    gp: Vec<Rc<GpState>>,
+    cmd_tx: RefCell<Vec<Sender<Cmd>>>,
+    next_wave: Cell<u64>,
+}
+
+/// Handle to the installed checkpoint system. Cheap to clone.
+#[derive(Clone)]
+pub struct CkptRuntime {
+    inner: Rc<RtInner>,
+}
+
+impl CkptRuntime {
+    /// Install the checkpoint system on a world: hooks on every rank plus
+    /// one protocol daemon per rank. Call before `sim.run()`.
+    ///
+    /// # Panics
+    /// Panics if the group definition does not match the world size, or
+    /// `cfg.image_bytes` is missing ranks.
+    pub fn install(world: &World, groups: Rc<GroupDef>, mode: Mode, cfg: CkptConfig) -> Self {
+        let n = world.n();
+        assert_eq!(groups.n(), n, "group definition world-size mismatch");
+        assert_eq!(cfg.image_bytes.len(), n, "image_bytes must cover every rank");
+        if mode == Mode::Vcl {
+            assert_eq!(
+                groups.group_count(),
+                1,
+                "the VCL model checkpoints globally; use a single group"
+            );
+        }
+        let cfg = Rc::new(cfg);
+        let metrics = Metrics::new();
+        let root_rng = DetRng::new(cfg.seed);
+
+        let mut gp_states = Vec::with_capacity(n);
+        let mut senders = Vec::with_capacity(n);
+        for r in 0..n as u32 {
+            let gp = GpState::new(r, Rc::clone(&groups), cfg.piggyback_gc, cfg.log_copy_bps, cfg.log_fixed);
+            gp.attach_log_disk(Rc::clone(world.cluster().storage()), r as usize);
+            let vcl = VclState::new(r, n);
+            match mode {
+                Mode::Blocking => {
+                    // The GP data plane only acts on inter-group traffic, so
+                    // it is a no-op under a single global group (NORM); the
+                    // hook is installed unconditionally for uniformity.
+                    world.install_hook(Rank(r), Rc::clone(&gp) as Rc<dyn MpiHook>);
+                }
+                Mode::Vcl => {
+                    world.install_hook(Rank(r), Rc::clone(&vcl) as Rc<dyn MpiHook>);
+                }
+            }
+            let proto = RankProto {
+                ctx: world.ctx(Rank(r)),
+                groups: Rc::clone(&groups),
+                cfg: Rc::clone(&cfg),
+                metrics: metrics.clone(),
+                gp: Rc::clone(&gp),
+                vcl,
+                rng: RefCell::new(root_rng.fork("proto").fork_idx(r as u64)),
+            };
+            gp_states.push(gp);
+
+            // The per-rank protocol daemon.
+            let (tx, mut rx) = channel::<Cmd>();
+            senders.push(tx);
+            let sim = world.sim().clone();
+            let latency = world.cluster().spec().net.latency.dur();
+            // mpirun spawns one child per group; the child signals its
+            // members serially, so the propagation delay grows with the
+            // rank's position within its group (not with the world size).
+            let pos_in_group = groups
+                .members(groups.group_of(r))
+                .iter()
+                .position(|&m| m == r)
+                .expect("rank in own group") as u64;
+            let propagation = match mode {
+                Mode::Blocking => cfg.propagation_per_proc * pos_in_group,
+                // MPICH-VCL's checkpoint scheduler contacts processes
+                // sequentially as well — one global sequence.
+                Mode::Vcl => cfg.propagation_per_proc * r as u64,
+            };
+            world.sim().spawn_named(format!("ckptd{r}"), async move {
+                while let Some(cmd) = rx.recv().await {
+                    match cmd {
+                        Cmd::Ckpt { wave, done } => {
+                            // Request propagation from mpirun: one network
+                            // hop, the serial signalling delay, plus jitter.
+                            let jitter_us = proto.rng.borrow_mut().range_u64(0, 2_000);
+                            sim.sleep(latency + propagation + SimDuration::from_micros(jitter_us))
+                                .await;
+                            match mode {
+                                Mode::Blocking => blocking_wave(&proto, wave).await,
+                                Mode::Vcl => vcl_wave(&proto, wave).await,
+                            }
+                            done.done();
+                        }
+                    }
+                }
+                // Channel closed: runtime shut down. If a restart was
+                // requested it runs through `restart_all`'s own tasks.
+                let _ = &proto;
+            });
+        }
+
+        CkptRuntime {
+            inner: Rc::new(RtInner {
+                world: world.clone(),
+                groups,
+                cfg,
+                mode,
+                metrics,
+                gp: gp_states,
+                cmd_tx: RefCell::new(senders),
+                next_wave: Cell::new(0),
+            }),
+        }
+    }
+
+    /// The metrics collector.
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// The group definition in force.
+    pub fn groups(&self) -> &Rc<GroupDef> {
+        &self.inner.groups
+    }
+
+    /// Per-rank GP protocol state (logs, volume counters).
+    pub fn gp_state(&self, rank: u32) -> &Rc<GpState> {
+        &self.inner.gp[rank as usize]
+    }
+
+    /// The protocol mode.
+    pub fn mode(&self) -> Mode {
+        self.inner.mode
+    }
+
+    /// Trigger one checkpoint wave across all groups and wait until every
+    /// rank has finished it. Returns the wave number.
+    pub async fn checkpoint_now(&self) -> u64 {
+        let gids: Vec<usize> = (0..self.inner.groups.group_count()).collect();
+        self.checkpoint_groups(&gids).await
+    }
+
+    /// Checkpoint only the given groups (the paper's `mpirun` reads a
+    /// *checkpoint target file* naming the group(s) to checkpoint and
+    /// spawns one child per group). Returns the wave number.
+    ///
+    /// # Panics
+    /// Panics if a group id is out of range or the runtime was shut down.
+    pub async fn checkpoint_groups(&self, gids: &[usize]) -> u64 {
+        let wave = self.checkpoint_groups_inner(gids).await;
+        self.inner.metrics.wave_completed();
+        wave
+    }
+
+    async fn checkpoint_groups_inner(&self, gids: &[usize]) -> u64 {
+        let wave = self.inner.next_wave.get();
+        self.inner.next_wave.set(wave + 1);
+        let done = WaitGroup::new();
+        let mut targets = Vec::new();
+        for &gid in gids {
+            targets.extend_from_slice(self.inner.groups.members(gid));
+        }
+        done.add(targets.len());
+        {
+            // Scope the borrow: clippy's await_holding_refcell_ref — the
+            // borrow must not live across the wait below.
+            let txs = self.inner.cmd_tx.borrow();
+            assert!(!txs.is_empty(), "checkpoint runtime was shut down");
+            for r in targets {
+                if txs[r as usize].send(Cmd::Ckpt { wave, done: done.clone() }).is_err() {
+                    panic!("checkpoint daemon is gone");
+                }
+            }
+        }
+        done.wait().await;
+        wave
+    }
+
+    /// One checkpoint round with groups taken **one after another** instead
+    /// of simultaneously — group independence lets `mpirun` avoid having
+    /// every group hammer the shared checkpoint servers at once. The whole
+    /// round counts as a single wave in the metrics.
+    pub async fn checkpoint_staggered(&self) -> u64 {
+        let mut last = 0;
+        for gid in 0..self.inner.groups.group_count() {
+            last = self.checkpoint_groups_inner(&[gid]).await;
+        }
+        self.inner.metrics.wave_completed();
+        last
+    }
+
+    /// Checkpoint periodically until all application ranks finish: first
+    /// wave at `start`, then every `interval`. Returns the number of
+    /// completed waves. Shut the runtime down afterwards if no restart is
+    /// planned.
+    pub async fn interval_schedule(&self, start: SimDuration, interval: SimDuration) -> u64 {
+        self.interval_schedule_inner(start, interval, false).await
+    }
+
+    /// Like [`CkptRuntime::interval_schedule`], but each round checkpoints
+    /// the groups one after another ([`CkptRuntime::checkpoint_staggered`]).
+    pub async fn interval_schedule_staggered(
+        &self,
+        start: SimDuration,
+        interval: SimDuration,
+    ) -> u64 {
+        self.interval_schedule_inner(start, interval, true).await
+    }
+
+    async fn interval_schedule_inner(
+        &self,
+        start: SimDuration,
+        interval: SimDuration,
+        staggered: bool,
+    ) -> u64 {
+        assert!(!interval.is_zero(), "use no schedule for a zero interval");
+        let sim = self.inner.world.sim().clone();
+        let world = self.inner.world.clone();
+        if let Either::Right(()) = select2(sim.sleep(start), world.wait_all_ranks()).await {
+            return 0;
+        }
+        let mut waves = 0;
+        loop {
+            if world.ranks_finished() >= world.n() {
+                break;
+            }
+            if staggered {
+                self.checkpoint_staggered().await;
+            } else {
+                self.checkpoint_now().await;
+            }
+            waves += 1;
+            if let Either::Right(()) = select2(sim.sleep(interval), world.wait_all_ranks()).await {
+                break;
+            }
+        }
+        waves
+    }
+
+    /// Take exactly one checkpoint at absolute time `at` (the paper's
+    /// "checkpoint at t = 60 s" experiments). No-op if the app finishes
+    /// first.
+    pub async fn single_checkpoint_at(&self, at: SimTime) -> bool {
+        let sim = self.inner.world.sim().clone();
+        let world = self.inner.world.clone();
+        if let Either::Right(()) = select2(sim.sleep_until(at), world.wait_all_ranks()).await {
+            return false;
+        }
+        self.checkpoint_now().await;
+        true
+    }
+
+    /// Run the restart protocol on every rank concurrently (the paper's
+    /// "restart immediately after the program finishes" measurement).
+    /// Returns when all ranks have resumed.
+    pub async fn restart_all(&self) {
+        let n = self.inner.world.n();
+        let done = WaitGroup::new();
+        done.add(n);
+        let root_rng = DetRng::new(self.inner.cfg.seed ^ 0xdead_beef);
+        for r in 0..n as u32 {
+            let proto = RankProto {
+                ctx: self.inner.world.ctx(Rank(r)),
+                groups: Rc::clone(&self.inner.groups),
+                cfg: Rc::clone(&self.inner.cfg),
+                metrics: self.inner.metrics.clone(),
+                gp: Rc::clone(&self.inner.gp[r as usize]),
+                vcl: VclState::new(r, n),
+                rng: RefCell::new(root_rng.fork_idx(r as u64)),
+            };
+            let done = done.clone();
+            self.inner.world.sim().spawn_named(format!("restart{r}"), async move {
+                restart_rank(&proto).await;
+                done.done();
+            });
+        }
+        done.wait().await;
+    }
+
+    /// Recover from the failure of one group: its members run the restart
+    /// protocol (image reload, volume exchange, replay) while every live
+    /// rank that ever communicated with them serves the exchange from its
+    /// retained log. Other groups lose **no work** — the paper's central
+    /// argument against global restarts. Returns recovery statistics.
+    ///
+    /// Call at a quiescent point (e.g. after the application finished, or
+    /// between phases); live ranks answer with their current counters.
+    pub async fn recover_group(&self, gid: usize) -> RecoveryStats {
+        let members = self.inner.groups.members(gid).to_vec();
+        let n = self.inner.world.n();
+        let started = self.inner.world.sim().now();
+        let done = WaitGroup::new();
+        let replayed_in = Rc::new(Cell::new(0u64));
+        let root_rng = DetRng::new(self.inner.cfg.seed ^ 0xfa11_ed00);
+        for r in 0..n as u32 {
+            let proto = RankProto {
+                ctx: self.inner.world.ctx(Rank(r)),
+                groups: Rc::clone(&self.inner.groups),
+                cfg: Rc::clone(&self.inner.cfg),
+                metrics: self.inner.metrics.clone(),
+                gp: Rc::clone(&self.inner.gp[r as usize]),
+                vcl: VclState::new(r, n),
+                rng: RefCell::new(root_rng.fork_idx(r as u64)),
+            };
+            done.add(1);
+            let done = done.clone();
+            let members = members.clone();
+            let is_member = members.contains(&r);
+            let replayed_in = Rc::clone(&replayed_in);
+            self.inner.world.sim().spawn_named(format!("recover{r}"), async move {
+                if is_member {
+                    restart_rank(&proto).await;
+                } else {
+                    let served = serve_peer_recovery(&proto, &members).await;
+                    replayed_in.set(replayed_in.get() + served);
+                }
+                done.done();
+            });
+        }
+        done.wait().await;
+        let finished = self.inner.world.sim().now();
+        RecoveryStats {
+            group: gid,
+            ranks_restarted: members.len(),
+            downtime: finished.saturating_since(started),
+            replayed_into_group_bytes: replayed_in.get(),
+        }
+    }
+
+    /// Stop all protocol daemons (drop their command channels). Call once
+    /// checkpointing is finished so the simulation can terminate.
+    pub fn shutdown(&self) {
+        self.inner.cmd_tx.borrow_mut().clear();
+    }
+}
+
+/// Result of [`CkptRuntime::recover_group`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// The recovered group.
+    pub group: usize,
+    /// How many ranks rolled back.
+    pub ranks_restarted: usize,
+    /// Wall (simulated) time until every participant finished recovery.
+    pub downtime: SimDuration,
+    /// Bytes replayed into the recovered group from live ranks' logs.
+    pub replayed_into_group_bytes: u64,
+}

@@ -1,0 +1,112 @@
+//! Non-blocking coordinated checkpointing over all ranks — the MPICH-VCL
+//! model (Chandy–Lamport with a send-suspension window).
+//!
+//! Per wave, each rank:
+//! 1. suspends **new** application sends (receives and compute continue —
+//!    this is the "short period when processes are not allowed to send"
+//!    the paper quotes as the root of VCL's blocking cascade),
+//! 2. writes its image (to the remote checkpoint servers in the paper's
+//!    §5.3 configuration) concurrently with execution,
+//! 3. sends a marker on every outgoing channel and resumes sends,
+//! 4. records arriving messages from each peer until that peer's marker is
+//!    seen (Chandy–Lamport channel state), then persists the channel state.
+//!
+//! The wave completes at a rank when its image is written, all markers are
+//! in, and the channel state is persisted.
+
+use gcr_sim::future::{join2, join_all};
+use gcr_mpi::Rank;
+
+use crate::ctrlplane::{tags, CTRL_BYTES};
+use crate::metrics::{CkptRecord, PhaseBreakdown};
+use crate::runtime::RankProto;
+
+/// Execute one VCL wave at one rank.
+pub(crate) async fn vcl_wave(p: &RankProto, wave: u64) {
+    let ctx = &p.ctx;
+    let world = ctx.world().clone();
+    let rank = ctx.rank();
+    let storage = world.cluster().storage().clone();
+    let n = world.n();
+    let started = ctx.now();
+
+    world.block_sends(rank);
+    p.vcl.start_wave();
+
+    let peers: Vec<Rank> = (0..n as u32).filter(|&r| r != rank.0).map(Rank).collect();
+
+    // Marker collection starts immediately so channel-state recording stops
+    // at marker arrival, concurrently with the image write.
+    let collect = {
+        let ctx = ctx.clone();
+        let vcl = std::rc::Rc::clone(&p.vcl);
+        let peers = peers.clone();
+        async move {
+            let futs: Vec<_> = peers
+                .iter()
+                .map(|&peer| {
+                    let ctx = ctx.clone();
+                    let vcl = std::rc::Rc::clone(&vcl);
+                    async move {
+                        ctx.ctrl_recv(peer, tags::MARKER + wave).await;
+                        vcl.marker_from(peer.0);
+                    }
+                })
+                .collect();
+            join_all(futs).await;
+        }
+    };
+
+    let image_bytes =
+        (p.cfg.image_bytes[rank.idx()] as f64 * p.cfg.vcl_image_factor) as u64;
+    let work = {
+        let ctx = ctx.clone();
+        let world = world.clone();
+        let storage = storage.clone();
+        let peers = peers.clone();
+        let cfg = std::rc::Rc::clone(&p.cfg);
+        async move {
+            // Image write proceeds concurrently with the application; only
+            // new sends are held back.
+            storage.write(rank.idx(), image_bytes, cfg.storage).await;
+            let t_img = ctx.now();
+            // Flood markers, then reopen the send window.
+            let sends: Vec<_> = peers
+                .iter()
+                .map(|&peer| {
+                    let ctx = ctx.clone();
+                    async move {
+                        ctx.ctrl_send(peer, tags::MARKER + wave, CTRL_BYTES, None).await;
+                    }
+                })
+                .collect();
+            join_all(sends).await;
+            world.unblock_sends(rank);
+            t_img
+        }
+    };
+
+    let (t_img, ()) = join2(work, collect).await;
+
+    // Persist the recorded channel state alongside the image.
+    let state_bytes = p.vcl.take_state_bytes();
+    if state_bytes > 0 {
+        storage.write(rank.idx(), state_bytes, p.cfg.storage).await;
+    }
+    let finished = ctx.now();
+
+    p.metrics.push_ckpt(CkptRecord {
+        wave,
+        rank: rank.0,
+        started,
+        finished,
+        phases: PhaseBreakdown {
+            lock: gcr_sim::SimDuration::ZERO,
+            checkpoint: t_img.saturating_since(started),
+            coordination: finished.saturating_since(t_img),
+            finalize: gcr_sim::SimDuration::ZERO,
+        },
+        log_flushed_bytes: state_bytes,
+        image_bytes,
+    });
+}

@@ -1,0 +1,126 @@
+//! The paper's Algorithm-1 volume counters, per rank.
+//!
+//! * `R_X` — bytes received from process X (updated on every receive).
+//! * `S_X` — bytes sent to process X (updated on every send).
+//! * `RR_X` — the value of `R_X` recorded at this rank's latest checkpoint.
+//! * A "first message to X since my checkpoint" flag per out-of-group peer,
+//!   which triggers piggybacking `RR_X` for log garbage collection.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Algorithm-1 per-rank counter state.
+#[derive(Debug, Default, Clone)]
+pub struct VolumeCounters {
+    r: BTreeMap<u32, u64>,
+    s: BTreeMap<u32, u64>,
+    rr: BTreeMap<u32, u64>,
+    needs_piggyback: BTreeSet<u32>,
+}
+
+impl VolumeCounters {
+    /// Fresh state (all volumes zero, nothing to piggyback).
+    pub fn new() -> Self {
+        VolumeCounters::default()
+    }
+
+    /// Record `bytes` received from `src` (`R_src += bytes`).
+    pub fn on_recv(&mut self, src: u32, bytes: u64) {
+        *self.r.entry(src).or_insert(0) += bytes;
+    }
+
+    /// Record `bytes` sent to `dst` (`S_dst += bytes`).
+    pub fn on_send(&mut self, dst: u32, bytes: u64) {
+        *self.s.entry(dst).or_insert(0) += bytes;
+    }
+
+    /// `R_X`: bytes received from `x` so far.
+    pub fn received_from(&self, x: u32) -> u64 {
+        self.r.get(&x).copied().unwrap_or(0)
+    }
+
+    /// `S_X`: bytes sent to `x` so far.
+    pub fn sent_to(&self, x: u32) -> u64 {
+        self.s.get(&x).copied().unwrap_or(0)
+    }
+
+    /// `RR_X`: recorded received-volume at this rank's latest checkpoint.
+    pub fn recorded_received(&self, x: u32) -> u64 {
+        self.rr.get(&x).copied().unwrap_or(0)
+    }
+
+    /// Checkpoint bookkeeping: for each out-of-group peer, remember the
+    /// current `R` as `RR` and arm the piggyback flag (Algorithm 1,
+    /// "On receiving a group checkpoint request").
+    pub fn record_at_checkpoint(&mut self, out_of_group: impl Iterator<Item = u32>) {
+        for q in out_of_group {
+            let r = self.received_from(q);
+            self.rr.insert(q, r);
+            self.needs_piggyback.insert(q);
+        }
+    }
+
+    /// If this is the first message to `dst` since the latest checkpoint,
+    /// return the `RR_dst` value to piggyback and clear the flag.
+    pub fn piggyback_for(&mut self, dst: u32) -> Option<u64> {
+        if self.needs_piggyback.remove(&dst) {
+            Some(self.recorded_received(dst))
+        } else {
+            None
+        }
+    }
+
+    /// Whether a piggyback is still pending toward `dst` (diagnostics).
+    pub fn piggyback_pending(&self, dst: u32) -> bool {
+        self.needs_piggyback.contains(&dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volumes_accumulate() {
+        let mut v = VolumeCounters::new();
+        v.on_recv(3, 100);
+        v.on_recv(3, 50);
+        v.on_send(3, 20);
+        assert_eq!(v.received_from(3), 150);
+        assert_eq!(v.sent_to(3), 20);
+        assert_eq!(v.received_from(9), 0);
+    }
+
+    #[test]
+    fn checkpoint_records_rr_and_arms_piggyback() {
+        let mut v = VolumeCounters::new();
+        v.on_recv(1, 100);
+        v.on_recv(2, 200);
+        v.record_at_checkpoint([1, 2].into_iter());
+        // More traffic after the checkpoint must not change RR.
+        v.on_recv(1, 999);
+        assert_eq!(v.recorded_received(1), 100);
+        assert_eq!(v.recorded_received(2), 200);
+        // First send to each peer piggybacks once.
+        assert_eq!(v.piggyback_for(1), Some(100));
+        assert_eq!(v.piggyback_for(1), None);
+        assert!(v.piggyback_pending(2));
+        assert_eq!(v.piggyback_for(2), Some(200));
+    }
+
+    #[test]
+    fn second_checkpoint_rearms() {
+        let mut v = VolumeCounters::new();
+        v.record_at_checkpoint([7].into_iter());
+        assert_eq!(v.piggyback_for(7), Some(0));
+        v.on_recv(7, 42);
+        v.record_at_checkpoint([7].into_iter());
+        assert_eq!(v.piggyback_for(7), Some(42));
+    }
+
+    #[test]
+    fn rr_defaults_to_zero() {
+        let v = VolumeCounters::new();
+        assert_eq!(v.recorded_received(5), 0);
+        assert!(!v.piggyback_pending(5));
+    }
+}

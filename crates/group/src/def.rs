@@ -1,0 +1,272 @@
+//! Group definitions: a partition of ranks into checkpoint groups.
+//!
+//! A `GroupDef` is the artifact the paper's trace analysis produces (the
+//! "group definition file" consumed by `mpirun` and the checkpoint layer).
+
+use serde::Serialize;
+use std::collections::BTreeSet;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Identifier of a group within a [`GroupDef`].
+pub type GroupId = usize;
+
+/// A complete partition of ranks `0..n` into disjoint, non-empty groups.
+///
+/// ```
+/// use gcr_group::GroupDef;
+///
+/// let def = GroupDef::new(4, vec![vec![0, 1], vec![2, 3]]).unwrap();
+/// assert_eq!(def.group_count(), 2);
+/// assert!(def.is_intra(0, 1));
+/// assert_eq!(def.out_of_group(0), vec![2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct GroupDef {
+    /// World size.
+    n: usize,
+    /// The groups; each inner vec is sorted ascending.
+    groups: Vec<Vec<u32>>,
+    /// rank → group index.
+    #[serde(skip)]
+    index: Vec<GroupId>,
+}
+
+// Deserialization re-validates and rebuilds the rank index, so a raw
+// `serde_json::from_str::<GroupDef>` is as safe as `GroupDef::load`.
+impl<'de> serde::Deserialize<'de> for GroupDef {
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: serde::Deserializer<'de>,
+    {
+        #[derive(serde::Deserialize)]
+        struct Raw {
+            n: usize,
+            groups: Vec<Vec<u32>>,
+        }
+        let raw = Raw::deserialize(deserializer)?;
+        GroupDef::new(raw.n, raw.groups).map_err(serde::de::Error::custom)
+    }
+}
+
+/// Errors from constructing or loading a [`GroupDef`].
+#[derive(Debug)]
+pub enum GroupDefError {
+    /// The groups do not form a partition of `0..n`.
+    NotAPartition(String),
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// Malformed file.
+    Format(serde_json::Error),
+}
+
+impl std::fmt::Display for GroupDefError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GroupDefError::NotAPartition(msg) => write!(f, "invalid group definition: {msg}"),
+            GroupDefError::Io(e) => write!(f, "group definition io error: {e}"),
+            GroupDefError::Format(e) => write!(f, "group definition format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GroupDefError {}
+
+impl GroupDef {
+    /// Build from explicit groups, validating the partition property.
+    ///
+    /// # Errors
+    /// [`GroupDefError::NotAPartition`] if any rank of `0..n` is missing,
+    /// duplicated, out of range, or a group is empty.
+    pub fn new(n: usize, mut groups: Vec<Vec<u32>>) -> Result<Self, GroupDefError> {
+        let mut seen = BTreeSet::new();
+        for g in &mut groups {
+            if g.is_empty() {
+                return Err(GroupDefError::NotAPartition("empty group".into()));
+            }
+            g.sort_unstable();
+            for &r in g.iter() {
+                if r as usize >= n {
+                    return Err(GroupDefError::NotAPartition(format!("rank {r} out of range")));
+                }
+                if !seen.insert(r) {
+                    return Err(GroupDefError::NotAPartition(format!("rank {r} duplicated")));
+                }
+            }
+        }
+        if seen.len() != n {
+            return Err(GroupDefError::NotAPartition(format!(
+                "{} ranks assigned, world has {n}",
+                seen.len()
+            )));
+        }
+        // Canonical order: groups sorted by their smallest member.
+        groups.sort_by_key(|g| g[0]);
+        let mut index = vec![0usize; n];
+        for (gid, g) in groups.iter().enumerate() {
+            for &r in g {
+                index[r as usize] = gid;
+            }
+        }
+        Ok(GroupDef { n, groups, index })
+    }
+
+    /// World size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The group containing `rank`.
+    pub fn group_of(&self, rank: u32) -> GroupId {
+        self.index[rank as usize]
+    }
+
+    /// Members of group `gid`, sorted ascending.
+    pub fn members(&self, gid: GroupId) -> &[u32] {
+        &self.groups[gid]
+    }
+
+    /// All groups.
+    pub fn groups(&self) -> &[Vec<u32>] {
+        &self.groups
+    }
+
+    /// Whether two ranks share a group.
+    pub fn is_intra(&self, a: u32, b: u32) -> bool {
+        self.group_of(a) == self.group_of(b)
+    }
+
+    /// Size of the largest group.
+    pub fn max_group_size(&self) -> usize {
+        self.groups.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Ranks outside `rank`'s group (the paper's "out-of-group processes").
+    pub fn out_of_group(&self, rank: u32) -> Vec<u32> {
+        let gid = self.group_of(rank);
+        (0..self.n as u32).filter(|&r| self.index[r as usize] != gid).collect()
+    }
+
+    /// Save as JSON.
+    ///
+    /// # Errors
+    /// [`GroupDefError::Io`] / [`GroupDefError::Format`].
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), GroupDefError> {
+        let mut w = BufWriter::new(File::create(path).map_err(GroupDefError::Io)?);
+        serde_json::to_writer_pretty(&mut w, self).map_err(GroupDefError::Format)?;
+        w.flush().map_err(GroupDefError::Io)?;
+        Ok(())
+    }
+
+    /// Load from JSON (deserialization re-validates the partition and
+    /// rebuilds the rank index).
+    ///
+    /// # Errors
+    /// [`GroupDefError`] on IO, parse, or partition violation.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, GroupDefError> {
+        let r = BufReader::new(File::open(path).map_err(GroupDefError::Io)?);
+        serde_json::from_reader(r).map_err(GroupDefError::Format)
+    }
+}
+
+impl std::fmt::Display for GroupDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} ranks in {} group(s):", self.n, self.groups.len())?;
+        for (i, g) in self.groups.iter().enumerate() {
+            let ranks: Vec<String> = g.iter().map(|r| r.to_string()).collect();
+            writeln!(f, "  group {}: {}", i + 1, ranks.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_partition_builds() {
+        let def = GroupDef::new(6, vec![vec![3, 4, 5], vec![0, 1, 2]]).unwrap();
+        assert_eq!(def.group_count(), 2);
+        // Canonicalized: group 0 starts at rank 0.
+        assert_eq!(def.members(0), &[0, 1, 2]);
+        assert_eq!(def.group_of(4), 1);
+        assert!(def.is_intra(0, 2));
+        assert!(!def.is_intra(2, 3));
+        assert_eq!(def.out_of_group(0), vec![3, 4, 5]);
+        assert_eq!(def.max_group_size(), 3);
+    }
+
+    #[test]
+    fn missing_rank_rejected() {
+        assert!(matches!(
+            GroupDef::new(4, vec![vec![0, 1, 2]]),
+            Err(GroupDefError::NotAPartition(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_rank_rejected() {
+        assert!(GroupDef::new(3, vec![vec![0, 1], vec![1, 2]]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(GroupDef::new(2, vec![vec![0, 1, 2]]).is_err());
+    }
+
+    #[test]
+    fn empty_group_rejected() {
+        assert!(GroupDef::new(2, vec![vec![0, 1], vec![]]).is_err());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let def = GroupDef::new(4, vec![vec![0, 2], vec![1, 3]]).unwrap();
+        let dir = std::env::temp_dir().join("gcr-group-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.json");
+        def.save(&path).unwrap();
+        let back = GroupDef::load(&path).unwrap();
+        assert_eq!(back, def);
+        assert_eq!(back.group_of(3), def.group_of(3)); // index rebuilt
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn display_lists_groups() {
+        let def = GroupDef::new(3, vec![vec![0], vec![1, 2]]).unwrap();
+        let s = format!("{def}");
+        assert!(s.contains("group 1: 0"));
+        assert!(s.contains("group 2: 1, 2"));
+    }
+}
+
+#[cfg(test)]
+mod serde_hardening {
+    use super::*;
+
+    #[test]
+    fn raw_deserialize_rebuilds_the_index() {
+        let def = GroupDef::new(4, vec![vec![0, 2], vec![1, 3]]).unwrap();
+        let json = serde_json::to_string(&def).unwrap();
+        let back: GroupDef = serde_json::from_str(&json).unwrap();
+        // group_of works (the index was rebuilt, not left empty).
+        assert_eq!(back.group_of(3), def.group_of(3));
+        assert_eq!(back, def);
+    }
+
+    #[test]
+    fn raw_deserialize_rejects_non_partitions() {
+        let bad = r#"{"n":4,"groups":[[0,1],[1,2,3]]}"#;
+        assert!(serde_json::from_str::<GroupDef>(bad).is_err());
+        let missing = r#"{"n":4,"groups":[[0,1]]}"#;
+        assert!(serde_json::from_str::<GroupDef>(missing).is_err());
+    }
+}

@@ -1,0 +1,256 @@
+//! Trace-assisted group formation — the paper's **Algorithm 2**, verbatim.
+//!
+//! Input: the pair flows from `gcr-trace` (send records collapsed by
+//! unordered pair, sorted by total size, then count), a maximum group size
+//! `G`, and the world size `n`. Tuples are scanned in order; each either
+//! seeds a new group, joins an existing group, or merges two groups —
+//! always subject to the size bound. Ranks left unassigned (no traffic, or
+//! every candidate merge would exceed `G`) become singleton groups, since a
+//! group definition must partition the world.
+
+use std::collections::BTreeSet;
+
+use gcr_trace::{pair_flows, PairFlow, Trace};
+
+use crate::def::GroupDef;
+
+/// Default maximum group size: ⌈√n⌉ (paper §3.2).
+pub fn default_max_group_size(n: usize) -> usize {
+    (n as f64).sqrt().ceil() as usize
+}
+
+/// One working tuple of Algorithm 2: a set of processes with accumulated
+/// message count and bytes.
+#[derive(Debug, Clone)]
+struct Tuple {
+    procs: BTreeSet<u32>,
+    count: u64,
+    bytes: u64,
+}
+
+/// Run Algorithm 2 on pre-aggregated pair flows.
+///
+/// # Panics
+/// Panics if `g == 0`.
+pub fn form_groups_from_flows(flows: &[PairFlow], n: usize, g: usize) -> GroupDef {
+    assert!(g > 0, "max group size must be positive");
+    // M: live output tuples. `find` is the paper's "first tuple containing
+    // the process"; because groups are disjoint we keep a rank → tuple map.
+    let mut m: Vec<Option<Tuple>> = Vec::new();
+    let mut owner: Vec<Option<usize>> = vec![None; n];
+
+    for flow in flows {
+        let li = Tuple {
+            procs: [flow.a, flow.b].into_iter().collect(),
+            count: flow.count,
+            bytes: flow.bytes,
+        };
+        let r1 = owner[flow.a as usize];
+        let r2 = owner[flow.b as usize];
+        match (r1, r2) {
+            (None, None) => {
+                let idx = m.len();
+                owner[flow.a as usize] = Some(idx);
+                owner[flow.b as usize] = Some(idx);
+                m.push(Some(li));
+            }
+            (Some(i), None) => {
+                let t = m[i].as_mut().expect("stale owner");
+                if t.procs.len() < g {
+                    t.procs.insert(flow.b);
+                    t.count += li.count;
+                    t.bytes += li.bytes;
+                    owner[flow.b as usize] = Some(i);
+                }
+            }
+            (None, Some(j)) => {
+                let t = m[j].as_mut().expect("stale owner");
+                if t.procs.len() < g {
+                    t.procs.insert(flow.a);
+                    t.count += li.count;
+                    t.bytes += li.bytes;
+                    owner[flow.a as usize] = Some(j);
+                }
+            }
+            (Some(i), Some(j)) if i == j => {
+                let t = m[i].as_mut().expect("stale owner");
+                t.count += li.count;
+                t.bytes += li.bytes;
+            }
+            (Some(i), Some(j)) => {
+                let merged_size = {
+                    let (ti, tj) = (m[i].as_ref().unwrap(), m[j].as_ref().unwrap());
+                    ti.procs.union(&tj.procs).count()
+                };
+                if merged_size <= g {
+                    let tj = m[j].take().expect("stale owner");
+                    let ti = m[i].as_mut().expect("stale owner");
+                    for &p in &tj.procs {
+                        owner[p as usize] = Some(i);
+                    }
+                    ti.procs.extend(tj.procs);
+                    ti.count += tj.count + li.count;
+                    ti.bytes += tj.bytes + li.bytes;
+                }
+            }
+        }
+    }
+
+    // Output: groups from the surviving tuples; unassigned ranks become
+    // singletons so the result is a complete partition.
+    let mut groups: Vec<Vec<u32>> =
+        m.into_iter().flatten().map(|t| t.procs.into_iter().collect()).collect();
+    for r in 0..n as u32 {
+        if owner[r as usize].is_none() {
+            groups.push(vec![r]);
+        }
+    }
+    GroupDef::new(n, groups).expect("Algorithm 2 produced a non-partition")
+}
+
+/// Run Algorithm 2 end-to-end on a trace with the given size bound.
+///
+/// ```
+/// use gcr_trace::{record::TraceEvent, Trace};
+///
+/// // 0↔1 and 2↔3 talk heavily; a light 1↔2 link exists.
+/// let mut tr = Trace::new(4, "demo");
+/// for (src, dst, bytes) in [(0, 1, 1000), (2, 3, 1000), (1, 2, 10)] {
+///     tr.events.push(TraceEvent::Send { t: 0, src, dst, tag: 0, bytes });
+/// }
+/// let def = gcr_group::form_groups(&tr, 2);
+/// assert!(def.is_intra(0, 1));
+/// assert!(def.is_intra(2, 3));
+/// assert!(!def.is_intra(1, 2)); // the bound forbids the 4-way merge
+/// ```
+pub fn form_groups(trace: &Trace, g: usize) -> GroupDef {
+    form_groups_from_flows(&pair_flows(trace), trace.meta.n, g)
+}
+
+/// Run Algorithm 2 with the default ⌈√n⌉ bound.
+pub fn form_groups_default(trace: &Trace) -> GroupDef {
+    form_groups(trace, default_max_group_size(trace.meta.n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_trace::record::TraceEvent;
+
+    fn trace_with(n: usize, sends: &[(u32, u32, u64)]) -> Trace {
+        let mut tr = Trace::new(n, "t");
+        for (i, &(src, dst, bytes)) in sends.iter().enumerate() {
+            tr.events.push(TraceEvent::Send { t: i as u64, src, dst, tag: 0, bytes });
+        }
+        tr
+    }
+
+    #[test]
+    fn default_bound_is_ceil_sqrt() {
+        assert_eq!(default_max_group_size(32), 6);
+        assert_eq!(default_max_group_size(64), 8);
+        assert_eq!(default_max_group_size(128), 12);
+        assert_eq!(default_max_group_size(1), 1);
+    }
+
+    #[test]
+    fn heavy_pairs_group_first() {
+        // 0↔1 heavy, 2↔3 heavy, 1↔2 light; G=2 forbids the 4-merge.
+        let tr = trace_with(4, &[(0, 1, 1000), (2, 3, 1000), (1, 2, 10)]);
+        let def = form_groups(&tr, 2);
+        assert!(def.is_intra(0, 1));
+        assert!(def.is_intra(2, 3));
+        assert!(!def.is_intra(1, 2));
+    }
+
+    #[test]
+    fn light_link_merges_when_bound_allows() {
+        let tr = trace_with(4, &[(0, 1, 1000), (2, 3, 1000), (1, 2, 10)]);
+        let def = form_groups(&tr, 4);
+        assert_eq!(def.group_count(), 1);
+    }
+
+    #[test]
+    fn isolated_ranks_become_singletons() {
+        let tr = trace_with(5, &[(0, 1, 100)]);
+        let def = form_groups(&tr, 4);
+        assert_eq!(def.group_count(), 4); // {0,1}, {2}, {3}, {4}
+        assert!(def.is_intra(0, 1));
+        assert_eq!(def.members(def.group_of(2)), &[2]);
+    }
+
+    #[test]
+    fn chain_does_not_exceed_bound() {
+        // A communication chain 0-1-2-3-4 with descending weights; G=3.
+        let tr = trace_with(
+            5,
+            &[(0, 1, 500), (1, 2, 400), (2, 3, 300), (3, 4, 200)],
+        );
+        let def = form_groups(&tr, 3);
+        assert!(def.max_group_size() <= 3);
+        // Heaviest links grouped first: {0,1,2} forms, then (2,3) can't
+        // join (full), so (3,4) forms its own pair.
+        assert!(def.is_intra(0, 1));
+        assert!(def.is_intra(1, 2));
+        assert!(def.is_intra(3, 4));
+        assert!(!def.is_intra(2, 3));
+    }
+
+    #[test]
+    fn existing_group_absorbs_new_member_joining_either_side() {
+        let tr = trace_with(4, &[(1, 2, 1000), (0, 1, 500), (2, 3, 400)]);
+        let def = form_groups(&tr, 4);
+        assert_eq!(def.group_count(), 1);
+    }
+
+    #[test]
+    fn intra_group_flow_just_accumulates() {
+        // (0,1) then (0,1) again after grouping: no structural change.
+        let tr = trace_with(2, &[(0, 1, 100), (1, 0, 100)]);
+        let def = form_groups(&tr, 2);
+        assert_eq!(def.group_count(), 1);
+    }
+
+    #[test]
+    fn empty_trace_gives_all_singletons() {
+        let tr = trace_with(4, &[]);
+        let def = form_groups_default(&tr);
+        assert_eq!(def.group_count(), 4);
+    }
+
+    #[test]
+    fn round_robin_column_pattern_recovers_paper_table1() {
+        // Synthetic HPL-like pattern for 32 ranks in an 8×4 grid,
+        // row-major: rank = p*4 + q. Column traffic (same q) dominates.
+        let n = 32;
+        let (pp, qq) = (8u32, 4u32);
+        let mut sends = Vec::new();
+        for q in 0..qq {
+            for p1 in 0..pp {
+                for p2 in 0..pp {
+                    if p1 != p2 {
+                        sends.push((p1 * qq + q, p2 * qq + q, 10_000u64));
+                    }
+                }
+            }
+        }
+        // Light row traffic.
+        for p in 0..pp {
+            for q1 in 0..qq {
+                for q2 in 0..qq {
+                    if q1 != q2 {
+                        sends.push((p * qq + q1, p * qq + q2, 10u64));
+                    }
+                }
+            }
+        }
+        let tr = trace_with(n, &sends);
+        let def = form_groups(&tr, 8);
+        assert_eq!(def.group_count(), 4);
+        // Paper Table 1: group q = {q, q+4, q+8, …, q+28}.
+        for q in 0..4u32 {
+            let expected: Vec<u32> = (0..8).map(|p| p * 4 + q).collect();
+            assert_eq!(def.members(def.group_of(q)), expected.as_slice());
+        }
+    }
+}

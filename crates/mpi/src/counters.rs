@@ -1,0 +1,162 @@
+//! Per-channel byte/message accounting for application traffic.
+//!
+//! These counters drive three things:
+//! * the **bookmark drain** in coordinated checkpointing (a channel is clean
+//!   when everything the sender put on the wire has arrived at the
+//!   receiver's MPI layer),
+//! * the **R/S volume counters** of the paper's Algorithm 1 (bytes received
+//!   from / sent to each process, recorded at checkpoint time), and
+//! * end-of-run sanity invariants (nothing left in flight).
+
+use crate::rank::Rank;
+
+/// Byte and message counts on one directed channel `src → dst`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairStats {
+    /// Bytes the sender has put on the wire (data transfer started).
+    pub sent_bytes: u64,
+    /// Messages the sender has put on the wire.
+    pub sent_msgs: u64,
+    /// Bytes that have arrived at the receiver's MPI layer.
+    pub arrived_bytes: u64,
+    /// Messages that have arrived at the receiver's MPI layer.
+    pub arrived_msgs: u64,
+    /// Bytes consumed by a completed application receive.
+    pub consumed_bytes: u64,
+    /// Messages consumed by completed application receives.
+    pub consumed_msgs: u64,
+}
+
+impl PairStats {
+    /// Bytes on the wire: sent but not yet arrived.
+    pub fn in_flight_bytes(&self) -> u64 {
+        self.sent_bytes - self.arrived_bytes
+    }
+
+    /// Messages on the wire.
+    pub fn in_flight_msgs(&self) -> u64 {
+        self.sent_msgs - self.arrived_msgs
+    }
+}
+
+/// Dense `n × n` matrix of [`PairStats`].
+#[derive(Debug, Clone)]
+pub struct ChannelCounters {
+    n: usize,
+    pairs: Vec<PairStats>,
+}
+
+impl ChannelCounters {
+    /// Counters for an `n`-rank world.
+    pub fn new(n: usize) -> Self {
+        ChannelCounters { n, pairs: vec![PairStats::default(); n * n] }
+    }
+
+    #[inline]
+    fn idx(&self, src: Rank, dst: Rank) -> usize {
+        debug_assert!(src.idx() < self.n && dst.idx() < self.n);
+        src.idx() * self.n + dst.idx()
+    }
+
+    /// Record a send (data put on the wire).
+    pub fn on_send(&mut self, src: Rank, dst: Rank, bytes: u64) {
+        let i = self.idx(src, dst);
+        self.pairs[i].sent_bytes += bytes;
+        self.pairs[i].sent_msgs += 1;
+    }
+
+    /// Record an arrival at the receiver's MPI layer.
+    pub fn on_arrival(&mut self, src: Rank, dst: Rank, bytes: u64) {
+        let i = self.idx(src, dst);
+        self.pairs[i].arrived_bytes += bytes;
+        self.pairs[i].arrived_msgs += 1;
+        debug_assert!(
+            self.pairs[i].arrived_bytes <= self.pairs[i].sent_bytes,
+            "arrival without send on {src}→{dst}"
+        );
+    }
+
+    /// Record consumption by a completed application receive.
+    pub fn on_consume(&mut self, src: Rank, dst: Rank, bytes: u64) {
+        let i = self.idx(src, dst);
+        self.pairs[i].consumed_bytes += bytes;
+        self.pairs[i].consumed_msgs += 1;
+        debug_assert!(
+            self.pairs[i].consumed_bytes <= self.pairs[i].arrived_bytes,
+            "consume before arrival on {src}→{dst}"
+        );
+    }
+
+    /// Stats for one directed channel.
+    pub fn pair(&self, src: Rank, dst: Rank) -> PairStats {
+        self.pairs[self.idx(src, dst)]
+    }
+
+    /// World size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total bytes `dst` has consumed from `src` — the paper's `R_X`
+    /// counter as seen by `dst` (X = src).
+    pub fn received_volume(&self, dst: Rank, src: Rank) -> u64 {
+        self.pair(src, dst).consumed_bytes
+    }
+
+    /// Total bytes `src` has sent towards `dst` — the paper's `S_X` counter
+    /// as seen by `src` (X = dst).
+    pub fn sent_volume(&self, src: Rank, dst: Rank) -> u64 {
+        self.pair(src, dst).sent_bytes
+    }
+
+    /// True when no bytes are in flight anywhere.
+    pub fn all_quiescent(&self) -> bool {
+        self.pairs.iter().all(|p| p.in_flight_bytes() == 0 && p.in_flight_msgs() == 0)
+    }
+
+    /// Sum of in-flight bytes into `dst` from the given sources.
+    pub fn in_flight_into(&self, dst: Rank, srcs: impl Iterator<Item = Rank>) -> u64 {
+        srcs.map(|s| self.pair(s, dst).in_flight_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_arrive_consume_lifecycle() {
+        let mut c = ChannelCounters::new(4);
+        let (a, b) = (Rank(0), Rank(2));
+        c.on_send(a, b, 100);
+        assert_eq!(c.pair(a, b).in_flight_bytes(), 100);
+        assert!(!c.all_quiescent());
+        c.on_arrival(a, b, 100);
+        assert_eq!(c.pair(a, b).in_flight_bytes(), 0);
+        assert!(c.all_quiescent());
+        c.on_consume(a, b, 100);
+        assert_eq!(c.received_volume(b, a), 100);
+        assert_eq!(c.sent_volume(a, b), 100);
+        // Reverse channel untouched.
+        assert_eq!(c.pair(b, a), PairStats::default());
+    }
+
+    #[test]
+    fn in_flight_into_sums_sources() {
+        let mut c = ChannelCounters::new(4);
+        c.on_send(Rank(0), Rank(3), 10);
+        c.on_send(Rank(1), Rank(3), 20);
+        c.on_send(Rank(2), Rank(3), 30);
+        c.on_arrival(Rank(1), Rank(3), 20);
+        let total = c.in_flight_into(Rank(3), (0..3).map(Rank));
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "arrival without send")]
+    fn arrival_without_send_is_caught() {
+        let mut c = ChannelCounters::new(2);
+        c.on_arrival(Rank(0), Rank(1), 5);
+    }
+}

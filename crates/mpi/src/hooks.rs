@@ -1,0 +1,50 @@
+//! Interposition points for checkpoint protocols and tracers.
+//!
+//! Hooks observe **application data traffic only** (not protocol control
+//! messages, not rendezvous handshakes) and fire synchronously at
+//! well-defined instants:
+//!
+//! * [`MpiHook::on_send`] — the moment the message's data goes on the wire.
+//!   The hook may mutate the envelope (attach the Algorithm-1 `RR`
+//!   piggyback) and is where sender-based message logging records entries.
+//! * [`MpiHook::on_arrival`] — the message reached the receiver's MPI layer
+//!   (relevant to channel-drain bookkeeping and Chandy–Lamport channel
+//!   state).
+//! * [`MpiHook::on_recv`] — a completed application receive consumed the
+//!   message (drives the paper's `R_X` counters and piggyback GC).
+
+use gcr_sim::SimDuration;
+
+use crate::message::Envelope;
+
+/// Observer/interposer for one rank's application traffic.
+pub trait MpiHook {
+    /// Data is about to go on the wire; may mutate the envelope. The
+    /// returned duration is charged to the sender **before** the data is
+    /// committed to the network — this is how protocols model per-message
+    /// costs such as sender-based log copies.
+    fn on_send(&self, env: &mut Envelope) -> SimDuration {
+        let _ = env;
+        SimDuration::ZERO
+    }
+
+    /// Data arrived at the destination's MPI layer.
+    fn on_arrival(&self, env: &Envelope) {
+        let _ = env;
+    }
+
+    /// A completed application receive consumed this message.
+    fn on_recv(&self, env: &Envelope) {
+        let _ = env;
+    }
+}
+
+/// Trace sink fed by the runtime for every application message (used by
+/// `gcr-trace`; defined here to avoid a dependency cycle).
+pub trait TraceSink {
+    /// A send was initiated (data on wire).
+    fn trace_send(&self, env: &Envelope);
+
+    /// A receive completed.
+    fn trace_recv(&self, env: &Envelope);
+}

@@ -1,0 +1,89 @@
+//! Process ranks.
+
+use std::fmt;
+
+/// An MPI process rank within the world communicator.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rank(pub u32);
+
+impl Rank {
+    /// The rank as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<usize> for Rank {
+    fn from(v: usize) -> Rank {
+        Rank(u32::try_from(v).expect("rank out of range"))
+    }
+}
+
+impl From<u32> for Rank {
+    fn from(v: u32) -> Rank {
+        Rank(v)
+    }
+}
+
+/// Source selector for receives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SrcSel {
+    /// Match only messages from this rank.
+    From(Rank),
+    /// Match messages from any source.
+    Any,
+}
+
+impl From<Rank> for SrcSel {
+    fn from(r: Rank) -> SrcSel {
+        SrcSel::From(r)
+    }
+}
+
+impl SrcSel {
+    /// Whether this selector accepts messages from `src`.
+    #[inline]
+    pub fn matches(self, src: Rank) -> bool {
+        match self {
+            SrcSel::From(r) => r == src,
+            SrcSel::Any => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selector_matching() {
+        assert!(SrcSel::Any.matches(Rank(3)));
+        assert!(SrcSel::From(Rank(3)).matches(Rank(3)));
+        assert!(!SrcSel::From(Rank(3)).matches(Rank(4)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Rank(12)), "P12");
+        assert_eq!(format!("{:?}", Rank(12)), "P12");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Rank::from(5usize), Rank(5));
+        assert_eq!(Rank::from(5u32).idx(), 5);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests of the MPI runtime's transport guarantees.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use gcr_mpi::{Rank, SrcSel, World, WorldOpts};
+use gcr_net::{Cluster, ClusterSpec};
+use gcr_sim::Sim;
+
+fn world(n: usize, eager_threshold: u64) -> (Sim, World) {
+    let sim = Sim::new();
+    let cluster = Cluster::new(&sim, ClusterSpec::test(n));
+    let opts = WorldOpts { eager_threshold, ..WorldOpts::default() };
+    (sim.clone(), World::new(cluster, opts))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Per-channel FIFO: a receiver always sees a sender's messages in
+    /// send order, for any mix of eager and rendezvous sizes.
+    #[test]
+    fn no_overtaking_on_a_channel(
+        sizes in prop::collection::vec(1u64..200_000, 1..40),
+        threshold in prop_oneof![Just(1u64), Just(64 * 1024), Just(1u64 << 30)],
+    ) {
+        let (sim, world) = world(2, threshold.max(1));
+        let m = sizes.len();
+        {
+            let sizes = sizes.clone();
+            world.launch(Rank(0), move |ctx| async move {
+                for &b in &sizes {
+                    ctx.send(Rank(1), 1, b).await;
+                }
+            });
+        }
+        let got: Rc<RefCell<Vec<(u64, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+        {
+            let got = Rc::clone(&got);
+            world.launch(Rank(1), move |ctx| async move {
+                for _ in 0..m {
+                    let env = ctx.recv(Rank(0), 1).await;
+                    got.borrow_mut().push((env.id.seq, env.bytes));
+                }
+            });
+        }
+        sim.run().unwrap();
+        let got = got.borrow();
+        prop_assert_eq!(got.len(), m);
+        for (i, (&(seq, bytes), &expected)) in got.iter().zip(&sizes).enumerate() {
+            prop_assert_eq!(seq, i as u64);
+            prop_assert_eq!(bytes, expected);
+        }
+    }
+
+    /// Conservation: every sent byte arrives and is consumed exactly once,
+    /// for random many-to-many traffic.
+    #[test]
+    fn bytes_are_conserved(
+        n in 2usize..6,
+        plan in prop::collection::vec((0usize..6, 0usize..6, 1u64..50_000), 1..30),
+    ) {
+        let plan: Vec<(usize, usize, u64)> = plan
+            .into_iter()
+            .filter(|&(s, d, _)| s < n && d < n && s != d)
+            .collect();
+        let (sim, world) = world(n, 16 * 1024);
+        // Count expected receives per destination per source.
+        let mut expect: Vec<Vec<u64>> = vec![vec![0; n]; n];
+        for &(s, d, _) in &plan {
+            expect[d][s] += 1;
+        }
+        #[allow(clippy::needless_range_loop)] // r is a rank id, not just an index
+        for r in 0..n {
+            let my_sends: Vec<(usize, u64)> = plan
+                .iter()
+                .filter(|&&(s, _, _)| s == r)
+                .map(|&(_, d, b)| (d, b))
+                .collect();
+            let my_recvs: u64 = expect[r].iter().sum();
+            world.launch(Rank(r as u32), move |ctx| async move {
+                let sender = {
+                    let ctx = ctx.clone();
+                    async move {
+                        for (d, b) in my_sends {
+                            ctx.send(Rank(d as u32), 2, b).await;
+                        }
+                    }
+                };
+                let receiver = {
+                    let ctx = ctx.clone();
+                    async move {
+                        for _ in 0..my_recvs {
+                            ctx.recv(SrcSel::Any, 2).await;
+                        }
+                    }
+                };
+                gcr_sim::future::join2(sender, receiver).await;
+            });
+        }
+        sim.run().unwrap();
+        let c = world.counters();
+        prop_assert!(c.all_quiescent());
+        let total_sent: u64 = plan.iter().map(|&(_, _, b)| b).sum();
+        let mut consumed = 0;
+        for s in 0..n as u32 {
+            for d in 0..n as u32 {
+                let p = c.pair(Rank(s), Rank(d));
+                prop_assert_eq!(p.consumed_bytes, p.sent_bytes);
+                consumed += p.consumed_bytes;
+            }
+        }
+        prop_assert_eq!(consumed, total_sent);
+    }
+}

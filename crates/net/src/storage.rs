@@ -1,0 +1,253 @@
+//! Checkpoint storage: per-node local disks and shared remote servers.
+//!
+//! Two targets mirror the paper's two configurations:
+//!
+//! * **Local** — each node writes its image to its own disk (§5.1, §5.2);
+//!   only per-disk bandwidth matters, there is no cross-node contention.
+//! * **Remote** — images go to one of `k` shared checkpoint servers over the
+//!   network (§5.3, the MPICH-VCL comparison; LAM/MPI via NFS). Clients are
+//!   assigned round-robin (`node % k`). Contention on the server downlink and
+//!   server disk is exactly the scalability bottleneck Figure 13 exposes.
+
+use std::rc::Rc;
+
+use gcr_sim::resource::FifoResource;
+use gcr_sim::{Sim, SimDuration, SimTime};
+
+use crate::network::{Network, NodeId};
+use crate::spec::StorageSpec;
+
+/// Where checkpoint images and flushed message logs are written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageTarget {
+    /// The writing node's own disk.
+    Local,
+    /// The shared remote checkpoint servers.
+    Remote,
+}
+
+/// The cluster's storage subsystem.
+pub struct Storage {
+    sim: Sim,
+    local_bps: f64,
+    local_seek: SimDuration,
+    remote_bps: f64,
+    remote_seek: SimDuration,
+    local_disks: Vec<FifoResource>,
+    /// Remote servers occupy network node ids `[first_server, first_server + k)`.
+    remote_disks: Vec<FifoResource>,
+    first_server: NodeId,
+    network: Rc<Network>,
+}
+
+impl Storage {
+    /// Build the storage system for `compute_nodes` nodes. The network must
+    /// have been created with `compute_nodes + spec.remote_servers`
+    /// endpoints; the trailing endpoints are the checkpoint servers.
+    pub fn new(sim: &Sim, spec: &StorageSpec, compute_nodes: usize, network: Rc<Network>) -> Self {
+        assert!(spec.local_disk_bps > 0.0, "local disk bandwidth must be positive");
+        assert_eq!(
+            network.nodes(),
+            compute_nodes + spec.remote_servers,
+            "network must include one endpoint per remote server"
+        );
+        Storage {
+            sim: sim.clone(),
+            local_bps: spec.local_disk_bps,
+            local_seek: spec.local_seek.dur(),
+            remote_bps: spec.remote_disk_bps,
+            remote_seek: spec.remote_seek.dur(),
+            local_disks: (0..compute_nodes)
+                .map(|i| FifoResource::new(sim, format!("disk{i}")))
+                .collect(),
+            remote_disks: (0..spec.remote_servers)
+                .map(|i| FifoResource::new(sim, format!("ckpt-server{i}")))
+                .collect(),
+            first_server: compute_nodes,
+            network,
+        }
+    }
+
+    /// Number of remote checkpoint servers.
+    pub fn remote_servers(&self) -> usize {
+        self.remote_disks.len()
+    }
+
+    /// The checkpoint server assigned to `node` (round-robin).
+    ///
+    /// # Panics
+    /// Panics if there are no remote servers.
+    pub fn server_for(&self, node: NodeId) -> usize {
+        assert!(!self.remote_disks.is_empty(), "no remote checkpoint servers configured");
+        node % self.remote_disks.len()
+    }
+
+    fn local_service(&self, bytes: u64) -> SimDuration {
+        self.local_seek + SimDuration::from_secs_f64(bytes as f64 / self.local_bps)
+    }
+
+    fn remote_service(&self, bytes: u64) -> SimDuration {
+        self.remote_seek + SimDuration::from_secs_f64(bytes as f64 / self.remote_bps)
+    }
+
+    /// Write `bytes` from `node` to `target`; returns the completion instant.
+    pub async fn write(&self, node: NodeId, bytes: u64, target: StorageTarget) -> SimTime {
+        match target {
+            StorageTarget::Local => self.local_disks[node].access(self.local_service(bytes)).await,
+            StorageTarget::Remote => {
+                let srv = self.server_for(node);
+                // Ship the data to the server, then serialize on its disk.
+                let arrived =
+                    self.network.reserve_transfer(node, self.first_server + srv, bytes);
+                let done =
+                    self.remote_disks[srv].reserve_from(arrived, self.remote_service(bytes));
+                self.sim.sleep_until(done).await;
+                done
+            }
+        }
+    }
+
+    /// Read `bytes` back to `node` from `target`; returns the completion
+    /// instant (used during restart).
+    pub async fn read(&self, node: NodeId, bytes: u64, target: StorageTarget) -> SimTime {
+        match target {
+            StorageTarget::Local => self.local_disks[node].access(self.local_service(bytes)).await,
+            StorageTarget::Remote => {
+                let srv = self.server_for(node);
+                let disk_done = self.remote_disks[srv].reserve(self.remote_service(bytes));
+                self.sim.sleep_until(disk_done).await;
+                let done = self.network.transfer(self.first_server + srv, node, bytes).await;
+                done
+            }
+        }
+    }
+
+    /// Estimated uncontended local write time for `bytes` (planning).
+    pub fn ideal_local_write(&self, bytes: u64) -> SimDuration {
+        self.local_service(bytes)
+    }
+
+    /// Queue an asynchronous, batched background write on `node`'s local
+    /// disk (the message-log writer): reserves disk time without waiting.
+    /// Batched streaming writes pay bandwidth plus a small per-op cost, not
+    /// the full seek penalty.
+    pub fn queue_local_log_write(&self, node: NodeId, bytes: u64) -> SimTime {
+        let service = SimDuration::from_micros(200)
+            + SimDuration::from_secs_f64(bytes as f64 / self.local_bps);
+        self.local_disks[node].reserve(service)
+    }
+
+    /// Wait until every write queued on `node`'s local disk has completed
+    /// ("synchronize message logs"). Returns the completion instant.
+    pub async fn drain_local(&self, node: NodeId) -> SimTime {
+        let t = self.local_disks[node].next_free();
+        self.sim.sleep_until(t).await;
+        self.sim.now()
+    }
+
+    /// Busy time accumulated on a remote server's disk (diagnostics).
+    pub fn remote_busy(&self, server: usize) -> SimDuration {
+        self.remote_disks[server].busy_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ClusterSpec, SimDurationSpec};
+    use std::cell::Cell;
+
+    fn setup(nodes: usize) -> (Sim, Rc<Storage>) {
+        let sim = Sim::new();
+        let mut spec = ClusterSpec::test(nodes);
+        spec.storage.local_disk_bps = 1e6;
+        spec.storage.local_seek = SimDurationSpec::from_millis(10);
+        spec.storage.remote_disk_bps = 1e6;
+        spec.storage.remote_seek = SimDurationSpec::from_millis(0);
+        spec.net.latency = SimDurationSpec::from_micros(0);
+        spec.net.bandwidth_bps = 1e8; // network much faster than server disks
+        let network =
+            Rc::new(Network::new(&sim, &spec.net, nodes + spec.storage.remote_servers));
+        let storage = Rc::new(Storage::new(&sim, &spec.storage, nodes, network));
+        (sim, storage)
+    }
+
+    #[test]
+    fn local_writes_do_not_contend_across_nodes() {
+        let (sim, storage) = setup(4);
+        let done_times = Rc::new(std::cell::RefCell::new(Vec::new()));
+        for node in 0..4 {
+            let st = Rc::clone(&storage);
+            let d = Rc::clone(&done_times);
+            sim.spawn(async move {
+                let t = st.write(node, 1_000_000, StorageTarget::Local).await;
+                d.borrow_mut().push(t);
+            });
+        }
+        sim.run().unwrap();
+        // All four finish at the same time: seek 10 ms + 1 s.
+        for &t in done_times.borrow().iter() {
+            assert_eq!(t.as_nanos(), 1_010_000_000);
+        }
+    }
+
+    #[test]
+    fn same_node_local_writes_serialize() {
+        let (sim, storage) = setup(2);
+        let last = Rc::new(Cell::new(SimTime::ZERO));
+        for _ in 0..3 {
+            let st = Rc::clone(&storage);
+            let l = Rc::clone(&last);
+            sim.spawn(async move {
+                let t = st.write(0, 1_000_000, StorageTarget::Local).await;
+                l.set(l.get().max(t));
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(last.get().as_nanos(), 3 * 1_010_000_000);
+    }
+
+    #[test]
+    fn remote_writes_contend_on_shared_servers() {
+        // test spec has 2 remote servers; 4 clients → 2 per server.
+        let (sim, storage) = setup(4);
+        let last = Rc::new(Cell::new(SimTime::ZERO));
+        for node in 0..4 {
+            let st = Rc::clone(&storage);
+            let l = Rc::clone(&last);
+            sim.spawn(async move {
+                let t = st.write(node, 1_000_000, StorageTarget::Remote).await;
+                l.set(l.get().max(t));
+            });
+        }
+        sim.run().unwrap();
+        // Each server serializes its two 1-second writes.
+        let total = last.get().as_secs_f64();
+        assert!((2.0..2.2).contains(&total), "total {total}");
+    }
+
+    #[test]
+    fn server_assignment_is_round_robin() {
+        let (_sim, storage) = setup(5);
+        assert_eq!(storage.server_for(0), 0);
+        assert_eq!(storage.server_for(1), 1);
+        assert_eq!(storage.server_for(2), 0);
+        assert_eq!(storage.remote_servers(), 2);
+    }
+
+    #[test]
+    fn read_returns_data_to_node() {
+        let (sim, storage) = setup(2);
+        let done = Rc::new(Cell::new(SimTime::ZERO));
+        let st = Rc::clone(&storage);
+        let d = Rc::clone(&done);
+        sim.spawn(async move {
+            let t = st.read(1, 2_000_000, StorageTarget::Remote).await;
+            d.set(t);
+        });
+        sim.run().unwrap();
+        // 2 s disk + 20 ms network (2 MB at 100 MB/s).
+        let t = done.get().as_secs_f64();
+        assert!((t - 2.02).abs() < 1e-6, "t {t}");
+    }
+}

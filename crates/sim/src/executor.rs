@@ -1,0 +1,572 @@
+//! The deterministic single-threaded async executor at the heart of the DES.
+//!
+//! Simulated processes (MPI ranks, protocol daemons, the `mpirun`
+//! controller…) are ordinary Rust futures. The executor interleaves them
+//! cooperatively and advances a virtual clock: when no task is runnable, the
+//! clock jumps to the next scheduled timer. There is no real-time blocking
+//! anywhere, so a full 128-rank run finishes in milliseconds of wall time.
+//!
+//! Determinism: tasks are polled in FIFO wake order, timers fire in
+//! `(deadline, sequence-number)` order, and all randomness is drawn from a
+//! seeded [`crate::rng::DetRng`]. Two runs with the same seed produce
+//! identical event schedules.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use parking_lot::Mutex;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a spawned task. Stable for the lifetime of the task.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TaskId {
+    slot: usize,
+    generation: u64,
+}
+
+/// Error returned by [`Sim::run`] when no task can make progress but live
+/// tasks remain — i.e. every remaining task waits on an event that will
+/// never fire. The names of the stuck tasks are reported to make protocol
+/// deadlocks debuggable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Deadlock {
+    /// Simulated time at which the simulation stalled.
+    pub at: SimTime,
+    /// Names of the tasks that were still alive.
+    pub stuck: Vec<String>,
+}
+
+impl fmt::Display for Deadlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulation deadlocked at {} with {} stuck task(s): ", self.at, self.stuck.len())?;
+        for (i, name) in self.stuck.iter().take(8).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}")?;
+        }
+        if self.stuck.len() > 8 {
+            write!(f, ", …")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Deadlock {}
+
+/// Outcome of [`Sim::run_until`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// All tasks completed before the horizon.
+    AllDone,
+    /// The horizon was reached with tasks still alive.
+    HorizonReached,
+}
+
+struct TaskWaker {
+    slot: usize,
+    generation: u64,
+    queued: AtomicBool,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        if !self.queued.swap(true, Ordering::AcqRel) {
+            self.ready.push(TaskId { slot: self.slot, generation: self.generation });
+        }
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        if !self.queued.swap(true, Ordering::AcqRel) {
+            self.ready.push(TaskId { slot: self.slot, generation: self.generation });
+        }
+    }
+}
+
+/// FIFO of woken tasks. `Send + Sync` so it can live inside standard
+/// `Waker`s even though the simulation itself is single-threaded.
+struct ReadyQueue {
+    queue: Mutex<VecDeque<TaskId>>,
+}
+
+impl ReadyQueue {
+    fn push(&self, id: TaskId) {
+        self.queue.lock().push_back(id);
+    }
+
+    fn pop(&self) -> Option<TaskId> {
+        self.queue.lock().pop_front()
+    }
+}
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+struct Task {
+    future: Option<BoxFuture>,
+    name: Rc<str>,
+    waker: Arc<TaskWaker>,
+    generation: u64,
+}
+
+struct Timer {
+    at: SimTime,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for Timer {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Timer {}
+impl PartialOrd for Timer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Timer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct Core {
+    now: SimTime,
+    timer_seq: u64,
+    timers: BinaryHeap<Reverse<Timer>>,
+    tasks: Vec<Option<Task>>,
+    free_slots: Vec<usize>,
+    live_tasks: usize,
+    next_generation: u64,
+    /// Total number of task polls, for diagnostics.
+    polls: u64,
+}
+
+/// A cheaply-cloneable handle to the simulation. All spawned futures
+/// typically capture one.
+#[derive(Clone)]
+pub struct Sim {
+    core: Rc<RefCell<Core>>,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Create an empty simulation with the clock at zero.
+    pub fn new() -> Self {
+        Sim {
+            core: Rc::new(RefCell::new(Core {
+                now: SimTime::ZERO,
+                timer_seq: 0,
+                timers: BinaryHeap::new(),
+                tasks: Vec::new(),
+                free_slots: Vec::new(),
+                live_tasks: 0,
+                next_generation: 0,
+                polls: 0,
+            })),
+            ready: Arc::new(ReadyQueue { queue: Mutex::new(VecDeque::new()) }),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.borrow().now
+    }
+
+    /// Number of tasks that have not yet completed.
+    pub fn live_tasks(&self) -> usize {
+        self.core.borrow().live_tasks
+    }
+
+    /// Total number of task polls performed so far (diagnostic).
+    pub fn poll_count(&self) -> u64 {
+        self.core.borrow().polls
+    }
+
+    /// Spawn a named task. The name appears in deadlock reports.
+    pub fn spawn_named<F>(&self, name: impl Into<String>, fut: F) -> TaskId
+    where
+        F: Future<Output = ()> + 'static,
+    {
+        let mut core = self.core.borrow_mut();
+        let generation = core.next_generation;
+        core.next_generation += 1;
+        let slot = core.free_slots.pop().unwrap_or_else(|| {
+            core.tasks.push(None);
+            core.tasks.len() - 1
+        });
+        let waker = Arc::new(TaskWaker {
+            slot,
+            generation,
+            queued: AtomicBool::new(true), // spawned tasks start on the ready queue
+            ready: Arc::clone(&self.ready),
+        });
+        core.tasks[slot] = Some(Task {
+            future: Some(Box::pin(fut)),
+            name: Rc::from(name.into()),
+            waker: Arc::clone(&waker),
+            generation,
+        });
+        core.live_tasks += 1;
+        drop(core);
+        let id = TaskId { slot, generation };
+        self.ready.push(id);
+        id
+    }
+
+    /// Spawn an anonymous task.
+    pub fn spawn<F>(&self, fut: F) -> TaskId
+    where
+        F: Future<Output = ()> + 'static,
+    {
+        self.spawn_named("task", fut)
+    }
+
+    /// Schedule `waker` to be invoked at absolute time `at`.
+    /// This is the primitive all timed futures are built on.
+    pub fn schedule_waker(&self, at: SimTime, waker: Waker) {
+        let mut core = self.core.borrow_mut();
+        assert!(at >= core.now, "cannot schedule a waker in the past ({} < {})", at, core.now);
+        let seq = core.timer_seq;
+        core.timer_seq += 1;
+        core.timers.push(Reverse(Timer { at, seq, waker }));
+    }
+
+    /// A future that completes at absolute simulated time `deadline`.
+    /// Completes immediately if `deadline` has already passed.
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep { sim: self.clone(), deadline, registered: false }
+    }
+
+    /// A future that completes after `dur` of simulated time.
+    pub fn sleep(&self, dur: SimDuration) -> Sleep {
+        let deadline = self.now() + dur;
+        self.sleep_until(deadline)
+    }
+
+    /// Yield to other ready tasks without advancing time.
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { yielded: false }
+    }
+
+    /// Run until all tasks complete.
+    ///
+    /// # Errors
+    /// Returns [`Deadlock`] if live tasks remain but no timer or wake can
+    /// ever run them again.
+    pub fn run(&self) -> Result<(), Deadlock> {
+        match self.run_inner(SimTime::MAX) {
+            Ok(_) => Ok(()),
+            Err(d) => Err(d),
+        }
+    }
+
+    /// Run until all tasks complete or the clock would pass `horizon`.
+    /// Timers at exactly `horizon` still fire.
+    ///
+    /// # Errors
+    /// Returns [`Deadlock`] on a stall before the horizon.
+    pub fn run_until(&self, horizon: SimTime) -> Result<RunOutcome, Deadlock> {
+        self.run_inner(horizon)
+    }
+
+    fn run_inner(&self, horizon: SimTime) -> Result<RunOutcome, Deadlock> {
+        loop {
+            // Drain the ready queue.
+            while let Some(id) = self.ready.pop() {
+                self.poll_task(id);
+            }
+            let mut core = self.core.borrow_mut();
+            if core.live_tasks == 0 {
+                return Ok(RunOutcome::AllDone);
+            }
+            // No ready tasks: advance the clock to the next timer.
+            match core.timers.peek() {
+                Some(Reverse(t)) if t.at <= horizon => {
+                    let at = t.at;
+                    core.now = at;
+                    // Fire every timer scheduled for this instant.
+                    let mut fired = Vec::new();
+                    while let Some(Reverse(t)) = core.timers.peek() {
+                        if t.at != at {
+                            break;
+                        }
+                        fired.push(core.timers.pop().unwrap().0.waker);
+                    }
+                    drop(core);
+                    for w in fired {
+                        w.wake();
+                    }
+                }
+                Some(_) => return Ok(RunOutcome::HorizonReached),
+                None => {
+                    let stuck = core
+                        .tasks
+                        .iter()
+                        .flatten()
+                        .filter(|t| t.future.is_some())
+                        .map(|t| t.name.to_string())
+                        .collect();
+                    return Err(Deadlock { at: core.now, stuck });
+                }
+            }
+        }
+    }
+
+    fn poll_task(&self, id: TaskId) {
+        // Take the future out of the slab so the core is not borrowed
+        // while the task body runs (the body will re-borrow it).
+        let (mut fut, waker) = {
+            let mut core = self.core.borrow_mut();
+            let slot = match core.tasks.get_mut(id.slot) {
+                Some(Some(task)) if task.generation == id.generation => task,
+                _ => return, // task already finished; stale wake
+            };
+            slot.waker.queued.store(false, Ordering::Release);
+            match slot.future.take() {
+                Some(f) => (f, Arc::clone(&slot.waker)),
+                None => return,
+            }
+        };
+        {
+            let mut core = self.core.borrow_mut();
+            core.polls += 1;
+        }
+        let std_waker = Waker::from(Arc::clone(&waker));
+        let mut cx = Context::from_waker(&std_waker);
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                let mut core = self.core.borrow_mut();
+                if let Some(Some(task)) = core.tasks.get_mut(id.slot) {
+                    if task.generation == id.generation {
+                        core.tasks[id.slot] = None;
+                        core.free_slots.push(id.slot);
+                        core.live_tasks -= 1;
+                    }
+                }
+            }
+            Poll::Pending => {
+                let mut core = self.core.borrow_mut();
+                if let Some(Some(task)) = core.tasks.get_mut(id.slot) {
+                    if task.generation == id.generation {
+                        task.future = Some(fut);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Future returned by [`Sim::sleep`] / [`Sim::sleep_until`].
+pub struct Sleep {
+    sim: Sim,
+    deadline: SimTime,
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.sim.now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            self.registered = true;
+            self.sim.schedule_waker(self.deadline, cx.waker().clone());
+        }
+        Poll::Pending
+    }
+}
+
+/// Future returned by [`Sim::yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn empty_sim_finishes_immediately() {
+        let sim = Sim::new();
+        sim.run().unwrap();
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sleep_advances_clock() {
+        let sim = Sim::new();
+        let observed = Rc::new(Cell::new(SimTime::ZERO));
+        let obs = Rc::clone(&observed);
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(SimDuration::from_secs(5)).await;
+            obs.set(s.now());
+        });
+        sim.run().unwrap();
+        assert_eq!(observed.get(), SimTime::from_secs(5));
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn tasks_interleave_in_time_order() {
+        let sim = Sim::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (label, delay_ms) in [("c", 30u64), ("a", 10), ("b", 20)] {
+            let s = sim.clone();
+            let ord = Rc::clone(&order);
+            sim.spawn(async move {
+                s.sleep(SimDuration::from_millis(delay_ms)).await;
+                ord.borrow_mut().push(label);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*order.borrow(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_timers_fire_in_schedule_order() {
+        let sim = Sim::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for label in 0..10 {
+            let s = sim.clone();
+            let ord = Rc::clone(&order);
+            sim.spawn(async move {
+                s.sleep(SimDuration::from_millis(5)).await;
+                ord.borrow_mut().push(label);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*order.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn yield_now_reschedules_without_time() {
+        let sim = Sim::new();
+        let count = Rc::new(Cell::new(0));
+        let c = Rc::clone(&count);
+        let s = sim.clone();
+        sim.spawn(async move {
+            for _ in 0..100 {
+                s.yield_now().await;
+                c.set(c.get() + 1);
+            }
+        });
+        sim.run().unwrap();
+        assert_eq!(count.get(), 100);
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn deadlock_is_reported_with_names() {
+        let sim = Sim::new();
+        sim.spawn_named("waits-forever", std::future::pending::<()>());
+        let err = sim.run().unwrap_err();
+        assert_eq!(err.stuck, vec!["waits-forever".to_string()]);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(SimDuration::from_secs(100)).await;
+        });
+        let outcome = sim.run_until(SimTime::from_secs(10)).unwrap();
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        assert_eq!(sim.live_tasks(), 1);
+        // Resuming without a horizon finishes the task.
+        sim.run().unwrap();
+        assert_eq!(sim.now(), SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn nested_spawns_run() {
+        let sim = Sim::new();
+        let hits = Rc::new(Cell::new(0));
+        let s = sim.clone();
+        let h = Rc::clone(&hits);
+        sim.spawn(async move {
+            for i in 0..5 {
+                let s2 = s.clone();
+                let h2 = Rc::clone(&h);
+                s.spawn(async move {
+                    s2.sleep(SimDuration::from_millis(i)).await;
+                    h2.set(h2.get() + 1);
+                });
+            }
+        });
+        sim.run().unwrap();
+        assert_eq!(hits.get(), 5);
+    }
+
+    #[test]
+    fn sleep_zero_completes_immediately() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let done = Rc::new(Cell::new(false));
+        let d = Rc::clone(&done);
+        sim.spawn(async move {
+            s.sleep(SimDuration::ZERO).await;
+            d.set(true);
+        });
+        sim.run().unwrap();
+        assert!(done.get());
+    }
+
+    #[test]
+    fn task_slots_are_reused_safely() {
+        let sim = Sim::new();
+        // First generation of tasks.
+        for _ in 0..4 {
+            sim.spawn(async {});
+        }
+        sim.run().unwrap();
+        // Second generation reuses slots; stale wakes must not corrupt them.
+        let count = Rc::new(Cell::new(0));
+        for _ in 0..4 {
+            let s = sim.clone();
+            let c = Rc::clone(&count);
+            sim.spawn(async move {
+                s.sleep(SimDuration::from_millis(1)).await;
+                c.set(c.get() + 1);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(count.get(), 4);
+    }
+}

@@ -1,0 +1,242 @@
+//! Minimal future combinators (the simulator avoids external async crates).
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+/// Await two futures concurrently, returning both outputs.
+pub fn join2<A, B>(a: A, b: B) -> Join2<A, B>
+where
+    A: Future,
+    B: Future,
+{
+    Join2 { a: MaybeDone::Pending(a), b: MaybeDone::Pending(b) }
+}
+
+enum MaybeDone<F: Future> {
+    Pending(F),
+    Done(Option<F::Output>),
+}
+
+impl<F: Future> MaybeDone<F> {
+    /// Polls the inner future if still pending; returns true when done.
+    /// Safety: structural pinning — we never move the future once polled.
+    fn poll_done(self: Pin<&mut Self>, cx: &mut Context<'_>) -> bool {
+        // SAFETY: we never move the pinned future out; replacement happens
+        // only after it has completed.
+        let this = unsafe { self.get_unchecked_mut() };
+        match this {
+            MaybeDone::Pending(f) => {
+                let pinned = unsafe { Pin::new_unchecked(f) };
+                match pinned.poll(cx) {
+                    Poll::Ready(out) => {
+                        *this = MaybeDone::Done(Some(out));
+                        true
+                    }
+                    Poll::Pending => false,
+                }
+            }
+            MaybeDone::Done(_) => true,
+        }
+    }
+
+    fn take(self: Pin<&mut Self>) -> F::Output {
+        let this = unsafe { self.get_unchecked_mut() };
+        match this {
+            MaybeDone::Done(v) => v.take().expect("output already taken"),
+            MaybeDone::Pending(_) => panic!("join2 output taken before completion"),
+        }
+    }
+}
+
+/// Future returned by [`join2`].
+pub struct Join2<A: Future, B: Future> {
+    a: MaybeDone<A>,
+    b: MaybeDone<B>,
+}
+
+impl<A: Future, B: Future> Future for Join2<A, B> {
+    type Output = (A::Output, B::Output);
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // SAFETY: structural pinning of both fields.
+        let this = unsafe { self.get_unchecked_mut() };
+        let a_done = unsafe { Pin::new_unchecked(&mut this.a) }.poll_done(cx);
+        let b_done = unsafe { Pin::new_unchecked(&mut this.b) }.poll_done(cx);
+        if a_done && b_done {
+            let a = unsafe { Pin::new_unchecked(&mut this.a) }.take();
+            let b = unsafe { Pin::new_unchecked(&mut this.b) }.take();
+            Poll::Ready((a, b))
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+/// Await a dynamic set of futures, returning outputs in input order.
+pub async fn join_all<F: Future>(futs: Vec<F>) -> Vec<F::Output> {
+    let mut all = JoinAll {
+        futs: futs.into_iter().map(|f| MaybeDone::Pending(f)).map(Box::pin).collect(),
+    };
+    (&mut all).await
+}
+
+struct JoinAll<F: Future> {
+    futs: Vec<Pin<Box<MaybeDone<F>>>>,
+}
+
+impl<F: Future> Future for &mut JoinAll<F> {
+    type Output = Vec<F::Output>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = unsafe { self.get_unchecked_mut() };
+        let mut all_done = true;
+        for f in &mut this.futs {
+            if !f.as_mut().poll_done(cx) {
+                all_done = false;
+            }
+        }
+        if all_done {
+            Poll::Ready(this.futs.iter_mut().map(|f| f.as_mut().take()).collect())
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+/// Outcome of [`select2`].
+pub enum Either<A, B> {
+    /// The first future finished first.
+    Left(A),
+    /// The second future finished first.
+    Right(B),
+}
+
+/// Await whichever of two futures completes first; the loser is dropped.
+/// Ties (both ready on the same poll) resolve to the left.
+pub fn select2<A, B>(a: A, b: B) -> Select2<A, B>
+where
+    A: Future,
+    B: Future,
+{
+    Select2 { a, b }
+}
+
+/// Future returned by [`select2`].
+pub struct Select2<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Future, B: Future> Future for Select2<A, B> {
+    type Output = Either<A::Output, B::Output>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // SAFETY: structural pinning; neither field is moved.
+        let this = unsafe { self.get_unchecked_mut() };
+        if let Poll::Ready(v) = unsafe { Pin::new_unchecked(&mut this.a) }.poll(cx) {
+            return Poll::Ready(Either::Left(v));
+        }
+        if let Poll::Ready(v) = unsafe { Pin::new_unchecked(&mut this.b) }.poll(cx) {
+            return Poll::Ready(Either::Right(v));
+        }
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use crate::time::{SimDuration, SimTime};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    #[test]
+    fn join2_runs_concurrently() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let done = Rc::new(Cell::new(SimTime::ZERO));
+        let d = Rc::clone(&done);
+        sim.spawn(async move {
+            let (a, b) = join2(
+                async {
+                    s.sleep(SimDuration::from_secs(3)).await;
+                    "a"
+                },
+                async {
+                    s.sleep(SimDuration::from_secs(5)).await;
+                    "b"
+                },
+            )
+            .await;
+            assert_eq!((a, b), ("a", "b"));
+            d.set(s.now());
+        });
+        sim.run().unwrap();
+        // Concurrent: max(3, 5), not 8.
+        assert_eq!(done.get(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn join_all_preserves_order_and_overlaps() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let out = Rc::new(Cell::new(SimTime::ZERO));
+        let o = Rc::clone(&out);
+        sim.spawn(async move {
+            let futs: Vec<_> = (0..4u64)
+                .map(|i| {
+                    let s = s.clone();
+                    async move {
+                        s.sleep(SimDuration::from_secs(4 - i)).await;
+                        i
+                    }
+                })
+                .collect();
+            let results = join_all(futs).await;
+            assert_eq!(results, vec![0, 1, 2, 3]);
+            o.set(s.now());
+        });
+        sim.run().unwrap();
+        assert_eq!(out.get(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn select2_picks_the_faster() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let winner = Rc::new(Cell::new(0u8));
+        let w = Rc::clone(&winner);
+        sim.spawn(async move {
+            let r = select2(
+                async {
+                    s.sleep(SimDuration::from_secs(10)).await;
+                    1u8
+                },
+                async {
+                    s.sleep(SimDuration::from_secs(2)).await;
+                    2u8
+                },
+            )
+            .await;
+            match r {
+                Either::Left(v) | Either::Right(v) => w.set(v),
+            }
+        });
+        sim.run().unwrap();
+        assert_eq!(winner.get(), 2);
+        // The losing sleep does not hold the sim at 10 s.
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn join_all_empty() {
+        let sim = Sim::new();
+        sim.spawn(async {
+            let results: Vec<u8> = join_all(Vec::<std::future::Ready<u8>>::new()).await;
+            assert!(results.is_empty());
+        });
+        sim.run().unwrap();
+    }
+}

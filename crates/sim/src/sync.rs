@@ -1,0 +1,559 @@
+//! Synchronization primitives for simulated tasks.
+//!
+//! These cost **zero simulated time** by themselves — they only order task
+//! execution within an instant. Anything that should take time (network
+//! transfers, disk writes, computation) must go through [`crate::Sim::sleep`]
+//! or a [`crate::resource::FifoResource`].
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+/// Wakes every waker in the list, draining it.
+fn wake_all(waiters: &mut Vec<Waker>) {
+    for w in waiters.drain(..) {
+        w.wake();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gate
+// ---------------------------------------------------------------------------
+
+/// A reusable open/closed gate. Tasks `await` [`Gate::wait_open`]; while the
+/// gate is closed they park, and opening the gate releases them all.
+///
+/// Used to model "MPI is locked" / "sends are suspended" windows in the
+/// checkpoint protocols.
+#[derive(Clone)]
+pub struct Gate {
+    inner: Rc<RefCell<GateInner>>,
+}
+
+struct GateInner {
+    open: bool,
+    waiters: Vec<Waker>,
+}
+
+impl Gate {
+    /// Create a gate in the given initial state.
+    pub fn new(open: bool) -> Self {
+        Gate { inner: Rc::new(RefCell::new(GateInner { open, waiters: Vec::new() })) }
+    }
+
+    /// Open the gate, releasing all waiting tasks.
+    pub fn open(&self) {
+        let mut g = self.inner.borrow_mut();
+        g.open = true;
+        wake_all(&mut g.waiters);
+    }
+
+    /// Close the gate; subsequent waiters park until it reopens.
+    pub fn close(&self) {
+        self.inner.borrow_mut().open = false;
+    }
+
+    /// Whether the gate is currently open.
+    pub fn is_open(&self) -> bool {
+        self.inner.borrow().open
+    }
+
+    /// Completes once the gate is open (immediately if already open).
+    pub fn wait_open(&self) -> GateWait {
+        GateWait { gate: self.clone() }
+    }
+}
+
+/// Future returned by [`Gate::wait_open`].
+pub struct GateWait {
+    gate: Gate,
+}
+
+impl Future for GateWait {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut g = self.gate.inner.borrow_mut();
+        if g.open {
+            Poll::Ready(())
+        } else {
+            g.waiters.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event
+// ---------------------------------------------------------------------------
+
+/// A one-shot event: once [`Event::set`] is called every current and future
+/// waiter completes. Cannot be reset.
+#[derive(Clone)]
+pub struct Event {
+    inner: Rc<RefCell<EventInner>>,
+}
+
+struct EventInner {
+    set: bool,
+    waiters: Vec<Waker>,
+}
+
+impl Default for Event {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Event {
+    /// Create an unset event.
+    pub fn new() -> Self {
+        Event { inner: Rc::new(RefCell::new(EventInner { set: false, waiters: Vec::new() })) }
+    }
+
+    /// Fire the event. Idempotent.
+    pub fn set(&self) {
+        let mut e = self.inner.borrow_mut();
+        if !e.set {
+            e.set = true;
+            wake_all(&mut e.waiters);
+        }
+    }
+
+    /// Whether the event has fired.
+    pub fn is_set(&self) -> bool {
+        self.inner.borrow().set
+    }
+
+    /// Completes once the event has fired.
+    pub fn wait(&self) -> EventWait {
+        EventWait { event: self.clone() }
+    }
+}
+
+/// Future returned by [`Event::wait`].
+pub struct EventWait {
+    event: Event,
+}
+
+impl Future for EventWait {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut e = self.event.inner.borrow_mut();
+        if e.set {
+            Poll::Ready(())
+        } else {
+            e.waiters.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Semaphore
+// ---------------------------------------------------------------------------
+
+/// A counting semaphore. Permits are returned manually via
+/// [`Semaphore::release`] (no RAII guard: simulated tasks usually hand
+/// permits across task boundaries, e.g. bounded in-flight message windows).
+#[derive(Clone)]
+pub struct Semaphore {
+    inner: Rc<RefCell<SemInner>>,
+}
+
+struct SemInner {
+    permits: usize,
+    waiters: Vec<Waker>,
+}
+
+impl Semaphore {
+    /// Create a semaphore holding `permits` permits.
+    pub fn new(permits: usize) -> Self {
+        Semaphore { inner: Rc::new(RefCell::new(SemInner { permits, waiters: Vec::new() })) }
+    }
+
+    /// Acquire one permit, waiting if none are available.
+    pub fn acquire(&self) -> SemAcquire {
+        SemAcquire { sem: self.clone() }
+    }
+
+    /// Try to acquire a permit without waiting.
+    pub fn try_acquire(&self) -> bool {
+        let mut s = self.inner.borrow_mut();
+        if s.permits > 0 {
+            s.permits -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Return one permit, waking a waiter if any.
+    pub fn release(&self) {
+        let mut s = self.inner.borrow_mut();
+        s.permits += 1;
+        // Wake all; contenders re-check and at most `permits` proceed.
+        wake_all(&mut s.waiters);
+    }
+
+    /// Currently available permits.
+    pub fn available(&self) -> usize {
+        self.inner.borrow().permits
+    }
+}
+
+/// Future returned by [`Semaphore::acquire`].
+pub struct SemAcquire {
+    sem: Semaphore,
+}
+
+impl Future for SemAcquire {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut s = self.sem.inner.borrow_mut();
+        if s.permits > 0 {
+            s.permits -= 1;
+            Poll::Ready(())
+        } else {
+            s.waiters.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Barrier
+// ---------------------------------------------------------------------------
+
+/// A reusable barrier for `parties` tasks. The `parties`-th arrival releases
+/// everyone and the barrier resets for the next generation.
+///
+/// Note: this is an *infrastructure* barrier (zero simulated cost). MPI
+/// barriers in `gcr-mpi` are built from real messages instead.
+#[derive(Clone)]
+pub struct Barrier {
+    inner: Rc<RefCell<BarrierInner>>,
+}
+
+struct BarrierInner {
+    parties: usize,
+    arrived: usize,
+    generation: u64,
+    waiters: Vec<Waker>,
+}
+
+impl Barrier {
+    /// Create a barrier for `parties` participants.
+    ///
+    /// # Panics
+    /// Panics if `parties == 0`.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "barrier needs at least one party");
+        Barrier {
+            inner: Rc::new(RefCell::new(BarrierInner {
+                parties,
+                arrived: 0,
+                generation: 0,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// Arrive and wait for the rest of the generation.
+    pub fn wait(&self) -> BarrierWait {
+        let mut b = self.inner.borrow_mut();
+        b.arrived += 1;
+        let my_generation = b.generation;
+        if b.arrived == b.parties {
+            b.arrived = 0;
+            b.generation += 1;
+            wake_all(&mut b.waiters);
+        }
+        BarrierWait { barrier: self.clone(), generation: my_generation }
+    }
+}
+
+/// Future returned by [`Barrier::wait`].
+pub struct BarrierWait {
+    barrier: Barrier,
+    generation: u64,
+}
+
+impl Future for BarrierWait {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut b = self.barrier.inner.borrow_mut();
+        if b.generation > self.generation {
+            Poll::Ready(())
+        } else {
+            b.waiters.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WaitGroup
+// ---------------------------------------------------------------------------
+
+/// Go-style wait group: `add` registers pending work, `done` retires it,
+/// `wait` completes when the count reaches zero.
+///
+/// Used for "wait until all group members finish taking the checkpoint".
+#[derive(Clone)]
+pub struct WaitGroup {
+    inner: Rc<RefCell<WgInner>>,
+}
+
+struct WgInner {
+    count: usize,
+    waiters: Vec<Waker>,
+}
+
+impl Default for WaitGroup {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WaitGroup {
+    /// Create an empty wait group (count 0).
+    pub fn new() -> Self {
+        WaitGroup { inner: Rc::new(RefCell::new(WgInner { count: 0, waiters: Vec::new() })) }
+    }
+
+    /// Register `n` additional units of pending work.
+    pub fn add(&self, n: usize) {
+        self.inner.borrow_mut().count += n;
+    }
+
+    /// Retire one unit of work.
+    ///
+    /// # Panics
+    /// Panics if the count is already zero.
+    pub fn done(&self) {
+        let mut w = self.inner.borrow_mut();
+        assert!(w.count > 0, "WaitGroup::done called more times than add");
+        w.count -= 1;
+        if w.count == 0 {
+            wake_all(&mut w.waiters);
+        }
+    }
+
+    /// Current outstanding count.
+    pub fn count(&self) -> usize {
+        self.inner.borrow().count
+    }
+
+    /// Completes when the count is zero (immediately if already zero).
+    pub fn wait(&self) -> WgWait {
+        WgWait { wg: self.clone() }
+    }
+}
+
+/// Future returned by [`WaitGroup::wait`].
+pub struct WgWait {
+    wg: WaitGroup,
+}
+
+impl Future for WgWait {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut w = self.wg.inner.borrow_mut();
+        if w.count == 0 {
+            Poll::Ready(())
+        } else {
+            w.waiters.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use crate::time::SimDuration;
+    use std::cell::Cell;
+
+    #[test]
+    fn gate_blocks_until_open() {
+        let sim = Sim::new();
+        let gate = Gate::new(false);
+        let passed = Rc::new(Cell::new(false));
+        {
+            let g = gate.clone();
+            let p = Rc::clone(&passed);
+            sim.spawn(async move {
+                g.wait_open().await;
+                p.set(true);
+            });
+        }
+        {
+            let g = gate.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                s.sleep(SimDuration::from_secs(1)).await;
+                g.open();
+            });
+        }
+        sim.run().unwrap();
+        assert!(passed.get());
+        assert_eq!(sim.now().as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn gate_reusable_after_close() {
+        let sim = Sim::new();
+        let gate = Gate::new(true);
+        gate.close();
+        assert!(!gate.is_open());
+        gate.open();
+        assert!(gate.is_open());
+        let g = gate.clone();
+        sim.spawn(async move {
+            g.wait_open().await; // open: passes immediately
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn event_releases_all_waiters() {
+        let sim = Sim::new();
+        let event = Event::new();
+        let count = Rc::new(Cell::new(0));
+        for _ in 0..5 {
+            let e = event.clone();
+            let c = Rc::clone(&count);
+            sim.spawn(async move {
+                e.wait().await;
+                c.set(c.get() + 1);
+            });
+        }
+        let e = event.clone();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(SimDuration::from_millis(10)).await;
+            e.set();
+        });
+        sim.run().unwrap();
+        assert_eq!(count.get(), 5);
+        // Late waiters also pass.
+        let c = Rc::clone(&count);
+        let e2 = event.clone();
+        sim.spawn(async move {
+            e2.wait().await;
+            c.set(c.get() + 1);
+        });
+        sim.run().unwrap();
+        assert_eq!(count.get(), 6);
+    }
+
+    #[test]
+    fn semaphore_bounds_concurrency() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(2);
+        let active = Rc::new(Cell::new(0usize));
+        let max_active = Rc::new(Cell::new(0usize));
+        for _ in 0..6 {
+            let sem = sem.clone();
+            let s = sim.clone();
+            let a = Rc::clone(&active);
+            let m = Rc::clone(&max_active);
+            sim.spawn(async move {
+                sem.acquire().await;
+                a.set(a.get() + 1);
+                m.set(m.get().max(a.get()));
+                s.sleep(SimDuration::from_millis(10)).await;
+                a.set(a.get() - 1);
+                sem.release();
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(max_active.get(), 2);
+        assert_eq!(sem.available(), 2);
+    }
+
+    #[test]
+    fn try_acquire_does_not_block() {
+        let sem = Semaphore::new(1);
+        assert!(sem.try_acquire());
+        assert!(!sem.try_acquire());
+        sem.release();
+        assert!(sem.try_acquire());
+    }
+
+    #[test]
+    fn barrier_synchronizes_generations() {
+        let sim = Sim::new();
+        let barrier = Barrier::new(3);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for id in 0..3u32 {
+            let b = barrier.clone();
+            let s = sim.clone();
+            let l = Rc::clone(&log);
+            sim.spawn(async move {
+                for round in 0..2u32 {
+                    s.sleep(SimDuration::from_millis((id as u64 + 1) * 10)).await;
+                    l.borrow_mut().push((round, id, "arrive"));
+                    b.wait().await;
+                    l.borrow_mut().push((round, id, "pass"));
+                }
+            });
+        }
+        sim.run().unwrap();
+        let log = log.borrow();
+        // Within each round, all arrivals precede all passes.
+        for round in 0..2u32 {
+            let arrives: Vec<usize> =
+                log.iter().enumerate().filter(|(_, e)| e.0 == round && e.2 == "arrive").map(|(i, _)| i).collect();
+            let passes: Vec<usize> =
+                log.iter().enumerate().filter(|(_, e)| e.0 == round && e.2 == "pass").map(|(i, _)| i).collect();
+            assert_eq!(arrives.len(), 3);
+            assert_eq!(passes.len(), 3);
+            assert!(arrives.iter().max().unwrap() < passes.iter().min().unwrap());
+        }
+    }
+
+    #[test]
+    fn waitgroup_waits_for_all() {
+        let sim = Sim::new();
+        let wg = WaitGroup::new();
+        wg.add(3);
+        let finished = Rc::new(Cell::new(false));
+        {
+            let w = wg.clone();
+            let f = Rc::clone(&finished);
+            sim.spawn(async move {
+                w.wait().await;
+                f.set(true);
+            });
+        }
+        for i in 0..3u64 {
+            let w = wg.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                s.sleep(SimDuration::from_millis(i * 5)).await;
+                w.done();
+            });
+        }
+        sim.run().unwrap();
+        assert!(finished.get());
+        assert_eq!(wg.count(), 0);
+    }
+
+    #[test]
+    fn waitgroup_zero_passes_immediately() {
+        let sim = Sim::new();
+        let wg = WaitGroup::new();
+        let w = wg.clone();
+        sim.spawn(async move { w.wait().await });
+        sim.run().unwrap();
+    }
+}

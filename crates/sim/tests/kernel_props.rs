@@ -1,0 +1,98 @@
+//! Property tests of the DES kernel's ordering guarantees.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use gcr_sim::resource::FifoResource;
+use gcr_sim::{Sim, SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Tasks sleeping arbitrary durations wake exactly at their deadline
+    /// and fire in (deadline, spawn-order) order.
+    #[test]
+    fn timers_fire_in_deadline_then_spawn_order(
+        delays in prop::collection::vec(0u64..10_000, 1..50),
+    ) {
+        let sim = Sim::new();
+        // (observed wake time, requested deadline, spawn index)
+        let fired: Rc<RefCell<Vec<(u64, u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+        for (i, &d) in delays.iter().enumerate() {
+            let s = sim.clone();
+            let f = Rc::clone(&fired);
+            sim.spawn(async move {
+                s.sleep(SimDuration::from_micros(d)).await;
+                f.borrow_mut().push((s.now().as_nanos(), d, i));
+            });
+        }
+        sim.run().unwrap();
+        let fired = fired.borrow();
+        prop_assert_eq!(fired.len(), delays.len());
+        for &(woke_ns, d, _) in fired.iter() {
+            prop_assert_eq!(woke_ns, d * 1_000, "woke at the exact deadline");
+        }
+        // Firing order: by deadline, ties by spawn order.
+        let observed: Vec<(u64, usize)> = fired.iter().map(|&(_, d, i)| (d, i)).collect();
+        let mut sorted = observed.clone();
+        sorted.sort();
+        prop_assert_eq!(observed, sorted);
+    }
+
+    /// Sequential sleeps inside one task accumulate exactly.
+    #[test]
+    fn sequential_sleeps_accumulate(steps in prop::collection::vec(1u64..1_000, 1..30)) {
+        let sim = Sim::new();
+        let total: u64 = steps.iter().sum();
+        let s = sim.clone();
+        sim.spawn(async move {
+            for &d in &steps {
+                s.sleep(SimDuration::from_micros(d)).await;
+            }
+        });
+        sim.run().unwrap();
+        prop_assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_micros(total));
+    }
+
+    /// FIFO resources serve backlogged reservations contiguously and in
+    /// order (work conservation).
+    #[test]
+    fn fifo_resource_work_conserving(services in prop::collection::vec(1u64..500, 1..40)) {
+        let sim = Sim::new();
+        let r = FifoResource::new(&sim, "r");
+        let mut expected_end = 0u64;
+        for &s in &services {
+            expected_end += s;
+            let done = r.reserve(SimDuration::from_micros(s));
+            prop_assert_eq!(done, SimTime::ZERO + SimDuration::from_micros(expected_end));
+        }
+        prop_assert_eq!(r.busy_time(), SimDuration::from_micros(expected_end));
+        prop_assert_eq!(r.ops(), services.len() as u64);
+    }
+
+    /// Determinism: two simulations with identical task structure produce
+    /// identical completion orders.
+    #[test]
+    fn identical_programs_identical_schedules(
+        delays in prop::collection::vec(0u64..5_000, 1..30),
+    ) {
+        let run = |delays: &[u64]| -> Vec<usize> {
+            let sim = Sim::new();
+            let order: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+            for (i, &d) in delays.iter().enumerate() {
+                let s = sim.clone();
+                let o = Rc::clone(&order);
+                sim.spawn(async move {
+                    s.sleep(SimDuration::from_micros(d)).await;
+                    s.yield_now().await;
+                    o.borrow_mut().push(i);
+                });
+            }
+            sim.run().unwrap();
+            Rc::try_unwrap(order).unwrap().into_inner()
+        };
+        prop_assert_eq!(run(&delays), run(&delays));
+    }
+}

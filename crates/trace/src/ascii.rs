@@ -1,0 +1,161 @@
+//! ASCII trace diagrams (paper Figure 2's visual, in a terminal).
+//!
+//! Rows are ranks, columns are time bins. A cell shows message-transfer
+//! activity touching that rank, with checkpoint windows overlaid:
+//!
+//! * `' '` — idle
+//! * `'*'` — message activity
+//! * `'.'` — inside a checkpoint window, idle (a "gap")
+//! * `'#'` — inside a checkpoint window, with activity (progress during
+//!   the checkpoint — what non-blocking checkpointing is supposed to allow)
+
+use crate::gaps::Window;
+use crate::record::{Trace, TraceEvent};
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct DiagramOpts {
+    /// Ranks to draw (rows), e.g. `[0, 1, 2, 3]` like the paper's P0–P3.
+    pub ranks: Vec<u32>,
+    /// Start of the drawn time range (ns).
+    pub t0: u64,
+    /// End of the drawn time range (ns).
+    pub t1: u64,
+    /// Number of character columns.
+    pub cols: usize,
+}
+
+/// Render the diagram.
+///
+/// # Panics
+/// Panics if the time range is empty or `cols == 0`.
+pub fn render(trace: &Trace, windows: &[Window], opts: &DiagramOpts) -> String {
+    assert!(opts.t1 > opts.t0, "empty time range");
+    assert!(opts.cols > 0, "zero columns");
+    let span = opts.t1 - opts.t0;
+    let bin_of = |t: u64| -> Option<usize> {
+        if t < opts.t0 || t >= opts.t1 {
+            return None;
+        }
+        Some((((t - opts.t0) as u128 * opts.cols as u128) / span as u128) as usize)
+    };
+    let clamp_bin = |t: u64| -> usize {
+        if t <= opts.t0 {
+            0
+        } else if t >= opts.t1 {
+            opts.cols - 1
+        } else {
+            bin_of(t).unwrap()
+        }
+    };
+
+    // Activity bitmap per (rank row, bin).
+    let rows = opts.ranks.len();
+    let mut active = vec![false; rows * opts.cols];
+    let row_of = |rank: u32| opts.ranks.iter().position(|&r| r == rank);
+    for ev in &trace.events {
+        if let TraceEvent::Recv { t_sent, t, src, dst, .. } = ev {
+            if *t < opts.t0 || *t_sent >= opts.t1 {
+                continue;
+            }
+            let (b0, b1) = (clamp_bin(*t_sent), clamp_bin(*t));
+            for &r in &[*src, *dst] {
+                if let Some(row) = row_of(r) {
+                    for b in b0..=b1 {
+                        active[row * opts.cols + b] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // Checkpoint-window bitmap per bin.
+    let mut in_ckpt = vec![false; opts.cols];
+    for w in windows {
+        if w.end <= opts.t0 || w.start >= opts.t1 {
+            continue;
+        }
+        let (b0, b1) = (clamp_bin(w.start), clamp_bin(w.end.saturating_sub(1)));
+        for b in in_ckpt.iter_mut().take(b1 + 1).skip(b0) {
+            *b = true;
+        }
+    }
+
+    let mut out = String::new();
+    // Time axis header.
+    out.push_str(&format!(
+        "time {:.1}s{}{:.1}s\n",
+        opts.t0 as f64 / 1e9,
+        " ".repeat(opts.cols.saturating_sub(10)),
+        opts.t1 as f64 / 1e9
+    ));
+    for (row, &rank) in opts.ranks.iter().enumerate() {
+        out.push_str(&format!("P{rank:<4}|"));
+        for b in 0..opts.cols {
+            let a = active[row * opts.cols + b];
+            let c = in_ckpt[b];
+            out.push(match (c, a) {
+                (false, false) => ' ',
+                (false, true) => '*',
+                (true, false) => '.',
+                (true, true) => '#',
+            });
+        }
+        out.push_str("|\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_with(recvs: &[(u64, u64, u32, u32)]) -> Trace {
+        let mut tr = Trace::new(4, "t");
+        for &(s, e, src, dst) in recvs {
+            tr.events.push(TraceEvent::Recv { t_sent: s, t: e, src, dst, tag: 0, bytes: 1 });
+        }
+        tr
+    }
+
+    #[test]
+    fn activity_marks_both_endpoints() {
+        let tr = trace_with(&[(10, 20, 0, 1)]);
+        let opts = DiagramOpts { ranks: vec![0, 1, 2], t0: 0, t1: 100, cols: 10 };
+        let s = render(&tr, &[], &opts);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].contains('*')); // P0
+        assert!(lines[2].contains('*')); // P1
+        assert!(!lines[3].contains('*')); // P2 untouched
+    }
+
+    #[test]
+    fn checkpoint_overlay_distinguishes_gap_and_progress() {
+        let tr = trace_with(&[(0, 50, 0, 1)]);
+        let opts = DiagramOpts { ranks: vec![0], t0: 0, t1: 100, cols: 10 };
+        // Checkpoint covering the whole range: first half has activity (#),
+        // second half is a gap (.).
+        let s = render(&tr, &[Window::new(0, 100)], &opts);
+        let row = s.lines().nth(1).unwrap();
+        assert!(row.contains('#'));
+        assert!(row.contains('.'));
+        assert!(!row.contains('*'));
+    }
+
+    #[test]
+    fn events_outside_range_are_skipped() {
+        let tr = trace_with(&[(200, 300, 0, 1)]);
+        let opts = DiagramOpts { ranks: vec![0, 1], t0: 0, t1: 100, cols: 10 };
+        let s = render(&tr, &[], &opts);
+        assert!(!s.contains('*'));
+    }
+
+    #[test]
+    fn row_labels_present() {
+        let tr = trace_with(&[]);
+        let opts = DiagramOpts { ranks: vec![0, 3], t0: 0, t1: 10, cols: 5 };
+        let s = render(&tr, &[], &opts);
+        assert!(s.contains("P0"));
+        assert!(s.contains("P3"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Blocking-gap analysis for checkpoint windows (paper Figure 2).
+//!
+//! The paper diagnoses MPICH-VCL's blocking behaviour by overlaying
+//! checkpoint windows on an MPI trace: light-grey stretches of a window with
+//! **no message transfers** are "gaps" where a communication-bound
+//! application (CG) makes no progress. This module computes, per window,
+//! the fraction of the window not covered by any in-flight message and the
+//! longest contiguous such gap.
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::{Trace, TraceEvent};
+
+/// A half-open time window `[start, end)` in simulated nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Window {
+    /// Window start (ns).
+    pub start: u64,
+    /// Window end (ns).
+    pub end: u64,
+}
+
+impl Window {
+    /// Construct; panics if `end < start`.
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(end >= start, "invalid window");
+        Window { start, end }
+    }
+
+    /// Window length (ns).
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+}
+
+/// Gap statistics for one checkpoint window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GapStats {
+    /// The analyzed window.
+    pub window: Window,
+    /// Fraction of the window with no message in flight, in `[0, 1]`.
+    pub gap_fraction: f64,
+    /// Longest contiguous message-free stretch (ns).
+    pub longest_gap: u64,
+    /// Number of messages whose transfer overlapped the window.
+    pub overlapping_msgs: usize,
+}
+
+/// Extract `[t_sent, t_recv]` transfer intervals from a trace's receive
+/// records.
+pub fn transfer_intervals(trace: &Trace) -> Vec<(u64, u64)> {
+    trace
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Recv { t_sent, t, .. } => Some((*t_sent, *t)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Merge possibly-overlapping intervals (sorts internally).
+fn merge(mut intervals: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    intervals.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(intervals.len());
+    for (s, e) in intervals {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Analyze one window against a set of transfer intervals.
+///
+/// ```
+/// use gcr_trace::gaps::{analyze_window, Window};
+///
+/// // One transfer covers [100, 150) of a [100, 200) checkpoint window.
+/// let stats = analyze_window(&[(100, 150)], Window::new(100, 200));
+/// assert!((stats.gap_fraction - 0.5).abs() < 1e-12);
+/// assert_eq!(stats.longest_gap, 50);
+/// ```
+pub fn analyze_window(intervals: &[(u64, u64)], window: Window) -> GapStats {
+    let clipped: Vec<(u64, u64)> = intervals
+        .iter()
+        .filter(|&&(s, e)| e > window.start && s < window.end)
+        .map(|&(s, e)| (s.max(window.start), e.min(window.end)))
+        .collect();
+    let overlapping = clipped.len();
+    let merged = merge(clipped);
+    let busy: u64 = merged.iter().map(|(s, e)| e - s).sum();
+    let len = window.len();
+    // Longest gap: walk the merged busy intervals.
+    let mut longest = 0u64;
+    let mut cursor = window.start;
+    for &(s, e) in &merged {
+        longest = longest.max(s.saturating_sub(cursor));
+        cursor = cursor.max(e);
+    }
+    longest = longest.max(window.end.saturating_sub(cursor));
+    GapStats {
+        window,
+        gap_fraction: if len == 0 { 0.0 } else { 1.0 - busy as f64 / len as f64 },
+        longest_gap: longest,
+        overlapping_msgs: overlapping,
+    }
+}
+
+/// Analyze every window of a checkpoint schedule against a trace.
+pub fn analyze(trace: &Trace, windows: &[Window]) -> Vec<GapStats> {
+    let intervals = transfer_intervals(trace);
+    windows.iter().map(|&w| analyze_window(&intervals, w)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_with_transfers(iv: &[(u64, u64)]) -> Trace {
+        let mut tr = Trace::new(2, "t");
+        for &(s, e) in iv {
+            tr.events.push(TraceEvent::Recv { t_sent: s, t: e, src: 0, dst: 1, tag: 0, bytes: 1 });
+        }
+        tr
+    }
+
+    #[test]
+    fn empty_window_has_full_gap() {
+        let tr = trace_with_transfers(&[]);
+        let stats = analyze(&tr, &[Window::new(100, 200)]);
+        assert_eq!(stats[0].gap_fraction, 1.0);
+        assert_eq!(stats[0].longest_gap, 100);
+        assert_eq!(stats[0].overlapping_msgs, 0);
+    }
+
+    #[test]
+    fn fully_covered_window_has_no_gap() {
+        let tr = trace_with_transfers(&[(0, 500)]);
+        let stats = analyze(&tr, &[Window::new(100, 200)]);
+        assert_eq!(stats[0].gap_fraction, 0.0);
+        assert_eq!(stats[0].longest_gap, 0);
+    }
+
+    #[test]
+    fn partial_coverage_and_longest_gap() {
+        // Busy [100,120) and [160,170); window [100,200).
+        let tr = trace_with_transfers(&[(100, 120), (160, 170)]);
+        let stats = analyze(&tr, &[Window::new(100, 200)]);
+        assert!((stats[0].gap_fraction - 0.7).abs() < 1e-12);
+        // Gaps: [120,160) = 40 and [170,200) = 30.
+        assert_eq!(stats[0].longest_gap, 40);
+        assert_eq!(stats[0].overlapping_msgs, 2);
+    }
+
+    #[test]
+    fn overlapping_transfers_merge() {
+        let tr = trace_with_transfers(&[(100, 150), (140, 180), (150, 160)]);
+        let stats = analyze(&tr, &[Window::new(100, 200)]);
+        assert!((stats[0].gap_fraction - 0.2).abs() < 1e-12);
+        assert_eq!(stats[0].longest_gap, 20);
+    }
+
+    #[test]
+    fn interval_clipping_at_window_edges() {
+        let tr = trace_with_transfers(&[(0, 110), (190, 300)]);
+        let stats = analyze(&tr, &[Window::new(100, 200)]);
+        assert!((stats[0].gap_fraction - 0.8).abs() < 1e-12);
+        assert_eq!(stats[0].longest_gap, 80);
+    }
+
+    #[test]
+    fn multiple_windows() {
+        let tr = trace_with_transfers(&[(0, 1000)]);
+        let stats =
+            analyze(&tr, &[Window::new(0, 500), Window::new(500, 1000), Window::new(1000, 1500)]);
+        assert_eq!(stats[0].gap_fraction, 0.0);
+        assert_eq!(stats[1].gap_fraction, 0.0);
+        assert_eq!(stats[2].gap_fraction, 1.0);
+    }
+}

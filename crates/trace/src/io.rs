@@ -1,0 +1,97 @@
+//! Trace file I/O (JSON).
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::record::Trace;
+
+/// Errors from trace file I/O.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// Malformed trace file.
+    Format(serde_json::Error),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace io error: {e}"),
+            TraceIoError::Format(e) => write!(f, "trace format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceIoError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceIoError::Format(e)
+    }
+}
+
+/// Write a trace as JSON.
+///
+/// # Errors
+/// Returns [`TraceIoError`] on filesystem or serialization failure.
+pub fn save_json(trace: &Trace, path: impl AsRef<Path>) -> Result<(), TraceIoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    serde_json::to_writer(&mut w, trace)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a trace back from JSON.
+///
+/// # Errors
+/// Returns [`TraceIoError`] on filesystem or parse failure.
+pub fn load_json(path: impl AsRef<Path>) -> Result<Trace, TraceIoError> {
+    let r = BufReader::new(File::open(path)?);
+    Ok(serde_json::from_reader(r)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceEvent;
+
+    #[test]
+    fn roundtrip_through_file() {
+        let mut tr = Trace::new(4, "roundtrip");
+        for i in 0..10 {
+            tr.events.push(TraceEvent::Send { t: i, src: 0, dst: 1, tag: 7, bytes: i * 3 });
+        }
+        let dir = std::env::temp_dir().join("gcr-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.json");
+        save_json(&tr, &path).unwrap();
+        let back = load_json(&path).unwrap();
+        assert_eq!(back, tr);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let err = load_json("/nonexistent/gcr/trace.json").unwrap_err();
+        assert!(matches!(err, TraceIoError::Io(_)));
+    }
+
+    #[test]
+    fn load_malformed_errors() {
+        let dir = std::env::temp_dir().join("gcr-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, b"{not json").unwrap();
+        let err = load_json(&path).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_) | TraceIoError::Io(_)));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

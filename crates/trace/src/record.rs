@@ -1,0 +1,119 @@
+//! Trace records and the in-memory trace.
+
+use serde::{Deserialize, Serialize};
+
+/// One traced communication event.
+///
+/// Times are simulated nanoseconds. `Send` fires when the message's data
+/// goes on the wire; `Recv` fires when the application receive completes
+/// (and carries both endpoints' times so diagrams can draw arrows).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "ev", rename_all = "snake_case")]
+pub enum TraceEvent {
+    /// A send was initiated.
+    Send {
+        /// Time the data went on the wire (ns).
+        t: u64,
+        /// Source rank.
+        src: u32,
+        /// Destination rank.
+        dst: u32,
+        /// Application tag (collective-internal tags appear here too).
+        tag: u64,
+        /// Message size in bytes.
+        bytes: u64,
+    },
+    /// A receive completed.
+    Recv {
+        /// Time the data went on the wire (ns).
+        t_sent: u64,
+        /// Time the receive completed (ns).
+        t: u64,
+        /// Source rank.
+        src: u32,
+        /// Destination rank.
+        dst: u32,
+        /// Application tag.
+        tag: u64,
+        /// Message size in bytes.
+        bytes: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Event timestamp (ns).
+    pub fn time(&self) -> u64 {
+        match self {
+            TraceEvent::Send { t, .. } | TraceEvent::Recv { t, .. } => *t,
+        }
+    }
+}
+
+/// Metadata stored at the head of a trace file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// World size the trace was captured from.
+    pub n: usize,
+    /// Free-form workload label (e.g. `hpl-n20000-nb120-8x4`).
+    pub workload: String,
+}
+
+/// A captured communication trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Capture metadata.
+    pub meta: TraceMeta,
+    /// Events in capture order (non-decreasing time).
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace for an `n`-rank world.
+    pub fn new(n: usize, workload: impl Into<String>) -> Self {
+        Trace { meta: TraceMeta { n, workload: workload.into() }, events: Vec::new() }
+    }
+
+    /// Iterator over send events only (the input to group formation).
+    pub fn sends(&self) -> impl Iterator<Item = (u32, u32, u64)> + '_ {
+        self.events.iter().filter_map(|e| match e {
+            TraceEvent::Send { src, dst, bytes, .. } => Some((*src, *dst, *bytes)),
+            _ => None,
+        })
+    }
+
+    /// Number of send events.
+    pub fn send_count(&self) -> usize {
+        self.sends().count()
+    }
+
+    /// Timestamp of the last event (ns), 0 when empty.
+    pub fn end_time(&self) -> u64 {
+        self.events.iter().map(TraceEvent::time).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sends_filter() {
+        let mut tr = Trace::new(4, "test");
+        tr.events.push(TraceEvent::Send { t: 5, src: 0, dst: 1, tag: 9, bytes: 100 });
+        tr.events.push(TraceEvent::Recv { t_sent: 5, t: 8, src: 0, dst: 1, tag: 9, bytes: 100 });
+        tr.events.push(TraceEvent::Send { t: 10, src: 2, dst: 3, tag: 9, bytes: 200 });
+        let sends: Vec<_> = tr.sends().collect();
+        assert_eq!(sends, vec![(0, 1, 100), (2, 3, 200)]);
+        assert_eq!(tr.send_count(), 2);
+        assert_eq!(tr.end_time(), 10);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut tr = Trace::new(2, "w");
+        tr.events.push(TraceEvent::Send { t: 1, src: 0, dst: 1, tag: 2, bytes: 3 });
+        let json = serde_json::to_string(&tr).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tr);
+    }
+}

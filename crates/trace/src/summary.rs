@@ -1,0 +1,173 @@
+//! Whole-trace summaries: global counts, message-size distribution, and
+//! per-rank communication balance.
+//!
+//! ```
+//! use gcr_trace::{record::TraceEvent, summary::summarize, Trace};
+//!
+//! let mut tr = Trace::new(2, "demo");
+//! tr.events.push(TraceEvent::Send { t: 0, src: 0, dst: 1, tag: 1, bytes: 100 });
+//! tr.events.push(TraceEvent::Send { t: 5, src: 0, dst: 1, tag: 1, bytes: 300 });
+//! let s = summarize(&tr);
+//! assert_eq!(s.sends, 2);
+//! assert_eq!(s.total_bytes, 400);
+//! assert_eq!(s.mean_msg_bytes, 200.0);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::Trace;
+
+/// Size-distribution bucket boundaries (bytes): ≤1K, ≤16K, ≤128K, ≤1M, >1M.
+pub const SIZE_BUCKETS: [u64; 4] = [1 << 10, 16 << 10, 128 << 10, 1 << 20];
+
+/// Aggregate statistics of one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// World size.
+    pub n: usize,
+    /// Send-record count.
+    pub sends: u64,
+    /// Total bytes sent.
+    pub total_bytes: u64,
+    /// Mean message size in bytes (0 when empty).
+    pub mean_msg_bytes: f64,
+    /// Largest single message.
+    pub max_msg_bytes: u64,
+    /// Message counts per size bucket (see [`SIZE_BUCKETS`]; last bucket is
+    /// "larger than the last boundary").
+    pub size_histogram: [u64; 5],
+    /// Duration covered by the trace in nanoseconds.
+    pub span_ns: u64,
+    /// Mean aggregate bandwidth over the span (bytes/s; 0 for empty spans).
+    pub mean_bandwidth_bps: f64,
+    /// Per-rank bytes sent, indexed by rank.
+    pub per_rank_sent: Vec<u64>,
+    /// Communication imbalance: max per-rank bytes / mean per-rank bytes
+    /// (1.0 = perfectly balanced; 0 when no traffic).
+    pub imbalance: f64,
+}
+
+/// Compute a [`TraceSummary`].
+pub fn summarize(trace: &Trace) -> TraceSummary {
+    let mut sends = 0u64;
+    let mut total = 0u64;
+    let mut max = 0u64;
+    let mut hist = [0u64; 5];
+    let mut per_rank = vec![0u64; trace.meta.n];
+    for (src, _dst, bytes) in trace.sends() {
+        sends += 1;
+        total += bytes;
+        max = max.max(bytes);
+        let bucket = SIZE_BUCKETS.iter().position(|&b| bytes <= b).unwrap_or(4);
+        hist[bucket] += 1;
+        if (src as usize) < per_rank.len() {
+            per_rank[src as usize] += bytes;
+        }
+    }
+    let span = trace.end_time();
+    let mean_rank = if per_rank.is_empty() {
+        0.0
+    } else {
+        total as f64 / per_rank.len() as f64
+    };
+    TraceSummary {
+        n: trace.meta.n,
+        sends,
+        total_bytes: total,
+        mean_msg_bytes: if sends == 0 { 0.0 } else { total as f64 / sends as f64 },
+        max_msg_bytes: max,
+        size_histogram: hist,
+        span_ns: span,
+        mean_bandwidth_bps: if span == 0 { 0.0 } else { total as f64 / (span as f64 / 1e9) },
+        imbalance: if mean_rank == 0.0 {
+            0.0
+        } else {
+            per_rank.iter().copied().max().unwrap_or(0) as f64 / mean_rank
+        },
+        per_rank_sent: per_rank,
+    }
+}
+
+impl std::fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} sends, {:.1} MB total, mean msg {:.0} B, max {} B, span {:.3} s",
+            self.sends,
+            self.total_bytes as f64 / 1e6,
+            self.mean_msg_bytes,
+            self.max_msg_bytes,
+            self.span_ns as f64 / 1e9
+        )?;
+        writeln!(
+            f,
+            "size histogram (≤1K/≤16K/≤128K/≤1M/>1M): {:?}",
+            self.size_histogram
+        )?;
+        writeln!(
+            f,
+            "mean bandwidth {:.2} MB/s, send imbalance {:.2}x",
+            self.mean_bandwidth_bps / 1e6,
+            self.imbalance
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceEvent;
+
+    fn send(t: u64, src: u32, bytes: u64) -> TraceEvent {
+        TraceEvent::Send { t, src, dst: (src + 1) % 4, tag: 0, bytes }
+    }
+
+    #[test]
+    fn empty_trace_summary_is_zeroed() {
+        let s = summarize(&Trace::new(4, "e"));
+        assert_eq!(s.sends, 0);
+        assert_eq!(s.mean_msg_bytes, 0.0);
+        assert_eq!(s.imbalance, 0.0);
+        assert_eq!(s.mean_bandwidth_bps, 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut tr = Trace::new(4, "h");
+        for bytes in [500, 1024, 10_000, 100_000, 500_000, 5_000_000] {
+            tr.events.push(send(1, 0, bytes));
+        }
+        let s = summarize(&tr);
+        assert_eq!(s.size_histogram, [2, 1, 1, 1, 1]);
+        assert_eq!(s.max_msg_bytes, 5_000_000);
+    }
+
+    #[test]
+    fn per_rank_and_imbalance() {
+        let mut tr = Trace::new(4, "b");
+        tr.events.push(send(0, 0, 3_000));
+        tr.events.push(send(1, 1, 1_000));
+        let s = summarize(&tr);
+        assert_eq!(s.per_rank_sent, vec![3_000, 1_000, 0, 0]);
+        // mean per rank = 1000; max = 3000 → 3x imbalance.
+        assert!((s.imbalance - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_over_span() {
+        let mut tr = Trace::new(4, "bw");
+        tr.events.push(send(0, 0, 1_000_000));
+        tr.events.push(send(1_000_000_000, 1, 1_000_000)); // span = 1 s
+        let s = summarize(&tr);
+        assert!((s.mean_bandwidth_bps - 2_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_renders() {
+        let mut tr = Trace::new(2, "d");
+        tr.events.push(send(10, 0, 2_048));
+        let out = format!("{}", summarize(&tr));
+        assert!(out.contains("1 sends"));
+        assert!(out.contains("histogram"));
+    }
+}

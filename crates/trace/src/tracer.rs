@@ -1,0 +1,123 @@
+//! The light-weight MPI communication tracer (paper §3.2, §4).
+//!
+//! In the paper, a tracer library is linked with the application for a
+//! profiling run; the trace is then analyzed offline to produce a group
+//! definition, and production runs drop the tracer. Here the tracer is a
+//! [`gcr_mpi::TraceSink`] installed on the world for the profiling run.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use gcr_mpi::{Envelope, TraceSink, World};
+
+use crate::record::{Trace, TraceEvent};
+
+/// Collects every application message into an in-memory [`Trace`].
+pub struct Tracer {
+    trace: RefCell<Trace>,
+}
+
+impl Tracer {
+    /// Create a tracer for an `n`-rank world.
+    pub fn new(n: usize, workload: impl Into<String>) -> Rc<Self> {
+        Rc::new(Tracer { trace: RefCell::new(Trace::new(n, workload)) })
+    }
+
+    /// Create and install on a world in one step.
+    pub fn install(world: &World, workload: impl Into<String>) -> Rc<Self> {
+        let t = Tracer::new(world.n(), workload);
+        world.set_trace(Rc::clone(&t) as Rc<dyn TraceSink>);
+        t
+    }
+
+    /// Take the captured trace, leaving an empty one behind.
+    pub fn take(&self) -> Trace {
+        let n = self.trace.borrow().meta.n;
+        let workload = self.trace.borrow().meta.workload.clone();
+        std::mem::replace(&mut self.trace.borrow_mut(), Trace::new(n, workload))
+    }
+
+    /// Clone of the captured trace so far.
+    pub fn snapshot(&self) -> Trace {
+        self.trace.borrow().clone()
+    }
+
+    /// Number of events captured so far.
+    pub fn len(&self) -> usize {
+        self.trace.borrow().events.len()
+    }
+
+    /// Whether nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for Tracer {
+    fn trace_send(&self, env: &Envelope) {
+        self.trace.borrow_mut().events.push(TraceEvent::Send {
+            t: env.sent_at.as_nanos(),
+            src: env.src.0,
+            dst: env.dst.0,
+            tag: env.tag.0,
+            bytes: env.bytes,
+        });
+    }
+
+    fn trace_recv(&self, env: &Envelope) {
+        self.trace.borrow_mut().events.push(TraceEvent::Recv {
+            t_sent: env.sent_at.as_nanos(),
+            t: env.arrived_at.as_nanos(),
+            src: env.src.0,
+            dst: env.dst.0,
+            tag: env.tag.0,
+            bytes: env.bytes,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_mpi::{Rank, WorldOpts};
+    use gcr_net::{Cluster, ClusterSpec};
+    use gcr_sim::Sim;
+
+    #[test]
+    fn tracer_captures_app_traffic_only() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::test(2));
+        let world = World::new(cluster, WorldOpts::default());
+        let tracer = Tracer::install(&world, "unit");
+        world.launch(Rank(0), |ctx| async move {
+            ctx.send(Rank(1), 1, 100).await;
+            ctx.ctrl_send(Rank(1), 7, 5000, None).await;
+        });
+        world.launch(Rank(1), |ctx| async move {
+            ctx.recv(Rank(0), 1).await;
+            ctx.ctrl_recv(Rank(0), 7).await;
+        });
+        sim.run().unwrap();
+        let trace = tracer.take();
+        // One app send + one app recv; ctrl message invisible.
+        assert_eq!(trace.events.len(), 2);
+        assert_eq!(trace.send_count(), 1);
+        assert_eq!(trace.sends().next(), Some((0, 1, 100)));
+    }
+
+    #[test]
+    fn take_resets() {
+        let tracer = Tracer::new(4, "w");
+        tracer.trace.borrow_mut().events.push(TraceEvent::Send {
+            t: 0,
+            src: 0,
+            dst: 1,
+            tag: 0,
+            bytes: 1,
+        });
+        let t = tracer.take();
+        assert_eq!(t.events.len(), 1);
+        assert!(tracer.is_empty());
+        assert_eq!(tracer.snapshot().meta.workload, "w");
+    }
+}

@@ -1,0 +1,246 @@
+//! NAS Parallel Benchmarks CG communication skeleton.
+//!
+//! CG distributes a sparse matrix over a 2-D `rows × cols` grid of
+//! processes (powers of two). Every inner conjugate-gradient iteration
+//! performs a row-wise recursive-halving reduction of the partial
+//! matrix–vector products — a `log₂(cols)`-round exchange with partners in
+//! the same grid row — plus two scalar all-reduces. The result is the
+//! paper's §2.2 observation: **non-stop message transfers throughout the
+//! execution**; the application cannot progress when messages stop.
+//!
+//! The heavy row-wise exchanges also mean trace-based grouping recovers
+//! the grid rows as checkpoint groups.
+
+use serde::{Deserialize, Serialize};
+
+use gcr_mpi::{Rank, World};
+
+use crate::traits::{flops_to_time, Workload};
+
+/// CG skeleton parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CgConfig {
+    /// Matrix order (class C: 150 000).
+    pub na: u64,
+    /// Nonzeros per row (class C: 15).
+    pub nonzer: u64,
+    /// Outer iterations (class C: 75).
+    pub niter: usize,
+    /// Inner CG iterations per outer (25 in NPB).
+    pub inner: usize,
+    /// Number of processes (power of two).
+    pub nprocs: usize,
+    /// Effective flop efficiency (CG is memory-bound: ~0.10).
+    pub efficiency: f64,
+    /// Non-vector resident memory per process.
+    pub base_mem_bytes: u64,
+}
+
+impl CgConfig {
+    /// NPB class C on `nprocs` processes.
+    ///
+    /// # Panics
+    /// Panics unless `nprocs` is a power of two.
+    pub fn class_c(nprocs: usize) -> Self {
+        assert!(nprocs.is_power_of_two(), "CG needs a power-of-two process count");
+        CgConfig {
+            na: 150_000,
+            nonzer: 15,
+            niter: 75,
+            inner: 25,
+            nprocs,
+            efficiency: 0.10,
+            base_mem_bytes: 16 << 20,
+        }
+    }
+
+    /// Process-grid shape `(rows, cols)` with `cols ≥ rows`, as in NPB.
+    pub fn grid(&self) -> (usize, usize) {
+        let lg = self.nprocs.trailing_zeros();
+        let rows = 1usize << (lg / 2);
+        let cols = self.nprocs / rows;
+        (rows, cols)
+    }
+}
+
+/// The CG workload.
+pub struct Cg {
+    cfg: CgConfig,
+}
+
+impl Cg {
+    /// Build from a config.
+    pub fn new(cfg: CgConfig) -> Self {
+        assert!(cfg.nprocs.is_power_of_two() && cfg.nprocs > 0);
+        Cg { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CgConfig {
+        &self.cfg
+    }
+}
+
+impl Workload for Cg {
+    fn name(&self) -> String {
+        format!("cg-na{}-np{}", self.cfg.na, self.cfg.nprocs)
+    }
+
+    fn n(&self) -> usize {
+        self.cfg.nprocs
+    }
+
+    fn image_bytes(&self) -> Vec<u64> {
+        // Matrix storage: na × nonzer nonzeros (value + index ≈ 12 B)
+        // divided over processes, plus a handful of na-length vectors per
+        // process column.
+        let (_rows, cols) = self.cfg.grid();
+        let matrix = self.cfg.na * self.cfg.nonzer * 12 / self.cfg.nprocs as u64;
+        let vectors = 6 * (self.cfg.na / cols as u64) * 8;
+        vec![matrix + vectors + self.cfg.base_mem_bytes; self.cfg.nprocs]
+    }
+
+    fn launch(&self, world: &World) {
+        assert_eq!(world.n(), self.n(), "world size must match CG process count");
+        let cfg = self.cfg.clone();
+        let flops_rate = world.cluster().spec().flops_per_sec;
+        let (rows, cols) = self.cfg.grid();
+        for rank in 0..self.n() as u32 {
+            let cfg = cfg.clone();
+            world.launch(Rank(rank), move |ctx| async move {
+                // Row-major grid: rank = row * cols + col.
+                let my_col = rank as usize % cols;
+                let my_row = rank as usize / cols;
+                let row_base = rank - my_col as u32;
+                let seg_bytes = (cfg.na / cols as u64) * 8;
+                // NPB CG's transpose partner (`exch_proc`): for a square
+                // grid the matrix-transpose position; for cols = 2·rows,
+                // pairs of columns fold onto rows.
+                let transpose = if rows == cols {
+                    (my_col * rows + my_row) as u32
+                } else {
+                    debug_assert_eq!(cols, 2 * rows);
+                    ((my_col / 2) * cols + my_row * 2 + (my_col % 2)) as u32
+                };
+                // Per-iteration flops for this process: NPB CG class totals
+                // (~2·NA·NONZER² plus vector ops per sweep) spread over the
+                // grid.
+                let spmv_flops =
+                    (2 * cfg.na * cfg.nonzer * cfg.nonzer + 10 * cfg.na) as f64
+                        / (rows * cols) as f64;
+
+                for _outer in 0..cfg.niter {
+                    for _inner in 0..cfg.inner {
+                        ctx.busy(flops_to_time(spmv_flops, flops_rate, cfg.efficiency)).await;
+                        // Row-wise recursive-halving reduction of q = A·p:
+                        // log₂(cols) segment exchanges within the row.
+                        let mut d = 1usize;
+                        while d < cols {
+                            let partner_col = my_col ^ d;
+                            let partner = row_base + partner_col as u32;
+                            ctx.sendrecv(Rank(partner), seg_bytes, Rank(partner), 7).await;
+                            d <<= 1;
+                        }
+                        // Transpose exchange of the reduced segment (the
+                        // only traffic that leaves a grid row).
+                        if transpose != rank {
+                            ctx.sendrecv(Rank(transpose), seg_bytes, Rank(transpose), 8).await;
+                        }
+                        // Two dot-product reductions, row-local (8 B per
+                        // round — the transpose-symmetry trick keeps them
+                        // out of the global network).
+                        for _ in 0..2 {
+                            let mut d = 1usize;
+                            while d < cols {
+                                let partner = row_base + (my_col ^ d) as u32;
+                                ctx.sendrecv(Rank(partner), 8, Rank(partner), 9).await;
+                                d <<= 1;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_mpi::WorldOpts;
+    use gcr_net::{Cluster, ClusterSpec};
+    use gcr_sim::Sim;
+    use gcr_trace::Tracer;
+
+    fn tiny(nprocs: usize) -> CgConfig {
+        CgConfig {
+            na: 8_000,
+            nonzer: 8,
+            niter: 3,
+            inner: 5,
+            nprocs,
+            efficiency: 0.2,
+            base_mem_bytes: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn grid_shapes() {
+        assert_eq!(CgConfig::class_c(16).grid(), (4, 4));
+        assert_eq!(CgConfig::class_c(32).grid(), (4, 8));
+        assert_eq!(CgConfig::class_c(64).grid(), (8, 8));
+        assert_eq!(CgConfig::class_c(128).grid(), (8, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        let _ = CgConfig::class_c(12);
+    }
+
+    #[test]
+    fn runs_and_messages_flow_continuously() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::test(8));
+        let world = gcr_mpi::World::new(cluster, WorldOpts::default());
+        let cg = Cg::new(tiny(8));
+        let tracer = Tracer::install(&world, cg.name());
+        cg.launch(&world);
+        sim.run().unwrap();
+        assert_eq!(world.ranks_finished(), 8);
+        let trace = tracer.take();
+        assert!(trace.send_count() > 100, "CG should be chatty");
+        // Non-stop messaging: the largest silent stretch is a small
+        // fraction of the run.
+        let end = trace.end_time();
+        let stats = gcr_trace::gaps::analyze_window(
+            &gcr_trace::gaps::transfer_intervals(&trace),
+            gcr_trace::Window::new(0, end),
+        );
+        assert!(
+            stats.longest_gap < end / 5,
+            "longest gap {} vs run {end}",
+            stats.longest_gap
+        );
+    }
+
+    #[test]
+    fn row_traffic_dominates_for_grouping() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::test(16));
+        let world = gcr_mpi::World::new(cluster, WorldOpts::default());
+        let cg = Cg::new(tiny(16));
+        let tracer = Tracer::install(&world, cg.name());
+        cg.launch(&world);
+        sim.run().unwrap();
+        // Groups of size cols recover grid rows.
+        let (rows, cols) = tiny(16).grid();
+        let def = gcr_group::form_groups(&tracer.take(), cols);
+        assert_eq!(def.group_count(), rows);
+        for r in 0..rows {
+            let base = (r * cols) as u32;
+            let expected: Vec<u32> = (0..cols as u32).map(|c| base + c).collect();
+            assert_eq!(def.members(def.group_of(base)), expected.as_slice());
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! High Performance Linpack communication skeleton.
+//!
+//! Models HPL's right-looking LU factorization on a `P × Q` process grid
+//! with block size `NB` and row-major rank mapping (`rank = p·Q + q`), as in
+//! the paper's §5.1 (`N = 20000`, `NB = 120`, `P = 8`).
+//!
+//! Per panel iteration `k` (trailing size `n_k = N − k·NB`):
+//! 1. **Panel factorization** — the process *column* owning block column
+//!    `k` performs pivot-search reductions and factor compute.
+//! 2. **Panel broadcast** — the factored panel travels along process
+//!    *rows* (binomial).
+//! 3. **Row swaps + U broadcast** — pivoted rows and the `U` block move
+//!    within process *columns*.
+//! 4. **Trailing update** — local DGEMM, no communication.
+//!
+//! Column traffic (steps 1 and 3) dominates both bytes and message count,
+//! which is exactly why the paper's trace analysis (Table 1) groups each
+//! process column: ranks `{q, q+Q, …, q+(P−1)Q}`.
+
+use std::rc::Rc;
+
+use gcr_mpi::{Rank, World};
+use serde::{Deserialize, Serialize};
+
+use crate::traits::{flops_to_time, Workload};
+
+/// HPL skeleton parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HplConfig {
+    /// Matrix order `N`.
+    pub n_matrix: u64,
+    /// Block size `NB`.
+    pub nb: u64,
+    /// Process-grid rows `P`.
+    pub p: usize,
+    /// Process-grid columns `Q`.
+    pub q: usize,
+    /// Fraction of peak flops HPL sustains (P4-class nodes: ~0.55).
+    pub efficiency: f64,
+    /// Pivot-search reductions modelled per panel (real HPL does `NB`
+    /// tiny ones; they are batched to keep event counts manageable).
+    pub pivot_rounds: usize,
+    /// Non-matrix resident memory per process (runtime, buffers).
+    pub base_mem_bytes: u64,
+}
+
+impl HplConfig {
+    /// The paper's §5.1 configuration for a given process count
+    /// (`P = 8` fixed, `Q = nprocs / 8`), `N = 20000`, `NB = 120`.
+    ///
+    /// # Panics
+    /// Panics unless `nprocs` is a positive multiple of 8.
+    pub fn paper(nprocs: usize) -> Self {
+        assert!(nprocs >= 8 && nprocs.is_multiple_of(8), "paper HPL runs use P = 8");
+        HplConfig {
+            n_matrix: 20_000,
+            nb: 120,
+            p: 8,
+            q: nprocs / 8,
+            efficiency: 0.75,
+            pivot_rounds: 2,
+            base_mem_bytes: 24 << 20,
+        }
+    }
+
+    /// The paper's Figure-10 configuration: `N = 56000`, 128 processes.
+    pub fn paper_large() -> Self {
+        HplConfig { n_matrix: 56_000, ..HplConfig::paper(128) }
+    }
+
+    /// Number of panel iterations.
+    pub fn panels(&self) -> u64 {
+        self.n_matrix / self.nb
+    }
+
+    /// Total process count.
+    pub fn nprocs(&self) -> usize {
+        self.p * self.q
+    }
+}
+
+/// The HPL workload.
+pub struct Hpl {
+    cfg: HplConfig,
+}
+
+impl Hpl {
+    /// Build from a config.
+    ///
+    /// # Panics
+    /// Panics on a degenerate grid.
+    pub fn new(cfg: HplConfig) -> Self {
+        assert!(cfg.p >= 1 && cfg.q >= 1 && cfg.nb > 0 && cfg.n_matrix >= cfg.nb);
+        Hpl { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HplConfig {
+        &self.cfg
+    }
+}
+
+impl Workload for Hpl {
+    fn name(&self) -> String {
+        format!(
+            "hpl-n{}-nb{}-{}x{}",
+            self.cfg.n_matrix, self.cfg.nb, self.cfg.p, self.cfg.q
+        )
+    }
+
+    fn n(&self) -> usize {
+        self.cfg.nprocs()
+    }
+
+    fn image_bytes(&self) -> Vec<u64> {
+        let matrix = self.cfg.n_matrix * self.cfg.n_matrix * 8 / self.cfg.nprocs() as u64;
+        vec![matrix + self.cfg.base_mem_bytes; self.cfg.nprocs()]
+    }
+
+    fn launch(&self, world: &World) {
+        assert_eq!(world.n(), self.n(), "world size must match the process grid");
+        let cfg = self.cfg.clone();
+        let flops_rate = world.cluster().spec().flops_per_sec;
+        for rank in 0..self.n() as u32 {
+            let cfg = cfg.clone();
+            world.launch(Rank(rank), move |ctx| async move {
+                let q_total = cfg.q as u32;
+                let p_total = cfg.p as u32;
+                let my_p = rank / q_total;
+                let my_q = rank % q_total;
+                // Column communicator: ranks with the same q (id 1 + q).
+                let col_ranks: Rc<Vec<Rank>> =
+                    Rc::new((0..p_total).map(|p| Rank(p * q_total + my_q)).collect());
+                let col = gcr_mpi::Comm::new(ctx.clone(), 1 + my_q as u64, col_ranks);
+                // Row communicator: ranks with the same p (id 1000 + p).
+                let row_ranks: Rc<Vec<Rank>> =
+                    Rc::new((0..q_total).map(|q| Rank(my_p * q_total + q)).collect());
+                let row = gcr_mpi::Comm::new(ctx.clone(), 1000 + my_p as u64, row_ranks);
+
+                let panels = cfg.panels();
+                for k in 0..panels {
+                    let n_k = cfg.n_matrix - k * cfg.nb;
+                    let local_rows = (n_k / p_total as u64).max(1);
+                    let local_cols = (n_k / q_total as u64).max(1);
+                    let panel_col = (k % q_total as u64) as u32;
+                    let panel_row = (k % p_total as u64) as usize;
+
+                    // 1. Panel factorization within the owning column.
+                    if my_q == panel_col {
+                        for _ in 0..cfg.pivot_rounds {
+                            col.allreduce(cfg.nb * 8).await;
+                        }
+                        let factor_flops = (local_rows * cfg.nb * cfg.nb) as f64;
+                        ctx.busy(flops_to_time(factor_flops, flops_rate, cfg.efficiency)).await;
+                    }
+
+                    // 2. Panel broadcast along the row (pipelined ring,
+                    // like HPL's 1ring variant).
+                    let panel_bytes = local_rows * cfg.nb * 8;
+                    row.bcast_ring(panel_col as usize, panel_bytes, 8).await;
+
+                    // 3. Row swaps + U broadcast within the column.
+                    let u_bytes = cfg.nb * local_cols * 8;
+                    col.bcast_ring(panel_row, u_bytes, 8).await;
+
+                    // 4. Trailing update (pure compute).
+                    let update_flops = 2.0 * local_rows as f64 * local_cols as f64 * cfg.nb as f64;
+                    ctx.busy(flops_to_time(update_flops, flops_rate, cfg.efficiency)).await;
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_mpi::WorldOpts;
+    use gcr_net::{Cluster, ClusterSpec};
+    use gcr_sim::Sim;
+    use gcr_trace::Tracer;
+
+    fn tiny() -> HplConfig {
+        HplConfig {
+            n_matrix: 1200,
+            nb: 120,
+            p: 4,
+            q: 2,
+            efficiency: 0.5,
+            pivot_rounds: 2,
+            base_mem_bytes: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn paper_config_shape() {
+        let c = HplConfig::paper(32);
+        assert_eq!((c.p, c.q), (8, 4));
+        assert_eq!(c.panels(), 166);
+        assert_eq!(HplConfig::paper_large().n_matrix, 56_000);
+    }
+
+    #[test]
+    fn image_bytes_shrink_with_scale() {
+        let small = Hpl::new(HplConfig::paper(16)).image_bytes()[0];
+        let large = Hpl::new(HplConfig::paper(128)).image_bytes()[0];
+        assert!(small > large);
+    }
+
+    #[test]
+    fn runs_to_completion_and_column_traffic_dominates() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::test(8));
+        let world = gcr_mpi::World::new(cluster, WorldOpts::default());
+        let hpl = Hpl::new(tiny());
+        let tracer = Tracer::install(&world, hpl.name());
+        hpl.launch(&world);
+        sim.run().unwrap();
+        assert_eq!(world.ranks_finished(), 8);
+
+        // Aggregate traffic by pair type: same-column (same q) vs other.
+        let trace = tracer.take();
+        let q_of = |r: u32| r % 2;
+        let mut col_bytes = 0u64;
+        let mut other_bytes = 0u64;
+        for (src, dst, bytes) in trace.sends() {
+            if src != dst && q_of(src) == q_of(dst) {
+                col_bytes += bytes;
+            } else if src != dst {
+                other_bytes += bytes;
+            }
+        }
+        assert!(
+            col_bytes > other_bytes,
+            "column traffic {col_bytes} should dominate row traffic {other_bytes}"
+        );
+    }
+
+    #[test]
+    fn trace_groups_recover_process_columns() {
+        // The headline Table-1 property, on a small 4×2 grid.
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::test(8));
+        let world = gcr_mpi::World::new(cluster, WorldOpts::default());
+        let hpl = Hpl::new(tiny());
+        let tracer = Tracer::install(&world, hpl.name());
+        hpl.launch(&world);
+        sim.run().unwrap();
+        let def = gcr_group::form_groups(&tracer.take(), 4);
+        assert_eq!(def.group_count(), 2);
+        assert_eq!(def.members(def.group_of(0)), &[0, 2, 4, 6]);
+        assert_eq!(def.members(def.group_of(1)), &[1, 3, 5, 7]);
+    }
+}

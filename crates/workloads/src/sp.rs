@@ -1,0 +1,186 @@
+//! NAS Parallel Benchmarks SP communication skeleton.
+//!
+//! SP (scalar pentadiagonal) runs on a **square** process grid — hence the
+//! paper's process counts 64, 81, 100, 121 — and performs, per time step,
+//! ADI sweeps in x, y, and z. Each x/y sweep involves pipelined face
+//! exchanges with the grid neighbours in that direction (multipartition
+//! scheme); we model each sweep as a forward and a backward face exchange
+//! with wraparound neighbours plus the sweep's compute.
+
+use serde::{Deserialize, Serialize};
+
+use gcr_mpi::{Rank, World};
+
+use crate::traits::{flops_to_time, Workload};
+
+/// SP skeleton parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpConfig {
+    /// Problem size per dimension (class C: 162).
+    pub problem: u64,
+    /// Time steps (class C: 400).
+    pub niter: usize,
+    /// Number of processes (must be a perfect square).
+    pub nprocs: usize,
+    /// Effective flop efficiency (~0.25 for SP on P4-class nodes).
+    pub efficiency: f64,
+    /// Non-array resident memory per process.
+    pub base_mem_bytes: u64,
+}
+
+impl SpConfig {
+    /// NPB class C on `nprocs` processes.
+    ///
+    /// # Panics
+    /// Panics unless `nprocs` is a perfect square.
+    pub fn class_c(nprocs: usize) -> Self {
+        let side = (nprocs as f64).sqrt().round() as usize;
+        assert_eq!(side * side, nprocs, "SP needs a square process count");
+        SpConfig {
+            problem: 162,
+            niter: 400,
+            nprocs,
+            efficiency: 0.12,
+            base_mem_bytes: 16 << 20,
+        }
+    }
+
+    /// Grid side length.
+    pub fn side(&self) -> usize {
+        (self.nprocs as f64).sqrt().round() as usize
+    }
+}
+
+/// The SP workload.
+pub struct Sp {
+    cfg: SpConfig,
+}
+
+impl Sp {
+    /// Build from a config.
+    ///
+    /// # Panics
+    /// Panics unless the process count is a perfect square.
+    pub fn new(cfg: SpConfig) -> Self {
+        let side = cfg.side();
+        assert_eq!(side * side, cfg.nprocs, "SP needs a square process count");
+        Sp { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SpConfig {
+        &self.cfg
+    }
+}
+
+impl Workload for Sp {
+    fn name(&self) -> String {
+        format!("sp-c{}-np{}", self.cfg.problem, self.cfg.nprocs)
+    }
+
+    fn n(&self) -> usize {
+        self.cfg.nprocs
+    }
+
+    fn image_bytes(&self) -> Vec<u64> {
+        // ~15 double arrays of problem³ cells distributed over processes.
+        let arrays = 15 * self.cfg.problem.pow(3) * 8 / self.cfg.nprocs as u64;
+        vec![arrays + self.cfg.base_mem_bytes; self.cfg.nprocs]
+    }
+
+    fn launch(&self, world: &World) {
+        assert_eq!(world.n(), self.n(), "world size must match the SP grid");
+        let cfg = self.cfg.clone();
+        let flops_rate = world.cluster().spec().flops_per_sec;
+        let side = self.cfg.side();
+        for rank in 0..self.n() as u32 {
+            let cfg = cfg.clone();
+            world.launch(Rank(rank), move |ctx| async move {
+                let side32 = side as u32;
+                let my_row = rank / side32;
+                let my_col = rank % side32;
+                // Face size: a cell slab of 5 variables on the shared face.
+                // A face slab: (problem/side) × problem cells × 5 variables.
+                let cells_per_side = cfg.problem / side as u64;
+                let face_bytes = cells_per_side * cfg.problem * 5 * 8;
+                // ~900 flops per grid cell per time step (NPB SP class C is
+                // ≈1.5 Tflop over 400 steps on 162³ cells).
+                let step_flops = 900.0 * cfg.problem.pow(3) as f64 / cfg.nprocs as f64;
+                let sweep_flops = step_flops / 3.0;
+
+                let east = Rank(my_row * side32 + (my_col + 1) % side32);
+                let west = Rank(my_row * side32 + (my_col + side32 - 1) % side32);
+                let south = Rank(((my_row + 1) % side32) * side32 + my_col);
+                let north = Rank(((my_row + side32 - 1) % side32) * side32 + my_col);
+
+                for _step in 0..cfg.niter {
+                    // x sweep: exchange along the row.
+                    ctx.busy(flops_to_time(sweep_flops, flops_rate, cfg.efficiency)).await;
+                    ctx.sendrecv(east, face_bytes, west, 11).await;
+                    ctx.sendrecv(west, face_bytes, east, 12).await;
+                    // y sweep: exchange along the column.
+                    ctx.busy(flops_to_time(sweep_flops, flops_rate, cfg.efficiency)).await;
+                    ctx.sendrecv(south, face_bytes, north, 13).await;
+                    ctx.sendrecv(north, face_bytes, south, 14).await;
+                    // z sweep: local within the multipartition (compute only).
+                    ctx.busy(flops_to_time(sweep_flops, flops_rate, cfg.efficiency)).await;
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_mpi::WorldOpts;
+    use gcr_net::{Cluster, ClusterSpec};
+    use gcr_sim::Sim;
+    use gcr_trace::Tracer;
+
+    fn tiny(nprocs: usize) -> SpConfig {
+        SpConfig { problem: 36, niter: 4, nprocs, efficiency: 0.25, base_mem_bytes: 1 << 20 }
+    }
+
+    #[test]
+    fn paper_sizes_are_squares() {
+        for n in [64, 81, 100, 121] {
+            let cfg = SpConfig::class_c(n);
+            assert_eq!(cfg.side() * cfg.side(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_rejected() {
+        let _ = SpConfig::class_c(48);
+    }
+
+    #[test]
+    fn runs_to_completion_on_odd_square() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::test(9));
+        let world = gcr_mpi::World::new(cluster, WorldOpts::default());
+        let sp = Sp::new(tiny(9));
+        let tracer = Tracer::install(&world, sp.name());
+        sp.launch(&world);
+        sim.run().unwrap();
+        assert_eq!(world.ranks_finished(), 9);
+        // Every rank talks to exactly 4 distinct neighbours (torus).
+        let trace = tracer.take();
+        let mut partners = std::collections::BTreeSet::new();
+        for (src, dst, _) in trace.sends() {
+            if src == 0 {
+                partners.insert(dst);
+            }
+        }
+        assert_eq!(partners.len(), 4, "torus neighbours of rank 0: {partners:?}");
+    }
+
+    #[test]
+    fn image_bytes_scale_inversely_with_procs() {
+        let a = Sp::new(SpConfig::class_c(64)).image_bytes()[0];
+        let b = Sp::new(SpConfig::class_c(121)).image_bytes()[0];
+        assert!(a > b);
+    }
+}

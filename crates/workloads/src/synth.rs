@@ -1,0 +1,447 @@
+//! Synthetic workloads for tests, examples, and ablations.
+
+use serde::{Deserialize, Serialize};
+
+use gcr_mpi::{Rank, SrcSel, World};
+use gcr_sim::{DetRng, SimDuration};
+
+use crate::traits::Workload;
+
+/// A ring: each rank alternates compute and a symmetric neighbour
+/// exchange. Trace grouping on a ring has no small cut, making it a good
+/// adversarial case for Algorithm 2's size bound.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RingConfig {
+    /// Number of ranks.
+    pub nprocs: usize,
+    /// Iterations.
+    pub iters: usize,
+    /// Bytes per exchange.
+    pub bytes: u64,
+    /// Compute per iteration (ms).
+    pub compute_ms: u64,
+    /// Image size per rank.
+    pub image_bytes: u64,
+}
+
+/// Ring workload.
+pub struct Ring {
+    cfg: RingConfig,
+}
+
+impl Ring {
+    /// Build from a config.
+    pub fn new(cfg: RingConfig) -> Self {
+        assert!(cfg.nprocs > 0);
+        Ring { cfg }
+    }
+}
+
+impl Workload for Ring {
+    fn name(&self) -> String {
+        format!("ring-np{}", self.cfg.nprocs)
+    }
+
+    fn n(&self) -> usize {
+        self.cfg.nprocs
+    }
+
+    fn image_bytes(&self) -> Vec<u64> {
+        vec![self.cfg.image_bytes; self.cfg.nprocs]
+    }
+
+    fn launch(&self, world: &World) {
+        assert_eq!(world.n(), self.n());
+        let n = self.cfg.nprocs as u32;
+        let cfg = self.cfg.clone();
+        for r in 0..n {
+            let cfg = cfg.clone();
+            world.launch(Rank(r), move |ctx| async move {
+                let right = Rank((r + 1) % n);
+                let left = Rank((r + n - 1) % n);
+                for _ in 0..cfg.iters {
+                    ctx.busy(SimDuration::from_millis(cfg.compute_ms)).await;
+                    ctx.sendrecv(right, cfg.bytes, left, 1).await;
+                }
+            });
+        }
+    }
+}
+
+/// A 2-D five-point stencil on an `rows × cols` torus: heavy north/south
+/// and east/west exchanges. Trace grouping recovers rows when row traffic
+/// is weighted heavier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StencilConfig {
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid cols.
+    pub cols: usize,
+    /// Iterations.
+    pub iters: usize,
+    /// Bytes exchanged east/west per iteration.
+    pub ew_bytes: u64,
+    /// Bytes exchanged north/south per iteration.
+    pub ns_bytes: u64,
+    /// Compute per iteration (ms).
+    pub compute_ms: u64,
+    /// Image size per rank.
+    pub image_bytes: u64,
+}
+
+/// Stencil workload.
+pub struct Stencil {
+    cfg: StencilConfig,
+}
+
+impl Stencil {
+    /// Build from a config.
+    pub fn new(cfg: StencilConfig) -> Self {
+        assert!(cfg.rows > 0 && cfg.cols > 0);
+        Stencil { cfg }
+    }
+}
+
+impl Workload for Stencil {
+    fn name(&self) -> String {
+        format!("stencil-{}x{}", self.cfg.rows, self.cfg.cols)
+    }
+
+    fn n(&self) -> usize {
+        self.cfg.rows * self.cfg.cols
+    }
+
+    fn image_bytes(&self) -> Vec<u64> {
+        vec![self.cfg.image_bytes; self.n()]
+    }
+
+    fn launch(&self, world: &World) {
+        assert_eq!(world.n(), self.n());
+        let cfg = self.cfg.clone();
+        let (rows, cols) = (cfg.rows as u32, cfg.cols as u32);
+        for r in 0..rows * cols {
+            let cfg = cfg.clone();
+            world.launch(Rank(r), move |ctx| async move {
+                let (row, col) = (r / cols, r % cols);
+                let east = Rank(row * cols + (col + 1) % cols);
+                let west = Rank(row * cols + (col + cols - 1) % cols);
+                let south = Rank(((row + 1) % rows) * cols + col);
+                let north = Rank(((row + rows - 1) % rows) * cols + col);
+                for _ in 0..cfg.iters {
+                    ctx.busy(SimDuration::from_millis(cfg.compute_ms)).await;
+                    ctx.sendrecv(east, cfg.ew_bytes, west, 21).await;
+                    ctx.sendrecv(west, cfg.ew_bytes, east, 22).await;
+                    ctx.sendrecv(south, cfg.ns_bytes, north, 23).await;
+                    ctx.sendrecv(north, cfg.ns_bytes, south, 24).await;
+                }
+            });
+        }
+    }
+}
+
+/// Master–worker: rank 0 hands out work items, workers compute and return
+/// results. All traffic concentrates on rank 0 — the pathological case for
+/// pair-based grouping (everything wants to merge with the master).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MasterWorkerConfig {
+    /// Number of ranks (1 master + n−1 workers).
+    pub nprocs: usize,
+    /// Work items in total.
+    pub items: usize,
+    /// Task payload bytes.
+    pub task_bytes: u64,
+    /// Result payload bytes.
+    pub result_bytes: u64,
+    /// Worker compute per item (ms).
+    pub compute_ms: u64,
+    /// Image size per rank.
+    pub image_bytes: u64,
+}
+
+/// Master–worker workload.
+pub struct MasterWorker {
+    cfg: MasterWorkerConfig,
+}
+
+impl MasterWorker {
+    /// Build from a config.
+    pub fn new(cfg: MasterWorkerConfig) -> Self {
+        assert!(cfg.nprocs >= 2, "need a master and at least one worker");
+        MasterWorker { cfg }
+    }
+}
+
+/// Application tags for the master–worker protocol. A `TAG_TASK` message of
+/// exactly [`STOP_BYTES`] is the stop sentinel (task payloads are required
+/// to be larger).
+const TAG_TASK: u64 = 31;
+const TAG_RESULT: u64 = 32;
+const STOP_BYTES: u64 = 8;
+
+impl Workload for MasterWorker {
+    fn name(&self) -> String {
+        format!("master-worker-np{}", self.cfg.nprocs)
+    }
+
+    fn n(&self) -> usize {
+        self.cfg.nprocs
+    }
+
+    fn image_bytes(&self) -> Vec<u64> {
+        vec![self.cfg.image_bytes; self.cfg.nprocs]
+    }
+
+    fn launch(&self, world: &World) {
+        assert_eq!(world.n(), self.n());
+        assert!(self.cfg.task_bytes > STOP_BYTES, "task payload must exceed the stop sentinel");
+        let cfg = self.cfg.clone();
+        let n = self.cfg.nprocs;
+        // Master: seed every worker, then self-schedule the remainder.
+        {
+            let cfg = cfg.clone();
+            world.launch(Rank(0), move |ctx| async move {
+                let workers: Vec<Rank> = (1..n as u32).map(Rank).collect();
+                let mut outstanding = 0usize;
+                let mut dispatched = 0usize;
+                let mut stopped = 0usize;
+                for &w in &workers {
+                    if dispatched < cfg.items {
+                        ctx.send(w, TAG_TASK, cfg.task_bytes).await;
+                        dispatched += 1;
+                        outstanding += 1;
+                    } else {
+                        ctx.send(w, TAG_TASK, STOP_BYTES).await;
+                        stopped += 1;
+                    }
+                }
+                while outstanding > 0 {
+                    let env = ctx.recv(SrcSel::Any, TAG_RESULT).await;
+                    outstanding -= 1;
+                    if dispatched < cfg.items {
+                        ctx.send(env.src, TAG_TASK, cfg.task_bytes).await;
+                        dispatched += 1;
+                        outstanding += 1;
+                    } else {
+                        ctx.send(env.src, TAG_TASK, STOP_BYTES).await;
+                        stopped += 1;
+                    }
+                }
+                debug_assert_eq!(stopped, workers.len());
+            });
+        }
+        // Workers: compute tasks until the stop sentinel.
+        for r in 1..n as u32 {
+            let cfg = cfg.clone();
+            world.launch(Rank(r), move |ctx| async move {
+                loop {
+                    let env = ctx.recv(Rank(0), TAG_TASK).await;
+                    if env.bytes == STOP_BYTES {
+                        break;
+                    }
+                    ctx.busy(SimDuration::from_millis(cfg.compute_ms)).await;
+                    ctx.send(Rank(0), TAG_RESULT, cfg.result_bytes).await;
+                }
+            });
+        }
+    }
+}
+
+/// Uniform-random traffic: every iteration each rank messages a random
+/// peer. No grouping structure exists; Algorithm 2 output is essentially
+/// arbitrary small groups.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomConfig {
+    /// Number of ranks.
+    pub nprocs: usize,
+    /// Messages per rank.
+    pub msgs: usize,
+    /// Bytes per message.
+    pub bytes: u64,
+    /// Compute between messages (ms).
+    pub compute_ms: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Image size per rank.
+    pub image_bytes: u64,
+}
+
+/// Random-traffic workload (one-sided pushes + matching receives).
+pub struct RandomTraffic {
+    cfg: RandomConfig,
+}
+
+impl RandomTraffic {
+    /// Build from a config.
+    pub fn new(cfg: RandomConfig) -> Self {
+        assert!(cfg.nprocs >= 2);
+        RandomTraffic { cfg }
+    }
+}
+
+impl Workload for RandomTraffic {
+    fn name(&self) -> String {
+        format!("random-np{}", self.cfg.nprocs)
+    }
+
+    fn n(&self) -> usize {
+        self.cfg.nprocs
+    }
+
+    fn image_bytes(&self) -> Vec<u64> {
+        vec![self.cfg.image_bytes; self.cfg.nprocs]
+    }
+
+    fn launch(&self, world: &World) {
+        assert_eq!(world.n(), self.n());
+        let cfg = self.cfg.clone();
+        let n = self.cfg.nprocs;
+        // Precompute destinations so each receiver knows how many messages
+        // to expect (deterministic from the seed).
+        let root = DetRng::new(cfg.seed);
+        let mut dests: Vec<Vec<u32>> = Vec::with_capacity(n);
+        let mut expect = vec![0usize; n];
+        for r in 0..n {
+            let mut rng = root.fork_idx(r as u64);
+            let mut v = Vec::with_capacity(cfg.msgs);
+            for _ in 0..cfg.msgs {
+                let mut d = rng.index(n - 1);
+                if d >= r {
+                    d += 1;
+                }
+                v.push(d as u32);
+                expect[d] += 1;
+            }
+            dests.push(v);
+        }
+        for r in 0..n as u32 {
+            let cfg = cfg.clone();
+            let my_dests = dests[r as usize].clone();
+            let my_expect = expect[r as usize];
+            world.launch(Rank(r), move |ctx| async move {
+                let sender = {
+                    let ctx = ctx.clone();
+                    let cfg = cfg.clone();
+                    async move {
+                        for d in my_dests {
+                            ctx.busy(SimDuration::from_millis(cfg.compute_ms)).await;
+                            ctx.send(Rank(d), 41, cfg.bytes).await;
+                        }
+                    }
+                };
+                let receiver = {
+                    let ctx = ctx.clone();
+                    async move {
+                        for _ in 0..my_expect {
+                            ctx.recv(SrcSel::Any, 41).await;
+                        }
+                    }
+                };
+                gcr_sim::future::join2(sender, receiver).await;
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_mpi::WorldOpts;
+    use gcr_net::{Cluster, ClusterSpec};
+    use gcr_sim::Sim;
+
+    fn run(w: &dyn Workload) -> Sim {
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::test(w.n()));
+        let world = gcr_mpi::World::new(cluster, WorldOpts::default());
+        w.launch(&world);
+        sim.run().unwrap();
+        assert_eq!(world.ranks_finished(), w.n());
+        sim
+    }
+
+    #[test]
+    fn ring_completes() {
+        let sim = run(&Ring::new(RingConfig {
+            nprocs: 6,
+            iters: 10,
+            bytes: 1000,
+            compute_ms: 2,
+            image_bytes: 1 << 20,
+        }));
+        assert!(sim.now().as_secs_f64() > 0.0);
+    }
+
+    #[test]
+    fn stencil_completes() {
+        run(&Stencil::new(StencilConfig {
+            rows: 3,
+            cols: 4,
+            iters: 5,
+            ew_bytes: 5_000,
+            ns_bytes: 500,
+            compute_ms: 1,
+            image_bytes: 1 << 20,
+        }));
+    }
+
+    #[test]
+    fn random_traffic_completes_and_balances() {
+        run(&RandomTraffic::new(RandomConfig {
+            nprocs: 8,
+            msgs: 20,
+            bytes: 256,
+            compute_ms: 1,
+            seed: 42,
+            image_bytes: 1 << 20,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod mw_tests {
+    use super::*;
+    use gcr_mpi::WorldOpts;
+    use gcr_net::{Cluster, ClusterSpec};
+    use gcr_sim::Sim;
+
+    #[test]
+    fn master_worker_processes_all_items() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::test(5));
+        let world = gcr_mpi::World::new(cluster, WorldOpts::default());
+        let mw = MasterWorker::new(MasterWorkerConfig {
+            nprocs: 5,
+            items: 23,
+            task_bytes: 2_000,
+            result_bytes: 500,
+            compute_ms: 3,
+            image_bytes: 1 << 20,
+        });
+        mw.launch(&world);
+        sim.run().unwrap();
+        assert_eq!(world.ranks_finished(), 5);
+        // Master received exactly `items` results.
+        let c = world.counters();
+        let results: u64 =
+            (1..5u32).map(|w| c.pair(gcr_mpi::Rank(w), gcr_mpi::Rank(0)).consumed_msgs).sum();
+        assert_eq!(results, 23);
+    }
+
+    #[test]
+    fn more_workers_than_items_still_terminates() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::test(6));
+        let world = gcr_mpi::World::new(cluster, WorldOpts::default());
+        let mw = MasterWorker::new(MasterWorkerConfig {
+            nprocs: 6,
+            items: 2,
+            task_bytes: 1_000,
+            result_bytes: 100,
+            compute_ms: 1,
+            image_bytes: 1 << 20,
+        });
+        mw.launch(&world);
+        sim.run().unwrap();
+        assert_eq!(world.ranks_finished(), 6);
+    }
+}

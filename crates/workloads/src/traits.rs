@@ -1,0 +1,48 @@
+//! The workload abstraction used by experiments.
+
+use gcr_mpi::World;
+
+/// A launchable MPI application model.
+pub trait Workload {
+    /// Human-readable label (appears in trace metadata and reports).
+    fn name(&self) -> String;
+
+    /// Number of ranks the workload needs.
+    fn n(&self) -> usize;
+
+    /// Per-rank resident memory — the checkpoint image size model.
+    fn image_bytes(&self) -> Vec<u64>;
+
+    /// Launch every rank's main on the world.
+    ///
+    /// # Panics
+    /// Implementations panic if `world.n() != self.n()`.
+    fn launch(&self, world: &World);
+}
+
+/// Convert a flop count to a busy duration given the cluster's sustained
+/// rate and a workload efficiency factor (HPL runs near peak, CG is
+/// memory-bound, …).
+pub fn flops_to_time(flops: f64, flops_per_sec: f64, efficiency: f64) -> gcr_sim::SimDuration {
+    assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency must be in (0, 1]");
+    gcr_sim::SimDuration::from_secs_f64(flops / (flops_per_sec * efficiency))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_scales_time() {
+        let t_full = flops_to_time(1e9, 1e9, 1.0);
+        let t_half = flops_to_time(1e9, 1e9, 0.5);
+        assert_eq!(t_full.as_secs_f64(), 1.0);
+        assert_eq!(t_half.as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn zero_efficiency_rejected() {
+        let _ = flops_to_time(1.0, 1.0, 0.0);
+    }
+}

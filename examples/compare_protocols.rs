@@ -1,0 +1,99 @@
+//! Compare all four blocking protocols (GP / GP1 / GP4 / NORM) on a
+//! stencil application: execution time, aggregate checkpoint/restart cost,
+//! and replay volume.
+//!
+//! ```sh
+//! cargo run --release --example compare_protocols
+//! ```
+
+use std::rc::Rc;
+
+use gcr::prelude::*;
+use gcr_group::Strategy;
+
+fn run(strategy: Strategy) -> (f64, f64, f64, u64) {
+    let n = 16;
+    let sim = Sim::new();
+    let cluster = Cluster::new(&sim, ClusterSpec::gideon300(n));
+    let world = World::new(cluster, WorldOpts::default());
+
+    let app = Stencil::new(StencilConfig {
+        rows: 4,
+        cols: 4,
+        iters: 400,
+        ew_bytes: 96 * 1024, // heavy east–west → rows are the natural groups
+        ns_bytes: 8 * 1024,
+        compute_ms: 40,
+        image_bytes: 96 << 20,
+    });
+
+    // Trace-based strategies need a short profiling run.
+    let groups = match strategy {
+        Strategy::Trace { .. } => {
+            let psim = Sim::new();
+            let pcluster = Cluster::new(&psim, ClusterSpec::gideon300(n));
+            let pworld = World::new(pcluster, WorldOpts::default());
+            let tracer = Tracer::install(&pworld, "stencil-profile");
+            Stencil::new(StencilConfig { iters: 5, ..app_config() }).launch(&pworld);
+            psim.run().unwrap();
+            strategy.build(n, Some(&tracer.take()))
+        }
+        _ => strategy.build(n, None),
+    };
+
+    app.launch(&world);
+    let cfg = CkptConfig::uniform(n, 96 << 20, StorageTarget::Local);
+    let rt = CkptRuntime::install(&world, Rc::new(groups), Mode::Blocking, cfg);
+    {
+        let (rt, world) = (rt.clone(), world.clone());
+        sim.spawn(async move {
+            rt.interval_schedule(SimDuration::from_secs(8), SimDuration::from_secs(8)).await;
+            world.wait_all_ranks().await;
+            rt.shutdown();
+            rt.restart_all().await;
+        });
+    }
+    sim.run().expect("run failed");
+    let m = rt.metrics();
+    (
+        sim.now().as_secs_f64(),
+        m.aggregate_ckpt_time(),
+        m.aggregate_restart_time(),
+        m.total_resend_bytes(),
+    )
+}
+
+fn app_config() -> StencilConfig {
+    StencilConfig {
+        rows: 4,
+        cols: 4,
+        iters: 400,
+        ew_bytes: 96 * 1024,
+        ns_bytes: 8 * 1024,
+        compute_ms: 40,
+        image_bytes: 96 << 20,
+    }
+}
+
+fn main() {
+    println!("4x4 stencil, periodic group-based checkpoints, then a full restart\n");
+    println!("{:<6} {:>10} {:>14} {:>14} {:>12}", "mode", "exec (s)", "agg ckpt (s)", "agg restart", "resend (B)");
+    for strategy in [
+        Strategy::Trace { max_size: 4 },
+        Strategy::Singletons,
+        Strategy::gp4(),
+        Strategy::Single,
+    ] {
+        let (exec, ckpt, restart, resend) = run(strategy);
+        println!(
+            "{:<6} {:>10.1} {:>14.1} {:>14.1} {:>12}",
+            strategy.label(),
+            exec,
+            ckpt,
+            restart,
+            resend
+        );
+    }
+    println!("\nGP groups the heavy east–west rows; NORM pays global coordination;");
+    println!("GP1 logs everything and replays the most on restart.");
+}

@@ -1,0 +1,67 @@
+//! The paper's §4 workflow end-to-end: run HPL once with the tracer linked
+//! in, analyze the trace into a group definition file, and reuse the file
+//! for a checkpointed production run.
+//!
+//! ```sh
+//! cargo run --release --example trace_and_group
+//! ```
+
+use std::rc::Rc;
+
+use gcr::prelude::*;
+use gcr_ckpt::check_recovery_line;
+
+fn main() {
+    let cfg = HplConfig::paper(32); // the paper's Table-1 case: 8×4 grid
+    let n = cfg.nprocs();
+
+    // --- Profiling run: tracer linked in, short problem ------------------
+    let profile_cfg = HplConfig { n_matrix: cfg.nb * 16, ..cfg.clone() };
+    let sim = Sim::new();
+    let cluster = Cluster::new(&sim, ClusterSpec::gideon300(n));
+    let world = World::new(cluster, WorldOpts::default());
+    let tracer = Tracer::install(&world, "hpl-profile");
+    Hpl::new(profile_cfg).launch(&world);
+    sim.run().expect("profiling run failed");
+    let trace = tracer.take();
+    println!("profiling run captured {} send records", trace.send_count());
+
+    // --- Analysis: Algorithm 2, max group size G = P = 8 ------------------
+    let groups = gcr::group::form_groups(&trace, 8);
+    println!("\ntrace-assisted group formation (paper Table 1):\n{groups}");
+
+    // The group definition is a file artifact, exactly as in the paper.
+    let path = std::env::temp_dir().join("hpl-32.groups.json");
+    groups.save(&path).expect("save group definition");
+    let groups = gcr::group::GroupDef::load(&path).expect("reload group definition");
+    println!("group definition written to {} and reloaded", path.display());
+
+    // --- Production run: no tracer, group-based checkpoints ---------------
+    let sim = Sim::new();
+    let cluster = Cluster::new(&sim, ClusterSpec::gideon300(n));
+    let world = World::new(cluster, WorldOpts::default());
+    let hpl = Hpl::new(cfg);
+    let image = hpl.image_bytes();
+    hpl.launch(&world);
+    let mut ckpt_cfg = CkptConfig::uniform(n, 0, StorageTarget::Local);
+    ckpt_cfg.image_bytes = image;
+    let rt = CkptRuntime::install(&world, Rc::new(groups), Mode::Blocking, ckpt_cfg);
+    {
+        let (rt, world) = (rt.clone(), world.clone());
+        sim.spawn(async move {
+            rt.single_checkpoint_at(SimTime::from_secs(60)).await;
+            world.wait_all_ranks().await;
+            rt.shutdown();
+        });
+    }
+    sim.run().expect("production run failed");
+    check_recovery_line(&world, &rt).expect("consistent recovery line");
+
+    let (lock, coord, ckpt, fin) = rt.metrics().mean_phases();
+    println!("\nproduction run: HPL N=20000 on 32 procs, one group-based ckpt at t=60s");
+    println!("execution time: {}", sim.now());
+    println!(
+        "mean per-rank checkpoint phases: lock {:.2}s, coordination {:.2}s, image {:.2}s, finalize {:.2}s",
+        lock, coord, ckpt, fin
+    );
+}

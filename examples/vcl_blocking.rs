@@ -1,0 +1,76 @@
+//! Visualize why "non-blocking" coordinated checkpointing blocks (paper
+//! §2.2 / Figure 2): run CG under the MPICH-VCL model, overlay the
+//! checkpoint windows on the message trace, and print the blocking gaps.
+//!
+//! ```sh
+//! cargo run --release --example vcl_blocking
+//! ```
+
+use std::rc::Rc;
+
+use gcr::prelude::*;
+use gcr_trace::ascii::{render, DiagramOpts};
+use gcr_trace::gaps;
+
+fn main() {
+    let n = 32;
+    let sim = Sim::new();
+    let cluster = Cluster::new(&sim, ClusterSpec::gideon300(n));
+    let world = World::new(cluster, WorldOpts::default());
+    let tracer = Tracer::install(&world, "cg-vcl");
+
+    let cfg = CgConfig { niter: 20, ..CgConfig::class_c(n) };
+    let app = Cg::new(cfg);
+    let image = app.image_bytes();
+    app.launch(&world);
+
+    let mut ckpt_cfg = CkptConfig::uniform(n, 0, StorageTarget::Remote);
+    ckpt_cfg.image_bytes = image;
+    let rt = CkptRuntime::install(
+        &world,
+        Rc::new(gcr::group::single(n)),
+        Mode::Vcl,
+        ckpt_cfg,
+    );
+    {
+        let (rt, world) = (rt.clone(), world.clone());
+        sim.spawn(async move {
+            rt.interval_schedule(SimDuration::from_secs(15), SimDuration::from_secs(15)).await;
+            world.wait_all_ranks().await;
+            rt.shutdown();
+        });
+    }
+    sim.run().expect("run failed");
+
+    // Build the per-wave windows from the metrics.
+    let recs = rt.metrics().ckpt_records();
+    let mut windows = Vec::new();
+    for wave in 0..rt.metrics().waves() {
+        let w: Vec<_> = recs.iter().filter(|r| r.wave == wave).collect();
+        let start = w.iter().map(|r| r.started.as_nanos()).min().unwrap();
+        let end = w.iter().map(|r| r.finished.as_nanos()).max().unwrap();
+        windows.push(gcr_trace::Window::new(start, end));
+    }
+
+    let trace = tracer.take();
+    println!("CG under MPICH-VCL, {n} ranks, checkpoints every 15 s\n");
+    let opts = DiagramOpts {
+        ranks: vec![0, 1, 2, 3],
+        t0: 0,
+        t1: trace.end_time(),
+        cols: 110,
+    };
+    println!("{}", render(&trace, &windows, &opts));
+    println!("legend: '*' transfers, '#' transfers during a checkpoint, '.' checkpoint gap\n");
+
+    for (i, s) in gaps::analyze(&trace, &windows).iter().enumerate() {
+        println!(
+            "wave {}: window {:.1}s–{:.1}s, gap fraction {:.2}, longest silent stretch {:.2}s",
+            i,
+            s.window.start as f64 / 1e9,
+            s.window.end as f64 / 1e9,
+            s.gap_fraction,
+            s.longest_gap as f64 / 1e9
+        );
+    }
+}

@@ -1,0 +1,15 @@
+#!/bin/bash
+# Regenerate every table and figure of the paper (outputs in results/).
+set -u
+mkdir -p results
+BINS="table1_groups fig01_coordination fig02_vcl_gaps fig05_exec_time fig06_ckpt_restart fig07_resend_data fig08_resend_ops fig09_breakdown fig10_intervals fig11_cg fig12_sp fig13_remote_scale fig14_avg_ckpt ablation_group_size ablation_gc ablation_stragglers ablation_failure ablation_pcl ablation_staggered"
+for b in $BINS; do
+  echo "=== $b ==="
+  start=$SECONDS
+  if cargo run --release -q -p gcr-bench --bin "$b" > "results/$b.txt" 2>&1; then
+    echo "[ok, $((SECONDS-start))s]"
+  else
+    echo "FAILED: $b"
+  fi
+done
+echo ALL-DONE

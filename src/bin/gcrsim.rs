@@ -1,0 +1,12 @@
+//! `gcrsim` — command-line front end. See `gcr::cli::USAGE`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match gcr::cli::parse(&args).and_then(gcr::cli::execute) {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

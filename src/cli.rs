@@ -1,0 +1,455 @@
+//! The `gcrsim` command-line driver: run checkpointed workloads, capture
+//! traces, form groups, and detect phases, all from the shell.
+//!
+//! ```text
+//! gcrsim run    --workload hpl --procs 32 --proto gp --ckpt-at 60 --restart
+//! gcrsim run    --workload cg  --procs 64 --proto vcl --interval 30 --remote
+//! gcrsim trace  --workload hpl --procs 32 --out hpl32.trace.json
+//! gcrsim groups --trace hpl32.trace.json --max-size 8 --out hpl32.groups.json
+//! gcrsim phases --trace app.trace.json --window-ms 500 --max-size 8
+//! ```
+
+use gcr_bench::{profile_trace, run_one, Proto, RunSpec, Schedule, WorkloadSpec};
+use gcr_group::{detect_phases, form_groups};
+use gcr_trace::io as trace_io;
+use gcr_workloads::{CgConfig, HplConfig, RingConfig, SpConfig};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run a checkpointed workload and print a summary.
+    Run(RunArgs),
+    /// Run the profiling workload and write its trace to a file.
+    Trace {
+        /// Workload selector.
+        workload: WorkloadArg,
+        /// Output path.
+        out: String,
+    },
+    /// Form groups (Algorithm 2) from a trace file.
+    Groups {
+        /// Input trace path.
+        trace: String,
+        /// Maximum group size.
+        max_size: usize,
+        /// Optional output path for the group definition.
+        out: Option<String>,
+    },
+    /// Print summary statistics of a trace file.
+    Stats {
+        /// Input trace path.
+        trace: String,
+    },
+    /// Detect communication phases in a trace file.
+    Phases {
+        /// Input trace path.
+        trace: String,
+        /// Window length in milliseconds.
+        window_ms: u64,
+        /// Maximum group size.
+        max_size: usize,
+    },
+}
+
+/// Workload selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadArg {
+    /// One of `hpl`, `cg`, `sp`, `ring`.
+    pub kind: WorkloadKind,
+    /// Process count.
+    pub procs: usize,
+}
+
+/// Supported workload families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// High Performance Linpack (paper §5.1 config).
+    Hpl,
+    /// NPB CG class C.
+    Cg,
+    /// NPB SP class C.
+    Sp,
+    /// Synthetic ring.
+    Ring,
+}
+
+/// Arguments of the `run` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Workload selector.
+    pub workload: WorkloadArg,
+    /// Protocol under test.
+    pub proto: Proto,
+    /// Checkpoint schedule.
+    pub schedule: Schedule,
+    /// Use remote checkpoint servers.
+    pub remote: bool,
+    /// Measure a full restart after completion.
+    pub restart: bool,
+    /// Root seed.
+    pub seed: u64,
+    /// Emit JSON instead of a human summary.
+    pub json: bool,
+}
+
+/// CLI parse/validation errors, with a message fit for stderr.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+gcrsim — group-based checkpoint/restart simulator (IPDPS 2008 reproduction)
+
+USAGE:
+  gcrsim run    --workload <hpl|cg|sp|ring> --procs N --proto <gp|gp1|gp4|norm|vcl>
+                [--g G] [--ckpt-at S | --interval S] [--remote] [--restart]
+                [--seed X] [--json]
+  gcrsim trace  --workload <hpl|cg|sp|ring> --procs N --out FILE
+  gcrsim groups --trace FILE --max-size G [--out FILE]
+  gcrsim stats  --trace FILE
+  gcrsim phases --trace FILE --window-ms W --max-size G
+";
+
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn get(&self, name: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    fn require(&self, name: &str) -> Result<&'a str, CliError> {
+        self.get(name).ok_or_else(|| err(format!("missing required flag {name}")))
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, name: &str) -> Result<T, CliError> {
+        self.require(name)?
+            .parse()
+            .map_err(|_| err(format!("{name} expects a number")))
+    }
+
+    fn parse_num_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| err(format!("{name} expects a number"))),
+        }
+    }
+}
+
+fn parse_workload(f: &Flags) -> Result<WorkloadArg, CliError> {
+    let kind = match f.require("--workload")? {
+        "hpl" => WorkloadKind::Hpl,
+        "cg" => WorkloadKind::Cg,
+        "sp" => WorkloadKind::Sp,
+        "ring" => WorkloadKind::Ring,
+        other => return Err(err(format!("unknown workload '{other}'"))),
+    };
+    let procs: usize = f.parse_num("--procs")?;
+    validate_procs(kind, procs)?;
+    Ok(WorkloadArg { kind, procs })
+}
+
+fn validate_procs(kind: WorkloadKind, procs: usize) -> Result<(), CliError> {
+    match kind {
+        WorkloadKind::Hpl if procs < 8 || !procs.is_multiple_of(8) => {
+            Err(err("hpl needs a multiple of 8 processes (P = 8)"))
+        }
+        WorkloadKind::Cg if !procs.is_power_of_two() => {
+            Err(err("cg needs a power-of-two process count"))
+        }
+        WorkloadKind::Sp
+            if {
+                let s = (procs as f64).sqrt().round() as usize;
+                s * s != procs
+            } =>
+        {
+            Err(err("sp needs a square process count"))
+        }
+        _ if procs == 0 => Err(err("--procs must be positive")),
+        _ => Ok(()),
+    }
+}
+
+/// Materialize a [`WorkloadSpec`] from the CLI selector.
+pub fn workload_spec(w: WorkloadArg) -> WorkloadSpec {
+    match w.kind {
+        WorkloadKind::Hpl => WorkloadSpec::Hpl(HplConfig::paper(w.procs)),
+        WorkloadKind::Cg => WorkloadSpec::Cg(CgConfig::class_c(w.procs)),
+        WorkloadKind::Sp => WorkloadSpec::Sp(SpConfig::class_c(w.procs)),
+        WorkloadKind::Ring => WorkloadSpec::Ring(RingConfig {
+            nprocs: w.procs,
+            iters: 200,
+            bytes: 32 * 1024,
+            compute_ms: 10,
+            image_bytes: 64 << 20,
+        }),
+    }
+}
+
+/// Parse a full command line (without argv\[0\]).
+///
+/// # Errors
+/// [`CliError`] with a user-facing message.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let sub = args.first().map(String::as_str).ok_or_else(|| err(USAGE))?;
+    let f = Flags { args: &args[1..] };
+    match sub {
+        "run" => {
+            let workload = parse_workload(&f)?;
+            let g: usize = f.parse_num_or("--g", 8)?;
+            let proto = match f.require("--proto")? {
+                "gp" => Proto::Gp { max_size: g },
+                "gp1" => Proto::Gp1,
+                "gp4" => Proto::GpK { k: 4 },
+                "norm" => Proto::Norm,
+                "vcl" => Proto::Vcl,
+                other => return Err(err(format!("unknown protocol '{other}'"))),
+            };
+            let schedule = match (f.get("--ckpt-at"), f.get("--interval")) {
+                (Some(_), Some(_)) => {
+                    return Err(err("--ckpt-at and --interval are mutually exclusive"))
+                }
+                (Some(t), None) => Schedule::SingleAt(
+                    t.parse().map_err(|_| err("--ckpt-at expects seconds"))?,
+                ),
+                (None, Some(iv)) => {
+                    let iv: f64 = iv.parse().map_err(|_| err("--interval expects seconds"))?;
+                    Schedule::Interval { start_s: iv, every_s: iv }
+                }
+                (None, None) => Schedule::None,
+            };
+            Ok(Command::Run(RunArgs {
+                workload,
+                proto,
+                schedule,
+                remote: f.has("--remote"),
+                restart: f.has("--restart"),
+                seed: f.parse_num_or("--seed", 0x6f2c_1138)?,
+                json: f.has("--json"),
+            }))
+        }
+        "trace" => Ok(Command::Trace {
+            workload: parse_workload(&f)?,
+            out: f.require("--out")?.to_string(),
+        }),
+        "groups" => Ok(Command::Groups {
+            trace: f.require("--trace")?.to_string(),
+            max_size: f.parse_num("--max-size")?,
+            out: f.get("--out").map(str::to_string),
+        }),
+        "stats" => Ok(Command::Stats { trace: f.require("--trace")?.to_string() }),
+        "phases" => Ok(Command::Phases {
+            trace: f.require("--trace")?.to_string(),
+            window_ms: f.parse_num("--window-ms")?,
+            max_size: f.parse_num("--max-size")?,
+        }),
+        "help" | "--help" | "-h" => Err(err(USAGE)),
+        other => Err(err(format!("unknown subcommand '{other}'\n\n{USAGE}"))),
+    }
+}
+
+/// Execute a parsed command, writing human output to the returned string.
+///
+/// # Errors
+/// [`CliError`] on IO failures.
+pub fn execute(cmd: Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Run(args) => {
+            let mut spec = RunSpec::new(
+                workload_spec(args.workload),
+                args.proto,
+                args.schedule,
+            )
+            .with_seed(args.seed);
+            if args.remote {
+                spec = spec.with_remote_storage();
+            }
+            if args.restart {
+                spec = spec.with_restart();
+            }
+            let r = run_one(&spec);
+            if args.json {
+                let v = serde_json::json!({
+                    "exec_s": r.exec_s,
+                    "waves": r.waves,
+                    "agg_ckpt_s": r.agg_ckpt_s,
+                    "agg_coord_s": r.agg_coord_s,
+                    "agg_restart_s": r.agg_restart_s,
+                    "mean_ckpt_s": r.mean_ckpt_s,
+                    "resend_bytes": r.resend_bytes,
+                    "resend_ops": r.resend_ops,
+                    "groups": r.group_count,
+                });
+                Ok(format!("{v:#}"))
+            } else {
+                Ok(format!(
+                    "proto {:>4}: exec {:.1}s, {} ckpt wave(s), agg ckpt {:.1}s, \
+                     agg coord {:.1}s, agg restart {:.1}s, resend {} B / {} ops, {} group(s)",
+                    args.proto.label(),
+                    r.exec_s,
+                    r.waves,
+                    r.agg_ckpt_s,
+                    r.agg_coord_s,
+                    r.agg_restart_s.max(0.0),
+                    r.resend_bytes,
+                    r.resend_ops,
+                    r.group_count
+                ))
+            }
+        }
+        Command::Trace { workload, out } => {
+            let trace = profile_trace(&workload_spec(workload));
+            trace_io::save_json(&trace, &out).map_err(|e| err(e.to_string()))?;
+            Ok(format!("wrote {} send records to {out}", trace.send_count()))
+        }
+        Command::Groups { trace, max_size, out } => {
+            let tr = trace_io::load_json(&trace).map_err(|e| err(e.to_string()))?;
+            let def = form_groups(&tr, max_size);
+            let mut s = format!("{def}");
+            if let Some(path) = out {
+                def.save(&path).map_err(|e| err(e.to_string()))?;
+                s.push_str(&format!("written to {path}\n"));
+            }
+            Ok(s)
+        }
+        Command::Stats { trace } => {
+            let tr = trace_io::load_json(&trace).map_err(|e| err(e.to_string()))?;
+            Ok(format!("{}", gcr_trace::summarize(&tr)))
+        }
+        Command::Phases { trace, window_ms, max_size } => {
+            let tr = trace_io::load_json(&trace).map_err(|e| err(e.to_string()))?;
+            let phases = detect_phases(&tr, window_ms * 1_000_000, max_size);
+            let mut s = format!("{} phase(s) detected:\n", phases.len());
+            for (i, p) in phases.iter().enumerate() {
+                s.push_str(&format!(
+                    "phase {i}: [{:.3}s, {:.3}s), {} sends, {} group(s), max size {}\n",
+                    p.start as f64 / 1e9,
+                    p.end as f64 / 1e9,
+                    p.sends,
+                    p.groups.group_count(),
+                    p.groups.max_group_size()
+                ));
+            }
+            Ok(s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_a_full_run_command() {
+        let cmd = parse(&argv(
+            "run --workload hpl --procs 32 --proto gp --g 8 --ckpt-at 60 --restart --seed 7",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Run(a) => {
+                assert_eq!(a.workload.kind, WorkloadKind::Hpl);
+                assert_eq!(a.workload.procs, 32);
+                assert_eq!(a.proto, Proto::Gp { max_size: 8 });
+                assert_eq!(a.schedule, Schedule::SingleAt(60.0));
+                assert!(a.restart);
+                assert!(!a.remote);
+                assert_eq!(a.seed, 7);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_process_counts() {
+        assert!(parse(&argv("run --workload hpl --procs 12 --proto gp")).is_err());
+        assert!(parse(&argv("run --workload cg --procs 12 --proto gp")).is_err());
+        assert!(parse(&argv("run --workload sp --procs 12 --proto gp")).is_err());
+        assert!(parse(&argv("run --workload ring --procs 12 --proto norm")).is_ok());
+    }
+
+    #[test]
+    fn rejects_conflicting_schedules() {
+        let e = parse(&argv(
+            "run --workload ring --procs 4 --proto norm --ckpt-at 5 --interval 5",
+        ))
+        .unwrap_err();
+        assert!(e.0.contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn unknown_subcommand_shows_usage() {
+        let e = parse(&argv("frobnicate")).unwrap_err();
+        assert!(e.0.contains("USAGE"));
+    }
+
+    #[test]
+    fn parses_trace_groups_phases() {
+        assert!(matches!(
+            parse(&argv("trace --workload cg --procs 16 --out t.json")).unwrap(),
+            Command::Trace { .. }
+        ));
+        assert!(matches!(
+            parse(&argv("groups --trace t.json --max-size 4")).unwrap(),
+            Command::Groups { out: None, .. }
+        ));
+        assert!(matches!(
+            parse(&argv("phases --trace t.json --window-ms 100 --max-size 4")).unwrap(),
+            Command::Phases { window_ms: 100, .. }
+        ));
+    }
+
+    #[test]
+    fn end_to_end_trace_then_groups() {
+        let dir = std::env::temp_dir().join("gcr-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tpath = dir.join("t.json").to_string_lossy().into_owned();
+        let gpath = dir.join("g.json").to_string_lossy().into_owned();
+        let out = execute(
+            parse(&argv(&format!("trace --workload ring --procs 6 --out {tpath}"))).unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("send records"));
+        let out = execute(
+            parse(&argv(&format!("groups --trace {tpath} --max-size 2 --out {gpath}"))).unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("group"));
+        assert!(gcr_group::GroupDef::load(&gpath).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_command_executes_and_reports() {
+        let cmd = parse(&argv(
+            "run --workload ring --procs 4 --proto norm --ckpt-at 0.5 --json",
+        ))
+        .unwrap();
+        let out = execute(cmd).unwrap();
+        assert!(out.contains("\"waves\": 1"), "{out}");
+    }
+}

@@ -1,0 +1,260 @@
+//! Cross-crate integration tests: the full trace → group → checkpoint →
+//! restart pipeline on every workload family, plus global invariants.
+
+use std::rc::Rc;
+
+use gcr::prelude::*;
+use gcr::ckpt::{check_quiescent, check_recovery_line};
+use gcr::workloads::{MasterWorker, MasterWorkerConfig, RandomConfig, RandomTraffic};
+
+/// Run a workload under a protocol with one mid-run checkpoint and a final
+/// restart; return (exec_s, waves, resend_bytes, runtime, world, sim).
+fn pipeline(
+    workload: &dyn Workload,
+    groups: GroupDef,
+    mode: Mode,
+    ckpt_at_ms: u64,
+) -> (Sim, World, CkptRuntime) {
+    let n = workload.n();
+    let sim = Sim::new();
+    let cluster = Cluster::new(&sim, ClusterSpec::test(n));
+    let world = World::new(cluster, WorldOpts::default());
+    let image = workload.image_bytes();
+    workload.launch(&world);
+    let mut cfg = CkptConfig::uniform(n, 0, StorageTarget::Local).deterministic();
+    cfg.image_bytes = image;
+    let rt = CkptRuntime::install(&world, Rc::new(groups), mode, cfg);
+    {
+        let (rt, world) = (rt.clone(), world.clone());
+        sim.spawn(async move {
+            rt.single_checkpoint_at(SimTime::from_millis(ckpt_at_ms)).await;
+            world.wait_all_ranks().await;
+            rt.shutdown();
+            rt.restart_all().await;
+        });
+    }
+    sim.run().expect("pipeline deadlocked");
+    (sim, world, rt)
+}
+
+fn trace_groups(workload: &dyn Workload, g: usize) -> GroupDef {
+    let sim = Sim::new();
+    let cluster = Cluster::new(&sim, ClusterSpec::test(workload.n()));
+    let world = World::new(cluster, WorldOpts::default());
+    let tracer = Tracer::install(&world, workload.name());
+    workload.launch(&world);
+    sim.run().unwrap();
+    form_groups(&tracer.take(), g)
+}
+
+#[test]
+fn hpl_full_pipeline_is_consistent() {
+    let profile = Hpl::new(HplConfig {
+        n_matrix: 1920,
+        nb: 120,
+        p: 4,
+        q: 2,
+        efficiency: 0.5,
+        pivot_rounds: 2,
+        base_mem_bytes: 1 << 20,
+    });
+    let groups = trace_groups(&profile, 4);
+    assert_eq!(groups.group_count(), 2, "HPL columns recovered");
+    let (_sim, world, rt) = pipeline(&profile, groups, Mode::Blocking, 50);
+    assert_eq!(world.ranks_finished(), 8);
+    assert_eq!(rt.metrics().waves(), 1);
+    check_recovery_line(&world, &rt).unwrap();
+    check_quiescent(&world).unwrap();
+    assert_eq!(rt.metrics().restart_records().len(), 8);
+}
+
+#[test]
+fn cg_full_pipeline_is_consistent() {
+    let app = Cg::new(CgConfig {
+        na: 4_000,
+        nonzer: 6,
+        niter: 2,
+        inner: 6,
+        nprocs: 16,
+        efficiency: 0.2,
+        base_mem_bytes: 1 << 20,
+    });
+    let groups = trace_groups(&app, 4);
+    let (_sim, world, rt) = pipeline(&app, groups, Mode::Blocking, 30);
+    assert_eq!(world.ranks_finished(), 16);
+    check_recovery_line(&world, &rt).unwrap();
+    check_quiescent(&world).unwrap();
+}
+
+#[test]
+fn sp_full_pipeline_is_consistent() {
+    let app = Sp::new(SpConfig {
+        problem: 36,
+        niter: 10,
+        nprocs: 9,
+        efficiency: 0.25,
+        base_mem_bytes: 1 << 20,
+    });
+    let groups = trace_groups(&app, 3);
+    assert!(groups.max_group_size() <= 3);
+    let (_sim, world, rt) = pipeline(&app, groups, Mode::Blocking, 40);
+    assert_eq!(world.ranks_finished(), 9);
+    check_recovery_line(&world, &rt).unwrap();
+}
+
+#[test]
+fn master_worker_under_gp1_replays_consistently() {
+    let app = MasterWorker::new(MasterWorkerConfig {
+        nprocs: 6,
+        items: 60,
+        task_bytes: 4_096,
+        result_bytes: 1_024,
+        compute_ms: 4,
+        image_bytes: 1 << 20,
+    });
+    let groups = gcr::group::singletons(6);
+    let (_sim, world, rt) = pipeline(&app, groups, Mode::Blocking, 30);
+    assert_eq!(world.ranks_finished(), 6);
+    check_recovery_line(&world, &rt).unwrap();
+    // All logged traffic is inter-group under GP1.
+    let logged: u64 = (0..6).map(|r| rt.gp_state(r).total_logged_bytes()).sum();
+    assert!(logged > 0);
+}
+
+#[test]
+fn random_traffic_under_vcl_completes() {
+    let app = RandomTraffic::new(RandomConfig {
+        nprocs: 8,
+        msgs: 40,
+        bytes: 2_048,
+        compute_ms: 2,
+        seed: 9,
+        image_bytes: 4 << 20,
+    });
+    let groups = gcr::group::single(8);
+    let (_sim, world, rt) = pipeline(&app, groups, Mode::Vcl, 20);
+    assert_eq!(world.ranks_finished(), 8);
+    assert_eq!(rt.metrics().ckpt_records().len(), 8);
+    check_quiescent(&world).unwrap();
+}
+
+#[test]
+fn full_runs_are_bit_deterministic() {
+    let run = || {
+        let app = Cg::new(CgConfig {
+            na: 2_000,
+            nonzer: 5,
+            niter: 2,
+            inner: 4,
+            nprocs: 8,
+            efficiency: 0.2,
+            base_mem_bytes: 1 << 20,
+        });
+        let groups = trace_groups(&app, 4);
+        let (sim, _world, rt) = pipeline(&app, groups, Mode::Blocking, 25);
+        (
+            sim.now().as_nanos(),
+            rt.metrics().aggregate_ckpt_time(),
+            rt.metrics().aggregate_restart_time(),
+            rt.metrics().total_resend_bytes(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn groupdef_file_roundtrip_drives_checkpointing() {
+    let app = Ring::new(RingConfig {
+        nprocs: 6,
+        iters: 30,
+        bytes: 2_000,
+        compute_ms: 3,
+        image_bytes: 1 << 20,
+    });
+    let groups = trace_groups(&app, 2);
+    let path = std::env::temp_dir().join("gcr-e2e-groups.json");
+    groups.save(&path).unwrap();
+    let reloaded = GroupDef::load(&path).unwrap();
+    assert_eq!(reloaded, groups);
+    let (_sim, world, rt) = pipeline(&app, reloaded, Mode::Blocking, 20);
+    assert_eq!(world.ranks_finished(), 6);
+    check_recovery_line(&world, &rt).unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn replay_skip_equations_close_every_channel() {
+    // After a checkpoint + restart, for every inter-group pair (i, j):
+    // the bytes j can reconstruct (RR at its ckpt + replayed from i's log)
+    // must reach exactly i's checkpointed S (and skips never exceed what
+    // was sent after i's checkpoint).
+    let app = Stencil::new(StencilConfig {
+        rows: 2,
+        cols: 4,
+        iters: 80,
+        ew_bytes: 3_000,
+        ns_bytes: 1_500,
+        compute_ms: 2,
+        image_bytes: 1 << 20,
+    });
+    let groups = gcr::group::contiguous(8, 4);
+    let (_sim, world, rt) = pipeline(&app, groups, Mode::Blocking, 30);
+    check_recovery_line(&world, &rt).unwrap();
+    let groups = rt.groups();
+    for i in 0..8u32 {
+        for j in 0..8u32 {
+            if i == j || groups.is_intra(i, j) {
+                continue;
+            }
+            let gi = rt.gp_state(i);
+            let gj = rt.gp_state(j);
+            let ss = gi.ss(j);
+            let rr = gj.rr(i);
+            if rr < ss {
+                let entries = gi.replay_entries(j, rr);
+                let covered_to = entries.last().map(|e| e.end()).unwrap_or(rr);
+                assert!(covered_to >= ss, "replay must cover to S@ckpt on P{i}→P{j}");
+                let covered_from = entries.first().map(|e| e.offset).unwrap_or(rr);
+                assert!(covered_from <= rr, "replay must start at or before RR on P{i}→P{j}");
+            }
+        }
+    }
+    // Rank 0 exists in the restart records exactly once.
+    let recs = rt.metrics().restart_records();
+    assert_eq!(recs.iter().filter(|r| r.rank == 0).count(), 1);
+}
+
+#[test]
+fn multiple_waves_accumulate_consistent_state() {
+    let app = Ring::new(RingConfig {
+        nprocs: 8,
+        iters: 300,
+        bytes: 4_096,
+        compute_ms: 2,
+        image_bytes: 8 << 20,
+    });
+    let groups = gcr::group::contiguous(8, 4);
+    let n = app.n();
+    let sim = Sim::new();
+    let cluster = Cluster::new(&sim, ClusterSpec::test(n));
+    let world = World::new(cluster, WorldOpts::default());
+    app.launch(&world);
+    let cfg = CkptConfig::uniform(n, 8 << 20, StorageTarget::Local).deterministic();
+    let rt = CkptRuntime::install(&world, Rc::new(groups), Mode::Blocking, cfg);
+    {
+        let (rt, world) = (rt.clone(), world.clone());
+        sim.spawn(async move {
+            rt.interval_schedule(SimDuration::from_millis(100), SimDuration::from_millis(100))
+                .await;
+            world.wait_all_ranks().await;
+            rt.shutdown();
+            rt.restart_all().await;
+        });
+    }
+    sim.run().unwrap();
+    assert!(rt.metrics().waves() >= 3);
+    check_recovery_line(&world, &rt).unwrap();
+    // Restart restores from the LAST wave; replay volumes must be small
+    // relative to everything logged (GC + recency).
+    assert!(rt.metrics().total_resend_bytes() <= (rt.metrics().restart_records().len() as u64) * (8 << 20));
+}

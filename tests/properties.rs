@@ -1,0 +1,194 @@
+//! Property-based tests over the core invariants.
+
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use gcr::ckpt::{check_quiescent, check_recovery_line, CkptConfig, CkptRuntime, Mode};
+use gcr::group::{form_groups_from_flows, GroupDef};
+use gcr::mpi::{World, WorldOpts};
+use gcr::net::{Cluster, ClusterSpec, StorageTarget};
+use gcr::sim::{Sim, SimTime};
+use gcr::trace::PairFlow;
+use gcr::workloads::{RandomConfig, RandomTraffic, Workload};
+use gcr_ckpt::PeerLog;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Algorithm 2 always yields a partition of 0..n bounded by G, no
+    /// matter what flows it sees.
+    #[test]
+    fn algorithm2_yields_bounded_partition(
+        n in 2usize..24,
+        g in 1usize..10,
+        raw in prop::collection::vec((0u32..24, 0u32..24, 1u64..10_000, 1u64..50), 0..60),
+    ) {
+        let flows: Vec<PairFlow> = raw
+            .into_iter()
+            .filter(|(a, b, _, _)| (*a as usize) < n && (*b as usize) < n && a != b)
+            .map(|(a, b, bytes, count)| PairFlow {
+                a: a.min(b),
+                b: a.max(b),
+                bytes,
+                count,
+            })
+            .collect();
+        let def = form_groups_from_flows(&flows, n, g);
+        prop_assert_eq!(def.n(), n);
+        // Algorithm 2 seeds every new tuple with a 2-process pair before
+        // checking the bound (paper semantics), so the effective floor of
+        // the bound is 2.
+        prop_assert!(def.max_group_size() <= g.max(2));
+        // Partition: every rank in exactly one group.
+        let mut seen = vec![false; n];
+        for grp in def.groups() {
+            for &r in grp {
+                prop_assert!(!seen[r as usize]);
+                seen[r as usize] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    /// GC never discards bytes a peer with `received >= gc_offset` could
+    /// still need, for arbitrary message sequences and GC points.
+    #[test]
+    fn log_gc_is_always_safe(
+        sizes in prop::collection::vec(1u64..5_000, 1..40),
+        gc_fracs in prop::collection::vec(0.0f64..1.0, 1..5),
+    ) {
+        let mut log = PeerLog::default();
+        for (i, &b) in sizes.iter().enumerate() {
+            log.append(b, i as u64);
+        }
+        let total = log.appended_bytes();
+        let mut floor = 0u64;
+        for f in gc_fracs {
+            let gc_to = (total as f64 * f) as u64;
+            log.gc(gc_to);
+            floor = floor.max(gc_to);
+            // Any peer state at or beyond the GC offset is still fully
+            // recoverable.
+            for probe in [floor, (floor + total) / 2, total] {
+                let entries = log.replay_range(probe, total);
+                let mut cursor = probe;
+                for e in &entries {
+                    prop_assert!(e.offset <= cursor);
+                    cursor = cursor.max(e.end());
+                }
+                prop_assert!(cursor >= total);
+            }
+        }
+    }
+
+    /// The replay/skip arithmetic reconstructs the exact sender stream for
+    /// any (sender-ckpt, receiver-ckpt) cut positions.
+    #[test]
+    fn replay_skip_reconstructs_stream(
+        sizes in prop::collection::vec(1u64..2_000, 1..30),
+        s_cut_frac in 0.0f64..=1.0,
+        r_cut_frac in 0.0f64..=1.0,
+    ) {
+        let mut log = PeerLog::default();
+        let mut total = 0;
+        for (i, &b) in sizes.iter().enumerate() {
+            log.append(b, i as u64);
+            total += b;
+        }
+        // Sender checkpointed having sent `ss`; receiver had consumed `rr`.
+        // Both volume counters advance whole messages at a time, so the
+        // cuts always fall on message boundaries of the stream.
+        let boundaries: Vec<u64> = std::iter::once(0)
+            .chain(sizes.iter().scan(0u64, |acc, &b| {
+                *acc += b;
+                Some(*acc)
+            }))
+            .collect();
+        let pick = |frac: f64| -> u64 {
+            let idx = (frac * (boundaries.len() - 1) as f64).round() as usize;
+            boundaries[idx.min(boundaries.len() - 1)]
+        };
+        let ss = pick(s_cut_frac);
+        let rr = pick(r_cut_frac);
+        let _ = total;
+        if rr < ss {
+            // Replay must cover [rr, ss) entirely.
+            let entries = log.replay_range(rr, ss);
+            let mut cursor = rr;
+            for e in &entries {
+                prop_assert!(e.offset <= cursor, "hole at {cursor}");
+                cursor = cursor.max(e.end());
+            }
+            prop_assert!(cursor >= ss);
+        } else {
+            // Nothing to replay; the skip is rr - ss ≥ 0 by construction.
+            prop_assert!(log.replay_range(rr, ss).is_empty());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Whole-system property: random traffic + random grouping + a random
+    /// checkpoint instant always leaves a consistent recovery line and a
+    /// quiescent world.
+    #[test]
+    fn random_runs_leave_consistent_recovery_lines(
+        nprocs in 3usize..9,
+        msgs in 5usize..40,
+        bytes in 64u64..8_192,
+        seed in 0u64..1_000,
+        groups_k in 1usize..4,
+        ckpt_ms in 1u64..60,
+    ) {
+        let app = RandomTraffic::new(RandomConfig {
+            nprocs,
+            msgs,
+            bytes,
+            compute_ms: 1,
+            seed,
+            image_bytes: 1 << 20,
+        });
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::test(nprocs));
+        let world = World::new(cluster, WorldOpts::default());
+        app.launch(&world);
+        let def = gcr::group::contiguous(nprocs, groups_k.min(nprocs));
+        let cfg = CkptConfig::uniform(nprocs, 1 << 20, StorageTarget::Local).deterministic();
+        let rt = CkptRuntime::install(&world, Rc::new(def), Mode::Blocking, cfg);
+        {
+            let (rt, world) = (rt.clone(), world.clone());
+            sim.spawn(async move {
+                rt.single_checkpoint_at(SimTime::from_millis(ckpt_ms)).await;
+                world.wait_all_ranks().await;
+                rt.shutdown();
+                rt.restart_all().await;
+            });
+        }
+        sim.run().expect("deadlock");
+        prop_assert_eq!(world.ranks_finished(), nprocs);
+        prop_assert!(check_recovery_line(&world, &rt).is_ok());
+        prop_assert!(check_quiescent(&world).is_ok());
+    }
+
+    /// Group definitions survive serde round-trips for arbitrary valid
+    /// partitions.
+    #[test]
+    fn groupdef_serde_roundtrip(n in 1usize..32, seed in 0u64..500) {
+        let mut rng = gcr::sim::DetRng::new(seed);
+        // Random partition: assign each rank a bucket.
+        let k = 1 + rng.index(n);
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); k];
+        for r in 0..n as u32 {
+            buckets[rng.index(k)].push(r);
+        }
+        buckets.retain(|b| !b.is_empty());
+        let def = GroupDef::new(n, buckets).unwrap();
+        let json = serde_json::to_string(&def).unwrap();
+        let raw: GroupDef = serde_json::from_str(&json).unwrap();
+        let back = GroupDef::new(raw.n(), raw.groups().to_vec()).unwrap();
+        prop_assert_eq!(back, def);
+    }
+}
