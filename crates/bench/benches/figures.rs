@@ -1,131 +1,122 @@
-//! Criterion benches exercising every experiment path at reduced scale.
+//! Wall-clock benchmarks exercising every experiment path at reduced scale.
 //!
-//! These are wall-clock benchmarks of the *simulator* running each paper
-//! experiment's code path (the experiment's simulated results come from the
-//! `fig*` binaries; see EXPERIMENTS.md).
+//! These time the *simulator* running each paper experiment's code path
+//! (the experiments' simulated results come from the `fig*` binaries; see
+//! EXPERIMENTS.md). Plain timing harness: each case is warmed up once,
+//! then timed over a fixed iteration count.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-use gcr_bench::{run_one, run_traced, Proto, RunSpec, Schedule, WorkloadSpec};
+use gcr_bench::{profile_trace, run_one, run_traced, Proto, RunSpec, Schedule, WorkloadSpec};
+use gcr_group::form_groups;
 use gcr_workloads::{CgConfig, HplConfig, SpConfig};
 
 fn small_hpl(n: usize) -> WorkloadSpec {
-    WorkloadSpec::Hpl(HplConfig { n_matrix: 2_400, ..HplConfig::paper(n) })
+    WorkloadSpec::Hpl(HplConfig {
+        n_matrix: 2_400,
+        ..HplConfig::paper(n)
+    })
 }
 
 fn small_cg(n: usize) -> WorkloadSpec {
-    WorkloadSpec::Cg(CgConfig { niter: 3, ..CgConfig::class_c(n) })
+    WorkloadSpec::Cg(CgConfig {
+        niter: 3,
+        ..CgConfig::class_c(n)
+    })
 }
 
 fn small_sp(n: usize) -> WorkloadSpec {
-    WorkloadSpec::Sp(SpConfig { niter: 20, ..SpConfig::class_c(n) })
+    WorkloadSpec::Sp(SpConfig {
+        niter: 20,
+        ..SpConfig::class_c(n)
+    })
 }
 
-fn bench_blocking_protocols(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5-9_hpl_blocking");
-    g.sample_size(10);
-    for proto in [Proto::Gp { max_size: 8 }, Proto::Gp1, Proto::GpK { k: 4 }, Proto::Norm] {
-        g.bench_function(proto.label(), |b| {
-            b.iter(|| {
-                run_one(&RunSpec::new(small_hpl(16), proto, Schedule::SingleAt(5.0)))
-            })
+fn time_case(name: &str, iters: u32, mut f: impl FnMut()) {
+    f(); // warm-up
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = start.elapsed() / iters;
+    println!("{name:<28} {per:>12.2?}/iter  ({iters} iters)");
+}
+
+fn main() {
+    println!("fig5-9 HPL blocking protocols");
+    for proto in [
+        Proto::Gp { max_size: 8 },
+        Proto::Gp1,
+        Proto::GpK { k: 4 },
+        Proto::Norm,
+    ] {
+        time_case(proto.label(), 5, || {
+            run_one(&RunSpec::new(small_hpl(16), proto, Schedule::SingleAt(5.0)));
         });
     }
-    g.finish();
-}
 
-fn bench_restart(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6b-8_restart");
-    g.sample_size(10);
+    println!("fig6b-8 restart");
     for proto in [Proto::Gp { max_size: 8 }, Proto::Gp1, Proto::Norm] {
-        g.bench_function(proto.label(), |b| {
-            b.iter(|| {
-                run_one(
-                    &RunSpec::new(small_hpl(16), proto, Schedule::SingleAt(5.0)).with_restart(),
-                )
-            })
+        time_case(proto.label(), 5, || {
+            run_one(&RunSpec::new(small_hpl(16), proto, Schedule::SingleAt(5.0)).with_restart());
         });
     }
-    g.finish();
-}
 
-fn bench_vcl_gaps(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig2_13_14_vcl");
-    g.sample_size(10);
-    g.bench_function("vcl_cg16_traced", |b| {
-        b.iter(|| {
-            run_traced(
-                &RunSpec::new(
-                    small_cg(16),
-                    Proto::Vcl,
-                    Schedule::Interval { start_s: 3.0, every_s: 3.0 },
-                )
-                .with_remote_storage(),
+    println!("fig2/13/14 VCL and remote GP");
+    time_case("vcl_cg16_traced", 5, || {
+        run_traced(
+            &RunSpec::new(
+                small_cg(16),
+                Proto::Vcl,
+                Schedule::Interval {
+                    start_s: 3.0,
+                    every_s: 3.0,
+                },
             )
-        })
+            .with_remote_storage(),
+        );
     });
-    g.bench_function("gp_cg16_remote", |b| {
-        b.iter(|| {
-            run_one(
-                &RunSpec::new(
-                    small_cg(16),
-                    Proto::Gp { max_size: 4 },
-                    Schedule::Interval { start_s: 3.0, every_s: 3.0 },
-                )
-                .with_remote_storage(),
+    time_case("gp_cg16_remote", 5, || {
+        run_one(
+            &RunSpec::new(
+                small_cg(16),
+                Proto::Gp { max_size: 4 },
+                Schedule::Interval {
+                    start_s: 3.0,
+                    every_s: 3.0,
+                },
             )
-        })
+            .with_remote_storage(),
+        );
     });
-    g.finish();
-}
 
-fn bench_intervals(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10_intervals");
-    g.sample_size(10);
+    println!("fig10 intervals");
     for every in [3.0f64, 10.0] {
-        g.bench_function(format!("gp_every_{every}s"), |b| {
-            b.iter(|| {
-                run_one(&RunSpec::new(
-                    small_hpl(16),
-                    Proto::Gp { max_size: 8 },
-                    Schedule::Interval { start_s: every, every_s: every },
-                ))
-            })
+        time_case(&format!("gp_every_{every}s"), 5, || {
+            run_one(&RunSpec::new(
+                small_hpl(16),
+                Proto::Gp { max_size: 8 },
+                Schedule::Interval {
+                    start_s: every,
+                    every_s: every,
+                },
+            ));
         });
     }
-    g.finish();
-}
 
-fn bench_sp(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig12_sp");
-    g.sample_size(10);
-    g.bench_function("gp_sp9", |b| {
-        b.iter(|| {
-            run_one(
-                &RunSpec::new(small_sp(9), Proto::Gp { max_size: 3 }, Schedule::SingleAt(3.0))
-                    .with_restart(),
+    println!("fig12 SP");
+    time_case("gp_sp9", 5, || {
+        run_one(
+            &RunSpec::new(
+                small_sp(9),
+                Proto::Gp { max_size: 3 },
+                Schedule::SingleAt(3.0),
             )
-        })
+            .with_restart(),
+        );
     });
-    g.finish();
-}
 
-fn bench_group_formation(c: &mut Criterion) {
-    use gcr_bench::profile_trace;
-    use gcr_group::form_groups;
+    println!("table1 group formation");
     let trace = profile_trace(&small_hpl(32));
-    let mut g = c.benchmark_group("table1_formation");
-    g.bench_function("algorithm2_hpl32", |b| b.iter(|| form_groups(&trace, 8)));
-    g.finish();
+    time_case("algorithm2_hpl32", 20, || {
+        form_groups(&trace, 8);
+    });
 }
-
-criterion_group!(
-    benches,
-    bench_blocking_protocols,
-    bench_restart,
-    bench_vcl_gaps,
-    bench_intervals,
-    bench_sp,
-    bench_group_formation
-);
-criterion_main!(benches);

@@ -11,15 +11,13 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use gcr_ckpt::{
-    analyze_schedule, optimal_interval, CkptConfig, CkptRuntime, Mode, RecoveryStats,
-};
+use gcr_bench::table::{f1, f2, Table};
+use gcr_bench::{resolve_groups, Proto, RunSpec, Schedule, WorkloadSpec};
+use gcr_ckpt::{analyze_schedule, optimal_interval, CkptConfig, CkptRuntime, Mode, RecoveryStats};
 use gcr_mpi::{World, WorldOpts};
 use gcr_net::{Cluster, ClusterSpec, StorageTarget};
 use gcr_sim::{Sim, SimDuration};
 use gcr_workloads::HplConfig;
-use gcr_bench::table::{f1, f2, Table};
-use gcr_bench::{resolve_groups, Proto, RunSpec, Schedule, WorkloadSpec};
 
 fn run(n: usize, proto: Proto) -> (RecoveryStats, usize, f64, CkptRuntime) {
     let wl_spec = WorkloadSpec::Hpl(HplConfig::paper(n));
@@ -38,7 +36,8 @@ fn run(n: usize, proto: Proto) -> (RecoveryStats, usize, f64, CkptRuntime) {
     {
         let (rt, world, out) = (rt.clone(), world.clone(), Rc::clone(&out));
         sim.spawn(async move {
-            rt.interval_schedule(SimDuration::from_secs(60), SimDuration::from_secs(60)).await;
+            rt.interval_schedule(SimDuration::from_secs(60), SimDuration::from_secs(60))
+                .await;
             world.wait_all_ranks().await;
             rt.shutdown();
             // One group "fails" right after the run; recover it.
@@ -55,12 +54,7 @@ fn run(n: usize, proto: Proto) -> (RecoveryStats, usize, f64, CkptRuntime) {
 fn main() {
     let n = 64;
     println!("Ablation: single-group failure recovery, HPL on {n} procs, remote storage\n");
-    let mut t = Table::new(&[
-        "mode",
-        "ranks rolled back",
-        "downtime (s)",
-        "replayed (KB)",
-    ]);
+    let mut t = Table::new(&["mode", "ranks rolled back", "downtime (s)", "replayed (KB)"]);
     for proto in [Proto::Gp { max_size: 8 }, Proto::Norm] {
         let (stats, rolled, _exec, _rt) = run(n, proto);
         t.row(vec![

@@ -11,12 +11,20 @@ fn main() {
     let cfg = CgConfig::class_c(32);
     let (_, cols) = cfg.grid();
     println!("Ablation: piggyback log GC, CG class C on 32 processes, ckpt every 30s\n");
-    let mut t = Table::new(&["GC", "logged (KB)", "retained at end (KB)", "retained/logged"]);
+    let mut t = Table::new(&[
+        "GC",
+        "logged (KB)",
+        "retained at end (KB)",
+        "retained/logged",
+    ]);
     for gc in [true, false] {
         let mut spec = RunSpec::new(
             WorkloadSpec::Cg(cfg.clone()),
             Proto::Gp { max_size: cols },
-            Schedule::Interval { start_s: 30.0, every_s: 30.0 },
+            Schedule::Interval {
+                start_s: 30.0,
+                every_s: 30.0,
+            },
         );
         spec.piggyback_gc = gc;
         let r = run_averaged(&[spec], 3);

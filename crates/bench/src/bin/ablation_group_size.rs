@@ -10,7 +10,13 @@ fn main() {
     let n = 64usize;
     let bounds = [1usize, 2, 4, 8, 16, 32, 64];
     println!("Ablation: max group size G for HPL on {n} processes, one ckpt at t=60s\n");
-    let mut t = Table::new(&["G", "groups", "agg ckpt (s)", "agg restart (s)", "logged (KB)"]);
+    let mut t = Table::new(&[
+        "G",
+        "groups",
+        "agg ckpt (s)",
+        "agg restart (s)",
+        "logged (KB)",
+    ]);
     for &g in &bounds {
         let spec = RunSpec::new(
             WorkloadSpec::Hpl(HplConfig::paper(n)),

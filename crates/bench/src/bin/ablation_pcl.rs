@@ -28,12 +28,19 @@ fn main() {
             RunSpec::new(
                 WorkloadSpec::Cg(cfg.clone()),
                 p,
-                Schedule::Interval { start_s: 45.0, every_s: 45.0 },
+                Schedule::Interval {
+                    start_s: 45.0,
+                    every_s: 45.0,
+                },
             )
             .with_remote_storage()
         };
         let r = run_averaged(
-            &[mk(Proto::Gp { max_size: cols }), mk(Proto::Norm), mk(Proto::Vcl)],
+            &[
+                mk(Proto::Gp { max_size: cols }),
+                mk(Proto::Norm),
+                mk(Proto::Vcl),
+            ],
             3,
         );
         t.row(vec![

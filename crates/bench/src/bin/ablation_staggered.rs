@@ -22,7 +22,10 @@ fn main() {
         let base = RunSpec::new(
             WorkloadSpec::Cg(cfg.clone()),
             Proto::Gp { max_size: cols },
-            Schedule::Interval { start_s: 45.0, every_s: 45.0 },
+            Schedule::Interval {
+                start_s: 45.0,
+                every_s: 45.0,
+            },
         )
         .with_remote_storage();
         let r = run_averaged(&[base.clone(), base.with_staggered_groups()], 3);

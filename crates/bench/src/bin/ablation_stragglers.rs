@@ -11,7 +11,12 @@ fn main() {
     let n = 64usize;
     let probs = [0.0, 0.02, 0.05, 0.10, 0.20];
     println!("Ablation: straggler probability vs aggregate ckpt time, HPL on {n} procs\n");
-    let mut t = Table::new(&["P(straggle)", "GP agg ckpt (s)", "NORM agg ckpt (s)", "NORM/GP"]);
+    let mut t = Table::new(&[
+        "P(straggle)",
+        "GP agg ckpt (s)",
+        "NORM agg ckpt (s)",
+        "NORM/GP",
+    ]);
     for &p in &probs {
         let mk = |proto| {
             let mut s = RunSpec::new(
@@ -24,7 +29,11 @@ fn main() {
             s
         };
         let r = run_averaged(&[mk(Proto::Gp { max_size: 8 }), mk(Proto::Norm)], 3);
-        let ratio = if r[0].agg_ckpt_s > 0.0 { r[1].agg_ckpt_s / r[0].agg_ckpt_s } else { 0.0 };
+        let ratio = if r[0].agg_ckpt_s > 0.0 {
+            r[1].agg_ckpt_s / r[0].agg_ckpt_s
+        } else {
+            0.0
+        };
         t.row(vec![
             format!("{p:.2}"),
             f1(r[0].agg_ckpt_s),

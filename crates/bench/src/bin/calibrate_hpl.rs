@@ -7,7 +7,12 @@ use gcr_workloads::HplConfig;
 fn main() {
     for n in [16usize, 64, 128] {
         let wl = WorkloadSpec::Hpl(HplConfig::paper(n));
-        for proto in [Proto::Norm, Proto::Gp { max_size: 8 }, Proto::Gp1, Proto::GpK { k: 4 }] {
+        for proto in [
+            Proto::Norm,
+            Proto::Gp { max_size: 8 },
+            Proto::Gp1,
+            Proto::GpK { k: 4 },
+        ] {
             let t0 = std::time::Instant::now();
             let spec = RunSpec::new(wl.clone(), proto, Schedule::SingleAt(60.0)).with_restart();
             let r = run_one(&spec);

@@ -8,8 +8,15 @@ use gcr_workloads::CgConfig;
 fn main() {
     for n in [32usize, 128] {
         let wl = WorkloadSpec::Cg(CgConfig::class_c(n));
-        let spec = RunSpec::new(wl, Proto::Vcl, Schedule::Interval { start_s: 30.0, every_s: 30.0 })
-            .with_remote_storage();
+        let spec = RunSpec::new(
+            wl,
+            Proto::Vcl,
+            Schedule::Interval {
+                start_s: 30.0,
+                every_s: 30.0,
+            },
+        )
+        .with_remote_storage();
         let t0 = std::time::Instant::now();
         let tr = run_traced(&spec);
         let stats = gaps::analyze(&tr.trace, &tr.windows);
@@ -27,13 +34,23 @@ fn main() {
     // GP on CG with remote storage for the Fig 13 comparison.
     for n in [32usize, 128] {
         let wl = WorkloadSpec::Cg(CgConfig::class_c(n));
-        let spec = RunSpec::new(wl, Proto::Gp { max_size: 16 }, Schedule::Interval { start_s: 30.0, every_s: 30.0 })
-            .with_remote_storage();
+        let spec = RunSpec::new(
+            wl,
+            Proto::Gp { max_size: 16 },
+            Schedule::Interval {
+                start_s: 30.0,
+                every_s: 30.0,
+            },
+        )
+        .with_remote_storage();
         let t0 = std::time::Instant::now();
         let tr = run_traced(&spec);
         println!(
             "GP  CG n={n:3} exec={:7.1}s waves={} mean_ckpt={:5.1}s groups={} wall={:.1}s",
-            tr.result.exec_s, tr.result.waves, tr.result.mean_ckpt_s, tr.result.group_count,
+            tr.result.exec_s,
+            tr.result.waves,
+            tr.result.mean_ckpt_s,
+            tr.result.group_count,
             t0.elapsed().as_secs_f64()
         );
     }

@@ -1,0 +1,69 @@
+//! Bounded chaos smoke run for CI: sweep seeded fault-injection
+//! scenarios (double-run determinism check included) until a wall-clock
+//! budget expires, exiting nonzero on the first oracle violation.
+//!
+//! ```text
+//! chaos_smoke [--seconds S] [--start-seed N] [--max-seeds K]
+//! ```
+//!
+//! Defaults: 30 s budget, seeds from 0, at most 200 scenarios. The sweep
+//! always runs at least one scenario, so even a cold, slow runner
+//! exercises the full engine + oracle path.
+
+use std::time::Instant;
+
+use gcr_chaos::{repro_command, run_chaos_verified, shrink, ChaosSpec};
+
+fn arg(name: &str) -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let budget_s = arg("--seconds").unwrap_or(30);
+    let start_seed = arg("--start-seed").unwrap_or(0);
+    let max_seeds = arg("--max-seeds").unwrap_or(200);
+    let start = Instant::now();
+
+    let mut ran = 0u64;
+    let mut recoveries = 0usize;
+    let mut failed = false;
+    for seed in start_seed..start_seed + max_seeds {
+        if ran > 0 && start.elapsed().as_secs() >= budget_s {
+            break;
+        }
+        let spec = ChaosSpec::generate(seed);
+        let r = run_chaos_verified(&spec);
+        ran += 1;
+        recoveries += r.recoveries.len();
+        if r.passed() {
+            continue;
+        }
+        failed = true;
+        eprintln!(
+            "seed {seed} ({}/{}/{}) FAILED:",
+            r.workload, r.proto, r.storage
+        );
+        for v in &r.violations {
+            eprintln!("  violation: {v}");
+        }
+        match shrink(&spec) {
+            Some(out) => eprintln!("  repro: {}", out.repro),
+            None => eprintln!("  repro: {}", repro_command(&spec)),
+        }
+        break;
+    }
+
+    println!(
+        "chaos smoke: {ran} scenario(s) (x2 for determinism), {recoveries} group recovery(s), \
+         {:.1}s wall",
+        start.elapsed().as_secs_f64()
+    );
+    if failed {
+        std::process::exit(1);
+    }
+    println!("all oracles held");
+}

@@ -17,8 +17,16 @@ fn main() {
         .iter()
         .map(|&n| {
             let (p, q) = hpl_grid_for(n);
-            let cfg = HplConfig { p, q, ..HplConfig::paper(8) };
-            RunSpec::new(WorkloadSpec::Hpl(cfg), Proto::Norm, Schedule::SingleAt(60.0))
+            let cfg = HplConfig {
+                p,
+                q,
+                ..HplConfig::paper(8)
+            };
+            RunSpec::new(
+                WorkloadSpec::Hpl(cfg),
+                Proto::Norm,
+                Schedule::SingleAt(60.0),
+            )
         })
         .collect();
     let results = run_averaged(&specs, 3);
@@ -27,7 +35,11 @@ fn main() {
     let mut t = Table::new(&["procs", "grid", "agg coordination (s)"]);
     for (i, r) in results.iter().enumerate() {
         let (p, q) = hpl_grid_for(sizes[i]);
-        t.row(vec![sizes[i].to_string(), format!("{p}x{q}"), f1(r.agg_coord_s)]);
+        t.row(vec![
+            sizes[i].to_string(),
+            format!("{p}x{q}"),
+            f1(r.agg_coord_s),
+        ]);
     }
     println!("{}", t.render());
     println!("paper shape: gradual increase with occasional sharp spikes (0–1200 s range)");

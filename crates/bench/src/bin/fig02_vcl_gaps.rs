@@ -27,7 +27,10 @@ fn main() {
         let spec = RunSpec::new(
             WorkloadSpec::Cg(CgConfig::class_c(n)),
             Proto::Vcl,
-            Schedule::Interval { start_s: 30.0, every_s: 30.0 },
+            Schedule::Interval {
+                start_s: 30.0,
+                every_s: 30.0,
+            },
         )
         .with_remote_storage();
         let tr = run_traced(&spec);
@@ -37,10 +40,8 @@ fn main() {
         } else {
             stats.iter().map(|s| s.gap_fraction).sum::<f64>() / stats.len() as f64
         };
-        let longest =
-            stats.iter().map(|s| s.longest_gap).max().unwrap_or(0) as f64 / 1e9;
-        let ckpt_time: f64 =
-            tr.windows.iter().map(|w| w.len() as f64 / 1e9).sum();
+        let longest = stats.iter().map(|s| s.longest_gap).max().unwrap_or(0) as f64 / 1e9;
+        let ckpt_time: f64 = tr.windows.iter().map(|w| w.len() as f64 / 1e9).sum();
         t.row(vec![
             n.to_string(),
             f1(tr.result.exec_s),
@@ -60,7 +61,9 @@ fn main() {
                 t1: w.end + pad,
                 cols: 100,
             };
-            println!("--- {n} processes, first checkpoint window ('.'/'#' = in ckpt, idle/busy) ---");
+            println!(
+                "--- {n} processes, first checkpoint window ('.'/'#' = in ckpt, idle/busy) ---"
+            );
             println!("{}", render(&tr.trace, &tr.windows, &opts));
         }
     }

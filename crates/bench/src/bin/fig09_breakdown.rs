@@ -11,14 +11,31 @@ use gcr_bench::{run_averaged, Proto, RunSpec, Schedule, WorkloadSpec};
 use gcr_workloads::HplConfig;
 
 fn main() {
-    let protos = [Proto::Gp { max_size: 8 }, Proto::Gp1, Proto::GpK { k: 4 }, Proto::Norm];
+    let protos = [
+        Proto::Gp { max_size: 8 },
+        Proto::Gp1,
+        Proto::GpK { k: 4 },
+        Proto::Norm,
+    ];
     println!("Figure 9: mean per-process checkpoint phase breakdown (s), HPL\n");
-    let mut t = Table::new(&["procs", "mode", "lock", "coordination", "checkpoint", "finalize", "total"]);
+    let mut t = Table::new(&[
+        "procs",
+        "mode",
+        "lock",
+        "coordination",
+        "checkpoint",
+        "finalize",
+        "total",
+    ]);
     for n in [16usize, 128] {
         let specs: Vec<RunSpec> = protos
             .iter()
             .map(|&p| {
-                RunSpec::new(WorkloadSpec::Hpl(HplConfig::paper(n)), p, Schedule::SingleAt(60.0))
+                RunSpec::new(
+                    WorkloadSpec::Hpl(HplConfig::paper(n)),
+                    p,
+                    Schedule::SingleAt(60.0),
+                )
             })
             .collect();
         let results = run_averaged(&specs, 3);

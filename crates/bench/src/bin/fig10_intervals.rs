@@ -20,7 +20,10 @@ fn main() {
             let schedule = if iv == 0 {
                 Schedule::None
             } else {
-                Schedule::Interval { start_s: iv as f64, every_s: iv as f64 }
+                Schedule::Interval {
+                    start_s: iv as f64,
+                    every_s: iv as f64,
+                }
             };
             specs.push(RunSpec::new(
                 WorkloadSpec::Hpl(HplConfig::paper_large()),
@@ -31,7 +34,13 @@ fn main() {
     }
     let results = run_averaged(&specs, 3);
     println!("Figure 10: HPL N=56000, 128 processes, periodic checkpoints\n");
-    let mut t = Table::new(&["interval (s)", "GP time (s)", "GP #ckpt", "NORM time (s)", "NORM #ckpt"]);
+    let mut t = Table::new(&[
+        "interval (s)",
+        "GP time (s)",
+        "GP #ckpt",
+        "NORM time (s)",
+        "NORM #ckpt",
+    ]);
     for (i, &iv) in intervals.iter().enumerate() {
         let gp = &results[2 * i];
         let norm = &results[2 * i + 1];

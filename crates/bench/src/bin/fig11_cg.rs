@@ -13,8 +13,12 @@ fn main() {
     for &n in &sizes {
         let cfg = CgConfig::class_c(n);
         let (_, cols) = cfg.grid();
-        let protos =
-            [Proto::Gp { max_size: cols }, Proto::Gp1, Proto::GpK { k: 4 }, Proto::Norm];
+        let protos = [
+            Proto::Gp { max_size: cols },
+            Proto::Gp1,
+            Proto::GpK { k: 4 },
+            Proto::Norm,
+        ];
         let specs: Vec<RunSpec> = protos
             .iter()
             .map(|&p| {

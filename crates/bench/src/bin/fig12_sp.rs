@@ -23,7 +23,12 @@ fn main() {
             })
             .collect();
         let r = run_averaged(&specs, 3);
-        a.row(vec![n.to_string(), f1(r[0].agg_ckpt_s), f1(r[1].agg_ckpt_s), f1(r[2].agg_ckpt_s)]);
+        a.row(vec![
+            n.to_string(),
+            f1(r[0].agg_ckpt_s),
+            f1(r[1].agg_ckpt_s),
+            f1(r[2].agg_ckpt_s),
+        ]);
         b.row(vec![
             n.to_string(),
             f1(r[0].agg_restart_s),

@@ -13,7 +13,13 @@ use gcr_workloads::CgConfig;
 fn main() {
     let sizes = [16usize, 32, 64, 128];
     println!("Figure 13: CG class C with remote checkpoint servers (4 shared)\n");
-    let mut t = Table::new(&["procs", "GP time (s)", "GP #ckpt", "VCL time (s)", "VCL #ckpt"]);
+    let mut t = Table::new(&[
+        "procs",
+        "GP time (s)",
+        "GP #ckpt",
+        "VCL time (s)",
+        "VCL #ckpt",
+    ]);
     for &n in &sizes {
         let cfg = CgConfig::class_c(n);
         let (_, cols) = cfg.grid();
@@ -30,7 +36,10 @@ fn main() {
         let vcl_spec = RunSpec::new(
             WorkloadSpec::Cg(cfg.clone()),
             Proto::Vcl,
-            Schedule::Interval { start_s: vcl_every, every_s: vcl_every },
+            Schedule::Interval {
+                start_s: vcl_every,
+                every_s: vcl_every,
+            },
         )
         .with_remote_storage();
         let vcl = run_averaged(&[vcl_spec], 3).remove(0);
@@ -50,7 +59,10 @@ fn main() {
         let gp_spec = RunSpec::new(
             WorkloadSpec::Cg(cfg.clone()),
             Proto::Gp { max_size: cols },
-            Schedule::Interval { start_s: every, every_s: every },
+            Schedule::Interval {
+                start_s: every,
+                every_s: every,
+            },
         )
         .with_remote_storage();
         let gp = run_averaged(&[gp_spec], 3).remove(0);

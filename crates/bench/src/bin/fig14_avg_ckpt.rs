@@ -16,12 +16,19 @@ fn main() {
             RunSpec::new(
                 WorkloadSpec::Cg(cfg.clone()),
                 p,
-                Schedule::Interval { start_s: 60.0, every_s: 60.0 },
+                Schedule::Interval {
+                    start_s: 60.0,
+                    every_s: 60.0,
+                },
             )
             .with_remote_storage()
         };
         let r = run_averaged(&[mk(Proto::Gp { max_size: cols }), mk(Proto::Vcl)], 3);
-        t.row(vec![n.to_string(), f1(r[0].mean_ckpt_s), f1(r[1].mean_ckpt_s)]);
+        t.row(vec![
+            n.to_string(),
+            f1(r[0].mean_ckpt_s),
+            f1(r[1].mean_ckpt_s),
+        ]);
     }
     println!("{}", t.render());
     println!("paper shape: GP cheaper per checkpoint throughout; the gap widens with scale");

@@ -28,7 +28,12 @@ fn main() {
         let got = def.members(def.group_of(q));
         if got != expected.as_slice() {
             ok = false;
-            println!("MISMATCH for group {}: got {:?}, paper has {:?}", q + 1, got, expected);
+            println!(
+                "MISMATCH for group {}: got {:?}, paper has {:?}",
+                q + 1,
+                got,
+                expected
+            );
         }
     }
     if ok {

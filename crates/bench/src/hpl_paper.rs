@@ -13,7 +13,12 @@ pub fn paper_sizes() -> Vec<usize> {
 
 /// The four §5.1 protocols, in figure order.
 pub fn paper_protos() -> Vec<Proto> {
-    vec![Proto::Gp { max_size: 8 }, Proto::Gp1, Proto::GpK { k: 4 }, Proto::Norm]
+    vec![
+        Proto::Gp { max_size: 8 },
+        Proto::Gp1,
+        Proto::GpK { k: 4 },
+        Proto::Norm,
+    ]
 }
 
 /// Results of the sweep, indexed `[size][proto]`.
@@ -46,5 +51,9 @@ pub fn hpl_paper_sweep(restart: bool, trials: u64) -> HplSweep {
     }
     let flat = run_averaged(&specs, trials);
     let results = flat.chunks(protos.len()).map(|c| c.to_vec()).collect();
-    HplSweep { sizes, protos, results }
+    HplSweep {
+        sizes,
+        protos,
+        results,
+    }
 }

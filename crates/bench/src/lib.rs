@@ -16,6 +16,8 @@ pub mod table;
 
 pub use hpl_paper::{hpl_paper_sweep, HplSweep};
 pub use runner::{profile_trace, resolve_groups, run_one, run_traced, TracedRun};
-pub use spec::{average, hpl_grid_for, with_trials, Proto, RunResult, RunSpec, Schedule, WorkloadSpec};
+pub use spec::{
+    average, hpl_grid_for, with_trials, Proto, RunResult, RunSpec, Schedule, WorkloadSpec,
+};
 pub use sweep::{run_all, run_all_with, run_averaged};
 pub use table::Table;

@@ -94,12 +94,20 @@ fn run_inner(spec: &RunSpec, capture_trace: bool) -> TracedRun {
     let sim = Sim::new();
     let cluster = Cluster::new(&sim, cluster_spec_for(spec));
     let world = World::new(cluster, world_opts());
-    let tracer = if capture_trace { Some(Tracer::install(&world, wl.name())) } else { None };
+    let tracer = if capture_trace {
+        Some(Tracer::install(&world, wl.name()))
+    } else {
+        None
+    };
     wl.launch(&world);
 
     let groups = Rc::new(resolve_groups(spec));
     let group_count = groups.group_count();
-    let mode = if spec.proto == Proto::Vcl { Mode::Vcl } else { Mode::Blocking };
+    let mode = if spec.proto == Proto::Vcl {
+        Mode::Vcl
+    } else {
+        Mode::Blocking
+    };
     let mut cfg = CkptConfig::uniform(n, 0, spec.storage);
     cfg.image_bytes = wl.image_bytes();
     cfg.stragglers = spec.stragglers;
@@ -152,7 +160,8 @@ fn run_inner(spec: &RunSpec, capture_trace: bool) -> TracedRun {
             }
         });
     }
-    sim.run().unwrap_or_else(|d| panic!("experiment deadlocked: {d}"));
+    sim.run()
+        .unwrap_or_else(|d| panic!("experiment deadlocked: {d}"));
 
     // The recovery line left by the final wave must be consistent.
     if mode == Mode::Blocking && rt.metrics().waves() > 0 {
@@ -162,8 +171,12 @@ fn run_inner(spec: &RunSpec, capture_trace: bool) -> TracedRun {
     }
 
     let m = rt.metrics();
-    let retained: u64 = (0..n as u32).map(|r| rt.gp_state(r).retained_log_bytes()).sum();
-    let logged: u64 = (0..n as u32).map(|r| rt.gp_state(r).total_logged_bytes()).sum();
+    let retained: u64 = (0..n as u32)
+        .map(|r| rt.gp_state(r).retained_log_bytes())
+        .sum();
+    let logged: u64 = (0..n as u32)
+        .map(|r| rt.gp_state(r).total_logged_bytes())
+        .sum();
     let result = RunResult {
         exec_s: app_done_at.get().as_secs_f64(),
         waves: m.waves(),
@@ -196,7 +209,9 @@ fn run_inner(spec: &RunSpec, capture_trace: bool) -> TracedRun {
 
     TracedRun {
         result,
-        trace: tracer.map(|t| t.take()).unwrap_or_else(|| Trace::new(n, "untraced")),
+        trace: tracer
+            .map(|t| t.take())
+            .unwrap_or_else(|| Trace::new(n, "untraced")),
         windows,
     }
 }

@@ -227,7 +227,12 @@ pub struct RunResult {
 /// Expand a spec into `trials` seed-varied copies (the paper repeats each
 /// experiment five times and averages).
 pub fn with_trials(spec: &RunSpec, trials: u64) -> Vec<RunSpec> {
-    (0..trials).map(|i| spec.clone().with_seed(spec.seed.wrapping_add(i * 0x9e37_79b9))).collect()
+    (0..trials)
+        .map(|i| {
+            spec.clone()
+                .with_seed(spec.seed.wrapping_add(i * 0x9e37_79b9))
+        })
+        .collect()
 }
 
 /// Average the numeric fields of several results (counts are averaged too,
@@ -265,7 +270,10 @@ pub fn average(results: &[RunResult]) -> RunResult {
 /// possible), `q = n / p`.
 pub fn hpl_grid_for(n: usize) -> (usize, usize) {
     assert!(n > 0);
-    let p = (1..=8.min(n)).rev().find(|p| n.is_multiple_of(*p)).unwrap_or(1);
+    let p = (1..=8.min(n))
+        .rev()
+        .find(|p| n.is_multiple_of(*p))
+        .unwrap_or(1);
     (p, n / p)
 }
 
@@ -305,7 +313,11 @@ mod spec_tests {
 
     #[test]
     fn average_of_identical_is_identity() {
-        let r = RunResult { exec_s: 10.0, waves: 2, ..RunResult::default() };
+        let r = RunResult {
+            exec_s: 10.0,
+            waves: 2,
+            ..RunResult::default()
+        };
         let avg = average(&[r.clone(), r.clone()]);
         assert_eq!(avg.exec_s, 10.0);
         assert_eq!(avg.waves, 2);

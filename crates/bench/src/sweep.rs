@@ -2,8 +2,8 @@
 //!
 //! Each simulation is single-threaded and deterministic; a sweep runs many
 //! independent simulations, so it parallelizes across OS threads with a
-//! shared work queue (crossbeam scoped threads — specs and results are
-//! `Send`, simulations never are).
+//! shared work queue (`std::thread::scope` — specs and results are `Send`,
+//! simulations never are).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -13,7 +13,9 @@ use crate::spec::{RunResult, RunSpec};
 
 /// Run every spec, in parallel, returning results in input order.
 pub fn run_all(specs: &[RunSpec]) -> Vec<RunResult> {
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
     run_all_with(specs, workers.min(specs.len().max(1)))
 }
 
@@ -24,9 +26,9 @@ pub fn run_all_with(specs: &[RunSpec], workers: usize) -> Vec<RunResult> {
     }
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<RunResult>>> = Mutex::new(vec![None; specs.len()]);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers.max(1) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= specs.len() {
                     break;
@@ -35,8 +37,7 @@ pub fn run_all_with(specs: &[RunSpec], workers: usize) -> Vec<RunResult> {
                 results.lock().expect("poisoned")[i] = Some(r);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     results
         .into_inner()
         .expect("poisoned")
@@ -48,8 +49,13 @@ pub fn run_all_with(specs: &[RunSpec], workers: usize) -> Vec<RunResult> {
 /// Run each spec `trials` times with varied seeds (in parallel) and return
 /// the per-spec averages, in input order.
 pub fn run_averaged(specs: &[RunSpec], trials: u64) -> Vec<RunResult> {
-    let expanded: Vec<RunSpec> =
-        specs.iter().flat_map(|s| crate::spec::with_trials(s, trials)).collect();
+    let expanded: Vec<RunSpec> = specs
+        .iter()
+        .flat_map(|s| crate::spec::with_trials(s, trials))
+        .collect();
     let results = run_all(&expanded);
-    results.chunks(trials as usize).map(crate::spec::average).collect()
+    results
+        .chunks(trials as usize)
+        .map(crate::spec::average)
+        .collect()
 }

@@ -60,8 +60,8 @@ fn sweep_preserves_input_order_across_workers() {
 
 #[test]
 fn run_one_is_deterministic() {
-    let spec = RunSpec::new(tiny_ring(6), Proto::GpK { k: 3 }, Schedule::SingleAt(0.02))
-        .with_restart();
+    let spec =
+        RunSpec::new(tiny_ring(6), Proto::GpK { k: 3 }, Schedule::SingleAt(0.02)).with_restart();
     let a = run_one(&spec);
     let b = run_one(&spec);
     assert_eq!(a.exec_s, b.exec_s);
@@ -86,5 +86,5 @@ fn traced_runs_expose_windows() {
     assert_eq!(tr.result.waves, 1);
     assert_eq!(tr.windows.len(), 1);
     assert!(tr.trace.send_count() > 0);
-    assert!(tr.windows[0].len() > 0);
+    assert!(!tr.windows[0].is_empty());
 }

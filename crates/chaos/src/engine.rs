@@ -1,0 +1,417 @@
+//! The chaos engine: one seeded run under fault injection, with oracles.
+//!
+//! The engine builds a fresh simulation per run (workload, cluster, MPI
+//! world, checkpoint runtime), spawns the periodic checkpoint controller,
+//! and one injector task per scheduled event:
+//!
+//! * **crash** — halt every member of the target group (a dedicated halt
+//!   gate, so an in-flight wave's own freeze/thaw cannot resurrect them),
+//!   wait for in-flight checkpoint waves to drain, run the group-local
+//!   recovery protocol, check the recovery-line and stream-closure
+//!   oracles, resume. Crashes serialize with each other; storms, outages
+//!   and slowdowns fire concurrently, so a second fault can land mid-drain,
+//!   mid-image-write or mid-recovery-volume-exchange.
+//! * **storm / outage / slow** — dial the injected knob up, sleep the
+//!   window, dial it back.
+//!
+//! After the run, the end-of-run oracles check workload completion,
+//! quiescence, the recovery line, and exact byte-stream closure. A
+//! deadlocked simulation is reported as a violation, not a panic — the
+//! harness's job is to catch protocol bugs, not to die of them.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use gcr_ckpt::{check_quiescent, check_recovery_line, CkptConfig, CkptRuntime, Mode};
+use gcr_group::GroupDef;
+use gcr_json::Json;
+use gcr_mpi::{Rank, World};
+use gcr_net::{Cluster, StorageTarget};
+use gcr_sim::{Sim, SimDuration, SimTime};
+
+use crate::schedule::ChaosEvent;
+use crate::spec::{chaos_cluster_spec, chaos_world_opts, ChaosProto, ChaosSpec};
+
+/// Injector poll cadence while waiting for wave-idle or recovery turns.
+const POLL: SimDuration = SimDuration::from_millis(1);
+
+/// One group recovery performed during a chaos run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoverySummary {
+    /// The recovered group.
+    pub group: usize,
+    /// Ranks rolled back.
+    pub ranks: usize,
+    /// Injection instant of the crash (scheduled, simulated ms).
+    pub at_ms: u64,
+    /// Wall (simulated) recovery time in seconds.
+    pub downtime_s: f64,
+    /// Bytes replayed into the group from live ranks' logs.
+    pub replayed_bytes: u64,
+}
+
+/// Everything a chaos run reports. Fully deterministic given the spec:
+/// two runs of the same spec produce byte-identical reports.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Root seed.
+    pub seed: u64,
+    /// Workload label.
+    pub workload: String,
+    /// Protocol label.
+    pub proto: String,
+    /// Storage target label.
+    pub storage: String,
+    /// Checkpoint interval (ms).
+    pub interval_ms: u64,
+    /// GC-overshoot fault knob.
+    pub gc_overshoot: u64,
+    /// The schedule in compact string form.
+    pub schedule: String,
+    /// Application completion time (s); 0 if it never completed.
+    pub exec_s: f64,
+    /// Completed checkpoint waves.
+    pub waves: u64,
+    /// Events that fired.
+    pub events_applied: u64,
+    /// Events skipped because the application had already finished.
+    pub events_skipped: u64,
+    /// Group recoveries, in injection order.
+    pub recoveries: Vec<RecoverySummary>,
+    /// Oracle violations (empty = the run passed).
+    pub violations: Vec<String>,
+    /// Digest over every metrics record (nanosecond-exact).
+    pub metrics_digest: u64,
+}
+
+impl ChaosReport {
+    /// Did every oracle hold?
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The report as a JSON document (deterministic field order).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("seed", Json::from(self.seed)),
+            ("workload", Json::from(self.workload.as_str())),
+            ("proto", Json::from(self.proto.as_str())),
+            ("storage", Json::from(self.storage.as_str())),
+            ("interval_ms", Json::from(self.interval_ms)),
+            ("gc_overshoot", Json::from(self.gc_overshoot)),
+            ("schedule", Json::from(self.schedule.as_str())),
+            ("exec_s", Json::from(self.exec_s)),
+            ("waves", Json::from(self.waves)),
+            ("events_applied", Json::from(self.events_applied)),
+            ("events_skipped", Json::from(self.events_skipped)),
+            (
+                "recoveries",
+                Json::from(
+                    self.recoveries
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("group", Json::from(r.group)),
+                                ("ranks", Json::from(r.ranks)),
+                                ("at_ms", Json::from(r.at_ms)),
+                                ("downtime_s", Json::from(r.downtime_s)),
+                                ("replayed_bytes", Json::from(r.replayed_bytes)),
+                            ])
+                        })
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+            (
+                "violations",
+                Json::from(
+                    self.violations
+                        .iter()
+                        .map(|v| Json::from(v.as_str()))
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+            ("metrics_digest", Json::from(self.metrics_digest)),
+        ])
+    }
+
+    /// FNV-1a digest of the serialized report — the unit of the
+    /// bit-determinism oracle.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.to_json().dump().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Execute one chaos run. Deterministic given the spec.
+pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
+    let wl = spec.workload.build();
+    let n = wl.n();
+    let sim = Sim::new();
+    let cluster = Cluster::new(&sim, chaos_cluster_spec(n));
+    let world = World::new(cluster.clone(), chaos_world_opts());
+    wl.launch(&world);
+
+    let groups = Rc::new(spec.proto.resolve_groups(spec.workload));
+    let mode = if spec.proto == ChaosProto::Vcl {
+        Mode::Vcl
+    } else {
+        Mode::Blocking
+    };
+    let mut cfg = CkptConfig::uniform(n, 0, spec.storage);
+    cfg.image_bytes = wl.image_bytes();
+    cfg.seed = spec.seed;
+    cfg.gc_overshoot = spec.gc_overshoot;
+    let rt = CkptRuntime::install(&world, Rc::clone(&groups), mode, cfg);
+
+    let violations: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+    let recoveries: Rc<RefCell<Vec<RecoverySummary>>> = Rc::new(RefCell::new(Vec::new()));
+    let applied = Rc::new(Cell::new(0u64));
+    let skipped = Rc::new(Cell::new(0u64));
+    // Crash injections serialize on this flag; other faults fire freely.
+    let recovering = Rc::new(Cell::new(false));
+    let app_done_at = Rc::new(Cell::new(SimTime::ZERO));
+
+    {
+        let (world, sim2, t) = (world.clone(), sim.clone(), Rc::clone(&app_done_at));
+        sim.spawn_named("chaos-exec-timer", async move {
+            world.wait_all_ranks().await;
+            t.set(sim2.now());
+        });
+    }
+    {
+        let (rt, world) = (rt.clone(), world.clone());
+        let interval = SimDuration::from_millis(spec.interval_ms);
+        sim.spawn_named("chaos-controller", async move {
+            rt.interval_schedule(interval, interval).await;
+            world.wait_all_ranks().await;
+            rt.shutdown();
+        });
+    }
+
+    for (i, ev) in spec.schedule.iter().copied().enumerate() {
+        let sim2 = sim.clone();
+        let world = world.clone();
+        let cluster = cluster.clone();
+        let rt = rt.clone();
+        let groups = Rc::clone(&groups);
+        let violations = Rc::clone(&violations);
+        let recoveries = Rc::clone(&recoveries);
+        let applied = Rc::clone(&applied);
+        let skipped = Rc::clone(&skipped);
+        let recovering = Rc::clone(&recovering);
+        let n_u = n;
+        sim.spawn_named(format!("chaos-inject{i}"), async move {
+            sim2.sleep_until(SimTime::ZERO + SimDuration::from_millis(ev.at_ms()))
+                .await;
+            match ev {
+                ChaosEvent::Crash { at_ms, group } => {
+                    // One recovery at a time; a crash that queues behind an
+                    // ongoing one models back-to-back group failures.
+                    while recovering.get() {
+                        sim2.sleep(POLL).await;
+                    }
+                    if world.ranks_finished() >= n_u {
+                        skipped.set(skipped.get() + 1);
+                        return;
+                    }
+                    recovering.set(true);
+                    let gid = (group as usize) % groups.group_count();
+                    for &m in groups.members(gid) {
+                        world.halt(Rank(m));
+                    }
+                    // recover_group needs a protocol-quiescent point: let
+                    // any in-flight wave drain first (the halted ranks
+                    // still execute protocol code — only the application
+                    // plane is dead).
+                    while rt.waves_in_flight() > 0 {
+                        sim2.sleep(POLL).await;
+                    }
+                    let stats = rt.recover_group(gid).await;
+                    recoveries.borrow_mut().push(RecoverySummary {
+                        group: gid,
+                        ranks: stats.ranks_restarted,
+                        at_ms,
+                        downtime_s: stats.downtime.as_secs_f64(),
+                        replayed_bytes: stats.replayed_into_group_bytes,
+                    });
+                    // Post-recovery oracles, before the group resumes.
+                    if rt.mode() == Mode::Blocking {
+                        if let Err(vs) = check_recovery_line(&world, &rt) {
+                            for v in vs {
+                                violations
+                                    .borrow_mut()
+                                    .push(format!("post-recovery(g{gid}) {v}"));
+                            }
+                        }
+                        for v in stream_closure_violations(n_u, &groups, &rt) {
+                            violations
+                                .borrow_mut()
+                                .push(format!("post-recovery(g{gid}) {v}"));
+                        }
+                    }
+                    for &m in groups.members(gid) {
+                        world.resume(Rank(m));
+                    }
+                    recovering.set(false);
+                    applied.set(applied.get() + 1);
+                }
+                ChaosEvent::Storm { dur_ms, factor, .. } => {
+                    if world.ranks_finished() >= n_u {
+                        skipped.set(skipped.get() + 1);
+                        return;
+                    }
+                    cluster.set_straggler_storm(factor as f64);
+                    applied.set(applied.get() + 1);
+                    sim2.sleep(SimDuration::from_millis(dur_ms)).await;
+                    cluster.set_straggler_storm(1.0);
+                }
+                ChaosEvent::Outage { dur_ms, server, .. } => {
+                    if world.ranks_finished() >= n_u {
+                        skipped.set(skipped.get() + 1);
+                        return;
+                    }
+                    let storage = cluster.storage();
+                    let srv = (server as usize) % storage.remote_servers();
+                    storage.set_server_down(srv, true);
+                    applied.set(applied.get() + 1);
+                    sim2.sleep(SimDuration::from_millis(dur_ms)).await;
+                    storage.set_server_down(srv, false);
+                }
+                ChaosEvent::Slow {
+                    dur_ms,
+                    node,
+                    factor,
+                    ..
+                } => {
+                    if world.ranks_finished() >= n_u {
+                        skipped.set(skipped.get() + 1);
+                        return;
+                    }
+                    let network = cluster.network();
+                    let node = (node as usize) % network.nodes();
+                    network.set_node_slowdown(node, factor as f64);
+                    applied.set(applied.get() + 1);
+                    sim2.sleep(SimDuration::from_millis(dur_ms)).await;
+                    network.set_node_slowdown(node, 1.0);
+                }
+            }
+        });
+    }
+
+    if let Err(d) = sim.run() {
+        violations.borrow_mut().push(format!("deadlock: {d}"));
+    }
+
+    // End-of-run oracles.
+    if world.ranks_finished() < n {
+        violations.borrow_mut().push(format!(
+            "completion: {}/{n} ranks finished",
+            world.ranks_finished()
+        ));
+    }
+    if let Err(v) = check_quiescent(&world) {
+        for v in v {
+            violations.borrow_mut().push(format!("quiescence: {v}"));
+        }
+    }
+    if mode == Mode::Blocking && rt.metrics().waves() > 0 {
+        if let Err(vs) = check_recovery_line(&world, &rt) {
+            for v in vs {
+                violations.borrow_mut().push(format!("end-of-run {v}"));
+            }
+        }
+        for v in stream_closure_violations(n, &groups, &rt) {
+            violations.borrow_mut().push(format!("end-of-run {v}"));
+        }
+    }
+
+    let violations = violations.borrow().clone();
+    let recoveries = recoveries.borrow().clone();
+    ChaosReport {
+        seed: spec.seed,
+        workload: spec.workload.label().to_string(),
+        proto: spec.proto.label().to_string(),
+        storage: match spec.storage {
+            StorageTarget::Local => "local".to_string(),
+            StorageTarget::Remote => "remote".to_string(),
+        },
+        interval_ms: spec.interval_ms,
+        gc_overshoot: spec.gc_overshoot,
+        schedule: spec.schedule_string(),
+        exec_s: app_done_at.get().as_secs_f64(),
+        waves: rt.metrics().waves(),
+        events_applied: applied.get(),
+        events_skipped: skipped.get(),
+        recoveries,
+        violations,
+        metrics_digest: rt.metrics().digest(),
+    }
+}
+
+/// Run the spec twice and also check the bit-determinism oracle: the two
+/// reports must be byte-identical. Returns the first run's report, with a
+/// determinism violation appended if the digests differ.
+pub fn run_chaos_verified(spec: &ChaosSpec) -> ChaosReport {
+    let mut first = run_chaos(spec);
+    let second = run_chaos(spec);
+    if first.digest() != second.digest() {
+        first.violations.push(format!(
+            "determinism: seed {} produced digests {:#x} vs {:#x}",
+            spec.seed,
+            first.digest(),
+            second.digest()
+        ));
+    }
+    first
+}
+
+/// Exact byte-stream closure: for every inter-group pair `i → j`, replay
+/// from `i`'s retained log plus `j`'s skip arithmetic must reconstruct the
+/// checkpointed stream `S_ckpt` byte-for-byte.
+///
+/// Where the receiver's recorded `RR` trails the sender's checkpointed
+/// `S` (`rr < ss`), the retained log entries must tile `[rr, ss)` without
+/// a hole; otherwise the skip `rr - ss` must not exceed what the sender
+/// actually sent past its snapshot.
+fn stream_closure_violations(n: usize, groups: &GroupDef, rt: &CkptRuntime) -> Vec<String> {
+    let mut out = Vec::new();
+    for i in 0..n as u32 {
+        for j in groups.out_of_group(i) {
+            let rr = rt.gp_state(j).rr(i);
+            let ss = rt.gp_state(i).ss(j);
+            if rr < ss {
+                let entries = rt.gp_state(i).replay_entries(j, rr);
+                let mut cursor = rr;
+                let mut holed = false;
+                for e in &entries {
+                    if e.offset > cursor {
+                        out.push(format!(
+                            "closure {i}->{j}: log hole at byte {cursor} (next retained entry starts at {})",
+                            e.offset
+                        ));
+                        holed = true;
+                        break;
+                    }
+                    cursor = cursor.max(e.end());
+                }
+                if !holed && cursor < ss {
+                    out.push(format!(
+                        "closure {i}->{j}: replay reconstructs only [{rr}, {cursor}) of [{rr}, {ss})"
+                    ));
+                }
+            } else {
+                let sent = rt.gp_state(i).sent_to(j);
+                if rr > sent {
+                    out.push(format!(
+                        "closure {i}->{j}: receiver recorded {rr} bytes but sender only ever sent {sent}"
+                    ));
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,38 @@
+//! # gcr-chaos — deterministic fault-injection harness
+//!
+//! Drives seeded-random failure schedules against every checkpoint
+//! protocol (NORM / GP / GP1 / GP4 / VCL) over every workload skeleton,
+//! then checks invariant oracles after each recovery and at the end of
+//! the run:
+//!
+//! * **recovery line** — [`gcr_ckpt::check_recovery_line`],
+//! * **quiescence** — [`gcr_ckpt::check_quiescent`],
+//! * **exact byte-stream closure** — replay + skip reconstructs the
+//!   sender stream `[RR, S_ckpt)` byte-for-byte, no holes, no excess,
+//! * **workload completion** — every rank finishes,
+//! * **bit-determinism** — the same seed yields an identical report
+//!   digest on a second run ([`run_chaos_verified`]).
+//!
+//! Injected faults ([`ChaosEvent`]): rank-group crashes at any protocol
+//! phase (the engine halts the group, waits for in-flight waves to drain,
+//! runs group recovery, and resumes), straggler storms, storage-server
+//! outages, and per-node link degradation. Everything — the schedule, the
+//! injection instants, the simulation itself — derives from one `u64`
+//! seed, so every run is replayable with
+//! `gcrsim chaos --seed N [--schedule ...]`.
+//!
+//! On an oracle violation, [`shrink`] greedily minimizes the failing
+//! schedule (fewer events, later injection times) and emits a one-line
+//! repro command.
+
+#![warn(missing_docs)]
+
+mod engine;
+mod schedule;
+mod shrink;
+mod spec;
+
+pub use engine::{run_chaos, run_chaos_verified, ChaosReport, RecoverySummary};
+pub use schedule::{format_schedule, parse_schedule, ChaosEvent};
+pub use shrink::{shrink, ShrinkOutcome};
+pub use spec::{repro_command, ChaosProto, ChaosSpec, ChaosWorkload};

@@ -1,0 +1,264 @@
+//! Failure schedules: the event vocabulary and its compact string form.
+//!
+//! A schedule is a `;`-separated list of events, each with an injection
+//! instant in simulated milliseconds:
+//!
+//! ```text
+//! crash:g1@2500            group 1 crashes at t = 2.5 s
+//! storm:x8@1000+4000       straggler storm ×8 during [1.0 s, 5.0 s)
+//! outage:s0@2000+3000      checkpoint server 0 down during [2.0 s, 5.0 s)
+//! slow:n3x4@1500+2500      node 3's links ×4 slower during [1.5 s, 4.0 s)
+//! ```
+//!
+//! The string form is what `gcrsim chaos --schedule` accepts, so a
+//! shrunken failing schedule is directly replayable.
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// All ranks of a group fail at `at_ms` and are recovered via the
+    /// group-local restart protocol. `group` is reduced modulo the run's
+    /// group count.
+    Crash {
+        /// Injection instant (simulated ms).
+        at_ms: u64,
+        /// Target group (mod group count).
+        group: u64,
+    },
+    /// Straggler storm: coordination stragglers become `factor`× more
+    /// likely and `factor`× longer for `dur_ms`.
+    Storm {
+        /// Start instant (simulated ms).
+        at_ms: u64,
+        /// Duration (ms).
+        dur_ms: u64,
+        /// Multiplier (≥ 2).
+        factor: u64,
+    },
+    /// A remote checkpoint server is unreachable for `dur_ms`; clients
+    /// fail over deterministically to the next live server.
+    Outage {
+        /// Start instant (simulated ms).
+        at_ms: u64,
+        /// Duration (ms).
+        dur_ms: u64,
+        /// Target server (mod server count).
+        server: u64,
+    },
+    /// A node's links degrade by `factor`× for `dur_ms` (delayed/burst
+    /// link behaviour).
+    Slow {
+        /// Start instant (simulated ms).
+        at_ms: u64,
+        /// Duration (ms).
+        dur_ms: u64,
+        /// Target node (mod endpoint count).
+        node: u64,
+        /// Slowdown multiplier (≥ 2).
+        factor: u64,
+    },
+}
+
+impl ChaosEvent {
+    /// The injection instant in simulated milliseconds.
+    pub fn at_ms(&self) -> u64 {
+        match *self {
+            ChaosEvent::Crash { at_ms, .. }
+            | ChaosEvent::Storm { at_ms, .. }
+            | ChaosEvent::Outage { at_ms, .. }
+            | ChaosEvent::Slow { at_ms, .. } => at_ms,
+        }
+    }
+
+    /// Postpone the injection instant by `ms` (shrinking toward "fails as
+    /// late as possible").
+    pub fn delay(&mut self, ms: u64) {
+        match self {
+            ChaosEvent::Crash { at_ms, .. }
+            | ChaosEvent::Storm { at_ms, .. }
+            | ChaosEvent::Outage { at_ms, .. }
+            | ChaosEvent::Slow { at_ms, .. } => *at_ms += ms,
+        }
+    }
+
+    /// The compact string form of this event.
+    pub fn format(&self) -> String {
+        match *self {
+            ChaosEvent::Crash { at_ms, group } => format!("crash:g{group}@{at_ms}"),
+            ChaosEvent::Storm {
+                at_ms,
+                dur_ms,
+                factor,
+            } => {
+                format!("storm:x{factor}@{at_ms}+{dur_ms}")
+            }
+            ChaosEvent::Outage {
+                at_ms,
+                dur_ms,
+                server,
+            } => {
+                format!("outage:s{server}@{at_ms}+{dur_ms}")
+            }
+            ChaosEvent::Slow {
+                at_ms,
+                dur_ms,
+                node,
+                factor,
+            } => {
+                format!("slow:n{node}x{factor}@{at_ms}+{dur_ms}")
+            }
+        }
+    }
+}
+
+/// Format a schedule as a `;`-joined compact string (empty for no events).
+pub fn format_schedule(events: &[ChaosEvent]) -> String {
+    events
+        .iter()
+        .map(ChaosEvent::format)
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// Parse the compact schedule form; the inverse of [`format_schedule`].
+/// An empty string parses to an empty schedule.
+pub fn parse_schedule(s: &str) -> Result<Vec<ChaosEvent>, String> {
+    let mut out = Vec::new();
+    for part in s.split(';') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        out.push(parse_event(part)?);
+    }
+    Ok(out)
+}
+
+fn parse_event(s: &str) -> Result<ChaosEvent, String> {
+    let (kind, rest) = s
+        .split_once(':')
+        .ok_or_else(|| format!("event `{s}`: expected `kind:...`"))?;
+    let (head, times) = rest
+        .split_once('@')
+        .ok_or_else(|| format!("event `{s}`: expected `...@time`"))?;
+    let num = |txt: &str| -> Result<u64, String> {
+        txt.parse::<u64>()
+            .map_err(|_| format!("event `{s}`: bad number `{txt}`"))
+    };
+    let window = |txt: &str| -> Result<(u64, u64), String> {
+        let (at, dur) = txt
+            .split_once('+')
+            .ok_or_else(|| format!("event `{s}`: expected `@start+dur`"))?;
+        Ok((num(at)?, num(dur)?))
+    };
+    match kind {
+        "crash" => {
+            let group = num(head
+                .strip_prefix('g')
+                .ok_or_else(|| format!("event `{s}`: expected `crash:g<group>@<ms>`"))?)?;
+            Ok(ChaosEvent::Crash {
+                at_ms: num(times)?,
+                group,
+            })
+        }
+        "storm" => {
+            let factor = num(head
+                .strip_prefix('x')
+                .ok_or_else(|| format!("event `{s}`: expected `storm:x<factor>@<ms>+<dur>`"))?)?;
+            let (at_ms, dur_ms) = window(times)?;
+            Ok(ChaosEvent::Storm {
+                at_ms,
+                dur_ms,
+                factor,
+            })
+        }
+        "outage" => {
+            let server = num(head
+                .strip_prefix('s')
+                .ok_or_else(|| format!("event `{s}`: expected `outage:s<server>@<ms>+<dur>`"))?)?;
+            let (at_ms, dur_ms) = window(times)?;
+            Ok(ChaosEvent::Outage {
+                at_ms,
+                dur_ms,
+                server,
+            })
+        }
+        "slow" => {
+            let body = head.strip_prefix('n').ok_or_else(|| {
+                format!("event `{s}`: expected `slow:n<node>x<factor>@<ms>+<dur>`")
+            })?;
+            let (node, factor) = body
+                .split_once('x')
+                .ok_or_else(|| format!("event `{s}`: expected `n<node>x<factor>`"))?;
+            let (at_ms, dur_ms) = window(times)?;
+            Ok(ChaosEvent::Slow {
+                at_ms,
+                dur_ms,
+                node: num(node)?,
+                factor: num(factor)?,
+            })
+        }
+        other => Err(format!("unknown event kind `{other}` in `{s}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        let sched = vec![
+            ChaosEvent::Crash {
+                at_ms: 2500,
+                group: 1,
+            },
+            ChaosEvent::Storm {
+                at_ms: 1000,
+                dur_ms: 4000,
+                factor: 8,
+            },
+            ChaosEvent::Outage {
+                at_ms: 2000,
+                dur_ms: 3000,
+                server: 0,
+            },
+            ChaosEvent::Slow {
+                at_ms: 1500,
+                dur_ms: 2500,
+                node: 3,
+                factor: 4,
+            },
+        ];
+        let s = format_schedule(&sched);
+        assert_eq!(
+            s,
+            "crash:g1@2500;storm:x8@1000+4000;outage:s0@2000+3000;slow:n3x4@1500+2500"
+        );
+        assert_eq!(parse_schedule(&s).unwrap(), sched);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        assert!(parse_schedule("").unwrap().is_empty());
+        assert_eq!(format_schedule(&[]), "");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_schedule("crash:1@2500").is_err());
+        assert!(parse_schedule("storm:x8@1000").is_err());
+        assert!(parse_schedule("boom:g1@1").is_err());
+        assert!(parse_schedule("crash:g1").is_err());
+    }
+
+    #[test]
+    fn delay_moves_injection_later() {
+        let mut e = ChaosEvent::Crash {
+            at_ms: 100,
+            group: 0,
+        };
+        e.delay(400);
+        assert_eq!(e.at_ms(), 500);
+    }
+}

@@ -30,7 +30,10 @@ use crate::metrics::Metrics;
 /// # Panics
 /// Panics unless both inputs are positive.
 pub fn optimal_interval(ckpt_cost: SimDuration, mtbf: SimDuration) -> SimDuration {
-    assert!(!ckpt_cost.is_zero() && !mtbf.is_zero(), "cost and MTBF must be positive");
+    assert!(
+        !ckpt_cost.is_zero() && !mtbf.is_zero(),
+        "cost and MTBF must be positive"
+    );
     SimDuration::from_secs_f64((2.0 * ckpt_cost.as_secs_f64() * mtbf.as_secs_f64()).sqrt())
 }
 
@@ -71,8 +74,11 @@ pub fn analyze_schedule(metrics: &Metrics, exec_s: f64, mtbf: SimDuration) -> Wo
     // fewer than two waves exist).
     let mut starts: Vec<f64> = Vec::new();
     for w in 0..waves {
-        if let Some(t) =
-            recs.iter().filter(|r| r.wave == w).map(|r| r.started.as_secs_f64()).reduce(f64::min)
+        if let Some(t) = recs
+            .iter()
+            .filter(|r| r.wave == w)
+            .map(|r| r.started.as_secs_f64())
+            .reduce(f64::min)
         {
             starts.push(t);
         }
@@ -87,7 +93,11 @@ pub fn analyze_schedule(metrics: &Metrics, exec_s: f64, mtbf: SimDuration) -> Wo
     let mean_restart_s = if restarts.is_empty() {
         0.0
     } else {
-        restarts.iter().map(|r| r.duration().as_secs_f64()).sum::<f64>() / restarts.len() as f64
+        restarts
+            .iter()
+            .map(|r| r.duration().as_secs_f64())
+            .sum::<f64>()
+            / restarts.len() as f64
     };
     let expected_loss = mean_interval_s / 2.0 + mean_restart_s;
     let expected_failures = exec_s / mtbf.as_secs_f64();
@@ -135,8 +145,7 @@ mod tests {
 
     #[test]
     fn lost_work_is_half_interval_plus_recovery() {
-        let loss =
-            expected_lost_work(SimDuration::from_secs(600), SimDuration::from_secs(30));
+        let loss = expected_lost_work(SimDuration::from_secs(600), SimDuration::from_secs(30));
         assert!((loss.as_secs_f64() - 330.0).abs() < 1e-9);
     }
 
@@ -186,7 +195,7 @@ mod tests {
     fn work_lost_counts_time_since_last_ckpt() {
         let m = Metrics::new();
         m.push_ckpt(rec(0, 100)); // rank 0 finishes its ckpt at t = 104
-        // Failure at t = 150: rank 0 loses 46 s, rank 1 (never ckpted) 150 s.
+                                  // Failure at t = 150: rank 0 loses 46 s, rank 1 (never ckpted) 150 s.
         let lost = work_lost_at(&m, &[0, 1], 150.0);
         assert!((lost - (46.0 + 150.0)).abs() < 1e-9);
         // A failure before the checkpoint ignores it.

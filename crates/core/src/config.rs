@@ -52,6 +52,12 @@ pub struct CkptConfig {
     pub log_copy_bps: f64,
     /// Fixed per-logged-message overhead.
     pub log_fixed: SimDuration,
+    /// Fault-injection knob: over-GC the sender log by this many extra
+    /// bytes past every `RR` piggyback. Zero (the default) is the correct
+    /// protocol; nonzero deliberately violates the log-retention invariant
+    /// so the chaos harness can prove its oracles and shrinker catch real
+    /// bugs.
+    pub gc_overshoot: u64,
     /// Image-size inflation of the VCL baseline relative to BLCR: MPICH-V's
     /// user-level checkpointer captures the full address space, while BLCR
     /// dumps resident pages only. Applied to `image_bytes` in VCL waves.
@@ -76,6 +82,7 @@ impl CkptConfig {
             piggyback_gc: true,
             log_copy_bps: 250e6,
             log_fixed: SimDuration::from_micros(20),
+            gc_overshoot: 0,
             vcl_image_factor: 2.0,
             seed: 0x9c27_b0e1,
         }

@@ -8,8 +8,8 @@
 
 use std::rc::Rc;
 
-use gcr_sim::future::{join2, join_all};
 use gcr_mpi::{Rank, RankCtx};
+use gcr_sim::future::{join2, join_all};
 
 /// Control-tag namespaces (each offset by the wave / phase id).
 pub mod tags {
@@ -75,8 +75,11 @@ pub async fn bookmark_drain(ctx: &RankCtx, members: &[u32], wave: u64) {
     // bookmark snapshot is complete.
     world.wait_no_pending_grants(me).await;
     let tag = tags::BOOKMARK + wave;
-    let peers: Vec<Rank> =
-        members.iter().filter(|&&r| r != me.0).map(|&r| Rank(r)).collect();
+    let peers: Vec<Rank> = members
+        .iter()
+        .filter(|&&r| r != me.0)
+        .map(|&r| Rank(r))
+        .collect();
     let futs: Vec<_> = peers
         .iter()
         .map(|&peer| {

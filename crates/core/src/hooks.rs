@@ -43,6 +43,9 @@ pub struct GpState {
     logged_bytes: Cell<u64>,
     /// Total log bytes garbage-collected thanks to piggybacks.
     gc_bytes: Cell<u64>,
+    /// Fault-injection knob: GC `piggyback + overshoot` instead of the
+    /// piggybacked `RR`. Nonzero deliberately breaks log retention.
+    gc_overshoot: Cell<u64>,
 }
 
 impl GpState {
@@ -68,7 +71,13 @@ impl GpState {
             log_disk: RefCell::new(None),
             logged_bytes: Cell::new(0),
             gc_bytes: Cell::new(0),
+            gc_overshoot: Cell::new(0),
         })
+    }
+
+    /// Set the GC-overshoot fault knob (see [`crate::CkptConfig::gc_overshoot`]).
+    pub fn set_gc_overshoot(&self, bytes: u64) {
+        self.gc_overshoot.set(bytes);
     }
 
     /// Attach the background log writer: logged bytes are streamed to the
@@ -124,7 +133,12 @@ impl GpState {
     /// retained entries overlapping `[peer_rr, to)` where `to` is the
     /// sender's current `S` (no snapshot — the live rank never rolled
     /// back).
-    pub fn replay_entries_live(&self, q: u32, peer_rr: u64, to: u64) -> Vec<crate::msglog::LogEntry> {
+    pub fn replay_entries_live(
+        &self,
+        q: u32,
+        peer_rr: u64,
+        to: u64,
+    ) -> Vec<crate::msglog::LogEntry> {
         self.log
             .borrow()
             .peer(q)
@@ -178,10 +192,13 @@ impl MpiHook for GpState {
         if !self.groups.is_intra(self.rank, dst) {
             // Asynchronous sender-based logging of the inter-group message:
             // the copy into the log buffer delays the sender.
-            self.log.borrow_mut().peer_mut(dst).append(env.bytes, env.id.seq);
+            self.log
+                .borrow_mut()
+                .peer_mut(dst)
+                .append(env.bytes, env.id.seq);
             self.logged_bytes.set(self.logged_bytes.get() + env.bytes);
-            cost = self.log_fixed
-                + SimDuration::from_secs_f64(env.bytes as f64 / self.log_copy_bps);
+            cost =
+                self.log_fixed + SimDuration::from_secs_f64(env.bytes as f64 / self.log_copy_bps);
             // Stream the entry to disk in the background.
             if let Some((storage, node)) = self.log_disk.borrow().as_ref() {
                 let _ = storage.queue_local_log_write(*node, env.bytes);
@@ -200,7 +217,11 @@ impl MpiHook for GpState {
         self.vols.borrow_mut().on_recv(src, env.bytes);
         if let Some(v) = env.piggyback_rr {
             if self.piggyback_gc {
-                let dropped = self.log.borrow_mut().peer_mut(src).gc(v);
+                let dropped = self
+                    .log
+                    .borrow_mut()
+                    .peer_mut(src)
+                    .gc(v + self.gc_overshoot.get());
                 self.gc_bytes.set(self.gc_bytes.get() + dropped);
             }
         }
@@ -271,7 +292,10 @@ mod tests {
             dst: Rank(dst),
             tag: Tag::app(0),
             bytes,
-            id: MsgId { src: Rank(src), seq },
+            id: MsgId {
+                src: Rank(src),
+                seq,
+            },
             kind: MsgKind::App,
             piggyback_rr: None,
             payload: None,

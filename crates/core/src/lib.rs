@@ -36,7 +36,9 @@ pub mod runtime;
 pub mod vcl;
 pub mod volume;
 
-pub use advisor::{analyze_schedule, expected_lost_work, optimal_interval, work_lost_at, WorkLossReport};
+pub use advisor::{
+    analyze_schedule, expected_lost_work, optimal_interval, work_lost_at, WorkLossReport,
+};
 pub use config::{CkptConfig, Mode};
 pub use consistency::{check_quiescent, check_recovery_line, Violation};
 pub use hooks::{GpState, VclState};

@@ -136,18 +136,33 @@ impl Metrics {
     /// Paper Fig. 6a: sum over all processes (and waves) of per-process
     /// checkpoint time, in seconds.
     pub fn aggregate_ckpt_time(&self) -> f64 {
-        self.inner.borrow().ckpts.iter().map(|r| r.duration().as_secs_f64()).sum()
+        self.inner
+            .borrow()
+            .ckpts
+            .iter()
+            .map(|r| r.duration().as_secs_f64())
+            .sum()
     }
 
     /// Sum over processes of time spent in the coordination phase
     /// (paper Fig. 1), in seconds.
     pub fn aggregate_coordination_time(&self) -> f64 {
-        self.inner.borrow().ckpts.iter().map(|r| r.phases.coordination.as_secs_f64()).sum()
+        self.inner
+            .borrow()
+            .ckpts
+            .iter()
+            .map(|r| r.phases.coordination.as_secs_f64())
+            .sum()
     }
 
     /// Paper Fig. 6b: sum over all processes of restart time, in seconds.
     pub fn aggregate_restart_time(&self) -> f64 {
-        self.inner.borrow().restarts.iter().map(|r| r.duration().as_secs_f64()).sum()
+        self.inner
+            .borrow()
+            .restarts
+            .iter()
+            .map(|r| r.duration().as_secs_f64())
+            .sum()
     }
 
     /// Mean of the per-rank phase breakdown across all records, in seconds,
@@ -176,18 +191,73 @@ impl Metrics {
         if inner.ckpts.is_empty() {
             return 0.0;
         }
-        inner.ckpts.iter().map(|r| r.duration().as_secs_f64()).sum::<f64>()
+        inner
+            .ckpts
+            .iter()
+            .map(|r| r.duration().as_secs_f64())
+            .sum::<f64>()
             / inner.ckpts.len() as f64
     }
 
     /// Paper Fig. 7: total bytes re-sent during restarts.
     pub fn total_resend_bytes(&self) -> u64 {
-        self.inner.borrow().restarts.iter().map(|r| r.resend_bytes).sum()
+        self.inner
+            .borrow()
+            .restarts
+            .iter()
+            .map(|r| r.resend_bytes)
+            .sum()
     }
 
     /// Paper Fig. 8: total resend operations during restarts.
     pub fn total_resend_ops(&self) -> u64 {
-        self.inner.borrow().restarts.iter().map(|r| r.resend_ops).sum()
+        self.inner
+            .borrow()
+            .restarts
+            .iter()
+            .map(|r| r.resend_ops)
+            .sum()
+    }
+
+    /// Order-sensitive FNV-1a digest over every recorded field, down to
+    /// exact nanosecond timestamps. Two runs are bit-deterministic iff
+    /// their digests match — the chaos harness's determinism oracle.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut fold = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        let inner = self.inner.borrow();
+        fold(inner.completed_waves);
+        fold(inner.ckpts.len() as u64);
+        for r in &inner.ckpts {
+            fold(r.wave);
+            fold(r.rank as u64);
+            fold(r.started.as_nanos());
+            fold(r.finished.as_nanos());
+            fold(r.phases.lock.as_nanos());
+            fold(r.phases.coordination.as_nanos());
+            fold(r.phases.checkpoint.as_nanos());
+            fold(r.phases.finalize.as_nanos());
+            fold(r.log_flushed_bytes);
+            fold(r.image_bytes);
+        }
+        fold(inner.restarts.len() as u64);
+        for r in &inner.restarts {
+            fold(r.rank as u64);
+            fold(r.started.as_nanos());
+            fold(r.finished.as_nanos());
+            fold(r.image_load.as_nanos());
+            fold(r.resend_ops);
+            fold(r.resend_bytes);
+            fold(r.skip_bytes);
+        }
+        h
     }
 }
 

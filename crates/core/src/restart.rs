@@ -9,8 +9,8 @@
 
 use std::rc::Rc;
 
-use gcr_sim::future::{join2, join_all};
 use gcr_mpi::Rank;
+use gcr_sim::future::{join2, join_all};
 
 use gcr_net::StorageTarget;
 
@@ -18,8 +18,23 @@ use crate::ctrlplane::{ctrl_barrier, tags, CTRL_BYTES};
 use crate::metrics::RestartRecord;
 use crate::runtime::RankProto;
 
-/// Execute the restart protocol at one rank; returns its record.
+/// Execute the restart protocol at one rank, exchanging volumes with the
+/// rank's own view of its communication peers. Correct at quiescence
+/// (e.g. a full restart after the application finished), where both sides
+/// of every channel agree on whether they exchanged data.
 pub(crate) async fn restart_rank(p: &RankProto) -> RestartRecord {
+    let out = p.gp.comm_peers();
+    restart_rank_with_peers(p, &out).await
+}
+
+/// Execute the restart protocol at one rank against an explicit peer set.
+/// A mid-run recovery must use this: with traffic still in flight toward
+/// the failed group, the two ends of a channel can disagree about whether
+/// they communicated (the sender counted bytes the halted receiver never
+/// consumed), and a one-sided peer choice deadlocks the volume exchange.
+/// The recovery coordinator computes a symmetric map and hands each
+/// participant its slice.
+pub(crate) async fn restart_rank_with_peers(p: &RankProto, out: &[u32]) -> RestartRecord {
     let ctx = &p.ctx;
     let world = ctx.world().clone();
     let sim = world.sim().clone();
@@ -43,13 +58,13 @@ pub(crate) async fn restart_rank(p: &RankProto) -> RestartRecord {
     // Re-create process spaces / update MPI internal structures.
     sim.sleep(p.cfg.restart_init).await;
 
-    // Pairwise volume exchange + replay — but only with out-of-group
-    // processes this rank actually communicated with (the paper's "small
-    // set of processes" that makes GP restarts cheap relative to GP1).
-    let out = p.gp.comm_peers();
+    // Pairwise volume exchange + replay — but only with the out-of-group
+    // processes this rank communicated with (the paper's "small set of
+    // processes" that makes GP restarts cheap relative to GP1).
     // Per-peer request handling is serial work before the exchanges fly.
     if !out.is_empty() {
-        sim.sleep(p.cfg.restart_peer_overhead * out.len() as u64).await;
+        sim.sleep(p.cfg.restart_peer_overhead * out.len() as u64)
+            .await;
     }
     let mut resend_ops = 0u64;
     let mut resend_bytes = 0u64;
@@ -91,7 +106,9 @@ pub(crate) async fn restart_rank(p: &RankProto) -> RestartRecord {
                         // log before they can be resent.
                         if bytes > 0 {
                             let storage = world.cluster().storage().clone();
-                            storage.read(ctx.rank().idx(), bytes, StorageTarget::Local).await;
+                            storage
+                                .read(ctx.rank().idx(), bytes, StorageTarget::Local)
+                                .await;
                         }
                         ctx.ctrl_send(
                             peer,
@@ -145,20 +162,19 @@ pub(crate) async fn restart_rank(p: &RankProto) -> RestartRecord {
 }
 
 /// A live (non-failed) rank's side of a group recovery: serve the volume
-/// exchange and replay for each restarting peer this rank communicated
-/// with. Live ranks do not roll back — they answer with their *current*
-/// counters, replay the retained log suffix the restarted peer is missing,
-/// and absorb the (empty) replay plan from the peer.
+/// exchange and replay for each of the given restarting peers. Live ranks
+/// do not roll back — they answer with their *current* counters, replay
+/// the retained log suffix the restarted peer is missing, and absorb the
+/// (empty) replay plan from the peer.
+///
+/// `restarting` is this rank's slice of the coordinator's symmetric
+/// exchange map; it must mirror the peer set each restarting member was
+/// given, or the pairwise exchange deadlocks.
 pub(crate) async fn serve_peer_recovery(p: &RankProto, restarting: &[u32]) -> u64 {
     let ctx = &p.ctx;
-    let peers: Vec<u32> = p
-        .gp
-        .comm_peers()
-        .into_iter()
-        .filter(|q| restarting.contains(q))
-        .collect();
-    let futs: Vec<_> = peers
-        .into_iter()
+    let futs: Vec<_> = restarting
+        .iter()
+        .copied()
         .map(|q| {
             let ctx = ctx.clone();
             let gp = Rc::clone(&p.gp);
@@ -178,8 +194,7 @@ pub(crate) async fn serve_peer_recovery(p: &RankProto, restarting: &[u32]) -> u6
                 // guarantees the retained log still covers [q_rr, S).
                 let to = gp.sent_to(q);
                 // All retained entries overlapping [q_rr, current S).
-                let entries: Vec<crate::msglog::LogEntry> =
-                    gp.replay_entries_live(q, q_rr, to);
+                let entries: Vec<crate::msglog::LogEntry> = gp.replay_entries_live(q, q_rr, to);
                 let bytes: u64 = entries.iter().map(|e| e.bytes).sum();
                 let send_side = {
                     let ctx = ctx.clone();

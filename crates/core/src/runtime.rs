@@ -15,7 +15,7 @@ use crate::blocking::blocking_wave;
 use crate::config::{CkptConfig, Mode};
 use crate::hooks::{GpState, VclState};
 use crate::metrics::Metrics;
-use crate::restart::{restart_rank, serve_peer_recovery};
+use crate::restart::{restart_rank, restart_rank_with_peers, serve_peer_recovery};
 use crate::vcl::vcl_wave;
 
 /// Everything one rank's protocol code needs.
@@ -42,6 +42,9 @@ struct RtInner {
     gp: Vec<Rc<GpState>>,
     cmd_tx: RefCell<Vec<Sender<Cmd>>>,
     next_wave: Cell<u64>,
+    /// Checkpoint rounds currently executing — a fault injector must not
+    /// start a group recovery while a wave is mid-flight.
+    waves_in_flight: Cell<u64>,
 }
 
 /// Handle to the installed checkpoint system. Cheap to clone.
@@ -60,7 +63,11 @@ impl CkptRuntime {
     pub fn install(world: &World, groups: Rc<GroupDef>, mode: Mode, cfg: CkptConfig) -> Self {
         let n = world.n();
         assert_eq!(groups.n(), n, "group definition world-size mismatch");
-        assert_eq!(cfg.image_bytes.len(), n, "image_bytes must cover every rank");
+        assert_eq!(
+            cfg.image_bytes.len(),
+            n,
+            "image_bytes must cover every rank"
+        );
         if mode == Mode::Vcl {
             assert_eq!(
                 groups.group_count(),
@@ -75,7 +82,14 @@ impl CkptRuntime {
         let mut gp_states = Vec::with_capacity(n);
         let mut senders = Vec::with_capacity(n);
         for r in 0..n as u32 {
-            let gp = GpState::new(r, Rc::clone(&groups), cfg.piggyback_gc, cfg.log_copy_bps, cfg.log_fixed);
+            let gp = GpState::new(
+                r,
+                Rc::clone(&groups),
+                cfg.piggyback_gc,
+                cfg.log_copy_bps,
+                cfg.log_fixed,
+            );
+            gp.set_gc_overshoot(cfg.gc_overshoot);
             gp.attach_log_disk(Rc::clone(world.cluster().storage()), r as usize);
             let vcl = VclState::new(r, n);
             match mode {
@@ -152,6 +166,7 @@ impl CkptRuntime {
                 gp: gp_states,
                 cmd_tx: RefCell::new(senders),
                 next_wave: Cell::new(0),
+                waves_in_flight: Cell::new(0),
             }),
         }
     }
@@ -176,6 +191,13 @@ impl CkptRuntime {
         self.inner.mode
     }
 
+    /// Number of checkpoint rounds currently executing. A fault injector
+    /// polls this down to zero before recovering a group: `recover_group`
+    /// must run at a protocol-quiescent point.
+    pub fn waves_in_flight(&self) -> u64 {
+        self.inner.waves_in_flight.get()
+    }
+
     /// Trigger one checkpoint wave across all groups and wait until every
     /// rank has finished it. Returns the wave number.
     pub async fn checkpoint_now(&self) -> u64 {
@@ -196,6 +218,17 @@ impl CkptRuntime {
     }
 
     async fn checkpoint_groups_inner(&self, gids: &[usize]) -> u64 {
+        self.inner
+            .waves_in_flight
+            .set(self.inner.waves_in_flight.get() + 1);
+        let wave = self.checkpoint_groups_tracked(gids).await;
+        self.inner
+            .waves_in_flight
+            .set(self.inner.waves_in_flight.get() - 1);
+        wave
+    }
+
+    async fn checkpoint_groups_tracked(&self, gids: &[usize]) -> u64 {
         let wave = self.inner.next_wave.get();
         self.inner.next_wave.set(wave + 1);
         let done = WaitGroup::new();
@@ -210,7 +243,13 @@ impl CkptRuntime {
             let txs = self.inner.cmd_tx.borrow();
             assert!(!txs.is_empty(), "checkpoint runtime was shut down");
             for r in targets {
-                if txs[r as usize].send(Cmd::Ckpt { wave, done: done.clone() }).is_err() {
+                if txs[r as usize]
+                    .send(Cmd::Ckpt {
+                        wave,
+                        done: done.clone(),
+                    })
+                    .is_err()
+                {
                     panic!("checkpoint daemon is gone");
                 }
             }
@@ -312,10 +351,13 @@ impl CkptRuntime {
                 rng: RefCell::new(root_rng.fork_idx(r as u64)),
             };
             let done = done.clone();
-            self.inner.world.sim().spawn_named(format!("restart{r}"), async move {
-                restart_rank(&proto).await;
-                done.done();
-            });
+            self.inner
+                .world
+                .sim()
+                .spawn_named(format!("restart{r}"), async move {
+                    restart_rank(&proto).await;
+                    done.done();
+                });
         }
         done.wait().await;
     }
@@ -332,6 +374,29 @@ impl CkptRuntime {
         let members = self.inner.groups.members(gid).to_vec();
         let n = self.inner.world.n();
         let started = self.inner.world.sim().now();
+        // The recovery coordinator (mpirun) computes the pairwise exchange
+        // map from *both* ends' counters. A one-sided view deadlocks when
+        // traffic is still in flight toward a halted member: the sender
+        // counted bytes the member never consumed, so exactly one side
+        // would show up for the volume exchange. At quiescence the union
+        // equals each rank's own `comm_peers`, so full restarts are
+        // unchanged.
+        let mut member_peers: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut serve_sets: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &m in &members {
+            for q in self.inner.groups.out_of_group(m) {
+                let mine = &self.inner.gp[m as usize];
+                let theirs = &self.inner.gp[q as usize];
+                if mine.sent_to(q) > 0
+                    || mine.received_from(q) > 0
+                    || theirs.sent_to(m) > 0
+                    || theirs.received_from(m) > 0
+                {
+                    member_peers[m as usize].push(q);
+                    serve_sets[q as usize].push(m);
+                }
+            }
+        }
         let done = WaitGroup::new();
         let replayed_in = Rc::new(Cell::new(0u64));
         let root_rng = DetRng::new(self.inner.cfg.seed ^ 0xfa11_ed00);
@@ -347,18 +412,25 @@ impl CkptRuntime {
             };
             done.add(1);
             let done = done.clone();
-            let members = members.clone();
             let is_member = members.contains(&r);
+            let peers = if is_member {
+                std::mem::take(&mut member_peers[r as usize])
+            } else {
+                std::mem::take(&mut serve_sets[r as usize])
+            };
             let replayed_in = Rc::clone(&replayed_in);
-            self.inner.world.sim().spawn_named(format!("recover{r}"), async move {
-                if is_member {
-                    restart_rank(&proto).await;
-                } else {
-                    let served = serve_peer_recovery(&proto, &members).await;
-                    replayed_in.set(replayed_in.get() + served);
-                }
-                done.done();
-            });
+            self.inner
+                .world
+                .sim()
+                .spawn_named(format!("recover{r}"), async move {
+                    if is_member {
+                        restart_rank_with_peers(&proto, &peers).await;
+                    } else {
+                        let served = serve_peer_recovery(&proto, &peers).await;
+                        replayed_in.set(replayed_in.get() + served);
+                    }
+                    done.done();
+                });
         }
         done.wait().await;
         let finished = self.inner.world.sim().now();

@@ -14,8 +14,8 @@
 //! The wave completes at a rank when its image is written, all markers are
 //! in, and the channel state is persisted.
 
-use gcr_sim::future::{join2, join_all};
 use gcr_mpi::Rank;
+use gcr_sim::future::{join2, join_all};
 
 use crate::ctrlplane::{tags, CTRL_BYTES};
 use crate::metrics::{CkptRecord, PhaseBreakdown};
@@ -57,8 +57,7 @@ pub(crate) async fn vcl_wave(p: &RankProto, wave: u64) {
         }
     };
 
-    let image_bytes =
-        (p.cfg.image_bytes[rank.idx()] as f64 * p.cfg.vcl_image_factor) as u64;
+    let image_bytes = (p.cfg.image_bytes[rank.idx()] as f64 * p.cfg.vcl_image_factor) as u64;
     let work = {
         let ctx = ctx.clone();
         let world = world.clone();
@@ -76,7 +75,8 @@ pub(crate) async fn vcl_wave(p: &RankProto, wave: u64) {
                 .map(|&peer| {
                     let ctx = ctx.clone();
                     async move {
-                        ctx.ctrl_send(peer, tags::MARKER + wave, CTRL_BYTES, None).await;
+                        ctx.ctrl_send(peer, tags::MARKER + wave, CTRL_BYTES, None)
+                            .await;
                     }
                 })
                 .collect();

@@ -55,7 +55,10 @@ fn norm_global_checkpoint_completes_and_phases_are_recorded() {
     let recs = rt.metrics().ckpt_records();
     assert_eq!(recs.len(), 4);
     for r in &recs {
-        assert!(r.phases.checkpoint > SimDuration::ZERO, "image write took time");
+        assert!(
+            r.phases.checkpoint > SimDuration::ZERO,
+            "image write took time"
+        );
         assert!(r.finished > r.started);
         assert_eq!(r.log_flushed_bytes, 0, "NORM logs nothing");
     }
@@ -181,7 +184,8 @@ fn piggyback_gc_trims_logs_between_checkpoints() {
         let rt = rt.clone();
         let world = world.clone();
         sim.spawn(async move {
-            rt.interval_schedule(SimDuration::from_millis(50), SimDuration::from_millis(50)).await;
+            rt.interval_schedule(SimDuration::from_millis(50), SimDuration::from_millis(50))
+                .await;
             world.wait_all_ranks().await;
             rt.shutdown();
         });
@@ -217,7 +221,8 @@ fn gc_disabled_retains_everything() {
         let rt = rt.clone();
         let world = world.clone();
         sim.spawn(async move {
-            rt.interval_schedule(SimDuration::from_millis(30), SimDuration::from_millis(30)).await;
+            rt.interval_schedule(SimDuration::from_millis(30), SimDuration::from_millis(30))
+                .await;
             world.wait_all_ranks().await;
             rt.shutdown();
         });
@@ -282,7 +287,11 @@ fn interval_schedule_counts_waves() {
         });
     }
     sim.run().unwrap();
-    assert!(waves.get() >= 3, "expected several waves, got {}", waves.get());
+    assert!(
+        waves.get() >= 3,
+        "expected several waves, got {}",
+        waves.get()
+    );
     assert_eq!(rt.metrics().waves(), waves.get());
 }
 
@@ -364,9 +373,7 @@ fn staggered_round_counts_one_wave_and_covers_everyone() {
     let recs = rt.metrics().ckpt_records();
     assert_eq!(recs.len(), 6, "every rank checkpointed");
     // Groups went one after another: the per-group start times are ordered.
-    let start_of = |rank: u32| {
-        recs.iter().find(|r| r.rank == rank).unwrap().started
-    };
+    let start_of = |rank: u32| recs.iter().find(|r| r.rank == rank).unwrap().started;
     assert!(start_of(0) < start_of(2));
     assert!(start_of(2) < start_of(4));
     check_recovery_line(&world, &rt).unwrap();
@@ -437,8 +444,7 @@ fn group_recovery_is_cheaper_than_global_restart() {
         launch_ring(&world, 60, 4_000, 4);
         let groups = Rc::new(contiguous(8, 4));
         // Shared remote checkpoint servers: restores contend.
-        let config =
-            CkptConfig::uniform(8, 256 << 20, StorageTarget::Remote).deterministic();
+        let config = CkptConfig::uniform(8, 256 << 20, StorageTarget::Remote).deterministic();
         let rt = CkptRuntime::install(&world, groups, Mode::Blocking, config);
         let downtime = Rc::new(std::cell::Cell::new(0.0f64));
         {
@@ -523,7 +529,10 @@ fn work_lost_is_bounded_by_group_scope() {
     let global_loss = work_lost_at(rt.metrics(), &all, t_fail);
     assert!(group_loss > 0.0);
     assert!(group_loss < global_loss);
-    assert!((global_loss / group_loss - 4.0).abs() < 1.0, "roughly 4 groups' worth");
+    assert!(
+        (global_loss / group_loss - 4.0).abs() < 1.0,
+        "roughly 4 groups' worth"
+    );
 }
 
 #[test]

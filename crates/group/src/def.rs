@@ -3,11 +3,10 @@
 //! A `GroupDef` is the artifact the paper's trace analysis produces (the
 //! "group definition file" consumed by `mpirun` and the checkpoint layer).
 
-use serde::Serialize;
 use std::collections::BTreeSet;
-use std::fs::File;
-use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
+
+use gcr_json::{Json, JsonError};
 
 /// Identifier of a group within a [`GroupDef`].
 pub type GroupId = usize;
@@ -22,32 +21,14 @@ pub type GroupId = usize;
 /// assert!(def.is_intra(0, 1));
 /// assert_eq!(def.out_of_group(0), vec![2, 3]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupDef {
     /// World size.
     n: usize,
     /// The groups; each inner vec is sorted ascending.
     groups: Vec<Vec<u32>>,
-    /// rank → group index.
-    #[serde(skip)]
+    /// rank → group index (rebuilt on load, never serialized).
     index: Vec<GroupId>,
-}
-
-// Deserialization re-validates and rebuilds the rank index, so a raw
-// `serde_json::from_str::<GroupDef>` is as safe as `GroupDef::load`.
-impl<'de> serde::Deserialize<'de> for GroupDef {
-    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
-    where
-        D: serde::Deserializer<'de>,
-    {
-        #[derive(serde::Deserialize)]
-        struct Raw {
-            n: usize,
-            groups: Vec<Vec<u32>>,
-        }
-        let raw = Raw::deserialize(deserializer)?;
-        GroupDef::new(raw.n, raw.groups).map_err(serde::de::Error::custom)
-    }
 }
 
 /// Errors from constructing or loading a [`GroupDef`].
@@ -58,7 +39,7 @@ pub enum GroupDefError {
     /// Filesystem error.
     Io(std::io::Error),
     /// Malformed file.
-    Format(serde_json::Error),
+    Format(JsonError),
 }
 
 impl std::fmt::Display for GroupDefError {
@@ -88,7 +69,9 @@ impl GroupDef {
             g.sort_unstable();
             for &r in g.iter() {
                 if r as usize >= n {
-                    return Err(GroupDefError::NotAPartition(format!("rank {r} out of range")));
+                    return Err(GroupDefError::NotAPartition(format!(
+                        "rank {r} out of range"
+                    )));
                 }
                 if !seen.insert(r) {
                     return Err(GroupDefError::NotAPartition(format!("rank {r} duplicated")));
@@ -150,28 +133,71 @@ impl GroupDef {
     /// Ranks outside `rank`'s group (the paper's "out-of-group processes").
     pub fn out_of_group(&self, rank: u32) -> Vec<u32> {
         let gid = self.group_of(rank);
-        (0..self.n as u32).filter(|&r| self.index[r as usize] != gid).collect()
+        (0..self.n as u32)
+            .filter(|&r| self.index[r as usize] != gid)
+            .collect()
+    }
+
+    /// The on-disk JSON representation: `{"n":N,"groups":[[..],..]}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("n", Json::from(self.n)),
+            (
+                "groups",
+                Json::Arr(
+                    self.groups
+                        .iter()
+                        .map(|g| Json::Arr(g.iter().map(|&r| Json::from(r)).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse from a JSON string, re-validating the partition and rebuilding
+    /// the rank index (as safe as [`GroupDef::load`]).
+    ///
+    /// # Errors
+    /// [`GroupDefError`] on parse or partition violation.
+    pub fn from_json_str(s: &str) -> Result<Self, GroupDefError> {
+        let v = Json::parse(s).map_err(GroupDefError::Format)?;
+        let n = v.usize_field("n").map_err(GroupDefError::Format)?;
+        let groups = v
+            .arr_field("groups")
+            .map_err(GroupDefError::Format)?
+            .iter()
+            .map(|g| {
+                g.as_arr()
+                    .ok_or_else(|| JsonError::msg("group is not an array"))?
+                    .iter()
+                    .map(|r| {
+                        r.as_u64()
+                            .and_then(|u| u32::try_from(u).ok())
+                            .ok_or_else(|| JsonError::msg("rank is not a u32"))
+                    })
+                    .collect::<Result<Vec<u32>, JsonError>>()
+            })
+            .collect::<Result<Vec<_>, JsonError>>()
+            .map_err(GroupDefError::Format)?;
+        GroupDef::new(n, groups)
     }
 
     /// Save as JSON.
     ///
     /// # Errors
-    /// [`GroupDefError::Io`] / [`GroupDefError::Format`].
+    /// [`GroupDefError::Io`].
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), GroupDefError> {
-        let mut w = BufWriter::new(File::create(path).map_err(GroupDefError::Io)?);
-        serde_json::to_writer_pretty(&mut w, self).map_err(GroupDefError::Format)?;
-        w.flush().map_err(GroupDefError::Io)?;
-        Ok(())
+        std::fs::write(path, self.to_json().pretty()).map_err(GroupDefError::Io)
     }
 
-    /// Load from JSON (deserialization re-validates the partition and
-    /// rebuilds the rank index).
+    /// Load from JSON (re-validates the partition and rebuilds the rank
+    /// index).
     ///
     /// # Errors
     /// [`GroupDefError`] on IO, parse, or partition violation.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, GroupDefError> {
-        let r = BufReader::new(File::open(path).map_err(GroupDefError::Io)?);
-        serde_json::from_reader(r).map_err(GroupDefError::Format)
+        let text = std::fs::read_to_string(path).map_err(GroupDefError::Io)?;
+        GroupDef::from_json_str(&text)
     }
 }
 
@@ -249,24 +275,24 @@ mod tests {
 }
 
 #[cfg(test)]
-mod serde_hardening {
+mod json_hardening {
     use super::*;
 
     #[test]
-    fn raw_deserialize_rebuilds_the_index() {
+    fn raw_parse_rebuilds_the_index() {
         let def = GroupDef::new(4, vec![vec![0, 2], vec![1, 3]]).unwrap();
-        let json = serde_json::to_string(&def).unwrap();
-        let back: GroupDef = serde_json::from_str(&json).unwrap();
+        let json = def.to_json().dump();
+        let back = GroupDef::from_json_str(&json).unwrap();
         // group_of works (the index was rebuilt, not left empty).
         assert_eq!(back.group_of(3), def.group_of(3));
         assert_eq!(back, def);
     }
 
     #[test]
-    fn raw_deserialize_rejects_non_partitions() {
+    fn raw_parse_rejects_non_partitions() {
         let bad = r#"{"n":4,"groups":[[0,1],[1,2,3]]}"#;
-        assert!(serde_json::from_str::<GroupDef>(bad).is_err());
+        assert!(GroupDef::from_json_str(bad).is_err());
         let missing = r#"{"n":4,"groups":[[0,1]]}"#;
-        assert!(serde_json::from_str::<GroupDef>(missing).is_err());
+        assert!(GroupDef::from_json_str(missing).is_err());
     }
 }

@@ -98,8 +98,11 @@ pub fn form_groups_from_flows(flows: &[PairFlow], n: usize, g: usize) -> GroupDe
 
     // Output: groups from the surviving tuples; unassigned ranks become
     // singletons so the result is a complete partition.
-    let mut groups: Vec<Vec<u32>> =
-        m.into_iter().flatten().map(|t| t.procs.into_iter().collect()).collect();
+    let mut groups: Vec<Vec<u32>> = m
+        .into_iter()
+        .flatten()
+        .map(|t| t.procs.into_iter().collect())
+        .collect();
     for r in 0..n as u32 {
         if owner[r as usize].is_none() {
             groups.push(vec![r]);
@@ -140,7 +143,13 @@ mod tests {
     fn trace_with(n: usize, sends: &[(u32, u32, u64)]) -> Trace {
         let mut tr = Trace::new(n, "t");
         for (i, &(src, dst, bytes)) in sends.iter().enumerate() {
-            tr.events.push(TraceEvent::Send { t: i as u64, src, dst, tag: 0, bytes });
+            tr.events.push(TraceEvent::Send {
+                t: i as u64,
+                src,
+                dst,
+                tag: 0,
+                bytes,
+            });
         }
         tr
     }
@@ -182,10 +191,7 @@ mod tests {
     #[test]
     fn chain_does_not_exceed_bound() {
         // A communication chain 0-1-2-3-4 with descending weights; G=3.
-        let tr = trace_with(
-            5,
-            &[(0, 1, 500), (1, 2, 400), (2, 3, 300), (3, 4, 200)],
-        );
+        let tr = trace_with(5, &[(0, 1, 500), (1, 2, 400), (2, 3, 300), (3, 4, 200)]);
         let def = form_groups(&tr, 3);
         assert!(def.max_group_size() <= 3);
         // Heaviest links grouped first: {0,1,2} forms, then (2,3) can't

@@ -13,6 +13,8 @@ pub mod strategy;
 pub mod windowed;
 
 pub use def::{GroupDef, GroupDefError, GroupId};
-pub use formation::{default_max_group_size, form_groups, form_groups_default, form_groups_from_flows};
+pub use formation::{
+    default_max_group_size, form_groups, form_groups_default, form_groups_from_flows,
+};
 pub use strategy::{contiguous, single, singletons, Strategy};
 pub use windowed::{detect_phases, is_stationary, Phase};

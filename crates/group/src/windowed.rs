@@ -7,8 +7,8 @@
 //! *phases*. The result both detects phase changes and suggests a
 //! per-phase group schedule.
 
-use gcr_trace::record::{Trace, TraceEvent};
 use gcr_trace::pair_flows;
+use gcr_trace::record::{Trace, TraceEvent};
 
 use crate::def::GroupDef;
 use crate::formation::form_groups_from_flows;
@@ -61,7 +61,12 @@ pub fn detect_phases(trace: &Trace, window_ns: u64, max_group_size: usize) -> Ve
                     last.end = t1;
                     last.sends += sends;
                 }
-                _ => phases.push(Phase { start: t0, end: t1, groups: def, sends }),
+                _ => phases.push(Phase {
+                    start: t0,
+                    end: t1,
+                    groups: def,
+                    sends,
+                }),
             }
         } else if let Some(last) = phases.last_mut() {
             last.end = t1;
@@ -85,7 +90,13 @@ mod tests {
     use super::*;
 
     fn send(t: u64, src: u32, dst: u32, bytes: u64) -> TraceEvent {
-        TraceEvent::Send { t, src, dst, tag: 0, bytes }
+        TraceEvent::Send {
+            t,
+            src,
+            dst,
+            tag: 0,
+            bytes,
+        }
     }
 
     /// Two phases: pairs (0,1)/(2,3) early, then (0,2)/(1,3).

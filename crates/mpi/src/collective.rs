@@ -44,7 +44,13 @@ impl Comm {
             .iter()
             .position(|&r| r == me)
             .unwrap_or_else(|| panic!("{me} is not a member of communicator {id}"));
-        Comm { ctx, id, ranks, pos, next_op: Cell::new(0) }
+        Comm {
+            ctx,
+            id,
+            ranks,
+            pos,
+            next_op: Cell::new(0),
+        }
     }
 
     /// The world communicator (id 0, all ranks in order).
@@ -75,7 +81,11 @@ impl Comm {
 
     fn next_seq(&self) -> u64 {
         let op = self.next_op.get();
-        assert!(op < 1 << 16, "collective sequence space exhausted on comm {}", self.id);
+        assert!(
+            op < 1 << 16,
+            "collective sequence space exhausted on comm {}",
+            self.id
+        );
         self.next_op.set(op + 1);
         (self.id << 16) | op
     }
@@ -83,8 +93,11 @@ impl Comm {
     async fn exchange(&self, dst_pos: usize, src_pos: usize, seq: u64, bytes: u64) {
         let dst = self.ranks[dst_pos];
         let src = self.ranks[src_pos];
-        let (_, _env) =
-            join2(self.ctx.coll_send(dst, seq, bytes), self.ctx.coll_recv(src, seq)).await;
+        let (_, _env) = join2(
+            self.ctx.coll_send(dst, seq, bytes),
+            self.ctx.coll_recv(src, seq),
+        )
+        .await;
     }
 
     /// Dissemination barrier: ⌈log₂ n⌉ rounds of small sendrecvs.
@@ -281,7 +294,8 @@ mod tests {
         let (_, _) = run_collective(8, move |comm, ctx| {
             let em = Rc::clone(&em);
             async move {
-                ctx.busy(SimDuration::from_millis(ctx.rank().0 as u64 * 10)).await;
+                ctx.busy(SimDuration::from_millis(ctx.rank().0 as u64 * 10))
+                    .await;
                 comm.barrier().await;
                 em.set(em.get().min(ctx.now()));
             }
@@ -327,7 +341,9 @@ mod tests {
         let c = world.counters();
         // Ring: each rank sends exactly n-1 chunks.
         for r in 0..5 {
-            let sent: u64 = (0..5).map(|d| c.pair(Rank(r), Rank(d as u32)).sent_bytes).sum();
+            let sent: u64 = (0..5)
+                .map(|d| c.pair(Rank(r), Rank(d as u32)).sent_bytes)
+                .sum();
             assert_eq!(sent, 4000);
         }
     }
@@ -338,7 +354,9 @@ mod tests {
             comm.gather(2, 512).await;
         });
         let c = world.counters();
-        let into_root: u64 = (0..6).map(|s| c.pair(Rank(s), Rank(2)).consumed_bytes).sum();
+        let into_root: u64 = (0..6)
+            .map(|s| c.pair(Rank(s), Rank(2)).consumed_bytes)
+            .sum();
         assert_eq!(into_root, 5 * 512);
     }
 
@@ -366,8 +384,7 @@ mod tests {
         for r in 0..6usize {
             world.launch(Rank::from(r), move |ctx| async move {
                 let gid = (r / 3) as u64 + 1;
-                let ranks: Vec<Rank> =
-                    (0..3).map(|i| Rank::from((r / 3) * 3 + i)).collect();
+                let ranks: Vec<Rank> = (0..3).map(|i| Rank::from((r / 3) * 3 + i)).collect();
                 let comm = Comm::new(ctx.clone(), gid, Rc::new(ranks));
                 assert_eq!(comm.size(), 3);
                 comm.barrier().await;
@@ -405,10 +422,10 @@ mod tests {
         });
         let c = world.counters();
         // Ring: every member except the last relative one forwards once.
-        let total_sent: u64 =
-            (0..6).flat_map(|s| (0..6).map(move |d| (s, d))).map(|(s, d)| {
-                c.pair(Rank(s as u32), Rank(d as u32)).sent_bytes
-            }).sum();
+        let total_sent: u64 = (0..6)
+            .flat_map(|s| (0..6).map(move |d| (s, d)))
+            .map(|(s, d)| c.pair(Rank(s as u32), Rank(d as u32)).sent_bytes)
+            .sum();
         assert_eq!(total_sent, 5 * 64_000);
         assert!(c.all_quiescent());
     }

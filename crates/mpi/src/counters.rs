@@ -49,7 +49,10 @@ pub struct ChannelCounters {
 impl ChannelCounters {
     /// Counters for an `n`-rank world.
     pub fn new(n: usize) -> Self {
-        ChannelCounters { n, pairs: vec![PairStats::default(); n * n] }
+        ChannelCounters {
+            n,
+            pairs: vec![PairStats::default(); n * n],
+        }
     }
 
     #[inline]
@@ -111,7 +114,9 @@ impl ChannelCounters {
 
     /// True when no bytes are in flight anywhere.
     pub fn all_quiescent(&self) -> bool {
-        self.pairs.iter().all(|p| p.in_flight_bytes() == 0 && p.in_flight_msgs() == 0)
+        self.pairs
+            .iter()
+            .all(|p| p.in_flight_bytes() == 0 && p.in_flight_msgs() == 0)
     }
 
     /// Sum of in-flight bytes into `dst` from the given sources.

@@ -26,7 +26,10 @@ pub struct RecvSlot {
 impl RecvSlot {
     /// Fresh empty slot.
     pub fn new() -> Rc<RefCell<RecvSlot>> {
-        Rc::new(RefCell::new(RecvSlot { result: None, waker: None }))
+        Rc::new(RefCell::new(RecvSlot {
+            result: None,
+            waker: None,
+        }))
     }
 
     /// Fill the slot and wake the receiver.
@@ -119,15 +122,20 @@ impl Mailbox {
     /// Try to match a posted receive against the unexpected queue, removing
     /// and returning the first match.
     pub fn take_matching_arrival(&mut self, src: SrcSel, tag: Tag) -> Option<Arrival> {
-        let pos =
-            self.arrived.iter().position(|a| a.env().tag == tag && src.matches(a.env().src))?;
+        let pos = self
+            .arrived
+            .iter()
+            .position(|a| a.env().tag == tag && src.matches(a.env().src))?;
         self.arrived.remove(pos)
     }
 
     /// Try to match a new arrival against the posted queue, removing and
     /// returning the first matching posted receive.
     pub fn take_matching_posted(&mut self, env: &Envelope) -> Option<Posted> {
-        let pos = self.posted.iter().position(|p| p.tag == env.tag && p.src.matches(env.src))?;
+        let pos = self
+            .posted
+            .iter()
+            .position(|p| p.tag == env.tag && p.src.matches(env.src))?;
         self.posted.remove(pos)
     }
 
@@ -175,7 +183,11 @@ impl Pulse {
 
     /// Wait for the next pulse.
     pub fn wait_next(&self) -> PulseWait {
-        PulseWait { pulse: self.clone(), fired: false, registered: false }
+        PulseWait {
+            pulse: self.clone(),
+            fired: false,
+            registered: false,
+        }
     }
 }
 
@@ -214,7 +226,10 @@ mod tests {
             dst: Rank(9),
             tag: Tag::app(tag),
             bytes: 10,
-            id: MsgId { src: Rank(src), seq },
+            id: MsgId {
+                src: Rank(src),
+                seq,
+            },
             kind: MsgKind::App,
             piggyback_rr: None,
             payload: None,
@@ -228,7 +243,9 @@ mod tests {
         let mut mb = Mailbox::new();
         mb.push_arrival(Arrival::Ready(env(1, 5, 0)));
         mb.push_arrival(Arrival::Ready(env(1, 5, 1)));
-        let a = mb.take_matching_arrival(SrcSel::From(Rank(1)), Tag::app(5)).unwrap();
+        let a = mb
+            .take_matching_arrival(SrcSel::From(Rank(1)), Tag::app(5))
+            .unwrap();
         match a {
             Arrival::Ready(e) => assert_eq!(e.id.seq, 0),
             _ => panic!("expected ready"),
@@ -241,8 +258,12 @@ mod tests {
         let mut mb = Mailbox::new();
         mb.push_arrival(Arrival::Ready(env(1, 5, 0)));
         mb.push_arrival(Arrival::Ready(env(2, 6, 1)));
-        assert!(mb.take_matching_arrival(SrcSel::From(Rank(1)), Tag::app(6)).is_none());
-        assert!(mb.take_matching_arrival(SrcSel::From(Rank(2)), Tag::app(5)).is_none());
+        assert!(mb
+            .take_matching_arrival(SrcSel::From(Rank(1)), Tag::app(6))
+            .is_none());
+        assert!(mb
+            .take_matching_arrival(SrcSel::From(Rank(2)), Tag::app(5))
+            .is_none());
         let got = mb.take_matching_arrival(SrcSel::Any, Tag::app(6)).unwrap();
         assert_eq!(got.env().src, Rank(2));
     }
@@ -252,8 +273,16 @@ mod tests {
         let mut mb = Mailbox::new();
         let s1 = RecvSlot::new();
         let s2 = RecvSlot::new();
-        mb.push_posted(Posted { src: SrcSel::Any, tag: Tag::app(1), slot: Rc::clone(&s1) });
-        mb.push_posted(Posted { src: SrcSel::Any, tag: Tag::app(1), slot: Rc::clone(&s2) });
+        mb.push_posted(Posted {
+            src: SrcSel::Any,
+            tag: Tag::app(1),
+            slot: Rc::clone(&s1),
+        });
+        mb.push_posted(Posted {
+            src: SrcSel::Any,
+            tag: Tag::app(1),
+            slot: Rc::clone(&s2),
+        });
         let e = env(3, 1, 0);
         let p = mb.take_matching_posted(&e).unwrap();
         assert!(Rc::ptr_eq(&p.slot, &s1));

@@ -161,7 +161,10 @@ mod tests {
             dst: Rank(1),
             tag: Tag::app(0),
             bytes: 8,
-            id: MsgId { src: Rank(0), seq: 0 },
+            id: MsgId {
+                src: Rank(0),
+                seq: 0,
+            },
             kind: MsgKind::Ctrl,
             piggyback_rr: None,
             payload: Some(Rc::new(42u64)),

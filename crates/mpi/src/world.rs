@@ -54,6 +54,11 @@ struct Inner {
     /// Closed while the rank is frozen (blocking checkpoint in progress):
     /// blocks new sends, new receive posts, and compute slices.
     app_gates: Vec<Gate>,
+    /// Closed while the rank is halted by fault injection (the process is
+    /// "dead"): blocks the same application paths as `app_gates`, but is
+    /// owned by the chaos controller instead of the checkpoint protocol —
+    /// a wave's freeze/thaw cycle must not resurrect a crashed rank.
+    halt_gates: Vec<Gate>,
     /// Closed while new application sends are suspended (non-blocking
     /// checkpoint send-window); receives and compute continue.
     send_gates: Vec<Gate>,
@@ -92,6 +97,7 @@ impl World {
                 hooks: (0..n).map(|_| RefCell::new(Vec::new())).collect(),
                 trace: RefCell::new(None),
                 app_gates: (0..n).map(|_| Gate::new(true)).collect(),
+                halt_gates: (0..n).map(|_| Gate::new(true)).collect(),
                 send_gates: (0..n).map(|_| Gate::new(true)).collect(),
                 arrival_pulses: (0..n).map(|_| Pulse::new()).collect(),
                 pending_grants: (0..n).map(|_| Cell::new(0)).collect(),
@@ -127,7 +133,10 @@ impl World {
     /// use contexts; several contexts per rank are fine).
     pub fn ctx(&self, rank: Rank) -> RankCtx {
         assert!(rank.idx() < self.inner.n, "rank out of range");
-        RankCtx { world: self.clone(), rank }
+        RankCtx {
+            world: self.clone(),
+            rank,
+        }
     }
 
     /// Spawn `rank`'s application main. Completion is tracked: see
@@ -142,11 +151,13 @@ impl World {
         inner.ranks_done.add(1);
         let fut = f(ctx);
         let inner2 = Rc::clone(&self.inner);
-        self.inner.sim.spawn_named(format!("rank{}", rank.0), async move {
-            fut.await;
-            inner2.finished.set(inner2.finished.get() + 1);
-            inner2.ranks_done.done();
-        });
+        self.inner
+            .sim
+            .spawn_named(format!("rank{}", rank.0), async move {
+                fut.await;
+                inner2.finished.set(inner2.finished.get() + 1);
+                inner2.ranks_done.done();
+            });
     }
 
     /// Completes when every launched rank's main has returned.
@@ -193,6 +204,25 @@ impl World {
     /// Whether the rank is currently frozen.
     pub fn is_frozen(&self, rank: Rank) -> bool {
         !self.inner.app_gates[rank.idx()].is_open()
+    }
+
+    /// Halt `rank` as if its process died: no new application sends,
+    /// receive posts, or compute until [`World::resume`]. Unlike
+    /// [`World::freeze`] this gate belongs to the fault injector, so a
+    /// checkpoint wave's own freeze/thaw cycle cannot release it. Control
+    /// traffic (recovery protocol) still flows.
+    pub fn halt(&self, rank: Rank) {
+        self.inner.halt_gates[rank.idx()].close();
+    }
+
+    /// Release a halted rank (recovery finished; the process is back).
+    pub fn resume(&self, rank: Rank) {
+        self.inner.halt_gates[rank.idx()].open();
+    }
+
+    /// Whether the rank is currently halted by fault injection.
+    pub fn is_halted(&self, rank: Rank) -> bool {
+        !self.inner.halt_gates[rank.idx()].is_open()
     }
 
     /// Suspend new application sends from `rank` (receives and compute
@@ -267,13 +297,18 @@ impl World {
     fn deliver(&self, mut env: Envelope) {
         env.arrived_at = self.inner.sim.now();
         if env.kind == MsgKind::App {
-            self.inner.counters.borrow_mut().on_arrival(env.src, env.dst, env.bytes);
+            self.inner
+                .counters
+                .borrow_mut()
+                .on_arrival(env.src, env.dst, env.bytes);
             for h in self.inner.hooks[env.dst.idx()].borrow().iter() {
                 h.on_arrival(&env);
             }
         }
         let dst = env.dst;
-        let matched = self.inner.mailboxes[dst.idx()].borrow_mut().take_matching_posted(&env);
+        let matched = self.inner.mailboxes[dst.idx()]
+            .borrow_mut()
+            .take_matching_posted(&env);
         match matched {
             Some(posted) => self.complete_recv(posted.slot, env),
             None => self.inner.mailboxes[dst.idx()]
@@ -291,12 +326,14 @@ impl World {
     ) {
         env.arrived_at = self.inner.sim.now();
         let dst = env.dst;
-        let matched = self.inner.mailboxes[dst.idx()].borrow_mut().take_matching_posted(&env);
+        let matched = self.inner.mailboxes[dst.idx()]
+            .borrow_mut()
+            .take_matching_posted(&env);
         match matched {
             Some(posted) => self.grant_rts(env.src, env.dst, grant, posted.slot),
-            None => {
-                self.inner.mailboxes[dst.idx()].borrow_mut().push_arrival(Arrival::Rts { env, grant })
-            }
+            None => self.inner.mailboxes[dst.idx()]
+                .borrow_mut()
+                .push_arrival(Arrival::Rts { env, grant }),
         }
         // No arrival pulse: the *data* has not arrived.
     }
@@ -335,7 +372,10 @@ impl World {
     /// Complete a receive: counters, hooks, trace, then fulfil the slot.
     fn complete_recv(&self, slot: Rc<RefCell<RecvSlot>>, env: Envelope) {
         if env.kind == MsgKind::App {
-            self.inner.counters.borrow_mut().on_consume(env.src, env.dst, env.bytes);
+            self.inner
+                .counters
+                .borrow_mut()
+                .on_consume(env.src, env.dst, env.bytes);
             for h in self.inner.hooks[env.dst.idx()].borrow().iter() {
                 h.on_recv(&env);
             }
@@ -359,6 +399,7 @@ impl World {
     ) {
         assert!(dst.idx() < self.inner.n, "destination rank out of range");
         if kind == MsgKind::App {
+            self.inner.halt_gates[src.idx()].wait_open().await;
             self.inner.app_gates[src.idx()].wait_open().await;
             self.inner.send_gates[src.idx()].wait_open().await;
         }
@@ -376,8 +417,7 @@ impl World {
         };
         let net = Rc::clone(self.inner.cluster.network());
         let opts = &self.inner.opts;
-        let rendezvous =
-            kind == MsgKind::App && bytes > opts.eager_threshold && src != dst;
+        let rendezvous = kind == MsgKind::App && bytes > opts.eager_threshold && src != dst;
         if !rendezvous {
             // Eager: data goes on the wire after any hook-charged cost.
             let cost = self.run_send_hooks(&mut env);
@@ -388,8 +428,7 @@ impl World {
             if kind == MsgKind::App {
                 self.inner.counters.borrow_mut().on_send(src, dst, bytes);
             }
-            let timing =
-                net.reserve_transfer_full(src.idx(), dst.idx(), bytes + opts.header_bytes);
+            let timing = net.reserve_transfer_full(src.idx(), dst.idx(), bytes + opts.header_bytes);
             let world = self.clone();
             let sim = self.inner.sim.clone();
             let delivered = timing.delivered;
@@ -401,11 +440,8 @@ impl World {
         } else {
             // Rendezvous: RTS → (match) → CTS → data.
             let (grant_tx, grant_rx) = oneshot();
-            let rts_timing = net.reserve_transfer_full(
-                src.idx(),
-                dst.idx(),
-                opts.rts_bytes + opts.header_bytes,
-            );
+            let rts_timing =
+                net.reserve_transfer_full(src.idx(), dst.idx(), opts.rts_bytes + opts.header_bytes);
             {
                 let world = self.clone();
                 let sim = self.inner.sim.clone();
@@ -416,8 +452,7 @@ impl World {
                     world.deliver_rts(rts_env, grant_tx);
                 });
             }
-            let (cts_arrive, slot) =
-                grant_rx.await.expect("receiver vanished during rendezvous");
+            let (cts_arrive, slot) = grant_rx.await.expect("receiver vanished during rendezvous");
             self.inner.sim.sleep_until(cts_arrive).await;
             // Data goes on the wire now (after hook-charged costs).
             let cost = self.run_send_hooks(&mut env);
@@ -429,8 +464,7 @@ impl World {
             let p = &self.inner.pending_grants[src.idx()];
             p.set(p.get() - 1);
             self.inner.grant_pulses[src.idx()].pulse();
-            let timing =
-                net.reserve_transfer_full(src.idx(), dst.idx(), bytes + opts.header_bytes);
+            let timing = net.reserve_transfer_full(src.idx(), dst.idx(), bytes + opts.header_bytes);
             {
                 let world = self.clone();
                 let sim = self.inner.sim.clone();
@@ -439,7 +473,11 @@ impl World {
                     sim.sleep_until(delivered).await;
                     env.arrived_at = sim.now();
                     if env.kind == MsgKind::App {
-                        world.inner.counters.borrow_mut().on_arrival(env.src, env.dst, env.bytes);
+                        world
+                            .inner
+                            .counters
+                            .borrow_mut()
+                            .on_arrival(env.src, env.dst, env.bytes);
                         for h in world.inner.hooks[env.dst.idx()].borrow().iter() {
                             h.on_arrival(&env);
                         }
@@ -456,7 +494,9 @@ impl World {
     /// Engine behind all receives.
     fn recv_impl(&self, dst: Rank, src: SrcSel, tag: Tag) -> RecvFut {
         let slot = RecvSlot::new();
-        let arrival = self.inner.mailboxes[dst.idx()].borrow_mut().take_matching_arrival(src, tag);
+        let arrival = self.inner.mailboxes[dst.idx()]
+            .borrow_mut()
+            .take_matching_arrival(src, tag);
         match arrival {
             Some(Arrival::Ready(env)) => {
                 self.complete_recv(Rc::clone(&slot), env);
@@ -467,7 +507,11 @@ impl World {
             None => {
                 self.inner.mailboxes[dst.idx()]
                     .borrow_mut()
-                    .push_posted(Posted { src, tag, slot: Rc::clone(&slot) });
+                    .push_posted(Posted {
+                        src,
+                        tag,
+                        slot: Rc::clone(&slot),
+                    });
             }
         }
         RecvFut::new(slot)
@@ -511,13 +555,22 @@ impl RankCtx {
     /// Completes when the local send buffer is released (eager) or the data
     /// transfer has been handed to the wire (rendezvous).
     pub async fn send(&self, dst: Rank, tag: u64, bytes: u64) {
-        self.world.send_impl(self.rank, dst, Tag::app(tag), bytes, MsgKind::App, None).await;
+        self.world
+            .send_impl(self.rank, dst, Tag::app(tag), bytes, MsgKind::App, None)
+            .await;
     }
 
     /// Receive a message from `src` with app tag `tag`.
     pub async fn recv(&self, src: impl Into<SrcSel>, tag: u64) -> Envelope {
-        self.world.inner.app_gates[self.rank.idx()].wait_open().await;
-        self.world.recv_impl(self.rank, src.into(), Tag::app(tag)).await
+        self.world.inner.halt_gates[self.rank.idx()]
+            .wait_open()
+            .await;
+        self.world.inner.app_gates[self.rank.idx()]
+            .wait_open()
+            .await;
+        self.world
+            .recv_impl(self.rank, src.into(), Tag::app(tag))
+            .await
     }
 
     /// Concurrently send to `dst` and receive from `src` (same app tag) —
@@ -540,7 +593,12 @@ impl RankCtx {
         let slice = self.world.inner.opts.compute_slice;
         let mut remaining = dur;
         while !remaining.is_zero() {
-            self.world.inner.app_gates[self.rank.idx()].wait_open().await;
+            self.world.inner.halt_gates[self.rank.idx()]
+                .wait_open()
+                .await;
+            self.world.inner.app_gates[self.rank.idx()]
+                .wait_open()
+                .await;
             let step = remaining.min(slice);
             self.world.sim().sleep(step).await;
             remaining = remaining.saturating_sub(step);
@@ -562,12 +620,23 @@ impl RankCtx {
 
     /// Send a protocol control message.
     pub async fn ctrl_send(&self, dst: Rank, ctrl_tag: u64, bytes: u64, payload: Payload) {
-        self.world.send_impl(self.rank, dst, Tag::ctrl(ctrl_tag), bytes, MsgKind::Ctrl, payload).await;
+        self.world
+            .send_impl(
+                self.rank,
+                dst,
+                Tag::ctrl(ctrl_tag),
+                bytes,
+                MsgKind::Ctrl,
+                payload,
+            )
+            .await;
     }
 
     /// Receive a protocol control message.
     pub async fn ctrl_recv(&self, src: impl Into<SrcSel>, ctrl_tag: u64) -> Envelope {
-        self.world.recv_impl(self.rank, src.into(), Tag::ctrl(ctrl_tag)).await
+        self.world
+            .recv_impl(self.rank, src.into(), Tag::ctrl(ctrl_tag))
+            .await
     }
 
     // -- collective-internal plane (app traffic with reserved tags) --------
@@ -576,13 +645,22 @@ impl RankCtx {
     /// traced, counted, and subject to protocol gating/logging like any
     /// other application message.
     pub(crate) async fn coll_send(&self, dst: Rank, seq: u64, bytes: u64) {
-        self.world.send_impl(self.rank, dst, Tag::coll(seq), bytes, MsgKind::App, None).await;
+        self.world
+            .send_impl(self.rank, dst, Tag::coll(seq), bytes, MsgKind::App, None)
+            .await;
     }
 
     /// Receive on the collective-internal tag space.
     pub(crate) async fn coll_recv(&self, src: Rank, seq: u64) -> Envelope {
-        self.world.inner.app_gates[self.rank.idx()].wait_open().await;
-        self.world.recv_impl(self.rank, SrcSel::From(src), Tag::coll(seq)).await
+        self.world.inner.halt_gates[self.rank.idx()]
+            .wait_open()
+            .await;
+        self.world.inner.app_gates[self.rank.idx()]
+            .wait_open()
+            .await;
+        self.world
+            .recv_impl(self.rank, SrcSel::From(src), Tag::coll(seq))
+            .await
     }
 }
 

@@ -1,32 +1,37 @@
-//! Property tests of the MPI runtime's transport guarantees.
+//! Property-style tests of the MPI runtime's transport guarantees.
+//!
+//! Randomised inputs come from the deterministic [`DetRng`] so every case
+//! is reproducible from its seed (no external property-test framework).
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use proptest::prelude::*;
-
 use gcr_mpi::{Rank, SrcSel, World, WorldOpts};
 use gcr_net::{Cluster, ClusterSpec};
-use gcr_sim::Sim;
+use gcr_sim::{DetRng, Sim};
 
 fn world(n: usize, eager_threshold: u64) -> (Sim, World) {
     let sim = Sim::new();
     let cluster = Cluster::new(&sim, ClusterSpec::test(n));
-    let opts = WorldOpts { eager_threshold, ..WorldOpts::default() };
+    let opts = WorldOpts {
+        eager_threshold,
+        ..WorldOpts::default()
+    };
     (sim.clone(), World::new(cluster, opts))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
-
-    /// Per-channel FIFO: a receiver always sees a sender's messages in
-    /// send order, for any mix of eager and rendezvous sizes.
-    #[test]
-    fn no_overtaking_on_a_channel(
-        sizes in prop::collection::vec(1u64..200_000, 1..40),
-        threshold in prop_oneof![Just(1u64), Just(64 * 1024), Just(1u64 << 30)],
-    ) {
-        let (sim, world) = world(2, threshold.max(1));
+/// Per-channel FIFO: a receiver always sees a sender's messages in
+/// send order, for any mix of eager and rendezvous sizes.
+#[test]
+fn no_overtaking_on_a_channel() {
+    for case in 0..32u64 {
+        let mut rng = DetRng::new(0x3301_0001).fork_idx(case);
+        let sizes: Vec<u64> = (0..rng.range_u64(1, 40))
+            .map(|_| rng.range_u64(1, 200_000))
+            .collect();
+        // Exercise all-rendezvous, mixed, and all-eager regimes.
+        let threshold = [1u64, 64 * 1024, 1u64 << 30][rng.index(3)];
+        let (sim, world) = world(2, threshold);
         let m = sizes.len();
         {
             let sizes = sizes.clone();
@@ -48,22 +53,23 @@ proptest! {
         }
         sim.run().unwrap();
         let got = got.borrow();
-        prop_assert_eq!(got.len(), m);
+        assert_eq!(got.len(), m, "case {case}");
         for (i, (&(seq, bytes), &expected)) in got.iter().zip(&sizes).enumerate() {
-            prop_assert_eq!(seq, i as u64);
-            prop_assert_eq!(bytes, expected);
+            assert_eq!(seq, i as u64, "case {case}");
+            assert_eq!(bytes, expected, "case {case}");
         }
     }
+}
 
-    /// Conservation: every sent byte arrives and is consumed exactly once,
-    /// for random many-to-many traffic.
-    #[test]
-    fn bytes_are_conserved(
-        n in 2usize..6,
-        plan in prop::collection::vec((0usize..6, 0usize..6, 1u64..50_000), 1..30),
-    ) {
-        let plan: Vec<(usize, usize, u64)> = plan
-            .into_iter()
+/// Conservation: every sent byte arrives and is consumed exactly once,
+/// for random many-to-many traffic.
+#[test]
+fn bytes_are_conserved() {
+    for case in 0..32u64 {
+        let mut rng = DetRng::new(0x3301_0002).fork_idx(case);
+        let n = rng.range_u64(2, 6) as usize;
+        let plan: Vec<(usize, usize, u64)> = (0..rng.range_u64(1, 30))
+            .map(|_| (rng.index(6), rng.index(6), rng.range_u64(1, 50_000)))
             .filter(|&(s, d, _)| s < n && d < n && s != d)
             .collect();
         let (sim, world) = world(n, 16 * 1024);
@@ -102,16 +108,16 @@ proptest! {
         }
         sim.run().unwrap();
         let c = world.counters();
-        prop_assert!(c.all_quiescent());
+        assert!(c.all_quiescent(), "case {case}");
         let total_sent: u64 = plan.iter().map(|&(_, _, b)| b).sum();
         let mut consumed = 0;
         for s in 0..n as u32 {
             for d in 0..n as u32 {
                 let p = c.pair(Rank(s), Rank(d));
-                prop_assert_eq!(p.consumed_bytes, p.sent_bytes);
+                assert_eq!(p.consumed_bytes, p.sent_bytes, "case {case}");
                 consumed += p.consumed_bytes;
             }
         }
-        prop_assert_eq!(consumed, total_sent);
+        assert_eq!(consumed, total_sent, "case {case}");
     }
 }

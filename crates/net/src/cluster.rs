@@ -1,5 +1,6 @@
 //! The assembled cluster: nodes + network + storage + noise models.
 
+use std::cell::Cell;
 use std::rc::Rc;
 
 use gcr_sim::{DetRng, Sim, SimDuration};
@@ -15,6 +16,10 @@ pub struct Cluster {
     spec: Rc<ClusterSpec>,
     network: Rc<Network>,
     storage: Rc<Storage>,
+    /// Straggler-storm multiplier (fault injection): scales both the
+    /// straggler probability (capped at 1) and the mean delay. Shared
+    /// across clones so a controller can dial it up and back down.
+    storm: Rc<Cell<f64>>,
 }
 
 impl Cluster {
@@ -23,8 +28,35 @@ impl Cluster {
     pub fn new(sim: &Sim, spec: ClusterSpec) -> Self {
         let endpoints = spec.nodes + spec.storage.remote_servers;
         let network = Rc::new(Network::new(sim, &spec.net, endpoints));
-        let storage = Rc::new(Storage::new(sim, &spec.storage, spec.nodes, Rc::clone(&network)));
-        Cluster { sim: sim.clone(), spec: Rc::new(spec), network, storage }
+        let storage = Rc::new(Storage::new(
+            sim,
+            &spec.storage,
+            spec.nodes,
+            Rc::clone(&network),
+        ));
+        Cluster {
+            sim: sim.clone(),
+            spec: Rc::new(spec),
+            network,
+            storage,
+            storm: Rc::new(Cell::new(1.0)),
+        }
+    }
+
+    /// Set the straggler-storm multiplier (fault injection). `1.0` restores
+    /// the spec's nominal straggler model; larger values make coordination
+    /// stragglers both more likely and longer.
+    ///
+    /// # Panics
+    /// Panics if `factor` is not ≥ 1.0.
+    pub fn set_straggler_storm(&self, factor: f64) {
+        assert!(factor >= 1.0, "storm factor must be >= 1.0");
+        self.storm.set(factor);
+    }
+
+    /// The current straggler-storm multiplier.
+    pub fn straggler_storm(&self) -> f64 {
+        self.storm.get()
     }
 
     /// The simulation handle.
@@ -63,8 +95,10 @@ impl Cluster {
     /// deterministic per rank.
     pub fn sample_straggler(&self, rng: &mut DetRng) -> SimDuration {
         let s = &self.spec.straggler;
-        if s.prob > 0.0 && rng.chance(s.prob) {
-            SimDuration::from_secs_f64(rng.exp(s.mean.dur().as_secs_f64()))
+        let storm = self.storm.get();
+        let prob = (s.prob * storm).min(1.0);
+        if prob > 0.0 && rng.chance(prob) {
+            SimDuration::from_secs_f64(rng.exp(s.mean.dur().as_secs_f64() * storm))
         } else {
             SimDuration::ZERO
         }
@@ -72,7 +106,11 @@ impl Cluster {
 
     /// Validate that `node` is a compute node.
     pub fn check_node(&self, node: NodeId) {
-        assert!(node < self.spec.nodes, "node {node} out of range (cluster has {})", self.spec.nodes);
+        assert!(
+            node < self.spec.nodes,
+            "node {node} out of range (cluster has {})",
+            self.spec.nodes
+        );
     }
 }
 
@@ -125,8 +163,9 @@ mod tests {
         spec.straggler.mean = crate::spec::SimDurationSpec::from_millis(100);
         let cluster = Cluster::new(&sim, spec);
         let mut rng = DetRng::new(7);
-        let delays: Vec<SimDuration> =
-            (0..200).map(|_| cluster.sample_straggler(&mut rng)).collect();
+        let delays: Vec<SimDuration> = (0..200)
+            .map(|_| cluster.sample_straggler(&mut rng))
+            .collect();
         let nonzero = delays.iter().filter(|d| !d.is_zero()).count();
         assert!(nonzero > 50 && nonzero < 150, "nonzero {nonzero}");
         let max = delays.iter().max().unwrap();

@@ -9,6 +9,8 @@
 //! `overhead + latency + bytes/bw`; contention — most importantly incast at
 //! checkpoint servers and barrier roots — emerges from the FIFO queues.
 
+use std::cell::Cell;
+
 use gcr_sim::resource::FifoResource;
 use gcr_sim::{Sim, SimDuration, SimTime};
 
@@ -35,22 +37,60 @@ pub struct Network {
     loopback_bps: f64,
     tx: Vec<FifoResource>,
     rx: Vec<FifoResource>,
+    /// Per-node service-time multiplier (fault injection: a degraded link
+    /// stretches serialization on that node's NIC). 1.0 = nominal.
+    slow: Vec<Cell<f64>>,
+}
+
+/// Stretch a duration by a slowdown factor; identity when nominal so the
+/// unperturbed path stays bit-exact.
+fn stretched(d: SimDuration, factor: f64) -> SimDuration {
+    if factor == 1.0 {
+        d
+    } else {
+        SimDuration::from_secs_f64(d.as_secs_f64() * factor)
+    }
 }
 
 impl Network {
     /// Build a network with `nodes` endpoints.
     pub fn new(sim: &Sim, spec: &NetSpec, nodes: usize) -> Self {
         assert!(nodes > 0, "network needs at least one node");
-        assert!(spec.bandwidth_bps > 0.0 && spec.loopback_bps > 0.0, "bandwidth must be positive");
+        assert!(
+            spec.bandwidth_bps > 0.0 && spec.loopback_bps > 0.0,
+            "bandwidth must be positive"
+        );
         Network {
             sim: sim.clone(),
             latency: spec.latency.dur(),
             overhead: spec.per_msg_overhead.dur(),
             bandwidth_bps: spec.bandwidth_bps,
             loopback_bps: spec.loopback_bps,
-            tx: (0..nodes).map(|i| FifoResource::new(sim, format!("tx{i}"))).collect(),
-            rx: (0..nodes).map(|i| FifoResource::new(sim, format!("rx{i}"))).collect(),
+            tx: (0..nodes)
+                .map(|i| FifoResource::new(sim, format!("tx{i}")))
+                .collect(),
+            rx: (0..nodes)
+                .map(|i| FifoResource::new(sim, format!("rx{i}")))
+                .collect(),
+            slow: (0..nodes).map(|_| Cell::new(1.0)).collect(),
         }
+    }
+
+    /// Set a node's link slowdown factor (fault injection). `1.0` restores
+    /// nominal speed; larger values stretch serialization on both the
+    /// node's uplink and downlink for transfers reserved from now on.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range or `factor` is not ≥ 1.0.
+    pub fn set_node_slowdown(&self, node: NodeId, factor: f64) {
+        assert!(node < self.nodes(), "node id out of range");
+        assert!(factor >= 1.0, "slowdown factor must be >= 1.0");
+        self.slow[node].set(factor);
+    }
+
+    /// The node's current link slowdown factor.
+    pub fn node_slowdown(&self, node: NodeId) -> f64 {
+        self.slow[node].get()
     }
 
     /// Number of endpoints.
@@ -84,18 +124,26 @@ impl Network {
     /// # Panics
     /// Panics if `src` or `dst` is out of range.
     pub fn reserve_transfer_full(&self, src: NodeId, dst: NodeId, bytes: u64) -> TransferTiming {
-        assert!(src < self.nodes() && dst < self.nodes(), "node id out of range");
+        assert!(
+            src < self.nodes() && dst < self.nodes(),
+            "node id out of range"
+        );
         if src == dst {
             // Loopback: a memcpy, no NIC involvement.
             let t = SimDuration::from_secs_f64(bytes as f64 / self.loopback_bps);
-            let done = self.sim.now() + self.overhead + t;
-            return TransferTiming { tx_done: done, delivered: done };
+            let done = self.sim.now() + self.overhead + stretched(t, self.slow[src].get());
+            return TransferTiming {
+                tx_done: done,
+                delivered: done,
+            };
         }
         let service = self.wire_time(bytes);
-        let tx_done = self.tx[src].reserve(self.overhead + service);
-        let tx_start = tx_done - service; // first byte leaves after the overhead
+        let tx_service = stretched(service, self.slow[src].get());
+        let rx_service = stretched(service, self.slow[dst].get());
+        let tx_done = self.tx[src].reserve(self.overhead + tx_service);
+        let tx_start = tx_done - tx_service; // first byte leaves after the overhead
         let arrival_begin = tx_start + self.latency;
-        let delivered = self.rx[dst].reserve_from(arrival_begin, service);
+        let delivered = self.rx[dst].reserve_from(arrival_begin, rx_service);
         TransferTiming { tx_done, delivered }
     }
 
@@ -155,8 +203,9 @@ mod tests {
         let sim = Sim::new();
         let n = net(&sim, 5);
         // Four senders to node 0 simultaneously: RX serializes them.
-        let mut deliveries: Vec<SimTime> =
-            (1..5).map(|s| n.reserve_transfer(s, 0, 1_000_000)).collect();
+        let mut deliveries: Vec<SimTime> = (1..5)
+            .map(|s| n.reserve_transfer(s, 0, 1_000_000))
+            .collect();
         deliveries.sort();
         assert_eq!(deliveries[0].as_nanos(), 1_000_000_000 + 100_000);
         assert_eq!(deliveries[3] - deliveries[0], SimDuration::from_secs(3));

@@ -7,12 +7,11 @@
 //! that hardware; absolute seconds are not expected to match the paper, the
 //! *relative* behaviour is.
 
-use serde::{Deserialize, Serialize};
-
+use gcr_json::{Json, JsonError};
 use gcr_sim::SimDuration;
 
 /// Network parameters for a switched, full-duplex cluster interconnect.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NetSpec {
     /// One-way wire + switch latency.
     pub latency: SimDurationSpec,
@@ -26,7 +25,7 @@ pub struct NetSpec {
 }
 
 /// Storage parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StorageSpec {
     /// Sustained local-disk write/read bandwidth (bytes/s).
     pub local_disk_bps: f64,
@@ -43,7 +42,7 @@ pub struct StorageSpec {
 /// Random per-process delays observed when entering checkpoint coordination
 /// (scheduling noise, daemons, page-cache flushes). The paper's NORM spikes
 /// (Figs 1, 5, 6) are max-of-n draws from this distribution.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StragglerSpec {
     /// Probability that a given process is delayed at a given coordination
     /// point.
@@ -55,13 +54,15 @@ pub struct StragglerSpec {
 impl StragglerSpec {
     /// A model that never delays anyone (for deterministic unit tests).
     pub fn disabled() -> Self {
-        StragglerSpec { prob: 0.0, mean: SimDurationSpec::from_millis(0) }
+        StragglerSpec {
+            prob: 0.0,
+            mean: SimDurationSpec::from_millis(0),
+        }
     }
 }
 
-/// A serde-friendly duration: stored as nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(transparent)]
+/// A serialization-friendly duration: stored as whole nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimDurationSpec {
     ns: u64,
 }
@@ -81,7 +82,9 @@ impl SimDurationSpec {
     }
     /// From whole seconds.
     pub const fn from_secs(s: u64) -> Self {
-        SimDurationSpec { ns: s * 1_000_000_000 }
+        SimDurationSpec {
+            ns: s * 1_000_000_000,
+        }
     }
     /// Convert to the simulator's duration type.
     pub const fn dur(self) -> SimDuration {
@@ -96,7 +99,7 @@ impl From<SimDurationSpec> for SimDuration {
 }
 
 /// Complete description of the simulated cluster.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClusterSpec {
     /// Number of compute nodes (one MPI rank per node, as in the paper).
     pub nodes: usize,
@@ -141,7 +144,10 @@ impl ClusterSpec {
                 remote_disk_bps: 28e6,
                 remote_seek: SimDurationSpec::from_millis(8),
             },
-            straggler: StragglerSpec { prob: 0.05, mean: SimDurationSpec::from_millis(1500) },
+            straggler: StragglerSpec {
+                prob: 0.05,
+                mean: SimDurationSpec::from_millis(1500),
+            },
         }
     }
 
@@ -174,6 +180,75 @@ impl ClusterSpec {
         assert!(flops >= 0.0 && flops.is_finite(), "invalid flop count");
         SimDuration::from_secs_f64(flops / self.flops_per_sec)
     }
+
+    /// The on-disk JSON representation (durations as whole nanoseconds).
+    pub fn to_json(&self) -> Json {
+        let ns = |d: SimDurationSpec| Json::from(d.ns);
+        Json::obj([
+            ("nodes", Json::from(self.nodes)),
+            ("flops_per_sec", Json::from(self.flops_per_sec)),
+            ("mem_bytes", Json::from(self.mem_bytes)),
+            (
+                "net",
+                Json::obj([
+                    ("latency", ns(self.net.latency)),
+                    ("per_msg_overhead", ns(self.net.per_msg_overhead)),
+                    ("bandwidth_bps", Json::from(self.net.bandwidth_bps)),
+                    ("loopback_bps", Json::from(self.net.loopback_bps)),
+                ]),
+            ),
+            (
+                "storage",
+                Json::obj([
+                    ("local_disk_bps", Json::from(self.storage.local_disk_bps)),
+                    ("local_seek", ns(self.storage.local_seek)),
+                    ("remote_servers", Json::from(self.storage.remote_servers)),
+                    ("remote_disk_bps", Json::from(self.storage.remote_disk_bps)),
+                    ("remote_seek", ns(self.storage.remote_seek)),
+                ]),
+            ),
+            (
+                "straggler",
+                Json::obj([
+                    ("prob", Json::from(self.straggler.prob)),
+                    ("mean", ns(self.straggler.mean)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Parse a spec back from its JSON value.
+    ///
+    /// # Errors
+    /// [`JsonError`] on shape mismatches.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let ns = |o: &Json, key: &str| o.u64_field(key).map(SimDurationSpec::from_nanos);
+        let net = v.field("net")?;
+        let storage = v.field("storage")?;
+        let straggler = v.field("straggler")?;
+        Ok(ClusterSpec {
+            nodes: v.usize_field("nodes")?,
+            flops_per_sec: v.f64_field("flops_per_sec")?,
+            mem_bytes: v.u64_field("mem_bytes")?,
+            net: NetSpec {
+                latency: ns(net, "latency")?,
+                per_msg_overhead: ns(net, "per_msg_overhead")?,
+                bandwidth_bps: net.f64_field("bandwidth_bps")?,
+                loopback_bps: net.f64_field("loopback_bps")?,
+            },
+            storage: StorageSpec {
+                local_disk_bps: storage.f64_field("local_disk_bps")?,
+                local_seek: ns(storage, "local_seek")?,
+                remote_servers: storage.usize_field("remote_servers")?,
+                remote_disk_bps: storage.f64_field("remote_disk_bps")?,
+                remote_seek: ns(storage, "remote_seek")?,
+            },
+            straggler: StragglerSpec {
+                prob: straggler.f64_field("prob")?,
+                mean: ns(straggler, "mean")?,
+            },
+        })
+    }
 }
 
 #[cfg(test)]
@@ -199,11 +274,13 @@ mod tests {
     }
 
     #[test]
-    fn duration_spec_roundtrips_through_serde() {
+    fn duration_spec_roundtrips_through_json() {
         let spec = ClusterSpec::gideon300(8);
-        let json = serde_json::to_string(&spec).unwrap();
-        let back: ClusterSpec = serde_json::from_str(&json).unwrap();
+        let json = spec.to_json().dump();
+        let back = ClusterSpec::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back.nodes, 8);
         assert_eq!(back.net.latency, spec.net.latency);
+        assert_eq!(back.net.bandwidth_bps, spec.net.bandwidth_bps);
+        assert_eq!(back.straggler.mean, spec.straggler.mean);
     }
 }

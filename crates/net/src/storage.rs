@@ -9,6 +9,7 @@
 //!   assigned round-robin (`node % k`). Contention on the server downlink and
 //!   server disk is exactly the scalability bottleneck Figure 13 exposes.
 
+use std::cell::Cell;
 use std::rc::Rc;
 
 use gcr_sim::resource::FifoResource;
@@ -36,6 +37,9 @@ pub struct Storage {
     local_disks: Vec<FifoResource>,
     /// Remote servers occupy network node ids `[first_server, first_server + k)`.
     remote_disks: Vec<FifoResource>,
+    /// Outage flags (fault injection): a down server is skipped by
+    /// [`Storage::server_for`], failing its clients over to the next one.
+    remote_down: Vec<Cell<bool>>,
     first_server: NodeId,
     network: Rc<Network>,
 }
@@ -45,7 +49,10 @@ impl Storage {
     /// have been created with `compute_nodes + spec.remote_servers`
     /// endpoints; the trailing endpoints are the checkpoint servers.
     pub fn new(sim: &Sim, spec: &StorageSpec, compute_nodes: usize, network: Rc<Network>) -> Self {
-        assert!(spec.local_disk_bps > 0.0, "local disk bandwidth must be positive");
+        assert!(
+            spec.local_disk_bps > 0.0,
+            "local disk bandwidth must be positive"
+        );
         assert_eq!(
             network.nodes(),
             compute_nodes + spec.remote_servers,
@@ -63,6 +70,7 @@ impl Storage {
             remote_disks: (0..spec.remote_servers)
                 .map(|i| FifoResource::new(sim, format!("ckpt-server{i}")))
                 .collect(),
+            remote_down: (0..spec.remote_servers).map(|_| Cell::new(false)).collect(),
             first_server: compute_nodes,
             network,
         }
@@ -73,13 +81,41 @@ impl Storage {
         self.remote_disks.len()
     }
 
-    /// The checkpoint server assigned to `node` (round-robin).
+    /// The checkpoint server assigned to `node` (round-robin). Servers
+    /// marked down by [`Storage::set_server_down`] are skipped: the client
+    /// deterministically fails over to the next live server in ring order.
+    /// With every server down, the nominal assignment is kept (writes then
+    /// queue on the dead server until it returns).
     ///
     /// # Panics
     /// Panics if there are no remote servers.
     pub fn server_for(&self, node: NodeId) -> usize {
-        assert!(!self.remote_disks.is_empty(), "no remote checkpoint servers configured");
-        node % self.remote_disks.len()
+        assert!(
+            !self.remote_disks.is_empty(),
+            "no remote checkpoint servers configured"
+        );
+        let k = self.remote_disks.len();
+        let base = node % k;
+        for off in 0..k {
+            let srv = (base + off) % k;
+            if !self.remote_down[srv].get() {
+                return srv;
+            }
+        }
+        base
+    }
+
+    /// Mark a remote checkpoint server down or back up (fault injection).
+    ///
+    /// # Panics
+    /// Panics if `server` is out of range.
+    pub fn set_server_down(&self, server: usize, down: bool) {
+        self.remote_down[server].set(down);
+    }
+
+    /// Whether the remote checkpoint server is currently marked down.
+    pub fn server_is_down(&self, server: usize) -> bool {
+        self.remote_down[server].get()
     }
 
     fn local_service(&self, bytes: u64) -> SimDuration {
@@ -93,14 +129,18 @@ impl Storage {
     /// Write `bytes` from `node` to `target`; returns the completion instant.
     pub async fn write(&self, node: NodeId, bytes: u64, target: StorageTarget) -> SimTime {
         match target {
-            StorageTarget::Local => self.local_disks[node].access(self.local_service(bytes)).await,
+            StorageTarget::Local => {
+                self.local_disks[node]
+                    .access(self.local_service(bytes))
+                    .await
+            }
             StorageTarget::Remote => {
                 let srv = self.server_for(node);
                 // Ship the data to the server, then serialize on its disk.
-                let arrived =
-                    self.network.reserve_transfer(node, self.first_server + srv, bytes);
-                let done =
-                    self.remote_disks[srv].reserve_from(arrived, self.remote_service(bytes));
+                let arrived = self
+                    .network
+                    .reserve_transfer(node, self.first_server + srv, bytes);
+                let done = self.remote_disks[srv].reserve_from(arrived, self.remote_service(bytes));
                 self.sim.sleep_until(done).await;
                 done
             }
@@ -111,12 +151,19 @@ impl Storage {
     /// instant (used during restart).
     pub async fn read(&self, node: NodeId, bytes: u64, target: StorageTarget) -> SimTime {
         match target {
-            StorageTarget::Local => self.local_disks[node].access(self.local_service(bytes)).await,
+            StorageTarget::Local => {
+                self.local_disks[node]
+                    .access(self.local_service(bytes))
+                    .await
+            }
             StorageTarget::Remote => {
                 let srv = self.server_for(node);
                 let disk_done = self.remote_disks[srv].reserve(self.remote_service(bytes));
                 self.sim.sleep_until(disk_done).await;
-                let done = self.network.transfer(self.first_server + srv, node, bytes).await;
+                let done = self
+                    .network
+                    .transfer(self.first_server + srv, node, bytes)
+                    .await;
                 done
             }
         }
@@ -166,8 +213,11 @@ mod tests {
         spec.storage.remote_seek = SimDurationSpec::from_millis(0);
         spec.net.latency = SimDurationSpec::from_micros(0);
         spec.net.bandwidth_bps = 1e8; // network much faster than server disks
-        let network =
-            Rc::new(Network::new(&sim, &spec.net, nodes + spec.storage.remote_servers));
+        let network = Rc::new(Network::new(
+            &sim,
+            &spec.net,
+            nodes + spec.storage.remote_servers,
+        ));
         let storage = Rc::new(Storage::new(&sim, &spec.storage, nodes, network));
         (sim, storage)
     }

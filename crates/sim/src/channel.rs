@@ -39,7 +39,12 @@ pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
         senders: 1,
         receiver_alive: true,
     }));
-    (Sender { inner: Rc::clone(&inner) }, Receiver { inner })
+    (
+        Sender {
+            inner: Rc::clone(&inner),
+        },
+        Receiver { inner },
+    )
 }
 
 /// Sending half of a [`channel`]. Cloneable.
@@ -50,7 +55,9 @@ pub struct Sender<T> {
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
         self.inner.borrow_mut().senders += 1;
-        Sender { inner: Rc::clone(&self.inner) }
+        Sender {
+            inner: Rc::clone(&self.inner),
+        }
     }
 }
 
@@ -160,9 +167,17 @@ struct OneshotInner<T> {
 
 /// Create a single-value channel.
 pub fn oneshot<T>() -> (OneshotSender<T>, OneshotReceiver<T>) {
-    let inner =
-        Rc::new(RefCell::new(OneshotInner { value: None, waker: None, sender_alive: true }));
-    (OneshotSender { inner: Rc::clone(&inner) }, OneshotReceiver { inner })
+    let inner = Rc::new(RefCell::new(OneshotInner {
+        value: None,
+        waker: None,
+        sender_alive: true,
+    }));
+    (
+        OneshotSender {
+            inner: Rc::clone(&inner),
+        },
+        OneshotReceiver { inner },
+    )
 }
 
 /// Sending half of a [`oneshot`] channel.

@@ -19,10 +19,8 @@ use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
-
-use parking_lot::Mutex;
 
 use crate::time::{SimDuration, SimTime};
 
@@ -47,7 +45,12 @@ pub struct Deadlock {
 
 impl fmt::Display for Deadlock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "simulation deadlocked at {} with {} stuck task(s): ", self.at, self.stuck.len())?;
+        write!(
+            f,
+            "simulation deadlocked at {} with {} stuck task(s): ",
+            self.at,
+            self.stuck.len()
+        )?;
         for (i, name) in self.stuck.iter().take(8).enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
@@ -82,13 +85,19 @@ struct TaskWaker {
 impl Wake for TaskWaker {
     fn wake(self: Arc<Self>) {
         if !self.queued.swap(true, Ordering::AcqRel) {
-            self.ready.push(TaskId { slot: self.slot, generation: self.generation });
+            self.ready.push(TaskId {
+                slot: self.slot,
+                generation: self.generation,
+            });
         }
     }
 
     fn wake_by_ref(self: &Arc<Self>) {
         if !self.queued.swap(true, Ordering::AcqRel) {
-            self.ready.push(TaskId { slot: self.slot, generation: self.generation });
+            self.ready.push(TaskId {
+                slot: self.slot,
+                generation: self.generation,
+            });
         }
     }
 }
@@ -101,11 +110,14 @@ struct ReadyQueue {
 
 impl ReadyQueue {
     fn push(&self, id: TaskId) {
-        self.queue.lock().push_back(id);
+        self.queue
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(id);
     }
 
     fn pop(&self) -> Option<TaskId> {
-        self.queue.lock().pop_front()
+        self.queue.lock().expect("ready queue poisoned").pop_front()
     }
 }
 
@@ -181,7 +193,9 @@ impl Sim {
                 next_generation: 0,
                 polls: 0,
             })),
-            ready: Arc::new(ReadyQueue { queue: Mutex::new(VecDeque::new()) }),
+            ready: Arc::new(ReadyQueue {
+                queue: Mutex::new(VecDeque::new()),
+            }),
         }
     }
 
@@ -243,7 +257,12 @@ impl Sim {
     /// This is the primitive all timed futures are built on.
     pub fn schedule_waker(&self, at: SimTime, waker: Waker) {
         let mut core = self.core.borrow_mut();
-        assert!(at >= core.now, "cannot schedule a waker in the past ({} < {})", at, core.now);
+        assert!(
+            at >= core.now,
+            "cannot schedule a waker in the past ({} < {})",
+            at,
+            core.now
+        );
         let seq = core.timer_seq;
         core.timer_seq += 1;
         core.timers.push(Reverse(Timer { at, seq, waker }));
@@ -252,7 +271,11 @@ impl Sim {
     /// A future that completes at absolute simulated time `deadline`.
     /// Completes immediately if `deadline` has already passed.
     pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
-        Sleep { sim: self.clone(), deadline, registered: false }
+        Sleep {
+            sim: self.clone(),
+            deadline,
+            registered: false,
+        }
     }
 
     /// A future that completes after `dur` of simulated time.
@@ -324,7 +347,10 @@ impl Sim {
                         .filter(|t| t.future.is_some())
                         .map(|t| t.name.to_string())
                         .collect();
-                    return Err(Deadlock { at: core.now, stuck });
+                    return Err(Deadlock {
+                        at: core.now,
+                        stuck,
+                    });
                 }
             }
         }

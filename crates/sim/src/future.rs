@@ -10,7 +10,10 @@ where
     A: Future,
     B: Future,
 {
-    Join2 { a: MaybeDone::Pending(a), b: MaybeDone::Pending(b) }
+    Join2 {
+        a: MaybeDone::Pending(a),
+        b: MaybeDone::Pending(b),
+    }
 }
 
 enum MaybeDone<F: Future> {
@@ -76,7 +79,11 @@ impl<A: Future, B: Future> Future for Join2<A, B> {
 /// Await a dynamic set of futures, returning outputs in input order.
 pub async fn join_all<F: Future>(futs: Vec<F>) -> Vec<F::Output> {
     let mut all = JoinAll {
-        futs: futs.into_iter().map(|f| MaybeDone::Pending(f)).map(Box::pin).collect(),
+        futs: futs
+            .into_iter()
+            .map(|f| MaybeDone::Pending(f))
+            .map(Box::pin)
+            .collect(),
     };
     (&mut all).await
 }

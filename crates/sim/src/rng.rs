@@ -5,12 +5,9 @@
 //! experiment's root seed by a stable label, so adding a new consumer never
 //! perturbs existing streams and runs are exactly reproducible.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 /// FNV-1a 64-bit hash — stable across platforms and Rust versions,
 /// unlike `DefaultHasher`.
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for &b in bytes {
         h ^= b as u64;
@@ -27,16 +24,67 @@ fn splitmix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// xoshiro256++ core: fast, 256-bit state, excellent statistical quality.
+/// Implemented locally so the simulator's streams are frozen by this file,
+/// not by an external crate's version bumps.
+#[derive(Debug, Clone)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Expand a 64-bit seed into the full state with splitmix64 (the
+    /// reference seeding procedure; guarantees a non-zero state).
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut z = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            z = z.wrapping_add(0x9e3779b97f4a7c15);
+            *slot = splitmix(z);
+        }
+        Xoshiro256 { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.s = [s0, s1, s2, s3];
+        result
+    }
+
+    /// Uniform in `[0, 1)` from the top 53 bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)` via 128-bit widening multiply (Lemire). The bias
+    /// without a rejection step is < n/2^64 — irrelevant at simulation
+    /// scales and branch-free, keeping draws cheap and deterministic.
+    fn bounded(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
 /// A seeded RNG that can spawn independent, reproducible substreams.
 pub struct DetRng {
     seed: u64,
-    rng: SmallRng,
+    rng: Xoshiro256,
 }
 
 impl DetRng {
     /// Root RNG for a run.
     pub fn new(seed: u64) -> Self {
-        DetRng { seed, rng: SmallRng::seed_from_u64(splitmix(seed)) }
+        DetRng {
+            seed,
+            rng: Xoshiro256::seed_from_u64(splitmix(seed)),
+        }
     }
 
     /// The seed this stream was created with.
@@ -52,12 +100,14 @@ impl DetRng {
 
     /// Fork an indexed substream (e.g. one per rank).
     pub fn fork_idx(&self, idx: u64) -> DetRng {
-        DetRng::new(splitmix(self.seed ^ splitmix(idx.wrapping_add(0x5bf0_3635))))
+        DetRng::new(splitmix(
+            self.seed ^ splitmix(idx.wrapping_add(0x5bf0_3635)),
+        ))
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn f64(&mut self) -> f64 {
-        self.rng.random::<f64>()
+        self.rng.next_f64()
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -66,7 +116,7 @@ impl DetRng {
     /// Panics if `lo >= hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        self.rng.random_range(lo..hi)
+        lo + self.rng.bounded(hi - lo)
     }
 
     /// Uniform usize in `[0, n)`.
@@ -75,7 +125,7 @@ impl DetRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "empty range");
-        self.rng.random_range(0..n)
+        self.rng.bounded(n as u64) as usize
     }
 
     /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
@@ -85,14 +135,14 @@ impl DetRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.rng.random::<f64>() < p
+            self.rng.next_f64() < p
         }
     }
 
     /// Exponentially distributed sample with the given mean.
     pub fn exp(&mut self, mean: f64) -> f64 {
         assert!(mean > 0.0, "exponential mean must be positive");
-        let u: f64 = self.rng.random::<f64>();
+        let u: f64 = self.rng.next_f64();
         // Guard against ln(0).
         -mean * (1.0 - u).max(f64::MIN_POSITIVE).ln()
     }
@@ -105,8 +155,8 @@ impl DetRng {
 
     /// Standard normal via Box–Muller.
     pub fn normal(&mut self, mean: f64, std: f64) -> f64 {
-        let u1: f64 = self.rng.random::<f64>().max(f64::MIN_POSITIVE);
-        let u2: f64 = self.rng.random::<f64>();
+        let u1: f64 = self.rng.next_f64().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.rng.next_f64();
         let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
         mean + std * z
     }
@@ -114,7 +164,7 @@ impl DetRng {
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.rng.random_range(0..=i);
+            let j = self.rng.bounded(i as u64 + 1) as usize;
             items.swap(i, j);
         }
     }
@@ -182,7 +232,10 @@ mod tests {
         let mean = 3.0;
         let sum: f64 = (0..n).map(|_| rng.exp(mean)).sum();
         let sample_mean = sum / n as f64;
-        assert!((sample_mean - mean).abs() < 0.1, "sample mean {sample_mean}");
+        assert!(
+            (sample_mean - mean).abs() < 0.1,
+            "sample mean {sample_mean}"
+        );
     }
 
     #[test]

@@ -16,7 +16,14 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// Fresh, empty accumulator.
     pub fn new() -> Self {
-        OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum: 0.0 }
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
     }
 
     /// Add one observation.
@@ -151,7 +158,11 @@ impl Samples {
 
     /// Largest sample (0 when empty).
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(0.0)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(0.0)
     }
 
     /// Read-only view of raw samples.

@@ -40,7 +40,12 @@ struct GateInner {
 impl Gate {
     /// Create a gate in the given initial state.
     pub fn new(open: bool) -> Self {
-        Gate { inner: Rc::new(RefCell::new(GateInner { open, waiters: Vec::new() })) }
+        Gate {
+            inner: Rc::new(RefCell::new(GateInner {
+                open,
+                waiters: Vec::new(),
+            })),
+        }
     }
 
     /// Open the gate, releasing all waiting tasks.
@@ -110,7 +115,12 @@ impl Default for Event {
 impl Event {
     /// Create an unset event.
     pub fn new() -> Self {
-        Event { inner: Rc::new(RefCell::new(EventInner { set: false, waiters: Vec::new() })) }
+        Event {
+            inner: Rc::new(RefCell::new(EventInner {
+                set: false,
+                waiters: Vec::new(),
+            })),
+        }
     }
 
     /// Fire the event. Idempotent.
@@ -129,7 +139,9 @@ impl Event {
 
     /// Completes once the event has fired.
     pub fn wait(&self) -> EventWait {
-        EventWait { event: self.clone() }
+        EventWait {
+            event: self.clone(),
+        }
     }
 }
 
@@ -172,7 +184,12 @@ struct SemInner {
 impl Semaphore {
     /// Create a semaphore holding `permits` permits.
     pub fn new(permits: usize) -> Self {
-        Semaphore { inner: Rc::new(RefCell::new(SemInner { permits, waiters: Vec::new() })) }
+        Semaphore {
+            inner: Rc::new(RefCell::new(SemInner {
+                permits,
+                waiters: Vec::new(),
+            })),
+        }
     }
 
     /// Acquire one permit, waiting if none are available.
@@ -273,7 +290,10 @@ impl Barrier {
             b.generation += 1;
             wake_all(&mut b.waiters);
         }
-        BarrierWait { barrier: self.clone(), generation: my_generation }
+        BarrierWait {
+            barrier: self.clone(),
+            generation: my_generation,
+        }
     }
 }
 
@@ -324,7 +344,12 @@ impl Default for WaitGroup {
 impl WaitGroup {
     /// Create an empty wait group (count 0).
     pub fn new() -> Self {
-        WaitGroup { inner: Rc::new(RefCell::new(WgInner { count: 0, waiters: Vec::new() })) }
+        WaitGroup {
+            inner: Rc::new(RefCell::new(WgInner {
+                count: 0,
+                waiters: Vec::new(),
+            })),
+        }
     }
 
     /// Register `n` additional units of pending work.
@@ -500,7 +525,8 @@ mod tests {
             let l = Rc::clone(&log);
             sim.spawn(async move {
                 for round in 0..2u32 {
-                    s.sleep(SimDuration::from_millis((id as u64 + 1) * 10)).await;
+                    s.sleep(SimDuration::from_millis((id as u64 + 1) * 10))
+                        .await;
                     l.borrow_mut().push((round, id, "arrive"));
                     b.wait().await;
                     l.borrow_mut().push((round, id, "pass"));
@@ -511,10 +537,18 @@ mod tests {
         let log = log.borrow();
         // Within each round, all arrivals precede all passes.
         for round in 0..2u32 {
-            let arrives: Vec<usize> =
-                log.iter().enumerate().filter(|(_, e)| e.0 == round && e.2 == "arrive").map(|(i, _)| i).collect();
-            let passes: Vec<usize> =
-                log.iter().enumerate().filter(|(_, e)| e.0 == round && e.2 == "pass").map(|(i, _)| i).collect();
+            let arrives: Vec<usize> = log
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.0 == round && e.2 == "arrive")
+                .map(|(i, _)| i)
+                .collect();
+            let passes: Vec<usize> = log
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.0 == round && e.2 == "pass")
+                .map(|(i, _)| i)
+                .collect();
             assert_eq!(arrives.len(), 3);
             assert_eq!(passes.len(), 3);
             assert!(arrives.iter().max().unwrap() < passes.iter().min().unwrap());

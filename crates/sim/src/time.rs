@@ -35,7 +35,9 @@ impl SimTime {
     /// Construct from whole simulated seconds.
     #[inline]
     pub const fn from_secs(s: u64) -> Self {
-        SimTime { ns: s * 1_000_000_000 }
+        SimTime {
+            ns: s * 1_000_000_000,
+        }
     }
 
     /// Construct from whole simulated milliseconds.
@@ -47,8 +49,13 @@ impl SimTime {
     /// Construct from fractional seconds (rounds to nearest nanosecond).
     #[inline]
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s >= 0.0 && s.is_finite(), "SimTime must be non-negative and finite");
-        SimTime { ns: (s * 1e9).round() as u64 }
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "SimTime must be non-negative and finite"
+        );
+        SimTime {
+            ns: (s * 1e9).round() as u64,
+        }
     }
 
     /// Raw nanoseconds since the epoch.
@@ -66,7 +73,9 @@ impl SimTime {
     /// Time elapsed since `earlier`; saturates to zero if `earlier` is later.
     #[inline]
     pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
-        SimDuration { ns: self.ns.saturating_sub(earlier.ns) }
+        SimDuration {
+            ns: self.ns.saturating_sub(earlier.ns),
+        }
     }
 
     /// Checked difference between two instants.
@@ -103,7 +112,9 @@ impl SimDuration {
     /// Construct from whole seconds.
     #[inline]
     pub const fn from_secs(s: u64) -> Self {
-        SimDuration { ns: s * 1_000_000_000 }
+        SimDuration {
+            ns: s * 1_000_000_000,
+        }
     }
 
     /// Construct from fractional seconds (rounds to nearest nanosecond).
@@ -112,8 +123,13 @@ impl SimDuration {
     /// Panics if `s` is negative, NaN, or infinite.
     #[inline]
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s >= 0.0 && s.is_finite(), "SimDuration must be non-negative and finite");
-        SimDuration { ns: (s * 1e9).round() as u64 }
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "SimDuration must be non-negative and finite"
+        );
+        SimDuration {
+            ns: (s * 1e9).round() as u64,
+        }
     }
 
     /// Raw nanoseconds.
@@ -137,20 +153,29 @@ impl SimDuration {
     /// Saturating addition.
     #[inline]
     pub fn saturating_add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration { ns: self.ns.saturating_add(rhs.ns) }
+        SimDuration {
+            ns: self.ns.saturating_add(rhs.ns),
+        }
     }
 
     /// Saturating subtraction.
     #[inline]
     pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration { ns: self.ns.saturating_sub(rhs.ns) }
+        SimDuration {
+            ns: self.ns.saturating_sub(rhs.ns),
+        }
     }
 
     /// Multiply by an `f64` scale factor (rounds to nearest nanosecond).
     #[inline]
     pub fn mul_f64(self, k: f64) -> SimDuration {
-        assert!(k >= 0.0 && k.is_finite(), "scale must be non-negative and finite");
-        SimDuration { ns: (self.ns as f64 * k).round() as u64 }
+        assert!(
+            k >= 0.0 && k.is_finite(),
+            "scale must be non-negative and finite"
+        );
+        SimDuration {
+            ns: (self.ns as f64 * k).round() as u64,
+        }
     }
 }
 
@@ -158,7 +183,9 @@ impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     #[inline]
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime { ns: self.ns.checked_add(rhs.ns).expect("SimTime overflow") }
+        SimTime {
+            ns: self.ns.checked_add(rhs.ns).expect("SimTime overflow"),
+        }
     }
 }
 
@@ -173,7 +200,9 @@ impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
     #[inline]
     fn sub(self, rhs: SimDuration) -> SimTime {
-        SimTime { ns: self.ns.checked_sub(rhs.ns).expect("SimTime underflow") }
+        SimTime {
+            ns: self.ns.checked_sub(rhs.ns).expect("SimTime underflow"),
+        }
     }
 }
 
@@ -181,7 +210,9 @@ impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
     #[inline]
     fn sub(self, rhs: SimTime) -> SimDuration {
-        SimDuration { ns: self.ns.checked_sub(rhs.ns).expect("negative SimDuration") }
+        SimDuration {
+            ns: self.ns.checked_sub(rhs.ns).expect("negative SimDuration"),
+        }
     }
 }
 
@@ -189,7 +220,9 @@ impl Add for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration { ns: self.ns.checked_add(rhs.ns).expect("SimDuration overflow") }
+        SimDuration {
+            ns: self.ns.checked_add(rhs.ns).expect("SimDuration overflow"),
+        }
     }
 }
 
@@ -204,7 +237,9 @@ impl Sub for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration { ns: self.ns.checked_sub(rhs.ns).expect("negative SimDuration") }
+        SimDuration {
+            ns: self.ns.checked_sub(rhs.ns).expect("negative SimDuration"),
+        }
     }
 }
 
@@ -219,7 +254,9 @@ impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn mul(self, rhs: u64) -> SimDuration {
-        SimDuration { ns: self.ns.checked_mul(rhs).expect("SimDuration overflow") }
+        SimDuration {
+            ns: self.ns.checked_mul(rhs).expect("SimDuration overflow"),
+        }
     }
 }
 
@@ -306,7 +343,10 @@ mod tests {
             SimDuration::from_secs(1).saturating_sub(SimDuration::from_secs(2)),
             SimDuration::ZERO
         );
-        assert_eq!(SimDuration::MAX.saturating_add(SimDuration::from_secs(1)), SimDuration::MAX);
+        assert_eq!(
+            SimDuration::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimDuration::MAX
+        );
     }
 
     #[test]
@@ -319,7 +359,10 @@ mod tests {
     fn ordering_is_total() {
         let mut v = vec![SimTime::from_secs(3), SimTime::ZERO, SimTime::from_nanos(5)];
         v.sort();
-        assert_eq!(v, vec![SimTime::ZERO, SimTime::from_nanos(5), SimTime::from_secs(3)]);
+        assert_eq!(
+            v,
+            vec![SimTime::ZERO, SimTime::from_nanos(5), SimTime::from_secs(3)]
+        );
     }
 
     #[test]

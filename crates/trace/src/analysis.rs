@@ -7,12 +7,10 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::record::Trace;
 
 /// Aggregated traffic between one unordered pair of ranks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PairFlow {
     /// Smaller rank of the pair.
     pub a: u32,
@@ -37,16 +35,21 @@ pub fn pair_flows(trace: &Trace) -> Vec<PairFlow> {
         e.0 += 1;
         e.1 += bytes;
     }
-    let mut flows: Vec<PairFlow> =
-        map.into_iter().map(|((a, b), (count, bytes))| PairFlow { a, b, count, bytes }).collect();
+    let mut flows: Vec<PairFlow> = map
+        .into_iter()
+        .map(|((a, b), (count, bytes))| PairFlow { a, b, count, bytes })
+        .collect();
     flows.sort_by(|x, y| {
-        y.bytes.cmp(&x.bytes).then(y.count.cmp(&x.count)).then((x.a, x.b).cmp(&(y.a, y.b)))
+        y.bytes
+            .cmp(&x.bytes)
+            .then(y.count.cmp(&x.count))
+            .then((x.a, x.b).cmp(&(y.a, y.b)))
     });
     flows
 }
 
 /// Per-rank traffic summary.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RankTraffic {
     /// Bytes sent by the rank.
     pub sent_bytes: u64,
@@ -90,7 +93,13 @@ mod tests {
     fn trace_with(sends: &[(u32, u32, u64)]) -> Trace {
         let mut tr = Trace::new(8, "t");
         for (i, &(src, dst, bytes)) in sends.iter().enumerate() {
-            tr.events.push(TraceEvent::Send { t: i as u64, src, dst, tag: 0, bytes });
+            tr.events.push(TraceEvent::Send {
+                t: i as u64,
+                src,
+                dst,
+                tag: 0,
+                bytes,
+            });
         }
         tr
     }
@@ -100,8 +109,24 @@ mod tests {
         let tr = trace_with(&[(0, 1, 100), (1, 0, 50), (2, 3, 10)]);
         let flows = pair_flows(&tr);
         assert_eq!(flows.len(), 2);
-        assert_eq!(flows[0], PairFlow { a: 0, b: 1, count: 2, bytes: 150 });
-        assert_eq!(flows[1], PairFlow { a: 2, b: 3, count: 1, bytes: 10 });
+        assert_eq!(
+            flows[0],
+            PairFlow {
+                a: 0,
+                b: 1,
+                count: 2,
+                bytes: 150
+            }
+        );
+        assert_eq!(
+            flows[1],
+            PairFlow {
+                a: 2,
+                b: 3,
+                count: 1,
+                bytes: 10
+            }
+        );
     }
 
     #[test]

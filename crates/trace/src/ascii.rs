@@ -54,7 +54,14 @@ pub fn render(trace: &Trace, windows: &[Window], opts: &DiagramOpts) -> String {
     let mut active = vec![false; rows * opts.cols];
     let row_of = |rank: u32| opts.ranks.iter().position(|&r| r == rank);
     for ev in &trace.events {
-        if let TraceEvent::Recv { t_sent, t, src, dst, .. } = ev {
+        if let TraceEvent::Recv {
+            t_sent,
+            t,
+            src,
+            dst,
+            ..
+        } = ev
+        {
             if *t < opts.t0 || *t_sent >= opts.t1 {
                 continue;
             }
@@ -113,7 +120,14 @@ mod tests {
     fn trace_with(recvs: &[(u64, u64, u32, u32)]) -> Trace {
         let mut tr = Trace::new(4, "t");
         for &(s, e, src, dst) in recvs {
-            tr.events.push(TraceEvent::Recv { t_sent: s, t: e, src, dst, tag: 0, bytes: 1 });
+            tr.events.push(TraceEvent::Recv {
+                t_sent: s,
+                t: e,
+                src,
+                dst,
+                tag: 0,
+                bytes: 1,
+            });
         }
         tr
     }
@@ -121,7 +135,12 @@ mod tests {
     #[test]
     fn activity_marks_both_endpoints() {
         let tr = trace_with(&[(10, 20, 0, 1)]);
-        let opts = DiagramOpts { ranks: vec![0, 1, 2], t0: 0, t1: 100, cols: 10 };
+        let opts = DiagramOpts {
+            ranks: vec![0, 1, 2],
+            t0: 0,
+            t1: 100,
+            cols: 10,
+        };
         let s = render(&tr, &[], &opts);
         let lines: Vec<&str> = s.lines().collect();
         assert!(lines[1].contains('*')); // P0
@@ -132,7 +151,12 @@ mod tests {
     #[test]
     fn checkpoint_overlay_distinguishes_gap_and_progress() {
         let tr = trace_with(&[(0, 50, 0, 1)]);
-        let opts = DiagramOpts { ranks: vec![0], t0: 0, t1: 100, cols: 10 };
+        let opts = DiagramOpts {
+            ranks: vec![0],
+            t0: 0,
+            t1: 100,
+            cols: 10,
+        };
         // Checkpoint covering the whole range: first half has activity (#),
         // second half is a gap (.).
         let s = render(&tr, &[Window::new(0, 100)], &opts);
@@ -145,7 +169,12 @@ mod tests {
     #[test]
     fn events_outside_range_are_skipped() {
         let tr = trace_with(&[(200, 300, 0, 1)]);
-        let opts = DiagramOpts { ranks: vec![0, 1], t0: 0, t1: 100, cols: 10 };
+        let opts = DiagramOpts {
+            ranks: vec![0, 1],
+            t0: 0,
+            t1: 100,
+            cols: 10,
+        };
         let s = render(&tr, &[], &opts);
         assert!(!s.contains('*'));
     }
@@ -153,7 +182,12 @@ mod tests {
     #[test]
     fn row_labels_present() {
         let tr = trace_with(&[]);
-        let opts = DiagramOpts { ranks: vec![0, 3], t0: 0, t1: 10, cols: 5 };
+        let opts = DiagramOpts {
+            ranks: vec![0, 3],
+            t0: 0,
+            t1: 10,
+            cols: 5,
+        };
         let s = render(&tr, &[], &opts);
         assert!(s.contains("P0"));
         assert!(s.contains("P3"));

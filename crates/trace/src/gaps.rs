@@ -7,12 +7,10 @@
 //! the fraction of the window not covered by any in-flight message and the
 //! longest contiguous such gap.
 
-use serde::{Deserialize, Serialize};
-
 use crate::record::{Trace, TraceEvent};
 
 /// A half-open time window `[start, end)` in simulated nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Window {
     /// Window start (ns).
     pub start: u64,
@@ -39,7 +37,7 @@ impl Window {
 }
 
 /// Gap statistics for one checkpoint window.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GapStats {
     /// The analyzed window.
     pub window: Window,
@@ -107,7 +105,11 @@ pub fn analyze_window(intervals: &[(u64, u64)], window: Window) -> GapStats {
     longest = longest.max(window.end.saturating_sub(cursor));
     GapStats {
         window,
-        gap_fraction: if len == 0 { 0.0 } else { 1.0 - busy as f64 / len as f64 },
+        gap_fraction: if len == 0 {
+            0.0
+        } else {
+            1.0 - busy as f64 / len as f64
+        },
         longest_gap: longest,
         overlapping_msgs: overlapping,
     }
@@ -116,7 +118,10 @@ pub fn analyze_window(intervals: &[(u64, u64)], window: Window) -> GapStats {
 /// Analyze every window of a checkpoint schedule against a trace.
 pub fn analyze(trace: &Trace, windows: &[Window]) -> Vec<GapStats> {
     let intervals = transfer_intervals(trace);
-    windows.iter().map(|&w| analyze_window(&intervals, w)).collect()
+    windows
+        .iter()
+        .map(|&w| analyze_window(&intervals, w))
+        .collect()
 }
 
 #[cfg(test)]
@@ -126,7 +131,14 @@ mod tests {
     fn trace_with_transfers(iv: &[(u64, u64)]) -> Trace {
         let mut tr = Trace::new(2, "t");
         for &(s, e) in iv {
-            tr.events.push(TraceEvent::Recv { t_sent: s, t: e, src: 0, dst: 1, tag: 0, bytes: 1 });
+            tr.events.push(TraceEvent::Recv {
+                t_sent: s,
+                t: e,
+                src: 0,
+                dst: 1,
+                tag: 0,
+                bytes: 1,
+            });
         }
         tr
     }
@@ -178,8 +190,14 @@ mod tests {
     #[test]
     fn multiple_windows() {
         let tr = trace_with_transfers(&[(0, 1000)]);
-        let stats =
-            analyze(&tr, &[Window::new(0, 500), Window::new(500, 1000), Window::new(1000, 1500)]);
+        let stats = analyze(
+            &tr,
+            &[
+                Window::new(0, 500),
+                Window::new(500, 1000),
+                Window::new(1000, 1500),
+            ],
+        );
         assert_eq!(stats[0].gap_fraction, 0.0);
         assert_eq!(stats[1].gap_fraction, 0.0);
         assert_eq!(stats[2].gap_fraction, 1.0);

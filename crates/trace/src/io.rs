@@ -1,7 +1,5 @@
 //! Trace file I/O (JSON).
 
-use std::fs::File;
-use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
 
 use crate::record::Trace;
@@ -12,7 +10,7 @@ pub enum TraceIoError {
     /// Filesystem error.
     Io(std::io::Error),
     /// Malformed trace file.
-    Format(serde_json::Error),
+    Format(gcr_json::JsonError),
 }
 
 impl std::fmt::Display for TraceIoError {
@@ -32,8 +30,8 @@ impl From<std::io::Error> for TraceIoError {
     }
 }
 
-impl From<serde_json::Error> for TraceIoError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<gcr_json::JsonError> for TraceIoError {
+    fn from(e: gcr_json::JsonError) -> Self {
         TraceIoError::Format(e)
     }
 }
@@ -43,9 +41,7 @@ impl From<serde_json::Error> for TraceIoError {
 /// # Errors
 /// Returns [`TraceIoError`] on filesystem or serialization failure.
 pub fn save_json(trace: &Trace, path: impl AsRef<Path>) -> Result<(), TraceIoError> {
-    let mut w = BufWriter::new(File::create(path)?);
-    serde_json::to_writer(&mut w, trace)?;
-    w.flush()?;
+    std::fs::write(path, trace.to_json_string())?;
     Ok(())
 }
 
@@ -54,8 +50,8 @@ pub fn save_json(trace: &Trace, path: impl AsRef<Path>) -> Result<(), TraceIoErr
 /// # Errors
 /// Returns [`TraceIoError`] on filesystem or parse failure.
 pub fn load_json(path: impl AsRef<Path>) -> Result<Trace, TraceIoError> {
-    let r = BufReader::new(File::open(path)?);
-    Ok(serde_json::from_reader(r)?)
+    let text = std::fs::read_to_string(path)?;
+    Ok(Trace::from_json_str(&text)?)
 }
 
 #[cfg(test)]
@@ -67,7 +63,13 @@ mod tests {
     fn roundtrip_through_file() {
         let mut tr = Trace::new(4, "roundtrip");
         for i in 0..10 {
-            tr.events.push(TraceEvent::Send { t: i, src: 0, dst: 1, tag: 7, bytes: i * 3 });
+            tr.events.push(TraceEvent::Send {
+                t: i,
+                src: 0,
+                dst: 1,
+                tag: 7,
+                bytes: i * 3,
+            });
         }
         let dir = std::env::temp_dir().join("gcr-trace-test");
         std::fs::create_dir_all(&dir).unwrap();

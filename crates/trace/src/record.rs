@@ -1,14 +1,16 @@
 //! Trace records and the in-memory trace.
 
-use serde::{Deserialize, Serialize};
+use gcr_json::{Json, JsonError};
 
 /// One traced communication event.
 ///
 /// Times are simulated nanoseconds. `Send` fires when the message's data
 /// goes on the wire; `Recv` fires when the application receive completes
 /// (and carries both endpoints' times so diagrams can draw arrows).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(tag = "ev", rename_all = "snake_case")]
+///
+/// On disk each event is a tagged object: `{"ev":"send",...}` /
+/// `{"ev":"recv",...}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A send was initiated.
     Send {
@@ -47,10 +49,75 @@ impl TraceEvent {
             TraceEvent::Send { t, .. } | TraceEvent::Recv { t, .. } => *t,
         }
     }
+
+    /// The on-disk JSON representation.
+    pub fn to_json(&self) -> Json {
+        match *self {
+            TraceEvent::Send {
+                t,
+                src,
+                dst,
+                tag,
+                bytes,
+            } => Json::obj([
+                ("ev", Json::from("send")),
+                ("t", Json::from(t)),
+                ("src", Json::from(src)),
+                ("dst", Json::from(dst)),
+                ("tag", Json::from(tag)),
+                ("bytes", Json::from(bytes)),
+            ]),
+            TraceEvent::Recv {
+                t_sent,
+                t,
+                src,
+                dst,
+                tag,
+                bytes,
+            } => Json::obj([
+                ("ev", Json::from("recv")),
+                ("t_sent", Json::from(t_sent)),
+                ("t", Json::from(t)),
+                ("src", Json::from(src)),
+                ("dst", Json::from(dst)),
+                ("tag", Json::from(tag)),
+                ("bytes", Json::from(bytes)),
+            ]),
+        }
+    }
+
+    /// Parse one event from its JSON object.
+    ///
+    /// # Errors
+    /// [`JsonError`] on a missing/mistyped field or unknown `ev` tag.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let rank = |key: &str| -> Result<u32, JsonError> {
+            u32::try_from(v.u64_field(key)?)
+                .map_err(|_| JsonError::msg(format!("field '{key}' exceeds u32")))
+        };
+        match v.str_field("ev")? {
+            "send" => Ok(TraceEvent::Send {
+                t: v.u64_field("t")?,
+                src: rank("src")?,
+                dst: rank("dst")?,
+                tag: v.u64_field("tag")?,
+                bytes: v.u64_field("bytes")?,
+            }),
+            "recv" => Ok(TraceEvent::Recv {
+                t_sent: v.u64_field("t_sent")?,
+                t: v.u64_field("t")?,
+                src: rank("src")?,
+                dst: rank("dst")?,
+                tag: v.u64_field("tag")?,
+                bytes: v.u64_field("bytes")?,
+            }),
+            other => Err(JsonError::msg(format!("unknown trace event '{other}'"))),
+        }
+    }
 }
 
 /// Metadata stored at the head of a trace file.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceMeta {
     /// World size the trace was captured from.
     pub n: usize,
@@ -59,7 +126,7 @@ pub struct TraceMeta {
 }
 
 /// A captured communication trace.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trace {
     /// Capture metadata.
     pub meta: TraceMeta,
@@ -70,13 +137,21 @@ pub struct Trace {
 impl Trace {
     /// An empty trace for an `n`-rank world.
     pub fn new(n: usize, workload: impl Into<String>) -> Self {
-        Trace { meta: TraceMeta { n, workload: workload.into() }, events: Vec::new() }
+        Trace {
+            meta: TraceMeta {
+                n,
+                workload: workload.into(),
+            },
+            events: Vec::new(),
+        }
     }
 
     /// Iterator over send events only (the input to group formation).
     pub fn sends(&self) -> impl Iterator<Item = (u32, u32, u64)> + '_ {
         self.events.iter().filter_map(|e| match e {
-            TraceEvent::Send { src, dst, bytes, .. } => Some((*src, *dst, *bytes)),
+            TraceEvent::Send {
+                src, dst, bytes, ..
+            } => Some((*src, *dst, *bytes)),
             _ => None,
         })
     }
@@ -90,6 +165,56 @@ impl Trace {
     pub fn end_time(&self) -> u64 {
         self.events.iter().map(TraceEvent::time).max().unwrap_or(0)
     }
+
+    /// The on-disk JSON representation.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "meta",
+                Json::obj([
+                    ("n", Json::from(self.meta.n)),
+                    ("workload", Json::from(self.meta.workload.as_str())),
+                ]),
+            ),
+            (
+                "events",
+                Json::Arr(self.events.iter().map(TraceEvent::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Serialize compactly to a JSON string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().dump()
+    }
+
+    /// Parse a trace from its JSON value.
+    ///
+    /// # Errors
+    /// [`JsonError`] on shape mismatches.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let meta = v.field("meta")?;
+        let events = v
+            .arr_field("events")?
+            .iter()
+            .map(TraceEvent::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Trace {
+            meta: TraceMeta {
+                n: meta.usize_field("n")?,
+                workload: meta.str_field("workload")?.to_string(),
+            },
+            events,
+        })
+    }
+
+    /// Parse a trace from a JSON string.
+    ///
+    /// # Errors
+    /// [`JsonError`] on parse or shape failures.
+    pub fn from_json_str(s: &str) -> Result<Self, JsonError> {
+        Trace::from_json(&Json::parse(s)?)
+    }
 }
 
 #[cfg(test)]
@@ -99,9 +224,28 @@ mod tests {
     #[test]
     fn sends_filter() {
         let mut tr = Trace::new(4, "test");
-        tr.events.push(TraceEvent::Send { t: 5, src: 0, dst: 1, tag: 9, bytes: 100 });
-        tr.events.push(TraceEvent::Recv { t_sent: 5, t: 8, src: 0, dst: 1, tag: 9, bytes: 100 });
-        tr.events.push(TraceEvent::Send { t: 10, src: 2, dst: 3, tag: 9, bytes: 200 });
+        tr.events.push(TraceEvent::Send {
+            t: 5,
+            src: 0,
+            dst: 1,
+            tag: 9,
+            bytes: 100,
+        });
+        tr.events.push(TraceEvent::Recv {
+            t_sent: 5,
+            t: 8,
+            src: 0,
+            dst: 1,
+            tag: 9,
+            bytes: 100,
+        });
+        tr.events.push(TraceEvent::Send {
+            t: 10,
+            src: 2,
+            dst: 3,
+            tag: 9,
+            bytes: 200,
+        });
         let sends: Vec<_> = tr.sends().collect();
         assert_eq!(sends, vec![(0, 1, 100), (2, 3, 200)]);
         assert_eq!(tr.send_count(), 2);
@@ -109,11 +253,51 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let mut tr = Trace::new(2, "w");
-        tr.events.push(TraceEvent::Send { t: 1, src: 0, dst: 1, tag: 2, bytes: 3 });
-        let json = serde_json::to_string(&tr).unwrap();
-        let back: Trace = serde_json::from_str(&json).unwrap();
+        tr.events.push(TraceEvent::Send {
+            t: 1,
+            src: 0,
+            dst: 1,
+            tag: 2,
+            bytes: 3,
+        });
+        tr.events.push(TraceEvent::Recv {
+            t_sent: 1,
+            t: 4,
+            src: 0,
+            dst: 1,
+            tag: 2,
+            bytes: 3,
+        });
+        let json = tr.to_json_string();
+        let back = Trace::from_json_str(&json).unwrap();
         assert_eq!(back, tr);
+    }
+
+    #[test]
+    fn json_format_is_the_tagged_layout() {
+        let mut tr = Trace::new(2, "w");
+        tr.events.push(TraceEvent::Send {
+            t: 1,
+            src: 0,
+            dst: 1,
+            tag: 2,
+            bytes: 3,
+        });
+        assert_eq!(
+            tr.to_json_string(),
+            r#"{"meta":{"n":2,"workload":"w"},"events":[{"ev":"send","t":1,"src":0,"dst":1,"tag":2,"bytes":3}]}"#
+        );
+    }
+
+    #[test]
+    fn malformed_events_are_rejected() {
+        assert!(Trace::from_json_str(
+            r#"{"meta":{"n":2,"workload":"w"},"events":[{"ev":"nope"}]}"#
+        )
+        .is_err());
+        assert!(Trace::from_json_str(r#"{"meta":{"n":2},"events":[]}"#).is_err());
+        assert!(Trace::from_json_str("[]").is_err());
     }
 }

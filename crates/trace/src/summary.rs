@@ -13,15 +13,13 @@
 //! assert_eq!(s.mean_msg_bytes, 200.0);
 //! ```
 
-use serde::{Deserialize, Serialize};
-
 use crate::record::Trace;
 
 /// Size-distribution bucket boundaries (bytes): ≤1K, ≤16K, ≤128K, ≤1M, >1M.
 pub const SIZE_BUCKETS: [u64; 4] = [1 << 10, 16 << 10, 128 << 10, 1 << 20];
 
 /// Aggregate statistics of one trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceSummary {
     /// World size.
     pub n: usize,
@@ -74,11 +72,19 @@ pub fn summarize(trace: &Trace) -> TraceSummary {
         n: trace.meta.n,
         sends,
         total_bytes: total,
-        mean_msg_bytes: if sends == 0 { 0.0 } else { total as f64 / sends as f64 },
+        mean_msg_bytes: if sends == 0 {
+            0.0
+        } else {
+            total as f64 / sends as f64
+        },
         max_msg_bytes: max,
         size_histogram: hist,
         span_ns: span,
-        mean_bandwidth_bps: if span == 0 { 0.0 } else { total as f64 / (span as f64 / 1e9) },
+        mean_bandwidth_bps: if span == 0 {
+            0.0
+        } else {
+            total as f64 / (span as f64 / 1e9)
+        },
         imbalance: if mean_rank == 0.0 {
             0.0
         } else {
@@ -119,7 +125,13 @@ mod tests {
     use crate::record::TraceEvent;
 
     fn send(t: u64, src: u32, bytes: u64) -> TraceEvent {
-        TraceEvent::Send { t, src, dst: (src + 1) % 4, tag: 0, bytes }
+        TraceEvent::Send {
+            t,
+            src,
+            dst: (src + 1) % 4,
+            tag: 0,
+            bytes,
+        }
     }
 
     #[test]

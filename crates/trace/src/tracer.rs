@@ -20,7 +20,9 @@ pub struct Tracer {
 impl Tracer {
     /// Create a tracer for an `n`-rank world.
     pub fn new(n: usize, workload: impl Into<String>) -> Rc<Self> {
-        Rc::new(Tracer { trace: RefCell::new(Trace::new(n, workload)) })
+        Rc::new(Tracer {
+            trace: RefCell::new(Trace::new(n, workload)),
+        })
     }
 
     /// Create and install on a world in one step.

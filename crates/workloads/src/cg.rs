@@ -11,14 +11,12 @@
 //! The heavy row-wise exchanges also mean trace-based grouping recovers
 //! the grid rows as checkpoint groups.
 
-use serde::{Deserialize, Serialize};
-
 use gcr_mpi::{Rank, World};
 
 use crate::traits::{flops_to_time, Workload};
 
 /// CG skeleton parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CgConfig {
     /// Matrix order (class C: 150 000).
     pub na: u64,
@@ -42,7 +40,10 @@ impl CgConfig {
     /// # Panics
     /// Panics unless `nprocs` is a power of two.
     pub fn class_c(nprocs: usize) -> Self {
-        assert!(nprocs.is_power_of_two(), "CG needs a power-of-two process count");
+        assert!(
+            nprocs.is_power_of_two(),
+            "CG needs a power-of-two process count"
+        );
         CgConfig {
             na: 150_000,
             nonzer: 15,
@@ -101,7 +102,11 @@ impl Workload for Cg {
     }
 
     fn launch(&self, world: &World) {
-        assert_eq!(world.n(), self.n(), "world size must match CG process count");
+        assert_eq!(
+            world.n(),
+            self.n(),
+            "world size must match CG process count"
+        );
         let cfg = self.cfg.clone();
         let flops_rate = world.cluster().spec().flops_per_sec;
         let (rows, cols) = self.cfg.grid();
@@ -125,26 +130,28 @@ impl Workload for Cg {
                 // Per-iteration flops for this process: NPB CG class totals
                 // (~2·NA·NONZER² plus vector ops per sweep) spread over the
                 // grid.
-                let spmv_flops =
-                    (2 * cfg.na * cfg.nonzer * cfg.nonzer + 10 * cfg.na) as f64
-                        / (rows * cols) as f64;
+                let spmv_flops = (2 * cfg.na * cfg.nonzer * cfg.nonzer + 10 * cfg.na) as f64
+                    / (rows * cols) as f64;
 
                 for _outer in 0..cfg.niter {
                     for _inner in 0..cfg.inner {
-                        ctx.busy(flops_to_time(spmv_flops, flops_rate, cfg.efficiency)).await;
+                        ctx.busy(flops_to_time(spmv_flops, flops_rate, cfg.efficiency))
+                            .await;
                         // Row-wise recursive-halving reduction of q = A·p:
                         // log₂(cols) segment exchanges within the row.
                         let mut d = 1usize;
                         while d < cols {
                             let partner_col = my_col ^ d;
                             let partner = row_base + partner_col as u32;
-                            ctx.sendrecv(Rank(partner), seg_bytes, Rank(partner), 7).await;
+                            ctx.sendrecv(Rank(partner), seg_bytes, Rank(partner), 7)
+                                .await;
                             d <<= 1;
                         }
                         // Transpose exchange of the reduced segment (the
                         // only traffic that leaves a grid row).
                         if transpose != rank {
-                            ctx.sendrecv(Rank(transpose), seg_bytes, Rank(transpose), 8).await;
+                            ctx.sendrecv(Rank(transpose), seg_bytes, Rank(transpose), 8)
+                                .await;
                         }
                         // Two dot-product reductions, row-local (8 B per
                         // round — the transpose-symmetry trick keeps them

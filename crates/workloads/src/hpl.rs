@@ -19,13 +19,11 @@
 
 use std::rc::Rc;
 
-use gcr_mpi::{Rank, World};
-use serde::{Deserialize, Serialize};
-
 use crate::traits::{flops_to_time, Workload};
+use gcr_mpi::{Rank, World};
 
 /// HPL skeleton parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HplConfig {
     /// Matrix order `N`.
     pub n_matrix: u64,
@@ -51,7 +49,10 @@ impl HplConfig {
     /// # Panics
     /// Panics unless `nprocs` is a positive multiple of 8.
     pub fn paper(nprocs: usize) -> Self {
-        assert!(nprocs >= 8 && nprocs.is_multiple_of(8), "paper HPL runs use P = 8");
+        assert!(
+            nprocs >= 8 && nprocs.is_multiple_of(8),
+            "paper HPL runs use P = 8"
+        );
         HplConfig {
             n_matrix: 20_000,
             nb: 120,
@@ -65,7 +66,10 @@ impl HplConfig {
 
     /// The paper's Figure-10 configuration: `N = 56000`, 128 processes.
     pub fn paper_large() -> Self {
-        HplConfig { n_matrix: 56_000, ..HplConfig::paper(128) }
+        HplConfig {
+            n_matrix: 56_000,
+            ..HplConfig::paper(128)
+        }
     }
 
     /// Number of panel iterations.
@@ -118,7 +122,11 @@ impl Workload for Hpl {
     }
 
     fn launch(&self, world: &World) {
-        assert_eq!(world.n(), self.n(), "world size must match the process grid");
+        assert_eq!(
+            world.n(),
+            self.n(),
+            "world size must match the process grid"
+        );
         let cfg = self.cfg.clone();
         let flops_rate = world.cluster().spec().flops_per_sec;
         for rank in 0..self.n() as u32 {
@@ -151,7 +159,8 @@ impl Workload for Hpl {
                             col.allreduce(cfg.nb * 8).await;
                         }
                         let factor_flops = (local_rows * cfg.nb * cfg.nb) as f64;
-                        ctx.busy(flops_to_time(factor_flops, flops_rate, cfg.efficiency)).await;
+                        ctx.busy(flops_to_time(factor_flops, flops_rate, cfg.efficiency))
+                            .await;
                     }
 
                     // 2. Panel broadcast along the row (pipelined ring,
@@ -165,7 +174,8 @@ impl Workload for Hpl {
 
                     // 4. Trailing update (pure compute).
                     let update_flops = 2.0 * local_rows as f64 * local_cols as f64 * cfg.nb as f64;
-                    ctx.busy(flops_to_time(update_flops, flops_rate, cfg.efficiency)).await;
+                    ctx.busy(flops_to_time(update_flops, flops_rate, cfg.efficiency))
+                        .await;
                 }
             });
         }

@@ -21,5 +21,8 @@ pub mod traits;
 pub use cg::{Cg, CgConfig};
 pub use hpl::{Hpl, HplConfig};
 pub use sp::{Sp, SpConfig};
-pub use synth::{MasterWorker, MasterWorkerConfig, RandomConfig, RandomTraffic, Ring, RingConfig, Stencil, StencilConfig};
+pub use synth::{
+    MasterWorker, MasterWorkerConfig, RandomConfig, RandomTraffic, Ring, RingConfig, Stencil,
+    StencilConfig,
+};
 pub use traits::{flops_to_time, Workload};

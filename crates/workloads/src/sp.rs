@@ -7,14 +7,12 @@
 //! scheme); we model each sweep as a forward and a backward face exchange
 //! with wraparound neighbours plus the sweep's compute.
 
-use serde::{Deserialize, Serialize};
-
 use gcr_mpi::{Rank, World};
 
 use crate::traits::{flops_to_time, Workload};
 
 /// SP skeleton parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SpConfig {
     /// Problem size per dimension (class C: 162).
     pub problem: u64,
@@ -115,15 +113,18 @@ impl Workload for Sp {
 
                 for _step in 0..cfg.niter {
                     // x sweep: exchange along the row.
-                    ctx.busy(flops_to_time(sweep_flops, flops_rate, cfg.efficiency)).await;
+                    ctx.busy(flops_to_time(sweep_flops, flops_rate, cfg.efficiency))
+                        .await;
                     ctx.sendrecv(east, face_bytes, west, 11).await;
                     ctx.sendrecv(west, face_bytes, east, 12).await;
                     // y sweep: exchange along the column.
-                    ctx.busy(flops_to_time(sweep_flops, flops_rate, cfg.efficiency)).await;
+                    ctx.busy(flops_to_time(sweep_flops, flops_rate, cfg.efficiency))
+                        .await;
                     ctx.sendrecv(south, face_bytes, north, 13).await;
                     ctx.sendrecv(north, face_bytes, south, 14).await;
                     // z sweep: local within the multipartition (compute only).
-                    ctx.busy(flops_to_time(sweep_flops, flops_rate, cfg.efficiency)).await;
+                    ctx.busy(flops_to_time(sweep_flops, flops_rate, cfg.efficiency))
+                        .await;
                 }
             });
         }
@@ -139,7 +140,13 @@ mod tests {
     use gcr_trace::Tracer;
 
     fn tiny(nprocs: usize) -> SpConfig {
-        SpConfig { problem: 36, niter: 4, nprocs, efficiency: 0.25, base_mem_bytes: 1 << 20 }
+        SpConfig {
+            problem: 36,
+            niter: 4,
+            nprocs,
+            efficiency: 0.25,
+            base_mem_bytes: 1 << 20,
+        }
     }
 
     #[test]
@@ -174,7 +181,11 @@ mod tests {
                 partners.insert(dst);
             }
         }
-        assert_eq!(partners.len(), 4, "torus neighbours of rank 0: {partners:?}");
+        assert_eq!(
+            partners.len(),
+            4,
+            "torus neighbours of rank 0: {partners:?}"
+        );
     }
 
     #[test]

@@ -1,7 +1,5 @@
 //! Synthetic workloads for tests, examples, and ablations.
 
-use serde::{Deserialize, Serialize};
-
 use gcr_mpi::{Rank, SrcSel, World};
 use gcr_sim::{DetRng, SimDuration};
 
@@ -10,7 +8,7 @@ use crate::traits::Workload;
 /// A ring: each rank alternates compute and a symmetric neighbour
 /// exchange. Trace grouping on a ring has no small cut, making it a good
 /// adversarial case for Algorithm 2's size bound.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RingConfig {
     /// Number of ranks.
     pub nprocs: usize,
@@ -71,7 +69,7 @@ impl Workload for Ring {
 /// A 2-D five-point stencil on an `rows × cols` torus: heavy north/south
 /// and east/west exchanges. Trace grouping recovers rows when row traffic
 /// is weighted heavier.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StencilConfig {
     /// Grid rows.
     pub rows: usize,
@@ -142,7 +140,7 @@ impl Workload for Stencil {
 /// Master–worker: rank 0 hands out work items, workers compute and return
 /// results. All traffic concentrates on rank 0 — the pathological case for
 /// pair-based grouping (everything wants to merge with the master).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MasterWorkerConfig {
     /// Number of ranks (1 master + n−1 workers).
     pub nprocs: usize,
@@ -193,7 +191,10 @@ impl Workload for MasterWorker {
 
     fn launch(&self, world: &World) {
         assert_eq!(world.n(), self.n());
-        assert!(self.cfg.task_bytes > STOP_BYTES, "task payload must exceed the stop sentinel");
+        assert!(
+            self.cfg.task_bytes > STOP_BYTES,
+            "task payload must exceed the stop sentinel"
+        );
         let cfg = self.cfg.clone();
         let n = self.cfg.nprocs;
         // Master: seed every worker, then self-schedule the remainder.
@@ -249,7 +250,7 @@ impl Workload for MasterWorker {
 /// Uniform-random traffic: every iteration each rank messages a random
 /// peer. No grouping structure exists; Algorithm 2 output is essentially
 /// arbitrary small groups.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RandomConfig {
     /// Number of ranks.
     pub nprocs: usize,
@@ -422,8 +423,9 @@ mod mw_tests {
         assert_eq!(world.ranks_finished(), 5);
         // Master received exactly `items` results.
         let c = world.counters();
-        let results: u64 =
-            (1..5u32).map(|w| c.pair(gcr_mpi::Rank(w), gcr_mpi::Rank(0)).consumed_msgs).sum();
+        let results: u64 = (1..5u32)
+            .map(|w| c.pair(gcr_mpi::Rank(w), gcr_mpi::Rank(0)).consumed_msgs)
+            .sum();
         assert_eq!(results, 23);
     }
 

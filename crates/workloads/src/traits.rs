@@ -24,7 +24,10 @@ pub trait Workload {
 /// rate and a workload efficiency factor (HPL runs near peak, CG is
 /// memory-bound, …).
 pub fn flops_to_time(flops: f64, flops_per_sec: f64, efficiency: f64) -> gcr_sim::SimDuration {
-    assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency must be in (0, 1]");
+    assert!(
+        efficiency > 0.0 && efficiency <= 1.0,
+        "efficiency must be in (0, 1]"
+    );
     gcr_sim::SimDuration::from_secs_f64(flops / (flops_per_sec * efficiency))
 }
 

@@ -34,7 +34,11 @@ fn run(strategy: Strategy) -> (f64, f64, f64, u64) {
             let pcluster = Cluster::new(&psim, ClusterSpec::gideon300(n));
             let pworld = World::new(pcluster, WorldOpts::default());
             let tracer = Tracer::install(&pworld, "stencil-profile");
-            Stencil::new(StencilConfig { iters: 5, ..app_config() }).launch(&pworld);
+            Stencil::new(StencilConfig {
+                iters: 5,
+                ..app_config()
+            })
+            .launch(&pworld);
             psim.run().unwrap();
             strategy.build(n, Some(&tracer.take()))
         }
@@ -47,7 +51,8 @@ fn run(strategy: Strategy) -> (f64, f64, f64, u64) {
     {
         let (rt, world) = (rt.clone(), world.clone());
         sim.spawn(async move {
-            rt.interval_schedule(SimDuration::from_secs(8), SimDuration::from_secs(8)).await;
+            rt.interval_schedule(SimDuration::from_secs(8), SimDuration::from_secs(8))
+                .await;
             world.wait_all_ranks().await;
             rt.shutdown();
             rt.restart_all().await;
@@ -77,7 +82,10 @@ fn app_config() -> StencilConfig {
 
 fn main() {
     println!("4x4 stencil, periodic group-based checkpoints, then a full restart\n");
-    println!("{:<6} {:>10} {:>14} {:>14} {:>12}", "mode", "exec (s)", "agg ckpt (s)", "agg restart", "resend (B)");
+    println!(
+        "{:<6} {:>10} {:>14} {:>14} {:>12}",
+        "mode", "exec (s)", "agg ckpt (s)", "agg restart", "resend (B)"
+    );
     for strategy in [
         Strategy::Trace { max_size: 4 },
         Strategy::Singletons,

@@ -67,7 +67,11 @@ fn main() {
     );
 
     // §7: what checkpoint interval should this system use?
-    let report = analyze_schedule(rt.metrics(), sim.now().as_secs_f64(), SimDuration::from_secs(3600));
+    let report = analyze_schedule(
+        rt.metrics(),
+        sim.now().as_secs_f64(),
+        SimDuration::from_secs(3600),
+    );
     let tau = optimal_interval(
         SimDuration::from_secs_f64(report.mean_ckpt_s.max(0.01)),
         SimDuration::from_secs(3600),
@@ -75,6 +79,9 @@ fn main() {
     println!(
         "schedule analysis: {} ckpts, mean cost {:.2} s, mean interval {:.1} s; \
          for a 1 h MTBF Young's optimum is {:.0} s",
-        report.checkpoints, report.mean_ckpt_s, report.mean_interval_s, tau.as_secs_f64()
+        report.checkpoints,
+        report.mean_ckpt_s,
+        report.mean_interval_s,
+        tau.as_secs_f64()
     );
 }

@@ -53,8 +53,14 @@ fn main() {
     // 5. Results.
     let m = rt.metrics();
     println!("application finished at t = {}", sim.now());
-    println!("aggregate checkpoint time: {:.3} s", m.aggregate_ckpt_time());
-    println!("aggregate restart time:    {:.3} s", m.aggregate_restart_time());
+    println!(
+        "aggregate checkpoint time: {:.3} s",
+        m.aggregate_ckpt_time()
+    );
+    println!(
+        "aggregate restart time:    {:.3} s",
+        m.aggregate_restart_time()
+    );
     println!(
         "restart replayed {} logged message(s), {} bytes",
         m.total_resend_ops(),

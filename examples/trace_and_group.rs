@@ -16,7 +16,10 @@ fn main() {
     let n = cfg.nprocs();
 
     // --- Profiling run: tracer linked in, short problem ------------------
-    let profile_cfg = HplConfig { n_matrix: cfg.nb * 16, ..cfg.clone() };
+    let profile_cfg = HplConfig {
+        n_matrix: cfg.nb * 16,
+        ..cfg.clone()
+    };
     let sim = Sim::new();
     let cluster = Cluster::new(&sim, ClusterSpec::gideon300(n));
     let world = World::new(cluster, WorldOpts::default());
@@ -34,7 +37,10 @@ fn main() {
     let path = std::env::temp_dir().join("hpl-32.groups.json");
     groups.save(&path).expect("save group definition");
     let groups = gcr::group::GroupDef::load(&path).expect("reload group definition");
-    println!("group definition written to {} and reloaded", path.display());
+    println!(
+        "group definition written to {} and reloaded",
+        path.display()
+    );
 
     // --- Production run: no tracer, group-based checkpoints ---------------
     let sim = Sim::new();

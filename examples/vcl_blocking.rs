@@ -19,23 +19,22 @@ fn main() {
     let world = World::new(cluster, WorldOpts::default());
     let tracer = Tracer::install(&world, "cg-vcl");
 
-    let cfg = CgConfig { niter: 20, ..CgConfig::class_c(n) };
+    let cfg = CgConfig {
+        niter: 20,
+        ..CgConfig::class_c(n)
+    };
     let app = Cg::new(cfg);
     let image = app.image_bytes();
     app.launch(&world);
 
     let mut ckpt_cfg = CkptConfig::uniform(n, 0, StorageTarget::Remote);
     ckpt_cfg.image_bytes = image;
-    let rt = CkptRuntime::install(
-        &world,
-        Rc::new(gcr::group::single(n)),
-        Mode::Vcl,
-        ckpt_cfg,
-    );
+    let rt = CkptRuntime::install(&world, Rc::new(gcr::group::single(n)), Mode::Vcl, ckpt_cfg);
     {
         let (rt, world) = (rt.clone(), world.clone());
         sim.spawn(async move {
-            rt.interval_schedule(SimDuration::from_secs(15), SimDuration::from_secs(15)).await;
+            rt.interval_schedule(SimDuration::from_secs(15), SimDuration::from_secs(15))
+                .await;
             world.wait_all_ranks().await;
             rt.shutdown();
         });

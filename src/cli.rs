@@ -7,10 +7,17 @@
 //! gcrsim trace  --workload hpl --procs 32 --out hpl32.trace.json
 //! gcrsim groups --trace hpl32.trace.json --max-size 8 --out hpl32.groups.json
 //! gcrsim phases --trace app.trace.json --window-ms 500 --max-size 8
+//! gcrsim chaos  --seed 17 --runs 50
+//! gcrsim chaos  --seed 3 --workload cg --proto gp4 --schedule 'crash:g1@2500'
 //! ```
 
 use gcr_bench::{profile_trace, run_one, Proto, RunSpec, Schedule, WorkloadSpec};
+use gcr_chaos::{
+    parse_schedule, run_chaos, run_chaos_verified, shrink, ChaosEvent, ChaosProto, ChaosSpec,
+    ChaosWorkload,
+};
 use gcr_group::{detect_phases, form_groups};
+use gcr_net::StorageTarget;
 use gcr_trace::io as trace_io;
 use gcr_workloads::{CgConfig, HplConfig, RingConfig, SpConfig};
 
@@ -49,6 +56,37 @@ pub enum Command {
         /// Maximum group size.
         max_size: usize,
     },
+    /// Run seeded fault-injection scenarios with invariant oracles.
+    Chaos(ChaosArgs),
+}
+
+/// Arguments of the `chaos` subcommand. Every field except the seed
+/// defaults to the seed-generated scenario; explicit flags override it
+/// (that is how a shrunken repro line pins a failure down).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosArgs {
+    /// First (or only) scenario seed.
+    pub seed: u64,
+    /// Number of consecutive seeds to sweep.
+    pub runs: u64,
+    /// Workload override.
+    pub workload: Option<ChaosWorkload>,
+    /// Protocol override.
+    pub proto: Option<ChaosProto>,
+    /// Storage override.
+    pub storage: Option<StorageTarget>,
+    /// Checkpoint interval override (ms).
+    pub interval_ms: Option<u64>,
+    /// GC-overshoot fault knob (plants a log-retention bug).
+    pub gc_overshoot: Option<u64>,
+    /// Schedule override (compact string form).
+    pub schedule: Option<Vec<ChaosEvent>>,
+    /// Run each scenario twice and check bit-determinism.
+    pub verify: bool,
+    /// Skip shrinking on failure.
+    pub no_shrink: bool,
+    /// Emit JSON reports instead of human lines.
+    pub json: bool,
 }
 
 /// Workload selection.
@@ -120,6 +158,10 @@ USAGE:
   gcrsim groups --trace FILE --max-size G [--out FILE]
   gcrsim stats  --trace FILE
   gcrsim phases --trace FILE --window-ms W --max-size G
+  gcrsim chaos  --seed N [--runs K] [--verify] [--json] [--no-shrink]
+                [--workload <ring|cg|sp|hpl>] [--proto <norm|gp|gp1|gp4|vcl>]
+                [--storage <local|remote>] [--interval-ms I]
+                [--gc-overshoot BYTES] [--schedule 'crash:g1@2500;storm:x8@1000+4000']
 ";
 
 struct Flags<'a> {
@@ -140,7 +182,8 @@ impl<'a> Flags<'a> {
     }
 
     fn require(&self, name: &str) -> Result<&'a str, CliError> {
-        self.get(name).ok_or_else(|| err(format!("missing required flag {name}")))
+        self.get(name)
+            .ok_or_else(|| err(format!("missing required flag {name}")))
     }
 
     fn parse_num<T: std::str::FromStr>(&self, name: &str) -> Result<T, CliError> {
@@ -152,7 +195,9 @@ impl<'a> Flags<'a> {
     fn parse_num_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| err(format!("{name} expects a number"))),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("{name} expects a number"))),
         }
     }
 }
@@ -230,12 +275,15 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 (Some(_), Some(_)) => {
                     return Err(err("--ckpt-at and --interval are mutually exclusive"))
                 }
-                (Some(t), None) => Schedule::SingleAt(
-                    t.parse().map_err(|_| err("--ckpt-at expects seconds"))?,
-                ),
+                (Some(t), None) => {
+                    Schedule::SingleAt(t.parse().map_err(|_| err("--ckpt-at expects seconds"))?)
+                }
                 (None, Some(iv)) => {
                     let iv: f64 = iv.parse().map_err(|_| err("--interval expects seconds"))?;
-                    Schedule::Interval { start_s: iv, every_s: iv }
+                    Schedule::Interval {
+                        start_s: iv,
+                        every_s: iv,
+                    }
                 }
                 (None, None) => Schedule::None,
             };
@@ -258,12 +306,63 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             max_size: f.parse_num("--max-size")?,
             out: f.get("--out").map(str::to_string),
         }),
-        "stats" => Ok(Command::Stats { trace: f.require("--trace")?.to_string() }),
+        "stats" => Ok(Command::Stats {
+            trace: f.require("--trace")?.to_string(),
+        }),
         "phases" => Ok(Command::Phases {
             trace: f.require("--trace")?.to_string(),
             window_ms: f.parse_num("--window-ms")?,
             max_size: f.parse_num("--max-size")?,
         }),
+        "chaos" => {
+            let workload = f
+                .get("--workload")
+                .map(ChaosWorkload::parse)
+                .transpose()
+                .map_err(err)?;
+            let proto = f
+                .get("--proto")
+                .map(ChaosProto::parse)
+                .transpose()
+                .map_err(err)?;
+            let storage = match f.get("--storage") {
+                None => None,
+                Some("local") => Some(StorageTarget::Local),
+                Some("remote") => Some(StorageTarget::Remote),
+                Some(other) => {
+                    return Err(err(format!("unknown storage '{other}' (local|remote)")))
+                }
+            };
+            let interval_ms = match f.get("--interval-ms") {
+                None => None,
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| err("--interval-ms expects milliseconds"))?,
+                ),
+            };
+            let gc_overshoot = match f.get("--gc-overshoot") {
+                None => None,
+                Some(v) => Some(v.parse().map_err(|_| err("--gc-overshoot expects bytes"))?),
+            };
+            let schedule = f
+                .get("--schedule")
+                .map(parse_schedule)
+                .transpose()
+                .map_err(err)?;
+            Ok(Command::Chaos(ChaosArgs {
+                seed: f.parse_num("--seed")?,
+                runs: f.parse_num_or("--runs", 1)?,
+                workload,
+                proto,
+                storage,
+                interval_ms,
+                gc_overshoot,
+                schedule,
+                verify: f.has("--verify"),
+                no_shrink: f.has("--no-shrink"),
+                json: f.has("--json"),
+            }))
+        }
         "help" | "--help" | "-h" => Err(err(USAGE)),
         other => Err(err(format!("unknown subcommand '{other}'\n\n{USAGE}"))),
     }
@@ -276,12 +375,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
 pub fn execute(cmd: Command) -> Result<String, CliError> {
     match cmd {
         Command::Run(args) => {
-            let mut spec = RunSpec::new(
-                workload_spec(args.workload),
-                args.proto,
-                args.schedule,
-            )
-            .with_seed(args.seed);
+            let mut spec = RunSpec::new(workload_spec(args.workload), args.proto, args.schedule)
+                .with_seed(args.seed);
             if args.remote {
                 spec = spec.with_remote_storage();
             }
@@ -290,18 +385,18 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             }
             let r = run_one(&spec);
             if args.json {
-                let v = serde_json::json!({
-                    "exec_s": r.exec_s,
-                    "waves": r.waves,
-                    "agg_ckpt_s": r.agg_ckpt_s,
-                    "agg_coord_s": r.agg_coord_s,
-                    "agg_restart_s": r.agg_restart_s,
-                    "mean_ckpt_s": r.mean_ckpt_s,
-                    "resend_bytes": r.resend_bytes,
-                    "resend_ops": r.resend_ops,
-                    "groups": r.group_count,
-                });
-                Ok(format!("{v:#}"))
+                let v = gcr_json::Json::obj([
+                    ("exec_s", gcr_json::Json::from(r.exec_s)),
+                    ("waves", gcr_json::Json::from(r.waves)),
+                    ("agg_ckpt_s", gcr_json::Json::from(r.agg_ckpt_s)),
+                    ("agg_coord_s", gcr_json::Json::from(r.agg_coord_s)),
+                    ("agg_restart_s", gcr_json::Json::from(r.agg_restart_s)),
+                    ("mean_ckpt_s", gcr_json::Json::from(r.mean_ckpt_s)),
+                    ("resend_bytes", gcr_json::Json::from(r.resend_bytes)),
+                    ("resend_ops", gcr_json::Json::from(r.resend_ops)),
+                    ("groups", gcr_json::Json::from(r.group_count)),
+                ]);
+                Ok(v.pretty())
             } else {
                 Ok(format!(
                     "proto {:>4}: exec {:.1}s, {} ckpt wave(s), agg ckpt {:.1}s, \
@@ -321,9 +416,16 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
         Command::Trace { workload, out } => {
             let trace = profile_trace(&workload_spec(workload));
             trace_io::save_json(&trace, &out).map_err(|e| err(e.to_string()))?;
-            Ok(format!("wrote {} send records to {out}", trace.send_count()))
+            Ok(format!(
+                "wrote {} send records to {out}",
+                trace.send_count()
+            ))
         }
-        Command::Groups { trace, max_size, out } => {
+        Command::Groups {
+            trace,
+            max_size,
+            out,
+        } => {
             let tr = trace_io::load_json(&trace).map_err(|e| err(e.to_string()))?;
             let def = form_groups(&tr, max_size);
             let mut s = format!("{def}");
@@ -337,7 +439,11 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             let tr = trace_io::load_json(&trace).map_err(|e| err(e.to_string()))?;
             Ok(format!("{}", gcr_trace::summarize(&tr)))
         }
-        Command::Phases { trace, window_ms, max_size } => {
+        Command::Phases {
+            trace,
+            window_ms,
+            max_size,
+        } => {
             let tr = trace_io::load_json(&trace).map_err(|e| err(e.to_string()))?;
             let phases = detect_phases(&tr, window_ms * 1_000_000, max_size);
             let mut s = format!("{} phase(s) detected:\n", phases.len());
@@ -353,6 +459,105 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             }
             Ok(s)
         }
+        Command::Chaos(a) => execute_chaos(a),
+    }
+}
+
+/// The scenario a chaos seed plus CLI overrides denotes.
+fn chaos_spec_for(a: &ChaosArgs, seed: u64) -> ChaosSpec {
+    let mut spec = ChaosSpec::generate(seed);
+    if let Some(w) = a.workload {
+        spec.workload = w;
+    }
+    if let Some(p) = a.proto {
+        spec.proto = p;
+    }
+    if let Some(s) = a.storage {
+        spec.storage = s;
+    }
+    if let Some(iv) = a.interval_ms {
+        spec.interval_ms = iv;
+    }
+    if let Some(g) = a.gc_overshoot {
+        spec.gc_overshoot = g;
+    }
+    if let Some(sched) = &a.schedule {
+        spec.schedule = sched.clone();
+    }
+    spec
+}
+
+/// Run `--runs` consecutive seeded scenarios. All oracle violations are a
+/// hard error (nonzero exit for CI); the first failing scenario is
+/// shrunken to a one-line repro unless `--no-shrink`.
+fn execute_chaos(a: ChaosArgs) -> Result<String, CliError> {
+    let mut lines = Vec::new();
+    let mut reports = Vec::new();
+    let mut first_failure: Option<ChaosSpec> = None;
+    let mut failed = 0u64;
+    for i in 0..a.runs {
+        let spec = chaos_spec_for(&a, a.seed + i);
+        let r = if a.verify {
+            run_chaos_verified(&spec)
+        } else {
+            run_chaos(&spec)
+        };
+        if a.json {
+            reports.push(r.to_json());
+        } else {
+            lines.push(format!(
+                "seed {:>4}: {:>4}/{:<4} {:<6} interval {:>4} ms  sched [{}]  \
+                 exec {:>6.1}s  {:>2} wave(s)  {} recovery(s)  {}",
+                r.seed,
+                r.workload,
+                r.proto,
+                r.storage,
+                r.interval_ms,
+                r.schedule,
+                r.exec_s,
+                r.waves,
+                r.recoveries.len(),
+                if r.passed() { "PASS" } else { "FAIL" }
+            ));
+            for v in &r.violations {
+                lines.push(format!("    violation: {v}"));
+            }
+        }
+        if !r.passed() {
+            failed += 1;
+            if first_failure.is_none() {
+                first_failure = Some(spec);
+            }
+        }
+    }
+    if let Some(spec) = first_failure {
+        let mut msg = if a.json {
+            gcr_json::Json::from(reports).pretty()
+        } else {
+            lines.join("\n")
+        };
+        msg.push_str(&format!(
+            "\n{failed}/{} scenario(s) violated their oracles",
+            a.runs
+        ));
+        if a.no_shrink {
+            msg.push_str(&format!("\nrepro: {}", gcr_chaos::repro_command(&spec)));
+        } else if let Some(out) = shrink(&spec) {
+            msg.push_str(&format!(
+                "\nshrunk to {} event(s) in {} run(s); minimal violation: {}\nrepro: {}",
+                out.spec.schedule.len(),
+                out.runs,
+                out.violations[0],
+                out.repro
+            ));
+        }
+        return Err(err(msg));
+    }
+    if a.json {
+        Ok(gcr_json::Json::from(reports).pretty())
+    } else {
+        lines.push(format!("{} scenario(s), all oracles held", a.runs));
+        Ok(lines.join("\n"))
     }
 }
 
@@ -430,17 +635,80 @@ mod tests {
         let tpath = dir.join("t.json").to_string_lossy().into_owned();
         let gpath = dir.join("g.json").to_string_lossy().into_owned();
         let out = execute(
-            parse(&argv(&format!("trace --workload ring --procs 6 --out {tpath}"))).unwrap(),
+            parse(&argv(&format!(
+                "trace --workload ring --procs 6 --out {tpath}"
+            )))
+            .unwrap(),
         )
         .unwrap();
         assert!(out.contains("send records"));
         let out = execute(
-            parse(&argv(&format!("groups --trace {tpath} --max-size 2 --out {gpath}"))).unwrap(),
+            parse(&argv(&format!(
+                "groups --trace {tpath} --max-size 2 --out {gpath}"
+            )))
+            .unwrap(),
         )
         .unwrap();
         assert!(out.contains("group"));
         assert!(gcr_group::GroupDef::load(&gpath).is_ok());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parses_a_chaos_command_with_overrides() {
+        let cmd = parse(&argv(
+            "chaos --seed 3 --workload cg --proto gp4 --storage local --interval-ms 800 \
+             --gc-overshoot 65536 --schedule crash:g1@2500 --verify --json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Chaos(a) => {
+                assert_eq!(a.seed, 3);
+                assert_eq!(a.runs, 1);
+                assert_eq!(a.workload, Some(ChaosWorkload::Cg));
+                assert_eq!(a.proto, Some(ChaosProto::Gp4));
+                assert_eq!(a.storage, Some(StorageTarget::Local));
+                assert_eq!(a.interval_ms, Some(800));
+                assert_eq!(a.gc_overshoot, Some(65536));
+                assert_eq!(
+                    a.schedule,
+                    Some(vec![ChaosEvent::Crash {
+                        at_ms: 2500,
+                        group: 1
+                    }])
+                );
+                assert!(a.verify && a.json && !a.no_shrink);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("chaos --seed 1 --schedule crash:1@2500")).is_err());
+        assert!(parse(&argv("chaos --seed 1 --storage nfs")).is_err());
+        assert!(parse(&argv("chaos")).is_err());
+    }
+
+    #[test]
+    fn chaos_command_passes_on_a_healthy_scenario() {
+        let cmd = parse(&argv(
+            "chaos --seed 42 --workload ring --proto gp4 --storage local --interval-ms 700 \
+             --schedule crash:g1@2000",
+        ))
+        .unwrap();
+        let out = execute(cmd).unwrap();
+        assert!(out.contains("PASS"), "{out}");
+        assert!(out.contains("all oracles held"), "{out}");
+    }
+
+    #[test]
+    fn chaos_command_fails_with_repro_on_broken_gc() {
+        let cmd = parse(&argv(
+            "chaos --seed 3 --workload cg --proto gp4 --storage local --gc-overshoot 65536",
+        ))
+        .unwrap();
+        let e = execute(cmd).unwrap_err();
+        assert!(e.0.contains("FAIL"), "{e}");
+        assert!(e.0.contains("violation:"), "{e}");
+        assert!(e.0.contains("repro: gcrsim chaos --seed 3"), "{e}");
+        assert!(e.0.contains("--gc-overshoot 65536"), "{e}");
     }
 
     #[test]

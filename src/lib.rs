@@ -13,7 +13,9 @@
 //! * [`ckpt`] — the checkpoint protocols: group-based (GP), global
 //!   coordinated (NORM), Chandy–Lamport non-blocking (VCL), plus restart
 //!   with message replay and recovery-line consistency checking,
-//! * [`workloads`] — HPL / NPB-CG / NPB-SP skeletons and synthetic apps.
+//! * [`workloads`] — HPL / NPB-CG / NPB-SP skeletons and synthetic apps,
+//! * [`chaos`] — deterministic fault injection: seeded failure schedules,
+//!   invariant oracles, schedule shrinking (`gcrsim chaos`).
 //!
 //! ## Quickstart
 //! ```
@@ -48,6 +50,7 @@
 pub mod cli;
 
 pub use gcr_bench as bench;
+pub use gcr_chaos as chaos;
 pub use gcr_ckpt as ckpt;
 pub use gcr_group as group;
 pub use gcr_mpi as mpi;

@@ -3,8 +3,8 @@
 
 use std::rc::Rc;
 
-use gcr::prelude::*;
 use gcr::ckpt::{check_quiescent, check_recovery_line};
+use gcr::prelude::*;
 use gcr::workloads::{MasterWorker, MasterWorkerConfig, RandomConfig, RandomTraffic};
 
 /// Run a workload under a protocol with one mid-run checkpoint and a final
@@ -27,7 +27,8 @@ fn pipeline(
     {
         let (rt, world) = (rt.clone(), world.clone());
         sim.spawn(async move {
-            rt.single_checkpoint_at(SimTime::from_millis(ckpt_at_ms)).await;
+            rt.single_checkpoint_at(SimTime::from_millis(ckpt_at_ms))
+                .await;
             world.wait_all_ranks().await;
             rt.shutdown();
             rt.restart_all().await;
@@ -215,7 +216,10 @@ fn replay_skip_equations_close_every_channel() {
                 let covered_to = entries.last().map(|e| e.end()).unwrap_or(rr);
                 assert!(covered_to >= ss, "replay must cover to S@ckpt on P{i}→P{j}");
                 let covered_from = entries.first().map(|e| e.offset).unwrap_or(rr);
-                assert!(covered_from <= rr, "replay must start at or before RR on P{i}→P{j}");
+                assert!(
+                    covered_from <= rr,
+                    "replay must start at or before RR on P{i}→P{j}"
+                );
             }
         }
     }
@@ -256,5 +260,8 @@ fn multiple_waves_accumulate_consistent_state() {
     check_recovery_line(&world, &rt).unwrap();
     // Restart restores from the LAST wave; replay volumes must be small
     // relative to everything logged (GC + recency).
-    assert!(rt.metrics().total_resend_bytes() <= (rt.metrics().restart_records().len() as u64) * (8 << 20));
+    assert!(
+        rt.metrics().total_resend_bytes()
+            <= (rt.metrics().restart_records().len() as u64) * (8 << 20)
+    );
 }

@@ -1,31 +1,38 @@
-//! Property-based tests over the core invariants.
+//! Property-style tests over the core invariants.
+//!
+//! Randomised inputs are drawn from the deterministic [`DetRng`] so every
+//! case is reproducible from its printed seed (no external property-test
+//! framework; the container builds fully offline).
 
 use std::rc::Rc;
-
-use proptest::prelude::*;
 
 use gcr::ckpt::{check_quiescent, check_recovery_line, CkptConfig, CkptRuntime, Mode};
 use gcr::group::{form_groups_from_flows, GroupDef};
 use gcr::mpi::{World, WorldOpts};
 use gcr::net::{Cluster, ClusterSpec, StorageTarget};
-use gcr::sim::{Sim, SimTime};
+use gcr::sim::{DetRng, Sim, SimTime};
 use gcr::trace::PairFlow;
 use gcr::workloads::{RandomConfig, RandomTraffic, Workload};
 use gcr_ckpt::PeerLog;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    /// Algorithm 2 always yields a partition of 0..n bounded by G, no
-    /// matter what flows it sees.
-    #[test]
-    fn algorithm2_yields_bounded_partition(
-        n in 2usize..24,
-        g in 1usize..10,
-        raw in prop::collection::vec((0u32..24, 0u32..24, 1u64..10_000, 1u64..50), 0..60),
-    ) {
-        let flows: Vec<PairFlow> = raw
-            .into_iter()
+/// Algorithm 2 always yields a partition of 0..n bounded by G, no matter
+/// what flows it sees.
+#[test]
+fn algorithm2_yields_bounded_partition() {
+    for case in 0..64u64 {
+        let mut rng = DetRng::new(0xA160_0001).fork_idx(case);
+        let n = rng.range_u64(2, 24) as usize;
+        let g = rng.range_u64(1, 10) as usize;
+        let raw_len = rng.range_u64(0, 60) as usize;
+        let flows: Vec<PairFlow> = (0..raw_len)
+            .map(|_| {
+                (
+                    rng.range_u64(0, 24) as u32,
+                    rng.range_u64(0, 24) as u32,
+                    rng.range_u64(1, 10_000),
+                    rng.range_u64(1, 50),
+                )
+            })
             .filter(|(a, b, _, _)| (*a as usize) < n && (*b as usize) < n && a != b)
             .map(|(a, b, bytes, count)| PairFlow {
                 a: a.min(b),
@@ -35,29 +42,33 @@ proptest! {
             })
             .collect();
         let def = form_groups_from_flows(&flows, n, g);
-        prop_assert_eq!(def.n(), n);
+        assert_eq!(def.n(), n, "case {case}");
         // Algorithm 2 seeds every new tuple with a 2-process pair before
         // checking the bound (paper semantics), so the effective floor of
         // the bound is 2.
-        prop_assert!(def.max_group_size() <= g.max(2));
+        assert!(def.max_group_size() <= g.max(2), "case {case}");
         // Partition: every rank in exactly one group.
         let mut seen = vec![false; n];
         for grp in def.groups() {
             for &r in grp {
-                prop_assert!(!seen[r as usize]);
+                assert!(!seen[r as usize], "case {case}: rank {r} duplicated");
                 seen[r as usize] = true;
             }
         }
-        prop_assert!(seen.into_iter().all(|s| s));
+        assert!(seen.into_iter().all(|s| s), "case {case}: rank missing");
     }
+}
 
-    /// GC never discards bytes a peer with `received >= gc_offset` could
-    /// still need, for arbitrary message sequences and GC points.
-    #[test]
-    fn log_gc_is_always_safe(
-        sizes in prop::collection::vec(1u64..5_000, 1..40),
-        gc_fracs in prop::collection::vec(0.0f64..1.0, 1..5),
-    ) {
+/// GC never discards bytes a peer with `received >= gc_offset` could
+/// still need, for arbitrary message sequences and GC points.
+#[test]
+fn log_gc_is_always_safe() {
+    for case in 0..64u64 {
+        let mut rng = DetRng::new(0xA160_0002).fork_idx(case);
+        let sizes: Vec<u64> = (0..rng.range_u64(1, 40))
+            .map(|_| rng.range_u64(1, 5_000))
+            .collect();
+        let gc_fracs: Vec<f64> = (0..rng.range_u64(1, 5)).map(|_| rng.f64()).collect();
         let mut log = PeerLog::default();
         for (i, &b) in sizes.iter().enumerate() {
             log.append(b, i as u64);
@@ -74,27 +85,29 @@ proptest! {
                 let entries = log.replay_range(probe, total);
                 let mut cursor = probe;
                 for e in &entries {
-                    prop_assert!(e.offset <= cursor);
+                    assert!(e.offset <= cursor, "case {case}: hole at {cursor}");
                     cursor = cursor.max(e.end());
                 }
-                prop_assert!(cursor >= total);
+                assert!(cursor >= total, "case {case}");
             }
         }
     }
+}
 
-    /// The replay/skip arithmetic reconstructs the exact sender stream for
-    /// any (sender-ckpt, receiver-ckpt) cut positions.
-    #[test]
-    fn replay_skip_reconstructs_stream(
-        sizes in prop::collection::vec(1u64..2_000, 1..30),
-        s_cut_frac in 0.0f64..=1.0,
-        r_cut_frac in 0.0f64..=1.0,
-    ) {
+/// The replay/skip arithmetic reconstructs the exact sender stream for
+/// any (sender-ckpt, receiver-ckpt) cut positions.
+#[test]
+fn replay_skip_reconstructs_stream() {
+    for case in 0..64u64 {
+        let mut rng = DetRng::new(0xA160_0003).fork_idx(case);
+        let sizes: Vec<u64> = (0..rng.range_u64(1, 30))
+            .map(|_| rng.range_u64(1, 2_000))
+            .collect();
+        let s_cut_frac = rng.f64();
+        let r_cut_frac = rng.f64();
         let mut log = PeerLog::default();
-        let mut total = 0;
         for (i, &b) in sizes.iter().enumerate() {
             log.append(b, i as u64);
-            total += b;
         }
         // Sender checkpointed having sent `ss`; receiver had consumed `rr`.
         // Both volume counters advance whole messages at a time, so the
@@ -111,38 +124,35 @@ proptest! {
         };
         let ss = pick(s_cut_frac);
         let rr = pick(r_cut_frac);
-        let _ = total;
         if rr < ss {
             // Replay must cover [rr, ss) entirely.
             let entries = log.replay_range(rr, ss);
             let mut cursor = rr;
             for e in &entries {
-                prop_assert!(e.offset <= cursor, "hole at {cursor}");
+                assert!(e.offset <= cursor, "case {case}: hole at {cursor}");
                 cursor = cursor.max(e.end());
             }
-            prop_assert!(cursor >= ss);
+            assert!(cursor >= ss, "case {case}");
         } else {
             // Nothing to replay; the skip is rr - ss ≥ 0 by construction.
-            prop_assert!(log.replay_range(rr, ss).is_empty());
+            assert!(log.replay_range(rr, ss).is_empty(), "case {case}");
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
-
-    /// Whole-system property: random traffic + random grouping + a random
-    /// checkpoint instant always leaves a consistent recovery line and a
-    /// quiescent world.
-    #[test]
-    fn random_runs_leave_consistent_recovery_lines(
-        nprocs in 3usize..9,
-        msgs in 5usize..40,
-        bytes in 64u64..8_192,
-        seed in 0u64..1_000,
-        groups_k in 1usize..4,
-        ckpt_ms in 1u64..60,
-    ) {
+/// Whole-system property: random traffic + random grouping + a random
+/// checkpoint instant always leaves a consistent recovery line and a
+/// quiescent world.
+#[test]
+fn random_runs_leave_consistent_recovery_lines() {
+    for case in 0..16u64 {
+        let mut rng = DetRng::new(0xA160_0004).fork_idx(case);
+        let nprocs = rng.range_u64(3, 9) as usize;
+        let msgs = rng.range_u64(5, 40) as usize;
+        let bytes = rng.range_u64(64, 8_192);
+        let seed = rng.range_u64(0, 1_000);
+        let groups_k = rng.range_u64(1, 4) as usize;
+        let ckpt_ms = rng.range_u64(1, 60);
         let app = RandomTraffic::new(RandomConfig {
             nprocs,
             msgs,
@@ -168,16 +178,19 @@ proptest! {
             });
         }
         sim.run().expect("deadlock");
-        prop_assert_eq!(world.ranks_finished(), nprocs);
-        prop_assert!(check_recovery_line(&world, &rt).is_ok());
-        prop_assert!(check_quiescent(&world).is_ok());
+        assert_eq!(world.ranks_finished(), nprocs, "case {case}");
+        assert!(check_recovery_line(&world, &rt).is_ok(), "case {case}");
+        assert!(check_quiescent(&world).is_ok(), "case {case}");
     }
+}
 
-    /// Group definitions survive serde round-trips for arbitrary valid
-    /// partitions.
-    #[test]
-    fn groupdef_serde_roundtrip(n in 1usize..32, seed in 0u64..500) {
-        let mut rng = gcr::sim::DetRng::new(seed);
+/// Group definitions survive JSON round-trips for arbitrary valid
+/// partitions.
+#[test]
+fn groupdef_json_roundtrip() {
+    for case in 0..64u64 {
+        let mut rng = DetRng::new(0xA160_0005).fork_idx(case);
+        let n = rng.range_u64(1, 32) as usize;
         // Random partition: assign each rank a bucket.
         let k = 1 + rng.index(n);
         let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); k];
@@ -186,9 +199,8 @@ proptest! {
         }
         buckets.retain(|b| !b.is_empty());
         let def = GroupDef::new(n, buckets).unwrap();
-        let json = serde_json::to_string(&def).unwrap();
-        let raw: GroupDef = serde_json::from_str(&json).unwrap();
-        let back = GroupDef::new(raw.n(), raw.groups().to_vec()).unwrap();
-        prop_assert_eq!(back, def);
+        let json = def.to_json().dump();
+        let back = GroupDef::from_json_str(&json).unwrap();
+        assert_eq!(back, def, "case {case}");
     }
 }
