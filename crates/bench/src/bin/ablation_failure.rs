@@ -41,7 +41,10 @@ fn run(n: usize, proto: Proto) -> (RecoveryStats, usize, f64, CkptRuntime) {
             world.wait_all_ranks().await;
             rt.shutdown();
             // One group "fails" right after the run; recover it.
-            let stats = rt.recover_group(0).await;
+            let stats = rt
+                .recover_group(0)
+                .await
+                .expect("quiescent group recovery cannot fail");
             *out.borrow_mut() = Some(stats);
         });
     }

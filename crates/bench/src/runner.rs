@@ -156,7 +156,9 @@ fn run_inner(spec: &RunSpec, capture_trace: bool) -> TracedRun {
             world.wait_all_ranks().await;
             rt.shutdown();
             if restart {
-                rt.restart_all().await;
+                rt.restart_all()
+                    .await
+                    .expect("quiescent full restart cannot fail");
             }
         });
     }

@@ -230,27 +230,38 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
                     while rt.waves_in_flight() > 0 {
                         sim2.sleep(POLL).await;
                     }
-                    let stats = rt.recover_group(gid).await;
-                    recoveries.borrow_mut().push(RecoverySummary {
-                        group: gid,
-                        ranks: stats.ranks_restarted,
-                        at_ms,
-                        downtime_s: stats.downtime.as_secs_f64(),
-                        replayed_bytes: stats.replayed_into_group_bytes,
-                    });
-                    // Post-recovery oracles, before the group resumes.
-                    if rt.mode() == Mode::Blocking {
-                        if let Err(vs) = check_recovery_line(&world, &rt) {
-                            for v in vs {
-                                violations
-                                    .borrow_mut()
-                                    .push(format!("post-recovery(g{gid}) {v}"));
+                    // A recovery error is a scenario violation, not an
+                    // abort: the sweep keeps running and the oracle report
+                    // carries the failure (the whole point of D03).
+                    match rt.recover_group(gid).await {
+                        Ok(stats) => {
+                            recoveries.borrow_mut().push(RecoverySummary {
+                                group: gid,
+                                ranks: stats.ranks_restarted,
+                                at_ms,
+                                downtime_s: stats.downtime.as_secs_f64(),
+                                replayed_bytes: stats.replayed_into_group_bytes,
+                            });
+                            // Post-recovery oracles, before the group resumes.
+                            if rt.mode() == Mode::Blocking {
+                                if let Err(vs) = check_recovery_line(&world, &rt) {
+                                    for v in vs {
+                                        violations
+                                            .borrow_mut()
+                                            .push(format!("post-recovery(g{gid}) {v}"));
+                                    }
+                                }
+                                for v in stream_closure_violations(n_u, &groups, &rt) {
+                                    violations
+                                        .borrow_mut()
+                                        .push(format!("post-recovery(g{gid}) {v}"));
+                                }
                             }
                         }
-                        for v in stream_closure_violations(n_u, &groups, &rt) {
+                        Err(e) => {
                             violations
                                 .borrow_mut()
-                                .push(format!("post-recovery(g{gid}) {v}"));
+                                .push(format!("recovery(g{gid}) error: {e}"));
                         }
                     }
                     for &m in groups.members(gid) {

@@ -47,8 +47,15 @@ pub(crate) async fn blocking_wave(p: &RankProto, wave: u64) {
         storage.drain_local(rank.idx()).await;
     }
     let members = p.groups.members(p.groups.group_of(rank.0)).to_vec();
-    bookmark_drain(ctx, &members, wave).await;
-    ctrl_barrier(ctx, &members, tags::BARRIER1 + wave).await;
+    // Checkpoint-side callers may expect(): member sets come straight from
+    // the validated group definition, and blocking.rs is outside the
+    // D03 recovery-critical set.
+    bookmark_drain(ctx, &members, wave)
+        .await
+        .expect("bookmark payloads carry byte counters");
+    ctrl_barrier(ctx, &members, tags::BARRIER1 + wave)
+        .await
+        .expect("barrier membership comes from the validated group definition");
     let t_coord = ctx.now();
 
     // Phase 3: write the checkpoint image.
@@ -57,7 +64,9 @@ pub(crate) async fn blocking_wave(p: &RankProto, wave: u64) {
     let t_img = ctx.now();
 
     // Phase 4: finalize and resume, independent of other groups.
-    ctrl_barrier(ctx, &members, tags::BARRIER2 + wave).await;
+    ctrl_barrier(ctx, &members, tags::BARRIER2 + wave)
+        .await
+        .expect("barrier membership comes from the validated group definition");
     sim.sleep(p.cfg.finalize_overhead).await;
     world.thaw(rank);
     let finished = ctx.now();

@@ -11,6 +11,8 @@ use std::rc::Rc;
 use gcr_mpi::{Rank, RankCtx};
 use gcr_sim::future::{join2, join_all};
 
+use crate::error::RecoveryError;
+
 /// Control-tag namespaces (each offset by the wave / phase id).
 pub mod tags {
     /// Bookmark exchange during coordinated drain: `BOOKMARK + wave`.
@@ -37,21 +39,26 @@ pub const CTRL_BYTES: u64 = 32;
 /// Dissemination barrier across `members` using control messages with tag
 /// `tag`. All members must call it with identical `members` and `tag`.
 ///
-/// # Panics
-/// Panics if the calling rank is not in `members`.
-pub async fn ctrl_barrier(ctx: &RankCtx, members: &[u32], tag: u64) {
+/// # Errors
+/// [`RecoveryError::NotInBarrier`] if the calling rank is not in
+/// `members` — the restart path reports it instead of aborting; checkpoint
+/// callers may `expect` it, since their member sets come straight from the
+/// validated group definition.
+pub async fn ctrl_barrier(ctx: &RankCtx, members: &[u32], tag: u64) -> Result<(), RecoveryError> {
     let n = members.len();
     if n <= 1 {
-        return;
+        return Ok(());
     }
     let me = ctx.rank().0;
     let pos = members
         .iter()
         .position(|&r| r == me)
-        .unwrap_or_else(|| panic!("P{me} not in barrier member set"));
+        .ok_or(RecoveryError::NotInBarrier { rank: me })?;
     let mut k = 1usize;
     while k < n {
+        // gcr-lint: allow(D03) both indices are taken mod members.len(), so they cannot miss
         let dst = Rank(members[(pos + k) % n]);
+        // gcr-lint: allow(D03) both indices are taken mod members.len(), so they cannot miss
         let src = Rank(members[(pos + n - k) % n]);
         let (_, _) = join2(
             ctx.ctrl_send(dst, tag, CTRL_BYTES, None),
@@ -60,6 +67,7 @@ pub async fn ctrl_barrier(ctx: &RankCtx, members: &[u32], tag: u64) {
         .await;
         k <<= 1;
     }
+    Ok(())
 }
 
 /// LAM-style bookmark drain among `members` (the calling rank included):
@@ -67,7 +75,15 @@ pub async fn ctrl_barrier(ctx: &RankCtx, members: &[u32], tag: u64) {
 /// each member waits until that much application data has **arrived** at
 /// its MPI layer. On return, no intra-member-set application bytes are in
 /// flight toward the caller.
-pub async fn bookmark_drain(ctx: &RankCtx, members: &[u32], wave: u64) {
+///
+/// # Errors
+/// [`RecoveryError::BadPayload`] if a bookmark arrives without its byte
+/// counter.
+pub async fn bookmark_drain(
+    ctx: &RankCtx,
+    members: &[u32],
+    wave: u64,
+) -> Result<(), RecoveryError> {
     let me = ctx.rank();
     let world = ctx.world().clone();
     // A rendezvous send that was granted its CTS will put data on the wire
@@ -92,12 +108,20 @@ pub async fn bookmark_drain(ctx: &RankCtx, members: &[u32], wave: u64) {
                     ctx.ctrl_recv(peer, tag),
                 )
                 .await;
-                let their_sent = *env.payload_as::<u64>().expect("bookmark payload");
+                let their_sent = *env.payload_as::<u64>().ok_or(RecoveryError::BadPayload {
+                    at: me.0,
+                    from: peer.0,
+                    what: "bookmark",
+                })?;
                 world.wait_arrived(peer, me, their_sent).await;
+                Ok::<(), RecoveryError>(())
             }
         })
         .collect();
-    join_all(futs).await;
+    for r in join_all(futs).await {
+        r?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -124,7 +148,7 @@ mod tests {
             let me = Rc::clone(&min_exit);
             world.launch(Rank(r), move |ctx| async move {
                 ctx.busy(SimDuration::from_millis(r as u64 * 20)).await;
-                ctrl_barrier(&ctx, &m, 77).await;
+                ctrl_barrier(&ctx, &m, 77).await.unwrap();
                 me.set(me.get().min(ctx.now()));
             });
         }
@@ -138,7 +162,7 @@ mod tests {
         // Ranks 0 and 2 barrier; ranks 1 and 3 never participate.
         for r in [0u32, 2] {
             world.launch(Rank(r), move |ctx| async move {
-                ctrl_barrier(&ctx, &[0, 2], 5).await;
+                ctrl_barrier(&ctx, &[0, 2], 5).await.unwrap();
             });
         }
         sim.run().unwrap();
@@ -153,12 +177,12 @@ mod tests {
         let drained_at = Rc::new(Cell::new(SimTime::ZERO));
         world.launch(Rank(0), |ctx| async move {
             ctx.send(Rank(1), 1, 50_000).await;
-            bookmark_drain(&ctx, &[0, 1], 0).await;
+            bookmark_drain(&ctx, &[0, 1], 0).await.unwrap();
         });
         {
             let d = Rc::clone(&drained_at);
             world.launch(Rank(1), |ctx| async move {
-                bookmark_drain(&ctx, &[0, 1], 0).await;
+                bookmark_drain(&ctx, &[0, 1], 0).await.unwrap();
                 d.set(ctx.now());
                 // Consume the message afterwards so counters settle.
                 ctx.recv(Rank(0), 1).await;
@@ -189,7 +213,7 @@ mod tests {
             world.launch(Rank(1), |ctx| async move {
                 // Give the first message time to be committed.
                 ctx.busy(SimDuration::from_millis(10)).await;
-                bookmark_drain(&ctx, &[1], 0).await; // self-only: trivial
+                bookmark_drain(&ctx, &[1], 0).await.unwrap(); // self-only: trivial
                 ctx.world().wait_arrived(Rank(0), Rank(1), 1000).await;
                 d.set(true);
                 ctx.recv(Rank(0), 1).await;

@@ -1,0 +1,49 @@
+//! Typed errors for the recovery/control plane.
+//!
+//! The chaos harness injects faults mid-recovery; a recovery path that
+//! `unwrap`s turns every injected fault into a process abort and kills the
+//! whole scenario sweep. These errors let a failed recovery degrade into a
+//! reported violation instead (gcr-lint rule D03 enforces this statically
+//! for the recovery-critical modules).
+
+/// A failure on the restart / volume-exchange / barrier path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// A control message arrived without the expected typed payload.
+    BadPayload {
+        /// Rank that observed the malformed payload.
+        at: u32,
+        /// Peer the message came from.
+        from: u32,
+        /// Which exchange step the payload belonged to.
+        what: &'static str,
+    },
+    /// A rank was asked to run a barrier it is not a member of.
+    NotInBarrier {
+        /// The excluded rank.
+        rank: u32,
+    },
+    /// The checkpoint config carries no image size for a rank.
+    MissingImage {
+        /// The rank without an image entry.
+        rank: u32,
+    },
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::BadPayload { at, from, what } => {
+                write!(f, "P{at}: malformed {what} payload from P{from}")
+            }
+            RecoveryError::NotInBarrier { rank } => {
+                write!(f, "P{rank} is not in the barrier member set")
+            }
+            RecoveryError::MissingImage { rank } => {
+                write!(f, "no checkpoint image size configured for P{rank}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}

@@ -28,6 +28,7 @@ pub mod blocking;
 pub mod config;
 pub mod consistency;
 pub mod ctrlplane;
+pub mod error;
 pub mod hooks;
 pub mod metrics;
 pub mod msglog;
@@ -41,6 +42,7 @@ pub use advisor::{
 };
 pub use config::{CkptConfig, Mode};
 pub use consistency::{check_quiescent, check_recovery_line, Violation};
+pub use error::RecoveryError;
 pub use hooks::{GpState, VclState};
 pub use metrics::{CkptRecord, Metrics, PhaseBreakdown, RestartRecord};
 pub use msglog::{LogEntry, MsgLog, PeerLog};

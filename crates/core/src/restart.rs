@@ -6,6 +6,11 @@
 //! missing, and notes how many bytes of future sends to skip because Q
 //! already consumed them. Intra-group channels need nothing: the group's
 //! coordinated checkpoint left them empty.
+//!
+//! Every path here returns [`RecoveryError`] instead of panicking: the
+//! chaos harness injects faults mid-recovery, and an abort in the restart
+//! protocol would kill the whole scenario sweep rather than surface as a
+//! reported violation (gcr-lint rule D03 enforces this statically).
 
 use std::rc::Rc;
 
@@ -15,6 +20,7 @@ use gcr_sim::future::{join2, join_all};
 use gcr_net::StorageTarget;
 
 use crate::ctrlplane::{ctrl_barrier, tags, CTRL_BYTES};
+use crate::error::RecoveryError;
 use crate::metrics::RestartRecord;
 use crate::runtime::RankProto;
 
@@ -22,7 +28,7 @@ use crate::runtime::RankProto;
 /// rank's own view of its communication peers. Correct at quiescence
 /// (e.g. a full restart after the application finished), where both sides
 /// of every channel agree on whether they exchanged data.
-pub(crate) async fn restart_rank(p: &RankProto) -> RestartRecord {
+pub(crate) async fn restart_rank(p: &RankProto) -> Result<RestartRecord, RecoveryError> {
     let out = p.gp.comm_peers();
     restart_rank_with_peers(p, &out).await
 }
@@ -34,7 +40,10 @@ pub(crate) async fn restart_rank(p: &RankProto) -> RestartRecord {
 /// consumed), and a one-sided peer choice deadlocks the volume exchange.
 /// The recovery coordinator computes a symmetric map and hands each
 /// participant its slice.
-pub(crate) async fn restart_rank_with_peers(p: &RankProto, out: &[u32]) -> RestartRecord {
+pub(crate) async fn restart_rank_with_peers(
+    p: &RankProto,
+    out: &[u32],
+) -> Result<RestartRecord, RecoveryError> {
     let ctx = &p.ctx;
     let world = ctx.world().clone();
     let sim = world.sim().clone();
@@ -51,7 +60,12 @@ pub(crate) async fn restart_rank_with_peers(p: &RankProto, out: &[u32]) -> Resta
     }
 
     // Load the checkpoint image.
-    let image_bytes = p.cfg.image_bytes[rank.idx()];
+    let image_bytes = p
+        .cfg
+        .image_bytes
+        .get(rank.idx())
+        .copied()
+        .ok_or(RecoveryError::MissingImage { rank: rank.0 })?;
     storage.read(rank.idx(), image_bytes, p.cfg.storage).await;
     let image_loaded = ctx.now();
 
@@ -84,7 +98,11 @@ pub(crate) async fn restart_rank_with_peers(p: &RankProto, out: &[u32]) -> Resta
                     ctx.ctrl_recv(peer, tags::RESTART_VOL),
                 )
                 .await;
-                let q_received = *env.payload_as::<u64>().expect("volume payload");
+                let q_received = *env.payload_as::<u64>().ok_or(RecoveryError::BadPayload {
+                    at: ctx.rank().0,
+                    from: peer.0,
+                    what: "volume",
+                })?;
 
                 // Replay: messages I sent before my checkpoint that Q had
                 // not received at its checkpoint.
@@ -126,18 +144,25 @@ pub(crate) async fn restart_rank_with_peers(p: &RankProto, out: &[u32]) -> Resta
                     let ctx = ctx.clone();
                     async move {
                         let plan = ctx.ctrl_recv(peer, tags::RESTART_PLAN).await;
-                        let m = *plan.payload_as::<u64>().expect("plan payload");
+                        let m = *plan.payload_as::<u64>().ok_or(RecoveryError::BadPayload {
+                            at: ctx.rank().0,
+                            from: peer.0,
+                            what: "plan",
+                        })?;
                         for _ in 0..m {
                             ctx.ctrl_recv(peer, tags::RESTART_DATA).await;
                         }
+                        Ok::<(), RecoveryError>(())
                     }
                 };
-                join2(send_side, recv_side).await;
-                (ops, bytes, skip)
+                let (_, drained) = join2(send_side, recv_side).await;
+                drained?;
+                Ok::<(u64, u64, u64), RecoveryError>((ops, bytes, skip))
             }
         })
         .collect();
-    for (ops, bytes, skip) in join_all(futs).await {
+    for r in join_all(futs).await {
+        let (ops, bytes, skip) = r?;
         resend_ops += ops;
         resend_bytes += bytes;
         skip_bytes += skip;
@@ -145,7 +170,7 @@ pub(crate) async fn restart_rank_with_peers(p: &RankProto, out: &[u32]) -> Resta
 
     // Group members resume together.
     let members = p.groups.members(p.groups.group_of(rank.0)).to_vec();
-    ctrl_barrier(ctx, &members, tags::RESTART_BARRIER).await;
+    ctrl_barrier(ctx, &members, tags::RESTART_BARRIER).await?;
     let finished = ctx.now();
 
     let rec = RestartRecord {
@@ -158,7 +183,7 @@ pub(crate) async fn restart_rank_with_peers(p: &RankProto, out: &[u32]) -> Resta
         skip_bytes,
     };
     p.metrics.push_restart(rec);
-    rec
+    Ok(rec)
 }
 
 /// A live (non-failed) rank's side of a group recovery: serve the volume
@@ -170,7 +195,12 @@ pub(crate) async fn restart_rank_with_peers(p: &RankProto, out: &[u32]) -> Resta
 /// `restarting` is this rank's slice of the coordinator's symmetric
 /// exchange map; it must mirror the peer set each restarting member was
 /// given, or the pairwise exchange deadlocks.
-pub(crate) async fn serve_peer_recovery(p: &RankProto, restarting: &[u32]) -> u64 {
+///
+/// Returns the total bytes replayed toward the restarting peers.
+pub(crate) async fn serve_peer_recovery(
+    p: &RankProto,
+    restarting: &[u32],
+) -> Result<u64, RecoveryError> {
     let ctx = &p.ctx;
     let futs: Vec<_> = restarting
         .iter()
@@ -188,7 +218,11 @@ pub(crate) async fn serve_peer_recovery(p: &RankProto, restarting: &[u32]) -> u6
                     ctx.ctrl_recv(peer, tags::RESTART_VOL),
                 )
                 .await;
-                let q_rr = *env.payload_as::<u64>().expect("volume payload");
+                let q_rr = *env.payload_as::<u64>().ok_or(RecoveryError::BadPayload {
+                    at: ctx.rank().0,
+                    from: peer.0,
+                    what: "volume",
+                })?;
                 // Replay everything retained beyond the peer's checkpoint —
                 // the peer lost all of it in the rollback. GC safety
                 // guarantees the retained log still covers [q_rr, S).
@@ -223,16 +257,26 @@ pub(crate) async fn serve_peer_recovery(p: &RankProto, restarting: &[u32]) -> u6
                     let ctx = ctx.clone();
                     async move {
                         let plan = ctx.ctrl_recv(peer, tags::RESTART_PLAN).await;
-                        let m = *plan.payload_as::<u64>().expect("plan payload");
+                        let m = *plan.payload_as::<u64>().ok_or(RecoveryError::BadPayload {
+                            at: ctx.rank().0,
+                            from: peer.0,
+                            what: "plan",
+                        })?;
                         for _ in 0..m {
                             ctx.ctrl_recv(peer, tags::RESTART_DATA).await;
                         }
+                        Ok::<(), RecoveryError>(())
                     }
                 };
-                join2(send_side, recv_side).await;
-                bytes
+                let (_, drained) = join2(send_side, recv_side).await;
+                drained?;
+                Ok::<u64, RecoveryError>(bytes)
             }
         })
         .collect();
-    join_all(futs).await.into_iter().sum()
+    let mut total = 0u64;
+    for r in join_all(futs).await {
+        total += r?;
+    }
+    Ok(total)
 }

@@ -13,6 +13,7 @@ use gcr_sim::{DetRng, SimDuration, SimTime};
 
 use crate::blocking::blocking_wave;
 use crate::config::{CkptConfig, Mode};
+use crate::error::RecoveryError;
 use crate::hooks::{GpState, VclState};
 use crate::metrics::Metrics;
 use crate::restart::{restart_rank, restart_rank_with_peers, serve_peer_recovery};
@@ -335,11 +336,16 @@ impl CkptRuntime {
     /// Run the restart protocol on every rank concurrently (the paper's
     /// "restart immediately after the program finishes" measurement).
     /// Returns when all ranks have resumed.
-    pub async fn restart_all(&self) {
+    ///
+    /// # Errors
+    /// The first [`RecoveryError`] any rank hit (all ranks still run to
+    /// completion before it is reported).
+    pub async fn restart_all(&self) -> Result<(), RecoveryError> {
         let n = self.inner.world.n();
         let done = WaitGroup::new();
         done.add(n);
         let root_rng = DetRng::new(self.inner.cfg.seed ^ 0xdead_beef);
+        let first_err: Rc<RefCell<Option<RecoveryError>>> = Rc::new(RefCell::new(None));
         for r in 0..n as u32 {
             let proto = RankProto {
                 ctx: self.inner.world.ctx(Rank(r)),
@@ -351,15 +357,23 @@ impl CkptRuntime {
                 rng: RefCell::new(root_rng.fork_idx(r as u64)),
             };
             let done = done.clone();
+            let first_err = Rc::clone(&first_err);
             self.inner
                 .world
                 .sim()
                 .spawn_named(format!("restart{r}"), async move {
-                    restart_rank(&proto).await;
+                    if let Err(e) = restart_rank(&proto).await {
+                        first_err.borrow_mut().get_or_insert(e);
+                    }
                     done.done();
                 });
         }
         done.wait().await;
+        let err = first_err.borrow_mut().take();
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Recover from the failure of one group: its members run the restart
@@ -370,7 +384,11 @@ impl CkptRuntime {
     ///
     /// Call at a quiescent point (e.g. after the application finished, or
     /// between phases); live ranks answer with their current counters.
-    pub async fn recover_group(&self, gid: usize) -> RecoveryStats {
+    ///
+    /// # Errors
+    /// The first [`RecoveryError`] any participant hit. The chaos harness
+    /// reports it as a scenario violation instead of aborting the sweep.
+    pub async fn recover_group(&self, gid: usize) -> Result<RecoveryStats, RecoveryError> {
         let members = self.inner.groups.members(gid).to_vec();
         let n = self.inner.world.n();
         let started = self.inner.world.sim().now();
@@ -399,6 +417,7 @@ impl CkptRuntime {
         }
         let done = WaitGroup::new();
         let replayed_in = Rc::new(Cell::new(0u64));
+        let first_err: Rc<RefCell<Option<RecoveryError>>> = Rc::new(RefCell::new(None));
         let root_rng = DetRng::new(self.inner.cfg.seed ^ 0xfa11_ed00);
         for r in 0..n as u32 {
             let proto = RankProto {
@@ -419,27 +438,37 @@ impl CkptRuntime {
                 std::mem::take(&mut serve_sets[r as usize])
             };
             let replayed_in = Rc::clone(&replayed_in);
+            let first_err = Rc::clone(&first_err);
             self.inner
                 .world
                 .sim()
                 .spawn_named(format!("recover{r}"), async move {
                     if is_member {
-                        restart_rank_with_peers(&proto, &peers).await;
+                        if let Err(e) = restart_rank_with_peers(&proto, &peers).await {
+                            first_err.borrow_mut().get_or_insert(e);
+                        }
                     } else {
-                        let served = serve_peer_recovery(&proto, &peers).await;
-                        replayed_in.set(replayed_in.get() + served);
+                        match serve_peer_recovery(&proto, &peers).await {
+                            Ok(served) => replayed_in.set(replayed_in.get() + served),
+                            Err(e) => {
+                                first_err.borrow_mut().get_or_insert(e);
+                            }
+                        }
                     }
                     done.done();
                 });
         }
         done.wait().await;
+        if let Some(e) = first_err.borrow_mut().take() {
+            return Err(e);
+        }
         let finished = self.inner.world.sim().now();
-        RecoveryStats {
+        Ok(RecoveryStats {
             group: gid,
             ranks_restarted: members.len(),
             downtime: finished.saturating_since(started),
             replayed_into_group_bytes: replayed_in.get(),
-        }
+        })
     }
 
     /// Stop all protocol daemons (drop their command channels). Call once

@@ -133,7 +133,7 @@ fn gp1_restart_replays_unconsumed_bytes() {
     {
         let rt = rt.clone();
         sim.spawn(async move {
-            rt.restart_all().await;
+            rt.restart_all().await.unwrap();
         });
     }
     sim.run().unwrap();
@@ -157,7 +157,7 @@ fn norm_restart_has_no_replay() {
             rt.single_checkpoint_at(SimTime::from_millis(50)).await;
             world.wait_all_ranks().await;
             rt.shutdown();
-            rt.restart_all().await;
+            rt.restart_all().await.unwrap();
         });
     }
     sim.run().unwrap();
@@ -337,7 +337,7 @@ fn same_seed_is_bit_deterministic() {
                 rt.single_checkpoint_at(SimTime::from_millis(70)).await;
                 world.wait_all_ranks().await;
                 rt.shutdown();
-                rt.restart_all().await;
+                rt.restart_all().await.unwrap();
             });
         }
         sim.run().unwrap();
@@ -419,7 +419,7 @@ fn group_recovery_replays_only_into_failed_group() {
             world.wait_all_ranks().await;
             rt.shutdown();
             // Group 0 ({0, 1}) "fails" and recovers; group 1 stays live.
-            *stats.borrow_mut() = Some(rt.recover_group(0).await);
+            *stats.borrow_mut() = Some(rt.recover_group(0).await.unwrap());
         });
     }
     sim.run().unwrap();
@@ -457,9 +457,9 @@ fn group_recovery_is_cheaper_than_global_restart() {
                 rt.shutdown();
                 let t0 = world.sim().now();
                 if global {
-                    rt.restart_all().await;
+                    rt.restart_all().await.unwrap();
                 } else {
-                    rt.recover_group(0).await;
+                    rt.recover_group(0).await.unwrap();
                 }
                 downtime.set(world.sim().now().saturating_since(t0).as_secs_f64());
             });

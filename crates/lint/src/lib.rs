@@ -1,0 +1,162 @@
+//! # gcr-lint — workspace determinism & protocol-safety analyzer
+//!
+//! The restart protocol's `R`/`RR`/`S` accounting and the chaos harness's
+//! bit-determinism oracle both assume the simulator is *exactly*
+//! reproducible: one stray `HashMap` iteration or wall-clock read silently
+//! breaks replay, shrinking, and every figure in EXPERIMENTS.md. The chaos
+//! harness checks this dynamically, seed by seed; `gcr-lint` is the static
+//! half — it catches nondeterminism and unsafe recovery paths at the
+//! source level, before any seed runs.
+//!
+//! Self-contained by design: a hand-rolled Rust surface lexer
+//! ([`lexer`]) feeds a line/token rule engine ([`rules`]) — the same
+//! no-external-dependency idiom as `gcr-json`. Policy tiers ([`policy`])
+//! decide which rules apply where; inline waivers ([`suppress`]) and a
+//! committed baseline ([`baseline`]) manage the path to zero findings.
+//!
+//! Run it as `gcrsim lint`; CI runs it with `--json` and fails on any
+//! non-baseline finding.
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod policy;
+pub mod report;
+pub mod rules;
+pub mod suppress;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use baseline::{Baseline, BaselineEntry};
+pub use policy::{policy_for, Policy};
+pub use report::{Finding, Report, Rule, Status};
+
+/// Analyze one source file (given its workspace-relative path, which
+/// selects the policy tier). Suppressions are already applied; baseline
+/// matching happens at the workspace level.
+pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
+    let lx = lexer::lex(src);
+    let policy = policy_for(rel);
+    let raw = rules::check(rel, &lx, policy);
+    let (sups, mut malformed) = suppress::parse_suppressions(rel, &lx);
+    let mut out = suppress::apply_suppressions(rel, &lx, &sups, raw);
+    out.append(&mut malformed);
+    out.sort_by_key(|f| (f.line, f.rule));
+    out
+}
+
+/// Collect the workspace's analyzable sources: the root package's `src/`
+/// tree and every `crates/*/src` tree. Test directories, benches and
+/// examples are out of scope — they run outside the simulated world.
+/// Deterministic order (sorted paths), because the analyzer holds itself
+/// to its own rules.
+///
+/// # Errors
+/// Propagates I/O errors from directory walks and file reads.
+pub fn collect_workspace_files(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut dirs: Vec<PathBuf> = vec![root.join("src")];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        dirs.extend(members.into_iter().map(|m| m.join("src")));
+    }
+    let mut files = Vec::new();
+    for dir in dirs {
+        if dir.is_dir() {
+            walk_rs(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut out = Vec::with_capacity(files.len());
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.push((rel, fs::read_to_string(&path)?));
+    }
+    Ok(out)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            walk_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Analyze the whole workspace under `root` against `baseline` (pass the
+/// default [`Baseline`] for none).
+///
+/// # Errors
+/// Propagates I/O errors from the source walk.
+pub fn lint_workspace(root: &Path, baseline: &Baseline) -> io::Result<Report> {
+    let files = collect_workspace_files(root)?;
+    let files_scanned = files.len();
+    let mut findings = Vec::new();
+    for (rel, src) in &files {
+        findings.extend(lint_source(rel, src));
+    }
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    let unused_baseline = baseline.apply(&mut findings);
+    Ok(Report {
+        findings,
+        files_scanned,
+        unused_baseline,
+    })
+}
+
+/// Load the baseline at `path`; a missing file is an empty baseline.
+///
+/// # Errors
+/// I/O errors other than not-found, and baseline parse errors (as
+/// `io::Error` with `InvalidData`).
+pub fn load_baseline(path: &Path) -> io::Result<Baseline> {
+    match fs::read_to_string(path) {
+        Ok(text) => {
+            Baseline::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Baseline::default()),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_source_has_no_findings() {
+        let src = "use std::collections::BTreeMap;\n\
+                   pub fn f() -> BTreeMap<u32, u32> { BTreeMap::new() }\n";
+        assert!(lint_source("crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn policy_gates_rules_by_path() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(lint_source("crates/sim/src/x.rs", src).len(), 1);
+        assert!(lint_source("crates/bench/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! Findings and the analyzer's human / JSON reports.
+
+use gcr_json::Json;
+
+/// Rule identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Iteration over a hash-ordered container in a deterministic crate.
+    D01,
+    /// Wall-clock / OS entropy / threads / env outside exempt surfaces.
+    D02,
+    /// `unwrap`/`expect`/`panic!`/unchecked indexing on the recovery path.
+    D03,
+    /// `#[allow(dead_code)]` on a `pub fn` taking `&mut` state.
+    D04,
+    /// Stale suppression: it matches no finding on its target line.
+    S00,
+    /// Suppression without a justification.
+    S01,
+}
+
+impl Rule {
+    /// The identifier as written in suppressions and reports.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Rule::D01 => "D01",
+            Rule::D02 => "D02",
+            Rule::D03 => "D03",
+            Rule::D04 => "D04",
+            Rule::S00 => "S00",
+            Rule::S01 => "S01",
+        }
+    }
+
+    /// Parse a rule id (as found inside `allow(...)`).
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s {
+            "D01" => Some(Rule::D01),
+            "D02" => Some(Rule::D02),
+            "D03" => Some(Rule::D03),
+            "D04" => Some(Rule::D04),
+            "S00" => Some(Rule::S00),
+            "S01" => Some(Rule::S01),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// Where a finding stands after suppressions and the baseline are applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Fails the run.
+    New,
+    /// Grandfathered by the committed baseline.
+    Baselined,
+}
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-facing description.
+    pub message: String,
+    /// Trimmed source line, used as the baseline matching key.
+    pub snippet: String,
+    /// New or baselined.
+    pub status: Status,
+}
+
+impl Finding {
+    /// Render as `file:line: RULE message`.
+    pub fn human(&self) -> String {
+        let tag = match self.status {
+            Status::New => "",
+            Status::Baselined => " [baseline]",
+        };
+        format!(
+            "{}:{}: {}{} {}",
+            self.file, self.line, self.rule, tag, self.message
+        )
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("file", Json::from(self.file.as_str())),
+            ("line", Json::from(self.line as u64)),
+            ("rule", Json::from(self.rule.id())),
+            ("message", Json::from(self.message.as_str())),
+            ("snippet", Json::from(self.snippet.as_str())),
+            (
+                "status",
+                Json::from(match self.status {
+                    Status::New => "new",
+                    Status::Baselined => "baseline",
+                }),
+            ),
+        ])
+    }
+}
+
+/// A full analyzer run over the workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings (new + baselined), sorted by file, line, rule.
+    pub findings: Vec<Finding>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Baseline entries that matched nothing — the baseline should shrink.
+    pub unused_baseline: Vec<String>,
+}
+
+impl Report {
+    /// Number of findings not covered by the baseline.
+    pub fn new_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.status == Status::New)
+            .count()
+    }
+
+    /// Does the run pass (no new findings)?
+    pub fn passed(&self) -> bool {
+        self.new_count() == 0
+    }
+
+    /// Human report: one line per finding plus a summary.
+    pub fn human(&self) -> String {
+        let mut s = String::new();
+        for f in &self.findings {
+            s.push_str(&f.human());
+            s.push('\n');
+        }
+        for u in &self.unused_baseline {
+            s.push_str(&format!("warning: unused baseline entry: {u}\n"));
+        }
+        let baselined = self.findings.len() - self.new_count();
+        s.push_str(&format!(
+            "{} file(s) scanned, {} finding(s) ({} new, {} baselined)",
+            self.files_scanned,
+            self.findings.len(),
+            self.new_count(),
+            baselined,
+        ));
+        s
+    }
+
+    /// The report as a JSON document (deterministic field order).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("files_scanned", Json::from(self.files_scanned as u64)),
+            ("new", Json::from(self.new_count() as u64)),
+            (
+                "findings",
+                Json::from(
+                    self.findings
+                        .iter()
+                        .map(Finding::to_json)
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+            (
+                "unused_baseline",
+                Json::from(
+                    self.unused_baseline
+                        .iter()
+                        .map(|u| Json::from(u.as_str()))
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+    }
+}

@@ -1,0 +1,139 @@
+//! Inline suppressions: `// gcr-lint: allow(D01) <reason>`.
+//!
+//! A suppression on its own line covers the next code line; a trailing
+//! suppression covers its own line. Several rules may be listed
+//! (`allow(D01,D03)`). Every suppression must carry a justification, and
+//! a suppression that suppresses nothing is itself a finding (S00) — the
+//! analyzer refuses to let dead waivers accumulate.
+
+use crate::lexer::Lexed;
+use crate::report::{Finding, Rule, Status};
+
+/// One parsed suppression comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Line the comment sits on.
+    pub line: usize,
+    /// Line whose findings it waives.
+    pub applies_to: usize,
+    /// Rules waived.
+    pub rules: Vec<Rule>,
+    /// Justification text after the `allow(...)`.
+    pub reason: String,
+}
+
+/// Extract suppressions from a lexed file. Malformed `gcr-lint:` comments
+/// (unknown rule id, missing `allow(...)`) are reported as S00 findings
+/// immediately — a waiver that silently fails to parse is worse than none.
+pub fn parse_suppressions(rel: &str, lx: &Lexed) -> (Vec<Suppression>, Vec<Finding>) {
+    let mut sups = Vec::new();
+    let mut malformed = Vec::new();
+    for c in &lx.comments {
+        let body = c.text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("gcr-lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let parsed = (|| {
+            let inner = rest.strip_prefix("allow(")?;
+            let (ids, reason) = inner.split_once(')')?;
+            let mut rules = Vec::new();
+            for id in ids.split(',') {
+                rules.push(Rule::parse(id.trim())?);
+            }
+            Some((rules, reason.trim().to_string()))
+        })();
+        match parsed {
+            Some((rules, reason)) => {
+                let applies_to = if c.own_line {
+                    next_code_line(lx, c.line)
+                } else {
+                    c.line
+                };
+                sups.push(Suppression {
+                    line: c.line,
+                    applies_to,
+                    rules,
+                    reason,
+                });
+            }
+            None => malformed.push(Finding {
+                file: rel.to_string(),
+                line: c.line,
+                rule: Rule::S00,
+                message: format!(
+                    "malformed suppression `{}` — expected \
+                     `gcr-lint: allow(D0x[,D0y]) <reason>`",
+                    body
+                ),
+                snippet: lx.snippet(c.line).to_string(),
+                status: Status::New,
+            }),
+        }
+    }
+    (sups, malformed)
+}
+
+/// The first line after `line` that carries a code token (the item an
+/// own-line suppression decorates); `line` itself if none follows.
+fn next_code_line(lx: &Lexed, line: usize) -> usize {
+    lx.toks
+        .iter()
+        .map(|t| t.line)
+        .find(|&l| l > line)
+        .unwrap_or(line)
+}
+
+/// Apply suppressions to raw findings: waived findings are removed, then
+/// stale (S00) and unjustified (S01) suppressions are appended as
+/// findings of their own.
+pub fn apply_suppressions(
+    rel: &str,
+    lx: &Lexed,
+    sups: &[Suppression],
+    findings: Vec<Finding>,
+) -> Vec<Finding> {
+    let mut used = vec![false; sups.len()];
+    let mut kept = Vec::new();
+    for f in findings {
+        let mut waived = false;
+        for (i, s) in sups.iter().enumerate() {
+            if s.applies_to == f.line && s.rules.contains(&f.rule) {
+                used[i] = true;
+                waived = true;
+            }
+        }
+        if !waived {
+            kept.push(f);
+        }
+    }
+    for (i, s) in sups.iter().enumerate() {
+        if !used[i] {
+            kept.push(Finding {
+                file: rel.to_string(),
+                line: s.line,
+                rule: Rule::S00,
+                message: format!(
+                    "stale suppression: allow({}) waives nothing on line {} — remove it",
+                    s.rules.iter().map(Rule::id).collect::<Vec<_>>().join(","),
+                    s.applies_to
+                ),
+                snippet: lx.snippet(s.line).to_string(),
+                status: Status::New,
+            });
+        }
+        if s.reason.is_empty() {
+            kept.push(Finding {
+                file: rel.to_string(),
+                line: s.line,
+                rule: Rule::S01,
+                message: "suppression without a justification — say why the waiver is safe"
+                    .to_string(),
+                snippet: lx.snippet(s.line).to_string(),
+                status: Status::New,
+            });
+        }
+    }
+    kept.sort_by_key(|f| (f.line, f.rule));
+    kept
+}

@@ -1,0 +1,19 @@
+// Fixture: D01 must fire — hash-ordered iteration in a deterministic crate.
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(xs: &[(u32, u64)]) -> u64 {
+    let mut counts: HashMap<u32, u64> = HashMap::new();
+    for &(k, v) in xs {
+        *counts.entry(k).or_insert(0) += v;
+    }
+    let mut total = 0;
+    for (_k, v) in counts.iter() {
+        total += v;
+    }
+    total
+}
+
+pub fn first_seen(xs: &[u32]) -> Option<u32> {
+    let seen: HashSet<u32> = xs.iter().copied().collect();
+    seen.into_iter().next()
+}

@@ -1,0 +1,19 @@
+// Fixture: D01 must stay quiet — ordered containers iterate freely, and
+// hash maps are fine for point lookups (no iteration-order dependence).
+use std::collections::{BTreeMap, HashMap};
+
+pub fn tally(xs: &[(u32, u64)]) -> u64 {
+    let mut counts: BTreeMap<u32, u64> = BTreeMap::new();
+    for &(k, v) in xs {
+        *counts.entry(k).or_insert(0) += v;
+    }
+    let mut total = 0;
+    for (_k, v) in counts.iter() {
+        total += v;
+    }
+    total
+}
+
+pub fn lookup(index: &HashMap<u32, u64>, k: u32) -> u64 {
+    index.get(&k).copied().unwrap_or(0)
+}

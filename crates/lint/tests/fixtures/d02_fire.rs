@@ -1,0 +1,9 @@
+// Fixture: D02 must fire — wall-clock and OS entropy in simulated code.
+pub fn stamp() -> u128 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos()
+}
+
+pub fn parallel() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}

@@ -1,0 +1,10 @@
+// Fixture: D02 must stay quiet — simulated time only, and mentions of
+// Instant::now in comments or strings are not code.
+pub fn advance(now_ms: u64, dt_ms: u64) -> u64 {
+    // Real code would call Instant::now() here; the simulator must not.
+    now_ms + dt_ms
+}
+
+pub fn describe() -> &'static str {
+    "uses SimTime, never std::time::Instant"
+}

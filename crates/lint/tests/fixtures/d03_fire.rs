@@ -1,0 +1,17 @@
+// Fixture: D03 must fire — aborts and unchecked indexing on the recovery
+// path (linted under a recovery-critical rel path).
+pub fn volume(payload: Option<u64>) -> u64 {
+    payload.unwrap()
+}
+
+pub fn plan(payload: Option<u64>) -> u64 {
+    payload.expect("plan payload")
+}
+
+pub fn image(sizes: &[u64], rank: usize) -> u64 {
+    sizes[rank]
+}
+
+pub fn must_not_happen() {
+    panic!("recovery cannot abort");
+}

@@ -1,0 +1,14 @@
+// Fixture: D03 must stay quiet — typed errors and checked access on the
+// recovery path.
+pub enum RecoveryError {
+    BadPayload,
+    MissingImage,
+}
+
+pub fn volume(payload: Option<u64>) -> Result<u64, RecoveryError> {
+    payload.ok_or(RecoveryError::BadPayload)
+}
+
+pub fn image(sizes: &[u64], rank: usize) -> Result<u64, RecoveryError> {
+    sizes.get(rank).copied().ok_or(RecoveryError::MissingImage)
+}

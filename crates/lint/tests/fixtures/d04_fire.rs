@@ -1,0 +1,10 @@
+// Fixture: D04 must fire — a dead-code-suppressed pub fn that mutates
+// state is an unwired protocol transition hiding from the compiler.
+pub struct Counters {
+    pub r: u64,
+}
+
+#[allow(dead_code)]
+pub fn roll_back(c: &mut Counters) {
+    c.r = 0;
+}

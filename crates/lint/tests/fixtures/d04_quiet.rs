@@ -1,0 +1,15 @@
+// Fixture: D04 must stay quiet — private helpers may be parked behind
+// allow(dead_code), and read-only pub fns mutate nothing.
+pub struct Counters {
+    pub r: u64,
+}
+
+#[allow(dead_code)]
+fn private_poke(c: &mut Counters) {
+    c.r += 1;
+}
+
+#[allow(dead_code)]
+pub fn read_only(c: &Counters) -> u64 {
+    c.r
+}

@@ -1,0 +1,39 @@
+//! Tier-1 gate: the live workspace must lint clean against the committed
+//! baseline. This is the test that keeps nondeterminism from re-entering:
+//! a new HashMap iteration, wall-clock read, or recovery-path unwrap
+//! anywhere in the deterministic crates fails the build right here.
+
+use std::path::Path;
+
+use gcr_lint::{lint_workspace, load_baseline};
+
+/// The workspace root, two levels up from this crate's manifest.
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+}
+
+#[test]
+fn live_workspace_has_zero_non_baseline_findings() {
+    let root = workspace_root();
+    let baseline = load_baseline(&root.join("lint-baseline.json")).expect("baseline must parse");
+    let report = lint_workspace(root, &baseline).expect("workspace must be readable");
+    assert!(
+        report.passed(),
+        "gcr-lint found new issues:\n{}",
+        report.human()
+    );
+    assert!(
+        report.unused_baseline.is_empty(),
+        "baseline entries matching nothing should be removed:\n{}",
+        report.human()
+    );
+    // Sanity: the walk actually saw the workspace, not an empty dir.
+    assert!(
+        report.files_scanned > 50,
+        "only {} files",
+        report.files_scanned
+    );
+}

@@ -5,7 +5,7 @@
 //! pair into `(pair, message count, total bytes)` tuples, sorted by total
 //! size descending, then count, then pair.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::record::Trace;
 
@@ -25,7 +25,10 @@ pub struct PairFlow {
 /// Collapse a trace's send records into unordered pair flows, sorted by
 /// bytes desc, then count desc, then pair asc (Algorithm 2 preprocessing).
 pub fn pair_flows(trace: &Trace) -> Vec<PairFlow> {
-    let mut map: HashMap<(u32, u32), (u64, u64)> = HashMap::new();
+    // BTreeMap, not HashMap: the post-sort is total (bytes, count, pair),
+    // but hash iteration order must never reach even an intermediate
+    // stage of anything the bit-determinism oracle digests (gcr-lint D01).
+    let mut map: BTreeMap<(u32, u32), (u64, u64)> = BTreeMap::new();
     for (src, dst, bytes) in trace.sends() {
         if src == dst {
             continue; // self-messages carry no grouping signal

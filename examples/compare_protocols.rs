@@ -55,7 +55,7 @@ fn run(strategy: Strategy) -> (f64, f64, f64, u64) {
                 .await;
             world.wait_all_ranks().await;
             rt.shutdown();
-            rt.restart_all().await;
+            rt.restart_all().await.unwrap();
         });
     }
     sim.run().expect("run failed");

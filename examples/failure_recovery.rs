@@ -48,7 +48,7 @@ fn main() {
             // Group 2 (ranks 8–11) fails; recover just that group. Live
             // ranks serve the volume exchange and replay from their
             // retained message logs.
-            *stats.borrow_mut() = Some(rt.recover_group(2).await);
+            *stats.borrow_mut() = Some(rt.recover_group(2).await.unwrap());
         });
     }
     sim.run().expect("simulation deadlocked");

@@ -45,7 +45,7 @@ fn main() {
             println!("controller: {waves} checkpoint wave(s) taken");
             world.wait_all_ranks().await;
             rt.shutdown();
-            rt.restart_all().await;
+            rt.restart_all().await.unwrap();
         });
     }
     sim.run().expect("simulation deadlocked");

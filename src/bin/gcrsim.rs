@@ -1,6 +1,7 @@
 //! `gcrsim` — command-line front end. See `gcr::cli::USAGE`.
 
 fn main() {
+    // gcr-lint: allow(D02) the process boundary must read argv; nothing downstream of parse() touches the environment
     let args: Vec<String> = std::env::args().skip(1).collect();
     match gcr::cli::parse(&args).and_then(gcr::cli::execute) {
         Ok(out) => println!("{out}"),

@@ -58,6 +58,21 @@ pub enum Command {
     },
     /// Run seeded fault-injection scenarios with invariant oracles.
     Chaos(ChaosArgs),
+    /// Run the workspace determinism & protocol-safety analyzer.
+    Lint(LintArgs),
+}
+
+/// Arguments of the `lint` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintArgs {
+    /// Workspace root to scan (defaults to the current directory).
+    pub root: String,
+    /// Baseline path (defaults to `<root>/lint-baseline.json`).
+    pub baseline: Option<String>,
+    /// Emit the JSON report instead of human lines.
+    pub json: bool,
+    /// Rewrite the baseline to grandfather all current findings.
+    pub update_baseline: bool,
 }
 
 /// Arguments of the `chaos` subcommand. Every field except the seed
@@ -162,6 +177,7 @@ USAGE:
                 [--workload <ring|cg|sp|hpl>] [--proto <norm|gp|gp1|gp4|vcl>]
                 [--storage <local|remote>] [--interval-ms I]
                 [--gc-overshoot BYTES] [--schedule 'crash:g1@2500;storm:x8@1000+4000']
+  gcrsim lint   [--root DIR] [--baseline FILE] [--json] [--update-baseline]
 ";
 
 struct Flags<'a> {
@@ -363,6 +379,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 json: f.has("--json"),
             }))
         }
+        "lint" => Ok(Command::Lint(LintArgs {
+            root: f.get("--root").unwrap_or(".").to_string(),
+            baseline: f.get("--baseline").map(str::to_string),
+            json: f.has("--json"),
+            update_baseline: f.has("--update-baseline"),
+        })),
         "help" | "--help" | "-h" => Err(err(USAGE)),
         other => Err(err(format!("unknown subcommand '{other}'\n\n{USAGE}"))),
     }
@@ -460,6 +482,40 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             Ok(s)
         }
         Command::Chaos(a) => execute_chaos(a),
+        Command::Lint(a) => execute_lint(a),
+    }
+}
+
+/// Run the static analyzer over the workspace. New (non-baseline)
+/// findings are a hard error so CI exits nonzero.
+fn execute_lint(a: LintArgs) -> Result<String, CliError> {
+    let root = std::path::PathBuf::from(&a.root);
+    let baseline_path = a
+        .baseline
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| root.join("lint-baseline.json"));
+    if a.update_baseline {
+        let report = gcr_lint::lint_workspace(&root, &gcr_lint::Baseline::default())
+            .map_err(|e| err(e.to_string()))?;
+        let baseline = gcr_lint::Baseline::from_findings(&report.findings);
+        std::fs::write(&baseline_path, baseline.dump() + "\n").map_err(|e| err(e.to_string()))?;
+        return Ok(format!(
+            "baseline rewritten: {} entry(ies) -> {}",
+            baseline.entries.len(),
+            baseline_path.display()
+        ));
+    }
+    let baseline = gcr_lint::load_baseline(&baseline_path).map_err(|e| err(e.to_string()))?;
+    let report = gcr_lint::lint_workspace(&root, &baseline).map_err(|e| err(e.to_string()))?;
+    let rendered = if a.json {
+        report.to_json().pretty()
+    } else {
+        report.human()
+    };
+    if report.passed() {
+        Ok(rendered)
+    } else {
+        Err(err(rendered))
     }
 }
 
@@ -684,6 +740,27 @@ mod tests {
         assert!(parse(&argv("chaos --seed 1 --schedule crash:1@2500")).is_err());
         assert!(parse(&argv("chaos --seed 1 --storage nfs")).is_err());
         assert!(parse(&argv("chaos")).is_err());
+    }
+
+    #[test]
+    fn parses_a_lint_command() {
+        let cmd = parse(&argv("lint --root . --json")).unwrap();
+        match cmd {
+            Command::Lint(a) => {
+                assert_eq!(a.root, ".");
+                assert!(a.json);
+                assert!(a.baseline.is_none());
+                assert!(!a.update_baseline);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lint_command_passes_on_the_live_workspace() {
+        // Tests of the root package run with cwd = workspace root.
+        let out = execute(parse(&argv("lint --json")).unwrap()).unwrap();
+        assert!(out.contains("\"new\": 0"), "{out}");
     }
 
     #[test]

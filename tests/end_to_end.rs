@@ -31,7 +31,7 @@ fn pipeline(
                 .await;
             world.wait_all_ranks().await;
             rt.shutdown();
-            rt.restart_all().await;
+            rt.restart_all().await.unwrap();
         });
     }
     sim.run().expect("pipeline deadlocked");
@@ -252,7 +252,7 @@ fn multiple_waves_accumulate_consistent_state() {
                 .await;
             world.wait_all_ranks().await;
             rt.shutdown();
-            rt.restart_all().await;
+            rt.restart_all().await.unwrap();
         });
     }
     sim.run().unwrap();

@@ -174,7 +174,7 @@ fn random_runs_leave_consistent_recovery_lines() {
                 rt.single_checkpoint_at(SimTime::from_millis(ckpt_ms)).await;
                 world.wait_all_ranks().await;
                 rt.shutdown();
-                rt.restart_all().await;
+                rt.restart_all().await.unwrap();
             });
         }
         sim.run().expect("deadlock");
