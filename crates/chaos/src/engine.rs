@@ -13,11 +13,22 @@
 //!   mid-image-write or mid-recovery-volume-exchange.
 //! * **storm / outage / slow** — dial the injected knob up, sleep the
 //!   window, dial it back.
+//! * **torn** — the target node's next image writes tear mid-transfer;
+//!   the affected generation must retry past the fault or abort.
+//! * **corrupt** — flip a bit in the target group's newest committed
+//!   image, then crash the group: restart must detect the digest mismatch
+//!   and fall back to an older committed generation.
+//! * **crashckpt** — arm a crash-during-checkpoint trap; the group dies at
+//!   the chosen phase of its next wave (before / during / after the image
+//!   write), the pending generation aborts, and recovery restarts from
+//!   the last committed one.
 //!
 //! After the run, the end-of-run oracles check workload completion,
-//! quiescence, the recovery line, and exact byte-stream closure. A
-//! deadlocked simulation is reported as a violation, not a panic — the
-//! harness's job is to catch protocol bugs, not to die of them.
+//! quiescence, the recovery line, exact byte-stream closure, and the
+//! durable store's load ledger (no restart ever consumed an uncommitted
+//! or corrupt image). A deadlocked simulation is reported as a violation,
+//! not a panic — the harness's job is to catch protocol bugs, not to die
+//! of them.
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -26,7 +37,7 @@ use gcr_ckpt::{check_quiescent, check_recovery_line, CkptConfig, CkptRuntime, Mo
 use gcr_group::GroupDef;
 use gcr_json::Json;
 use gcr_mpi::{Rank, World};
-use gcr_net::{Cluster, StorageTarget};
+use gcr_net::{Cluster, GenState, StorageTarget};
 use gcr_sim::{Sim, SimDuration, SimTime};
 
 use crate::schedule::ChaosEvent;
@@ -48,6 +59,12 @@ pub struct RecoverySummary {
     pub downtime_s: f64,
     /// Bytes replayed into the group from live ranks' logs.
     pub replayed_bytes: u64,
+    /// Committed generation the group restarted from (`None`: initial
+    /// state — no usable generation existed).
+    pub generation: Option<u64>,
+    /// Whether restart fell back past the newest attempted generation
+    /// (it aborted mid-checkpoint, or its images failed validation).
+    pub fell_back: bool,
 }
 
 /// Everything a chaos run reports. Fully deterministic given the spec:
@@ -116,6 +133,13 @@ impl ChaosReport {
                                 ("at_ms", Json::from(r.at_ms)),
                                 ("downtime_s", Json::from(r.downtime_s)),
                                 ("replayed_bytes", Json::from(r.replayed_bytes)),
+                                // −1 encodes "restarted from the initial
+                                // state" (no committed generation).
+                                (
+                                    "generation",
+                                    Json::from(r.generation.map(|g| g as i64).unwrap_or(-1)),
+                                ),
+                                ("fell_back", Json::from(r.fell_back)),
                             ])
                         })
                         .collect::<Vec<_>>(),
@@ -220,54 +244,110 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
                     }
                     recovering.set(true);
                     let gid = (group as usize) % groups.group_count();
-                    for &m in groups.members(gid) {
-                        world.halt(Rank(m));
-                    }
-                    // recover_group needs a protocol-quiescent point: let
-                    // any in-flight wave drain first (the halted ranks
-                    // still execute protocol code — only the application
-                    // plane is dead).
-                    while rt.waves_in_flight() > 0 {
+                    crash_and_recover(
+                        &sim2,
+                        &world,
+                        &cluster,
+                        &rt,
+                        &groups,
+                        n_u,
+                        gid,
+                        at_ms,
+                        false,
+                        &violations,
+                        &recoveries,
+                    )
+                    .await;
+                    recovering.set(false);
+                    applied.set(applied.get() + 1);
+                }
+                ChaosEvent::CorruptImage { at_ms, group } => {
+                    while recovering.get() {
                         sim2.sleep(POLL).await;
                     }
-                    // A recovery error is a scenario violation, not an
-                    // abort: the sweep keeps running and the oracle report
-                    // carries the failure (the whole point of D03).
-                    match rt.recover_group(gid).await {
-                        Ok(stats) => {
-                            recoveries.borrow_mut().push(RecoverySummary {
-                                group: gid,
-                                ranks: stats.ranks_restarted,
-                                at_ms,
-                                downtime_s: stats.downtime.as_secs_f64(),
-                                replayed_bytes: stats.replayed_into_group_bytes,
-                            });
-                            // Post-recovery oracles, before the group resumes.
-                            if rt.mode() == Mode::Blocking {
-                                if let Err(vs) = check_recovery_line(&world, &rt) {
-                                    for v in vs {
-                                        violations
-                                            .borrow_mut()
-                                            .push(format!("post-recovery(g{gid}) {v}"));
-                                    }
-                                }
-                                for v in stream_closure_violations(n_u, &groups, &rt) {
-                                    violations
-                                        .borrow_mut()
-                                        .push(format!("post-recovery(g{gid}) {v}"));
-                                }
-                            }
-                        }
-                        Err(e) => {
-                            violations
-                                .borrow_mut()
-                                .push(format!("recovery(g{gid}) error: {e}"));
-                        }
+                    if world.ranks_finished() >= n_u {
+                        skipped.set(skipped.get() + 1);
+                        return;
                     }
-                    for &m in groups.members(gid) {
-                        world.resume(Rank(m));
-                    }
+                    recovering.set(true);
+                    let gid = (group as usize) % groups.group_count();
+                    crash_and_recover(
+                        &sim2,
+                        &world,
+                        &cluster,
+                        &rt,
+                        &groups,
+                        n_u,
+                        gid,
+                        at_ms,
+                        true,
+                        &violations,
+                        &recoveries,
+                    )
+                    .await;
                     recovering.set(false);
+                    applied.set(applied.get() + 1);
+                }
+                ChaosEvent::CrashCkpt {
+                    at_ms,
+                    group,
+                    phase,
+                } => {
+                    if world.ranks_finished() >= n_u {
+                        skipped.set(skipped.get() + 1);
+                        return;
+                    }
+                    let gid = (group as usize) % groups.group_count();
+                    rt.arm_crash_trap(gid, phase as u8);
+                    // The trap fires inside the group's next blocking wave;
+                    // if the application finishes first (or the protocol
+                    // takes no further wave — e.g. VCL has no group-scoped
+                    // waves), the fault never lands.
+                    while !rt.crash_trap_fired(gid) && world.ranks_finished() < n_u {
+                        sim2.sleep(POLL).await;
+                    }
+                    if !rt.crash_trap_fired(gid) {
+                        rt.clear_crash_trap(gid);
+                        skipped.set(skipped.get() + 1);
+                        return;
+                    }
+                    // The wave aborted its pending generation; now the
+                    // group actually dies and recovery must restart it
+                    // from the last *committed* generation.
+                    while recovering.get() {
+                        sim2.sleep(POLL).await;
+                    }
+                    if world.ranks_finished() < n_u {
+                        recovering.set(true);
+                        crash_and_recover(
+                            &sim2,
+                            &world,
+                            &cluster,
+                            &rt,
+                            &groups,
+                            n_u,
+                            gid,
+                            at_ms,
+                            false,
+                            &violations,
+                            &recoveries,
+                        )
+                        .await;
+                        recovering.set(false);
+                    }
+                    rt.clear_crash_trap(gid);
+                    applied.set(applied.get() + 1);
+                }
+                ChaosEvent::TornWrite { node, count, .. } => {
+                    if world.ranks_finished() >= n_u {
+                        skipped.set(skipped.get() + 1);
+                        return;
+                    }
+                    // Arm the per-node counter; the node's next `count`
+                    // image writes tear mid-transfer as they happen.
+                    cluster
+                        .storage()
+                        .inject_torn_writes((node as usize) % n_u, count as u32);
                     applied.set(applied.get() + 1);
                 }
                 ChaosEvent::Storm { dur_ms, factor, .. } => {
@@ -339,6 +419,9 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
             violations.borrow_mut().push(format!("end-of-run {v}"));
         }
     }
+    for v in store_load_violations(&cluster) {
+        violations.borrow_mut().push(format!("end-of-run {v}"));
+    }
 
     let violations = violations.borrow().clone();
     let recoveries = recoveries.borrow().clone();
@@ -378,6 +461,107 @@ pub fn run_chaos_verified(spec: &ChaosSpec) -> ChaosReport {
         ));
     }
     first
+}
+
+/// The shared crash path: halt every member of the group, wait for any
+/// in-flight checkpoint wave to drain (`recover_group` needs a
+/// protocol-quiescent point; the halted ranks still execute protocol
+/// code — only the application plane is dead), run the group-local
+/// recovery, check the post-recovery oracles, and resume the group. The
+/// caller must already hold the `recovering` flag.
+///
+/// A recovery error is a scenario violation, not an abort: the sweep
+/// keeps running and the oracle report carries the failure (the whole
+/// point of D03).
+#[allow(clippy::too_many_arguments)]
+async fn crash_and_recover(
+    sim: &Sim,
+    world: &World,
+    cluster: &Cluster,
+    rt: &CkptRuntime,
+    groups: &GroupDef,
+    n: usize,
+    gid: usize,
+    at_ms: u64,
+    corrupt_image: bool,
+    violations: &RefCell<Vec<String>>,
+    recoveries: &RefCell<Vec<RecoverySummary>>,
+) {
+    for &m in groups.members(gid) {
+        world.halt(Rank(m));
+    }
+    while rt.waves_in_flight() > 0 {
+        sim.sleep(POLL).await;
+    }
+    // Corruption is injected at the protocol-quiescent point (after the
+    // drain), so it hits the generation restart would otherwise select —
+    // but only when an older committed generation is still inside the
+    // retention window. The durable store guarantees fallback by up to
+    // `W − 1` generations; corrupting the *only* committed generation
+    // would demand an initial-state restart the (already trimmed) peer
+    // logs no longer cover. In that case the event degrades to a plain
+    // crash of the group.
+    if corrupt_image {
+        let store = cluster.ckpt_store();
+        if store.committed_gens(gid).len() >= 2 {
+            store.corrupt_newest_committed(gid);
+        }
+    }
+    match rt.recover_group(gid).await {
+        Ok(stats) => {
+            recoveries.borrow_mut().push(RecoverySummary {
+                group: gid,
+                ranks: stats.ranks_restarted,
+                at_ms,
+                downtime_s: stats.downtime.as_secs_f64(),
+                replayed_bytes: stats.replayed_into_group_bytes,
+                generation: stats.generation,
+                fell_back: stats.fell_back,
+            });
+            // Post-recovery oracles, before the group resumes.
+            if rt.mode() == Mode::Blocking {
+                if let Err(vs) = check_recovery_line(world, rt) {
+                    for v in vs {
+                        violations
+                            .borrow_mut()
+                            .push(format!("post-recovery(g{gid}) {v}"));
+                    }
+                }
+                for v in stream_closure_violations(n, groups, rt) {
+                    violations
+                        .borrow_mut()
+                        .push(format!("post-recovery(g{gid}) {v}"));
+                }
+            }
+        }
+        Err(e) => {
+            violations
+                .borrow_mut()
+                .push(format!("recovery(g{gid}) error: {e}"));
+        }
+    }
+    for &m in groups.members(gid) {
+        world.resume(Rank(m));
+    }
+}
+
+/// Durable-store oracle: every checkpoint-image load performed by a
+/// restart must have hit a *committed* generation whose content digest
+/// still validated. An uncommitted or corrupt load means generation
+/// selection in the restart path is broken.
+fn store_load_violations(cluster: &Cluster) -> Vec<String> {
+    cluster
+        .ckpt_store()
+        .loads()
+        .iter()
+        .filter(|l| l.state != GenState::Committed || !l.valid)
+        .map(|l| {
+            format!(
+                "store-load: rank {} loaded image (group {}, gen {}) with state {:?}, valid {}",
+                l.rank, l.group, l.gen, l.state, l.valid
+            )
+        })
+        .collect()
 }
 
 /// Exact byte-stream closure: for every inter-group pair `i → j`, replay

@@ -9,6 +9,8 @@
 //! * **quiescence** — [`gcr_ckpt::check_quiescent`],
 //! * **exact byte-stream closure** — replay + skip reconstructs the
 //!   sender stream `[RR, S_ckpt)` byte-for-byte, no holes, no excess,
+//! * **durable-store loads** — no restart ever consumed an uncommitted
+//!   or corrupt checkpoint image (two-phase commit + digest validation),
 //! * **workload completion** — every rank finishes,
 //! * **bit-determinism** — the same seed yields an identical report
 //!   digest on a second run ([`run_chaos_verified`]).
@@ -16,7 +18,10 @@
 //! Injected faults ([`ChaosEvent`]): rank-group crashes at any protocol
 //! phase (the engine halts the group, waits for in-flight waves to drain,
 //! runs group recovery, and resumes), straggler storms, storage-server
-//! outages, and per-node link degradation. Everything — the schedule, the
+//! outages, per-node link degradation, torn image writes, corruption of
+//! the newest committed image (restart must fall back a generation), and
+//! crash-during-checkpoint traps that abort a pending generation before /
+//! during / after the image write. Everything — the schedule, the
 //! injection instants, the simulation itself — derives from one `u64`
 //! seed, so every run is replayable with
 //! `gcrsim chaos --seed N [--schedule ...]`.

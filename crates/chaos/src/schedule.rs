@@ -8,6 +8,11 @@
 //! storm:x8@1000+4000       straggler storm ×8 during [1.0 s, 5.0 s)
 //! outage:s0@2000+3000      checkpoint server 0 down during [2.0 s, 5.0 s)
 //! slow:n3x4@1500+2500      node 3's links ×4 slower during [1.5 s, 4.0 s)
+//! torn:n2x3@1800           node 2's next 3 image writes tear mid-transfer
+//! corrupt:g1@2500          flip a bit in group 1's newest committed image,
+//!                          then crash it (restart must fall back)
+//! crashckpt:g1p1@2000      group 1 dies during its next checkpoint, halfway
+//!                          through the image write (phase 0|1|2)
 //! ```
 //!
 //! The string form is what `gcrsim chaos --schedule` accepts, so a
@@ -57,6 +62,40 @@ pub enum ChaosEvent {
         /// Slowdown multiplier (≥ 2).
         factor: u64,
     },
+    /// A node's next `count` checkpoint-image writes tear: half the bytes
+    /// reach the server, then the transfer dies. The durable store must
+    /// record the failure and abort (or retry past) the generation.
+    TornWrite {
+        /// Injection instant (simulated ms).
+        at_ms: u64,
+        /// Target node (mod endpoint count).
+        node: u64,
+        /// How many consecutive writes tear (consumed as writes happen).
+        count: u64,
+    },
+    /// Flip a bit in one image of the target group's newest **committed**
+    /// generation, then crash the group: restart must detect the digest
+    /// mismatch and fall back to an older committed generation.
+    CorruptImage {
+        /// Injection instant (simulated ms).
+        at_ms: u64,
+        /// Target group (mod group count).
+        group: u64,
+    },
+    /// The target group dies *during* its next checkpoint wave, at the
+    /// given phase: `0` before the image write, `1` halfway through it,
+    /// `2` after every write but before the commit record. The pending
+    /// generation must abort and recovery must restart from the last
+    /// committed one.
+    CrashCkpt {
+        /// Injection instant (simulated ms; the trap arms here and fires
+        /// at the group's next wave).
+        at_ms: u64,
+        /// Target group (mod group count).
+        group: u64,
+        /// Crash phase (0, 1 or 2).
+        phase: u64,
+    },
 }
 
 impl ChaosEvent {
@@ -66,7 +105,10 @@ impl ChaosEvent {
             ChaosEvent::Crash { at_ms, .. }
             | ChaosEvent::Storm { at_ms, .. }
             | ChaosEvent::Outage { at_ms, .. }
-            | ChaosEvent::Slow { at_ms, .. } => at_ms,
+            | ChaosEvent::Slow { at_ms, .. }
+            | ChaosEvent::TornWrite { at_ms, .. }
+            | ChaosEvent::CorruptImage { at_ms, .. }
+            | ChaosEvent::CrashCkpt { at_ms, .. } => at_ms,
         }
     }
 
@@ -77,7 +119,10 @@ impl ChaosEvent {
             ChaosEvent::Crash { at_ms, .. }
             | ChaosEvent::Storm { at_ms, .. }
             | ChaosEvent::Outage { at_ms, .. }
-            | ChaosEvent::Slow { at_ms, .. } => *at_ms += ms,
+            | ChaosEvent::Slow { at_ms, .. }
+            | ChaosEvent::TornWrite { at_ms, .. }
+            | ChaosEvent::CorruptImage { at_ms, .. }
+            | ChaosEvent::CrashCkpt { at_ms, .. } => *at_ms += ms,
         }
     }
 
@@ -106,6 +151,17 @@ impl ChaosEvent {
                 factor,
             } => {
                 format!("slow:n{node}x{factor}@{at_ms}+{dur_ms}")
+            }
+            ChaosEvent::TornWrite { at_ms, node, count } => {
+                format!("torn:n{node}x{count}@{at_ms}")
+            }
+            ChaosEvent::CorruptImage { at_ms, group } => format!("corrupt:g{group}@{at_ms}"),
+            ChaosEvent::CrashCkpt {
+                at_ms,
+                group,
+                phase,
+            } => {
+                format!("crashckpt:g{group}p{phase}@{at_ms}")
             }
         }
     }
@@ -198,6 +254,45 @@ fn parse_event(s: &str) -> Result<ChaosEvent, String> {
                 factor: num(factor)?,
             })
         }
+        "torn" => {
+            let body = head
+                .strip_prefix('n')
+                .ok_or_else(|| format!("event `{s}`: expected `torn:n<node>x<count>@<ms>`"))?;
+            let (node, count) = body
+                .split_once('x')
+                .ok_or_else(|| format!("event `{s}`: expected `n<node>x<count>`"))?;
+            Ok(ChaosEvent::TornWrite {
+                at_ms: num(times)?,
+                node: num(node)?,
+                count: num(count)?,
+            })
+        }
+        "corrupt" => {
+            let group = num(head
+                .strip_prefix('g')
+                .ok_or_else(|| format!("event `{s}`: expected `corrupt:g<group>@<ms>`"))?)?;
+            Ok(ChaosEvent::CorruptImage {
+                at_ms: num(times)?,
+                group,
+            })
+        }
+        "crashckpt" => {
+            let body = head.strip_prefix('g').ok_or_else(|| {
+                format!("event `{s}`: expected `crashckpt:g<group>p<phase>@<ms>`")
+            })?;
+            let (group, phase) = body
+                .split_once('p')
+                .ok_or_else(|| format!("event `{s}`: expected `g<group>p<phase>`"))?;
+            let phase = num(phase)?;
+            if phase > 2 {
+                return Err(format!("event `{s}`: phase must be 0, 1 or 2"));
+            }
+            Ok(ChaosEvent::CrashCkpt {
+                at_ms: num(times)?,
+                group: num(group)?,
+                phase,
+            })
+        }
         other => Err(format!("unknown event kind `{other}` in `{s}`")),
     }
 }
@@ -229,11 +324,26 @@ mod tests {
                 node: 3,
                 factor: 4,
             },
+            ChaosEvent::TornWrite {
+                at_ms: 1800,
+                node: 2,
+                count: 3,
+            },
+            ChaosEvent::CorruptImage {
+                at_ms: 2500,
+                group: 1,
+            },
+            ChaosEvent::CrashCkpt {
+                at_ms: 2000,
+                group: 1,
+                phase: 1,
+            },
         ];
         let s = format_schedule(&sched);
         assert_eq!(
             s,
-            "crash:g1@2500;storm:x8@1000+4000;outage:s0@2000+3000;slow:n3x4@1500+2500"
+            "crash:g1@2500;storm:x8@1000+4000;outage:s0@2000+3000;slow:n3x4@1500+2500;\
+             torn:n2x3@1800;corrupt:g1@2500;crashckpt:g1p1@2000"
         );
         assert_eq!(parse_schedule(&s).unwrap(), sched);
     }
@@ -250,6 +360,11 @@ mod tests {
         assert!(parse_schedule("storm:x8@1000").is_err());
         assert!(parse_schedule("boom:g1@1").is_err());
         assert!(parse_schedule("crash:g1").is_err());
+        assert!(parse_schedule("torn:2x3@1800").is_err());
+        assert!(parse_schedule("torn:n2@1800").is_err());
+        assert!(parse_schedule("corrupt:1@2500").is_err());
+        assert!(parse_schedule("crashckpt:g1@2000").is_err());
+        assert!(parse_schedule("crashckpt:g1p3@2000").is_err());
     }
 
     #[test]

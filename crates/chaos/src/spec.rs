@@ -257,7 +257,7 @@ impl ChaosSpec {
         for i in 0..n_events {
             let at_ms = rng.range_u64(300, 3501);
             // The first event is always a crash — recovery is the point.
-            let kind = if i == 0 { 0 } else { rng.index(4) };
+            let kind = if i == 0 { 0 } else { rng.index(7) };
             schedule.push(match kind {
                 0 => ChaosEvent::Crash {
                     at_ms,
@@ -273,6 +273,21 @@ impl ChaosSpec {
                     dur_ms: rng.range_u64(300, 1501),
                     server: rng.range_u64(0, 8),
                 },
+                4 => ChaosEvent::TornWrite {
+                    at_ms,
+                    node: rng.range_u64(0, workload.n() as u64),
+                    count: rng.range_u64(1, 4),
+                },
+                5 => ChaosEvent::CorruptImage {
+                    at_ms,
+                    group: rng.range_u64(0, 64),
+                },
+                6 => ChaosEvent::CrashCkpt {
+                    at_ms,
+                    group: rng.range_u64(0, 64),
+                    phase: rng.range_u64(0, 3),
+                },
+                // Kind 3, and 2 when the run uses local storage.
                 _ => ChaosEvent::Slow {
                     at_ms,
                     dur_ms: rng.range_u64(300, 1501),

@@ -206,6 +206,90 @@ fn shrinker_minimizes_broken_gc_config() {
     assert_eq!(replay.violations, out.violations);
 }
 
+/// Tentpole acceptance: a group dying *during* its checkpoint — at every
+/// phase (before the image write, halfway through it, and after the
+/// writes but before the commit record) — aborts the pending generation,
+/// and recovery restarts the group from the last committed one. The
+/// store-load oracle proves the uncommitted image was never consumed.
+#[test]
+fn crash_during_checkpoint_falls_back_to_committed_generation() {
+    for phase in 0..3u64 {
+        let s = spec(
+            60 + phase,
+            ChaosWorkload::Cg,
+            ChaosProto::Gp4,
+            StorageTarget::Local,
+            600,
+            &format!("crashckpt:g1p{phase}@2000"),
+        );
+        let r = run_chaos_verified(&s);
+        assert!(r.passed(), "phase {phase}: {:?}", r.violations);
+        assert_eq!(r.events_applied, 1, "phase {phase}: trap never fired");
+        assert_eq!(r.recoveries.len(), 1, "phase {phase}: {:?}", r.recoveries);
+        let rec = &r.recoveries[0];
+        assert!(
+            rec.fell_back,
+            "phase {phase}: restart should fall back past the aborted generation: {rec:?}"
+        );
+        assert!(
+            rec.generation.is_some(),
+            "phase {phase}: a committed generation must exist by t=2s: {rec:?}"
+        );
+    }
+}
+
+/// Tentpole acceptance: corrupting the newest committed image and then
+/// crashing the group restarts it from the *previous* committed
+/// generation — the digest check rejects the corrupt image, generation
+/// selection falls back inside the retention window, and the retained
+/// peer logs still close the byte stream at the older cut.
+#[test]
+fn corrupt_newest_image_falls_back_a_generation() {
+    let s = spec(
+        70,
+        ChaosWorkload::Cg,
+        ChaosProto::Gp4,
+        StorageTarget::Local,
+        600,
+        "corrupt:g1@2500",
+    );
+    let r = run_chaos_verified(&s);
+    assert!(r.passed(), "{:?}", r.violations);
+    assert_eq!(r.recoveries.len(), 1, "{:?}", r.recoveries);
+    let rec = &r.recoveries[0];
+    assert!(
+        rec.fell_back,
+        "restart should reject the corrupt image and fall back: {rec:?}"
+    );
+    assert!(rec.generation.is_some(), "{rec:?}");
+}
+
+/// Torn image writes (mid-transfer storage faults) either retry past the
+/// fault or abort the generation — and a later crash still recovers from
+/// a committed generation with every oracle intact.
+#[test]
+fn torn_writes_never_break_recovery() {
+    // count=3 exhausts the default retry budget (generation aborts);
+    // count=1 is healed by the retry loop (generation commits late).
+    for (case, schedule) in ["torn:n2x3@900;crash:g1@1500", "torn:n2x1@900;crash:g1@2600"]
+        .iter()
+        .enumerate()
+    {
+        let s = spec(
+            80 + case as u64,
+            ChaosWorkload::Cg,
+            ChaosProto::Gp4,
+            StorageTarget::Local,
+            600,
+            schedule,
+        );
+        let r = run_chaos_verified(&s);
+        assert!(r.passed(), "case {case}: {:?}", r.violations);
+        assert_eq!(r.recoveries.len(), 1, "case {case}: {:?}", r.recoveries);
+        assert_eq!(r.events_applied, 2, "case {case}");
+    }
+}
+
 /// A healthy spec has nothing to shrink.
 #[test]
 fn shrink_returns_none_for_passing_spec() {

@@ -164,6 +164,7 @@ mod tests {
             phases: PhaseBreakdown::default(),
             log_flushed_bytes: 0,
             image_bytes: 0,
+            committed: true,
         }
     }
 
@@ -182,6 +183,7 @@ mod tests {
             resend_ops: 0,
             resend_bytes: 0,
             skip_bytes: 0,
+            generation: Some(2),
         });
         let r = analyze_schedule(&m, 400.0, SimDuration::from_secs(4_000));
         assert_eq!(r.checkpoints, 3);

@@ -12,7 +12,12 @@
 //! 4. **Finalize** — barrier again, then resume execution regardless of
 //!    other groups' progress.
 
-use crate::ctrlplane::{bookmark_drain, ctrl_barrier, tags};
+use std::rc::Rc;
+
+use gcr_mpi::Rank;
+use gcr_sim::future::join_all;
+
+use crate::ctrlplane::{bookmark_drain, ctrl_barrier, tags, CTRL_BYTES};
 use crate::metrics::{CkptRecord, PhaseBreakdown};
 use crate::runtime::RankProto;
 
@@ -41,8 +46,9 @@ pub(crate) async fn blocking_wave(p: &RankProto, wave: u64) {
     // Phase 2: Coordination.
     // Synchronize message logs (Algorithm 1). Logging streams to disk in
     // the background between checkpoints; here we only wait for the
-    // un-synced tail to hit stable storage.
-    let log_flushed_bytes = p.gp.on_checkpoint();
+    // un-synced tail to hit stable storage. The RR/S snapshot goes under
+    // the *pending* generation: GC advertisement waits for the commit.
+    let log_flushed_bytes = p.gp.on_checkpoint(wave);
     if log_flushed_bytes > 0 {
         storage.drain_local(rank.idx()).await;
     }
@@ -58,15 +64,92 @@ pub(crate) async fn blocking_wave(p: &RankProto, wave: u64) {
         .expect("barrier membership comes from the validated group definition");
     let t_coord = ctx.now();
 
-    // Phase 3: write the checkpoint image.
+    // Phase 3: write the checkpoint image as a *pending* generation of
+    // the durable store. The rank always reaches the barriers below even
+    // when its write fails — a member that bailed out early would hang
+    // the rest of the group; the failure is carried in the catalog and
+    // decided at commit time.
+    let gid = p.groups.group_of(rank.0);
+    let store = world.cluster().ckpt_store().clone();
+    store.begin(gid, wave);
     let image_bytes = p.cfg.image_bytes[rank.idx()];
-    storage.write(rank.idx(), image_bytes, p.cfg.storage).await;
+    let trap = p.crash_trap(gid);
+    let is_coord = members.first() == Some(&rank.0);
+    match trap
+        .as_ref()
+        .filter(|t| is_coord && !t.fired.get() && t.phase < 2)
+    {
+        Some(t) if t.phase == 0 => {
+            // Crash before the image write: nothing reaches the store.
+            t.fired.set(true);
+            store.record_failure(gid, wave, rank.0);
+        }
+        Some(t) => {
+            // Crash halfway through the write: half the service time was
+            // spent, but the image never completes.
+            t.fired.set(true);
+            let _ = storage
+                .write(rank.idx(), image_bytes / 2, p.cfg.storage)
+                .await;
+            store.record_failure(gid, wave, rank.0);
+        }
+        None => {
+            match storage
+                .write_with_retry(rank.idx(), image_bytes, p.cfg.storage, p.cfg.retry)
+                .await
+            {
+                Ok(_) => store.record_image(gid, wave, rank.0, image_bytes),
+                Err(_) => store.record_failure(gid, wave, rank.0),
+            }
+        }
+    }
     let t_img = ctx.now();
 
-    // Phase 4: finalize and resume, independent of other groups.
+    // Phase 4: finalize and resume, independent of other groups. After the
+    // post-image barrier every member's write outcome is in the catalog;
+    // the group coordinator decides commit vs. abort and broadcasts it.
     ctrl_barrier(ctx, &members, tags::BARRIER2 + wave)
         .await
         .expect("barrier membership comes from the validated group definition");
+    let committed = if is_coord {
+        let decision = if trap
+            .as_ref()
+            .is_some_and(|t| t.phase == 2 && !t.fired.get())
+        {
+            // Crash between the last write ack and the commit record: the
+            // images are all on disk, but the generation never commits.
+            if let Some(t) = trap.as_ref() {
+                t.fired.set(true);
+            }
+            store.abort(gid, wave);
+            false
+        } else {
+            store.commit(gid, wave, &members)
+        };
+        let futs: Vec<_> = members
+            .iter()
+            .filter(|&&m| m != rank.0)
+            .map(|&m| {
+                ctx.ctrl_send(
+                    Rank(m),
+                    tags::COMMIT + wave,
+                    CTRL_BYTES,
+                    Some(Rc::new(decision as u64)),
+                )
+            })
+            .collect();
+        join_all(futs).await;
+        decision
+    } else {
+        let coord = Rank(members[0]);
+        let env = ctx.ctrl_recv(coord, tags::COMMIT + wave).await;
+        env.payload_as::<u64>().map(|v| *v != 0).unwrap_or(false)
+    };
+    if committed {
+        p.gp.on_commit(wave);
+    } else {
+        p.gp.on_abort(wave);
+    }
     sim.sleep(p.cfg.finalize_overhead).await;
     world.thaw(rank);
     let finished = ctx.now();
@@ -84,5 +167,6 @@ pub(crate) async fn blocking_wave(p: &RankProto, wave: u64) {
         },
         log_flushed_bytes,
         image_bytes,
+        committed,
     });
 }

@@ -1,6 +1,6 @@
 //! Checkpoint-system configuration.
 
-use gcr_net::StorageTarget;
+use gcr_net::{RetryPolicy, StorageTarget};
 use gcr_sim::SimDuration;
 
 /// Which protocol family drives checkpoints.
@@ -62,6 +62,13 @@ pub struct CkptConfig {
     /// user-level checkpointer captures the full address space, while BLCR
     /// dumps resident pages only. Applied to `image_bytes` in VCL waves.
     pub vcl_image_factor: f64,
+    /// Retry/backoff policy for checkpoint-image storage operations.
+    pub retry: RetryPolicy,
+    /// How many committed generations restart selection may fall back
+    /// across (retention window `W`). Message-log GC advertises the floor
+    /// of the *oldest retained* generation, so a fallback of up to `W − 1`
+    /// generations stays replayable. Must be ≥ 1.
+    pub gc_retention_gens: usize,
     /// Root seed for the protocol's random substreams.
     pub seed: u64,
 }
@@ -84,6 +91,8 @@ impl CkptConfig {
             log_fixed: SimDuration::from_micros(20),
             gc_overshoot: 0,
             vcl_image_factor: 2.0,
+            retry: RetryPolicy::default(),
+            gc_retention_gens: 2,
             seed: 0x9c27_b0e1,
         }
     }

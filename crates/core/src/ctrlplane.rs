@@ -31,6 +31,9 @@ pub mod tags {
     pub const RESTART_DATA: u64 = 0x0700_0000;
     /// Restart completion barrier.
     pub const RESTART_BARRIER: u64 = 0x0800_0000;
+    /// Two-phase-commit outcome broadcast (coordinator → members):
+    /// `COMMIT + wave`, payload `1` = committed, `0` = aborted.
+    pub const COMMIT: u64 = 0x0900_0000;
 }
 
 /// Wire size of a small control message (bookmarks, barrier tokens).

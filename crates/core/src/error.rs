@@ -28,6 +28,14 @@ pub enum RecoveryError {
         /// The rank without an image entry.
         rank: u32,
     },
+    /// The storage subsystem failed and retries were exhausted.
+    Storage(gcr_net::StorageError),
+}
+
+impl From<gcr_net::StorageError> for RecoveryError {
+    fn from(e: gcr_net::StorageError) -> Self {
+        RecoveryError::Storage(e)
+    }
 }
 
 impl std::fmt::Display for RecoveryError {
@@ -42,6 +50,7 @@ impl std::fmt::Display for RecoveryError {
             RecoveryError::MissingImage { rank } => {
                 write!(f, "no checkpoint image size configured for P{rank}")
             }
+            RecoveryError::Storage(e) => write!(f, "storage failure: {e}"),
         }
     }
 }

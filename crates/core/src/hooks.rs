@@ -20,16 +20,31 @@ use gcr_sim::SimDuration;
 use crate::msglog::MsgLog;
 use crate::volume::VolumeCounters;
 
-/// Per-rank GP protocol state (Algorithm 1).
+/// One generation's volume snapshot: the `RR`/`SS` values a restart from
+/// that generation's image would read back.
+#[derive(Debug, Default, Clone)]
+struct GenSnap {
+    rr: std::collections::BTreeMap<u32, u64>,
+    ss: std::collections::BTreeMap<u32, u64>,
+}
+
+/// Per-rank GP protocol state (Algorithm 1), generation-aware: volume
+/// snapshots are taken per checkpoint **generation** and only become
+/// restart-visible (and GC-advertisable) once the generation durably
+/// commits in the [`gcr_net::CkptStore`].
 pub struct GpState {
     rank: u32,
     groups: Rc<GroupDef>,
     log: RefCell<MsgLog>,
     vols: RefCell<VolumeCounters>,
-    /// `S` values snapshotted at the latest checkpoint (needed because the
-    /// simulation keeps running past the checkpoint; a restarted process
-    /// would read these straight from its image).
-    ss_at_ckpt: RefCell<std::collections::BTreeMap<u32, u64>>,
+    /// Snapshots of generations whose image writes are still in flight.
+    pending: RefCell<std::collections::BTreeMap<u64, GenSnap>>,
+    /// Snapshots of durably committed generations, oldest first.
+    committed: RefCell<Vec<(u64, GenSnap)>>,
+    /// Retention window `W`: GC advertises the floor of the oldest
+    /// retained committed generation, so restart may fall back up to
+    /// `W − 1` generations and still find its log intact.
+    retention: Cell<usize>,
     piggyback_gc: bool,
     /// Sender-side log copy bandwidth (bytes/s); models the memcpy +
     /// bookkeeping cost of asynchronous logging.
@@ -64,7 +79,9 @@ impl GpState {
             groups,
             log: RefCell::new(MsgLog::new()),
             vols: RefCell::new(VolumeCounters::new()),
-            ss_at_ckpt: RefCell::new(Default::default()),
+            pending: RefCell::new(Default::default()),
+            committed: RefCell::new(Vec::new()),
+            retention: Cell::new(2),
             piggyback_gc,
             log_copy_bps,
             log_fixed,
@@ -80,6 +97,12 @@ impl GpState {
         self.gc_overshoot.set(bytes);
     }
 
+    /// Set the generation-retention window `W`
+    /// (see [`crate::CkptConfig::gc_retention_gens`]). Clamped to ≥ 1.
+    pub fn set_gc_retention(&self, gens: usize) {
+        self.retention.set(gens.max(1));
+    }
+
     /// Attach the background log writer: logged bytes are streamed to the
     /// node's local disk asynchronously; the checkpoint-time "synchronize
     /// message logs" step only drains the un-synced tail.
@@ -93,28 +116,116 @@ impl GpState {
     }
 
     /// Checkpoint-time bookkeeping (Algorithm 1, "on receiving a group
-    /// checkpoint request"): record `RR_Q` and `S_Q` for each out-of-group
-    /// process Q, arm piggybacks, and return the log bytes that must be
-    /// flushed to stable storage.
-    pub fn on_checkpoint(&self) -> u64 {
+    /// checkpoint request"): snapshot `RR_Q` and `S_Q` for each
+    /// out-of-group process Q under the **pending** generation `gen`, and
+    /// return the log bytes that must be flushed to stable storage.
+    ///
+    /// The snapshot does *not* arm piggybacks and does not move the
+    /// restart-visible `RR`/`SS` — both happen only at
+    /// [`GpState::on_commit`], once every member's image is durable.
+    /// Trimming log against an uncommitted generation would make
+    /// generation-fallback restart unreplayable.
+    pub fn on_checkpoint(&self, gen: u64) -> u64 {
         let out = self.groups.out_of_group(self.rank);
-        let mut vols = self.vols.borrow_mut();
-        vols.record_at_checkpoint(out.iter().copied());
-        let mut ss = self.ss_at_ckpt.borrow_mut();
-        for q in out {
-            ss.insert(q, vols.sent_to(q));
-        }
+        let vols = self.vols.borrow();
+        let snap = GenSnap {
+            rr: vols.snapshot(out.iter().copied()),
+            ss: out.iter().map(|&q| (q, vols.sent_to(q))).collect(),
+        };
+        self.pending.borrow_mut().insert(gen, snap);
         self.log.borrow_mut().take_all_pending_flush()
     }
 
-    /// `RR_Q` — received-from-Q volume recorded at the latest checkpoint.
-    pub fn rr(&self, q: u32) -> u64 {
-        self.vols.borrow().recorded_received(q)
+    /// The group coordinator committed generation `gen`: promote its
+    /// snapshot to the committed ledger and advertise the GC floor of the
+    /// oldest *retained* committed generation (lagged by the retention
+    /// window, so peers never trim log a fallback restart still needs).
+    pub fn on_commit(&self, gen: u64) {
+        let snap = match self.pending.borrow_mut().remove(&gen) {
+            Some(s) => s,
+            None => return,
+        };
+        let mut committed = self.committed.borrow_mut();
+        committed.push((gen, snap));
+        let idx = committed.len().saturating_sub(self.retention.get());
+        if let Some((_, floor)) = committed.get(idx) {
+            self.vols.borrow_mut().advertise(&floor.rr);
+        }
     }
 
-    /// `S_Q` snapshotted at the latest checkpoint.
+    /// Generation `gen` aborted (a member's write failed, or the group
+    /// crashed mid-checkpoint): drop its snapshot. `RR`/`SS` and the GC
+    /// floor stay at the last committed generation.
+    pub fn on_abort(&self, gen: u64) {
+        self.pending.borrow_mut().remove(&gen);
+    }
+
+    /// Roll the ledger back for a restart from generation `gen` (`None`:
+    /// initial state): drop pending snapshots and every committed
+    /// generation newer than `gen`, and re-advertise the (lagged) GC floor
+    /// of the surviving ledger. After this, [`GpState::rr`]/[`GpState::ss`]
+    /// describe the generation the restart actually loads.
+    pub fn rollback_to(&self, gen: Option<u64>) {
+        self.pending.borrow_mut().clear();
+        let mut committed = self.committed.borrow_mut();
+        match gen {
+            Some(g) => committed.retain(|&(id, _)| id <= g),
+            None => committed.clear(),
+        }
+        // Re-establish floors for every out-of-group peer: zero unless the
+        // surviving ledger still covers the peer.
+        let mut floors: std::collections::BTreeMap<u32, u64> = self
+            .groups
+            .out_of_group(self.rank)
+            .into_iter()
+            .map(|q| (q, 0))
+            .collect();
+        let idx = committed.len().saturating_sub(self.retention.get());
+        if let Some((_, floor)) = committed.get(idx) {
+            for (&q, &r) in &floor.rr {
+                floors.insert(q, r);
+            }
+        }
+        self.vols.borrow_mut().advertise(&floors);
+    }
+
+    /// The newest committed generation in this rank's ledger.
+    pub fn newest_gen(&self) -> Option<u64> {
+        self.committed.borrow().last().map(|&(g, _)| g)
+    }
+
+    /// `RR_Q` — received-from-Q volume at the newest **committed**
+    /// generation (what a restart from that generation reads back).
+    pub fn rr(&self, q: u32) -> u64 {
+        self.committed
+            .borrow()
+            .last()
+            .and_then(|(_, s)| s.rr.get(&q).copied())
+            .unwrap_or(0)
+    }
+
+    /// `S_Q` at the newest **committed** generation.
     pub fn ss(&self, q: u32) -> u64 {
-        self.ss_at_ckpt.borrow().get(&q).copied().unwrap_or(0)
+        self.committed
+            .borrow()
+            .last()
+            .and_then(|(_, s)| s.ss.get(&q).copied())
+            .unwrap_or(0)
+    }
+
+    /// `RR_Q` at a specific committed generation, if it is in the ledger.
+    pub fn rr_at(&self, gen: u64, q: u32) -> Option<u64> {
+        self.committed
+            .borrow()
+            .iter()
+            .find(|&&(g, _)| g == gen)
+            .map(|(_, s)| s.rr.get(&q).copied().unwrap_or(0))
+    }
+
+    /// The GC floor this rank currently advertises toward `q` (lagged by
+    /// the retention window; piggybacked on the first post-commit send).
+    pub fn gc_floor(&self, q: u32) -> u64 {
+        self.vols.borrow().recorded_received(q)
     }
 
     /// Messages to replay to peer `q` on a restart where `q` had received
@@ -323,20 +434,66 @@ mod tests {
     }
 
     #[test]
-    fn inter_group_sends_are_logged_with_piggyback_after_ckpt() {
+    fn inter_group_sends_are_logged_with_piggyback_after_commit() {
         let gp = gp_test(0, true);
         // Receive some data from 2, checkpoint, then send to 2.
         gp.on_recv(&env(2, 0, 500, 0));
-        let flush = gp.on_checkpoint();
-        assert_eq!(flush, 0); // nothing logged yet
-        let mut e = env(0, 2, 100, 0);
+        let flush = gp.on_checkpoint(0);
+        // Nothing logged yet, and the generation is only pending: no
+        // piggyback either — advertising before the commit would let the
+        // peer trim log a fallback restart still needs.
+        assert_eq!(flush, 0);
+        let mut e0 = env(0, 2, 25, 0);
+        gp.on_send(&mut e0);
+        assert_eq!(e0.piggyback_rr, None);
+        gp.on_commit(0);
+        let mut e = env(0, 2, 100, 1);
         gp.on_send(&mut e);
         assert_eq!(e.piggyback_rr, Some(500));
-        assert_eq!(gp.retained_log_bytes(), 100);
+        assert_eq!(gp.retained_log_bytes(), 125);
         // Second send has no piggyback.
-        let mut e2 = env(0, 2, 50, 1);
+        let mut e2 = env(0, 2, 50, 2);
         gp.on_send(&mut e2);
         assert_eq!(e2.piggyback_rr, None);
+    }
+
+    #[test]
+    fn aborted_generation_leaves_rr_and_floor_untouched() {
+        let gp = gp_test(0, true);
+        gp.on_recv(&env(2, 0, 500, 0));
+        gp.on_checkpoint(0);
+        gp.on_commit(0);
+        assert_eq!(gp.rr(2), 500);
+        gp.on_recv(&env(2, 0, 300, 1));
+        gp.on_checkpoint(1);
+        gp.on_abort(1);
+        // Restart-visible RR stays at the committed generation.
+        assert_eq!(gp.rr(2), 500);
+        assert_eq!(gp.newest_gen(), Some(0));
+    }
+
+    #[test]
+    fn gc_floor_lags_by_the_retention_window() {
+        let gp = gp_test(0, true);
+        gp.set_gc_retention(2);
+        for (gen, bytes) in [(0u64, 100u64), (1, 200), (2, 300)] {
+            gp.on_recv(&env(2, 0, bytes, gen));
+            gp.on_checkpoint(gen);
+            gp.on_commit(gen);
+        }
+        // RR tracks the newest committed generation (R = 100+200+300)…
+        assert_eq!(gp.rr(2), 600);
+        // …but the advertised GC floor is the oldest retained one
+        // (generation 1, R = 300), so a one-generation fallback replays.
+        assert_eq!(gp.gc_floor(2), 300);
+        assert_eq!(gp.rr_at(1, 2), Some(300));
+        // Rollback to generation 0: RR returns to its snapshot.
+        gp.rollback_to(Some(0));
+        assert_eq!(gp.rr(2), 100);
+        assert_eq!(gp.newest_gen(), Some(0));
+        gp.rollback_to(None);
+        assert_eq!(gp.rr(2), 0);
+        assert_eq!(gp.newest_gen(), None);
     }
 
     #[test]
@@ -372,7 +529,8 @@ mod tests {
         let gp = gp_test(0, true);
         let mut e = env(0, 3, 700, 0);
         gp.on_send(&mut e);
-        let flush = gp.on_checkpoint();
+        let flush = gp.on_checkpoint(0);
+        gp.on_commit(0);
         assert_eq!(flush, 700);
         assert_eq!(gp.ss(3), 700);
         // Post-checkpoint sends do not move the snapshot.

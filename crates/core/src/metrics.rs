@@ -49,6 +49,10 @@ pub struct CkptRecord {
     pub log_flushed_bytes: u64,
     /// Checkpoint image size written.
     pub image_bytes: u64,
+    /// Whether the wave's generation durably committed at this rank
+    /// (blocking: the coordinator's broadcast decision; VCL: whether this
+    /// rank's own writes were acknowledged).
+    pub committed: bool,
 }
 
 impl CkptRecord {
@@ -75,6 +79,9 @@ pub struct RestartRecord {
     pub resend_bytes: u64,
     /// Bytes of future sends this rank will skip.
     pub skip_bytes: u64,
+    /// Committed generation the image was loaded from (`None`: restarted
+    /// from the initial state — no usable generation existed).
+    pub generation: Option<u64>,
 }
 
 impl RestartRecord {
@@ -246,6 +253,7 @@ impl Metrics {
             fold(r.phases.finalize.as_nanos());
             fold(r.log_flushed_bytes);
             fold(r.image_bytes);
+            fold(r.committed as u64);
         }
         fold(inner.restarts.len() as u64);
         for r in &inner.restarts {
@@ -256,6 +264,8 @@ impl Metrics {
             fold(r.resend_ops);
             fold(r.resend_bytes);
             fold(r.skip_bytes);
+            // +1 keeps "no generation" distinct from "generation 0".
+            fold(r.generation.map(|g| g + 1).unwrap_or(0));
         }
         h
     }
@@ -279,6 +289,7 @@ mod tests {
             },
             log_flushed_bytes: 0,
             image_bytes: 0,
+            committed: true,
         }
     }
 
@@ -315,6 +326,7 @@ mod tests {
             resend_ops: 4,
             resend_bytes: 4000,
             skip_bytes: 100,
+            generation: Some(0),
         });
         m.push_restart(RestartRecord {
             rank: 1,
@@ -324,6 +336,7 @@ mod tests {
             resend_ops: 1,
             resend_bytes: 500,
             skip_bytes: 0,
+            generation: None,
         });
         assert_eq!(m.aggregate_restart_time(), 8.0);
         assert_eq!(m.total_resend_ops(), 5);

@@ -28,9 +28,15 @@ use crate::runtime::RankProto;
 /// rank's own view of its communication peers. Correct at quiescence
 /// (e.g. a full restart after the application finished), where both sides
 /// of every channel agree on whether they exchanged data.
-pub(crate) async fn restart_rank(p: &RankProto) -> Result<RestartRecord, RecoveryError> {
+///
+/// `gen` is the committed generation selected for this rank's group
+/// (`None`: restart from the initial state).
+pub(crate) async fn restart_rank(
+    p: &RankProto,
+    gen: Option<u64>,
+) -> Result<RestartRecord, RecoveryError> {
     let out = p.gp.comm_peers();
-    restart_rank_with_peers(p, &out).await
+    restart_rank_with_peers(p, &out, gen).await
 }
 
 /// Execute the restart protocol at one rank against an explicit peer set.
@@ -43,6 +49,7 @@ pub(crate) async fn restart_rank(p: &RankProto) -> Result<RestartRecord, Recover
 pub(crate) async fn restart_rank_with_peers(
     p: &RankProto,
     out: &[u32],
+    gen: Option<u64>,
 ) -> Result<RestartRecord, RecoveryError> {
     let ctx = &p.ctx;
     let world = ctx.world().clone();
@@ -59,14 +66,32 @@ pub(crate) async fn restart_rank_with_peers(
         sim.sleep(gcr_sim::SimDuration::from_secs_f64(jitter)).await;
     }
 
-    // Load the checkpoint image.
-    let image_bytes = p
-        .cfg
-        .image_bytes
-        .get(rank.idx())
-        .copied()
-        .ok_or(RecoveryError::MissingImage { rank: rank.0 })?;
-    storage.read(rank.idx(), image_bytes, p.cfg.storage).await;
+    // Load the checkpoint image from the selected committed generation.
+    // The load is validated against the catalog (committed state + content
+    // digest) and recorded, so the chaos oracle can prove no restart ever
+    // consumed an uncommitted or corrupt image. With no usable generation
+    // (`gen == None`) the rank restarts from its initial image.
+    let image_bytes = match gen {
+        Some(g) => {
+            let store = world.cluster().ckpt_store().clone();
+            let gid = p.groups.group_of(rank.0);
+            let bytes = store
+                .validate(gid, g, rank.0)
+                .map_err(RecoveryError::Storage)?;
+            store.record_load(gid, g, rank.0);
+            bytes
+        }
+        None => p
+            .cfg
+            .image_bytes
+            .get(rank.idx())
+            .copied()
+            .ok_or(RecoveryError::MissingImage { rank: rank.0 })?,
+    };
+    storage
+        .read_with_retry(rank.idx(), image_bytes, p.cfg.storage, p.cfg.retry)
+        .await
+        .map_err(RecoveryError::Storage)?;
     let image_loaded = ctx.now();
 
     // Re-create process spaces / update MPI internal structures.
@@ -121,10 +146,12 @@ pub(crate) async fn restart_rank_with_peers(
                     let world = ctx.world().clone();
                     async move {
                         // Replayed messages are read back from the on-disk
-                        // log before they can be resent.
+                        // log before they can be resent. Local log reads
+                        // have no failure mode in the storage model; the
+                        // Result exists for the remote paths.
                         if bytes > 0 {
                             let storage = world.cluster().storage().clone();
-                            storage
+                            let _ = storage
                                 .read(ctx.rank().idx(), bytes, StorageTarget::Local)
                                 .await;
                         }
@@ -181,6 +208,7 @@ pub(crate) async fn restart_rank_with_peers(
         resend_ops,
         resend_bytes,
         skip_bytes,
+        generation: gen,
     };
     p.metrics.push_restart(rec);
     Ok(rec)
@@ -237,7 +265,7 @@ pub(crate) async fn serve_peer_recovery(
                     async move {
                         if bytes > 0 {
                             let storage = world.cluster().storage().clone();
-                            storage
+                            let _ = storage
                                 .read(ctx.rank().idx(), bytes, StorageTarget::Local)
                                 .await;
                         }

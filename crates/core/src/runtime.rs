@@ -19,6 +19,17 @@ use crate::metrics::Metrics;
 use crate::restart::{restart_rank, restart_rank_with_peers, serve_peer_recovery};
 use crate::vcl::vcl_wave;
 
+/// A crash trap armed on a group (fault injection): the group's next
+/// checkpoint wave fails at the given phase — `0` before the image write,
+/// `1` halfway through it, `2` after the writes but before the commit
+/// record. Either way the generation aborts and restart must fall back.
+pub(crate) struct CrashTrap {
+    pub(crate) phase: u8,
+    pub(crate) fired: Cell<bool>,
+}
+
+type TrapMap = Rc<RefCell<std::collections::BTreeMap<usize, Rc<CrashTrap>>>>;
+
 /// Everything one rank's protocol code needs.
 pub(crate) struct RankProto {
     pub(crate) ctx: RankCtx,
@@ -28,6 +39,14 @@ pub(crate) struct RankProto {
     pub(crate) gp: Rc<GpState>,
     pub(crate) vcl: Rc<VclState>,
     pub(crate) rng: RefCell<DetRng>,
+    pub(crate) traps: TrapMap,
+}
+
+impl RankProto {
+    /// The crash trap armed on group `gid`, if any.
+    pub(crate) fn crash_trap(&self, gid: usize) -> Option<Rc<CrashTrap>> {
+        self.traps.borrow().get(&gid).cloned()
+    }
 }
 
 enum Cmd {
@@ -46,6 +65,8 @@ struct RtInner {
     /// Checkpoint rounds currently executing — a fault injector must not
     /// start a group recovery while a wave is mid-flight.
     waves_in_flight: Cell<u64>,
+    /// Armed crash-during-checkpoint traps, by group id.
+    traps: TrapMap,
 }
 
 /// Handle to the installed checkpoint system. Cheap to clone.
@@ -79,6 +100,7 @@ impl CkptRuntime {
         let cfg = Rc::new(cfg);
         let metrics = Metrics::new();
         let root_rng = DetRng::new(cfg.seed);
+        let traps: TrapMap = Rc::new(RefCell::new(Default::default()));
 
         let mut gp_states = Vec::with_capacity(n);
         let mut senders = Vec::with_capacity(n);
@@ -91,6 +113,7 @@ impl CkptRuntime {
                 cfg.log_fixed,
             );
             gp.set_gc_overshoot(cfg.gc_overshoot);
+            gp.set_gc_retention(cfg.gc_retention_gens);
             gp.attach_log_disk(Rc::clone(world.cluster().storage()), r as usize);
             let vcl = VclState::new(r, n);
             match mode {
@@ -112,6 +135,7 @@ impl CkptRuntime {
                 gp: Rc::clone(&gp),
                 vcl,
                 rng: RefCell::new(root_rng.fork("proto").fork_idx(r as u64)),
+                traps: Rc::clone(&traps),
             };
             gp_states.push(gp);
 
@@ -168,6 +192,7 @@ impl CkptRuntime {
                 cmd_tx: RefCell::new(senders),
                 next_wave: Cell::new(0),
                 waves_in_flight: Cell::new(0),
+                traps,
             }),
         }
     }
@@ -197,6 +222,35 @@ impl CkptRuntime {
     /// must run at a protocol-quiescent point.
     pub fn waves_in_flight(&self) -> u64 {
         self.inner.waves_in_flight.get()
+    }
+
+    /// Arm a crash-during-checkpoint trap on `group` (fault injection):
+    /// its next checkpoint wave fails at `phase` — `0` before the image
+    /// write, `1` halfway through it, `2` after every write but before
+    /// the commit record — and the generation aborts. Re-arming replaces
+    /// any previous trap.
+    pub fn arm_crash_trap(&self, group: usize, phase: u8) {
+        self.inner.traps.borrow_mut().insert(
+            group,
+            Rc::new(CrashTrap {
+                phase: phase.min(2),
+                fired: Cell::new(false),
+            }),
+        );
+    }
+
+    /// Whether the trap armed on `group` has fired.
+    pub fn crash_trap_fired(&self, group: usize) -> bool {
+        self.inner
+            .traps
+            .borrow()
+            .get(&group)
+            .is_some_and(|t| t.fired.get())
+    }
+
+    /// Disarm the trap on `group` (fired or not).
+    pub fn clear_crash_trap(&self, group: usize) {
+        self.inner.traps.borrow_mut().remove(&group);
     }
 
     /// Trigger one checkpoint wave across all groups and wait until every
@@ -256,6 +310,17 @@ impl CkptRuntime {
             }
         }
         done.wait().await;
+        // The VCL model has no per-group commit plane: the wave's images
+        // are committed centrally once every rank's write is acknowledged
+        // (all ranks form the single global group 0).
+        if self.inner.mode == Mode::Vcl {
+            let members: Vec<u32> = (0..self.inner.world.n() as u32).collect();
+            self.inner
+                .world
+                .cluster()
+                .ckpt_store()
+                .commit(0, wave, &members);
+        }
         wave
     }
 
@@ -342,6 +407,20 @@ impl CkptRuntime {
     /// completion before it is reported).
     pub async fn restart_all(&self) -> Result<(), RecoveryError> {
         let n = self.inner.world.n();
+        let store = self.inner.world.cluster().ckpt_store().clone();
+        // Per group: select the newest committed-and-valid generation and
+        // roll every member's ledger back to it *before* any restart runs,
+        // so the volume exchange on both ends of every channel describes
+        // the generation actually loaded.
+        let mut gen_of_rank: Vec<Option<u64>> = vec![None; n];
+        for gid in 0..self.inner.groups.group_count() {
+            let members = self.inner.groups.members(gid);
+            let gen = store.select_restart(gid, members, self.inner.cfg.gc_retention_gens);
+            for &m in members {
+                self.inner.gp[m as usize].rollback_to(gen);
+                gen_of_rank[m as usize] = gen;
+            }
+        }
         let done = WaitGroup::new();
         done.add(n);
         let root_rng = DetRng::new(self.inner.cfg.seed ^ 0xdead_beef);
@@ -355,14 +434,16 @@ impl CkptRuntime {
                 gp: Rc::clone(&self.inner.gp[r as usize]),
                 vcl: VclState::new(r, n),
                 rng: RefCell::new(root_rng.fork_idx(r as u64)),
+                traps: Rc::clone(&self.inner.traps),
             };
             let done = done.clone();
             let first_err = Rc::clone(&first_err);
+            let gen = gen_of_rank[r as usize];
             self.inner
                 .world
                 .sim()
                 .spawn_named(format!("restart{r}"), async move {
-                    if let Err(e) = restart_rank(&proto).await {
+                    if let Err(e) = restart_rank(&proto, gen).await {
                         first_err.borrow_mut().get_or_insert(e);
                     }
                     done.done();
@@ -392,6 +473,16 @@ impl CkptRuntime {
         let members = self.inner.groups.members(gid).to_vec();
         let n = self.inner.world.n();
         let started = self.inner.world.sim().now();
+        // Generation selection: the newest committed generation whose
+        // images all still validate, within the retention window. An
+        // aborted or corrupt newest generation deterministically falls
+        // back; `None` restarts the group from its initial state.
+        let store = self.inner.world.cluster().ckpt_store().clone();
+        let generation = store.select_restart(gid, &members, self.inner.cfg.gc_retention_gens);
+        let fell_back = generation != store.newest_attempted(gid);
+        for &m in &members {
+            self.inner.gp[m as usize].rollback_to(generation);
+        }
         // The recovery coordinator (mpirun) computes the pairwise exchange
         // map from *both* ends' counters. A one-sided view deadlocks when
         // traffic is still in flight toward a halted member: the sender
@@ -428,6 +519,7 @@ impl CkptRuntime {
                 gp: Rc::clone(&self.inner.gp[r as usize]),
                 vcl: VclState::new(r, n),
                 rng: RefCell::new(root_rng.fork_idx(r as u64)),
+                traps: Rc::clone(&self.inner.traps),
             };
             done.add(1);
             let done = done.clone();
@@ -444,7 +536,7 @@ impl CkptRuntime {
                 .sim()
                 .spawn_named(format!("recover{r}"), async move {
                     if is_member {
-                        if let Err(e) = restart_rank_with_peers(&proto, &peers).await {
+                        if let Err(e) = restart_rank_with_peers(&proto, &peers, generation).await {
                             first_err.borrow_mut().get_or_insert(e);
                         }
                     } else {
@@ -468,6 +560,8 @@ impl CkptRuntime {
             ranks_restarted: members.len(),
             downtime: finished.saturating_since(started),
             replayed_into_group_bytes: replayed_in.get(),
+            generation,
+            fell_back,
         })
     }
 
@@ -489,4 +583,10 @@ pub struct RecoveryStats {
     pub downtime: SimDuration,
     /// Bytes replayed into the recovered group from live ranks' logs.
     pub replayed_into_group_bytes: u64,
+    /// The committed generation the group restarted from (`None`: initial
+    /// state — no usable generation existed).
+    pub generation: Option<u64>,
+    /// Whether restart fell back past the newest attempted generation
+    /// (it was aborted mid-checkpoint, or its images failed validation).
+    pub fell_back: bool,
 }

@@ -57,17 +57,29 @@ pub(crate) async fn vcl_wave(p: &RankProto, wave: u64) {
         }
     };
 
+    // VCL's single global group is catalog group 0; the commit decision is
+    // made centrally by the runtime once every rank's wave completes.
+    let store = world.cluster().ckpt_store().clone();
+    store.begin(0, wave);
     let image_bytes = (p.cfg.image_bytes[rank.idx()] as f64 * p.cfg.vcl_image_factor) as u64;
+    let image_ok = std::rc::Rc::new(std::cell::Cell::new(true));
     let work = {
         let ctx = ctx.clone();
         let world = world.clone();
         let storage = storage.clone();
         let peers = peers.clone();
         let cfg = std::rc::Rc::clone(&p.cfg);
+        let image_ok = std::rc::Rc::clone(&image_ok);
         async move {
             // Image write proceeds concurrently with the application; only
             // new sends are held back.
-            storage.write(rank.idx(), image_bytes, cfg.storage).await;
+            if storage
+                .write_with_retry(rank.idx(), image_bytes, cfg.storage, cfg.retry)
+                .await
+                .is_err()
+            {
+                image_ok.set(false);
+            }
             let t_img = ctx.now();
             // Flood markers, then reopen the send window.
             let sends: Vec<_> = peers
@@ -90,8 +102,21 @@ pub(crate) async fn vcl_wave(p: &RankProto, wave: u64) {
 
     // Persist the recorded channel state alongside the image.
     let state_bytes = p.vcl.take_state_bytes();
+    let mut state_ok = true;
     if state_bytes > 0 {
-        storage.write(rank.idx(), state_bytes, p.cfg.storage).await;
+        state_ok = storage
+            .write_with_retry(rank.idx(), state_bytes, p.cfg.storage, p.cfg.retry)
+            .await
+            .is_ok();
+    }
+    // The restart-relevant image is the BLCR-sized resident set (what
+    // `restart_all` reloads); the inflated VCL write above is a transfer
+    // cost, not a catalog size.
+    let committed = image_ok.get() && state_ok;
+    if committed {
+        store.record_image(0, wave, rank.0, p.cfg.image_bytes[rank.idx()]);
+    } else {
+        store.record_failure(0, wave, rank.0);
     }
     let finished = ctx.now();
 
@@ -108,5 +133,6 @@ pub(crate) async fn vcl_wave(p: &RankProto, wave: u64) {
         },
         log_flushed_bytes: state_bytes,
         image_bytes,
+        committed,
     });
 }

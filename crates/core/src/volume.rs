@@ -43,20 +43,41 @@ impl VolumeCounters {
         self.s.get(&x).copied().unwrap_or(0)
     }
 
-    /// `RR_X`: recorded received-volume at this rank's latest checkpoint.
+    /// `RR_X`: the received-volume floor this rank currently advertises to
+    /// `x` for log garbage collection. With the durable store this is the
+    /// `R_X` snapshot of the *oldest retained committed* generation — it
+    /// trails the newest snapshot by the retention window, so fallback
+    /// restarts stay replayable.
     pub fn recorded_received(&self, x: u32) -> u64 {
         self.rr.get(&x).copied().unwrap_or(0)
     }
 
-    /// Checkpoint bookkeeping: for each out-of-group peer, remember the
-    /// current `R` as `RR` and arm the piggyback flag (Algorithm 1,
-    /// "On receiving a group checkpoint request").
-    pub fn record_at_checkpoint(&mut self, out_of_group: impl Iterator<Item = u32>) {
-        for q in out_of_group {
-            let r = self.received_from(q);
+    /// Pure snapshot read: the current `R` per out-of-group peer, taken at
+    /// checkpoint time (Algorithm 1, "On receiving a group checkpoint
+    /// request"). Does **not** arm piggybacks — the snapshot belongs to a
+    /// *pending* generation; advertising it before the generation commits
+    /// would let peers trim log a fallback restart still needs.
+    pub fn snapshot(&self, out_of_group: impl Iterator<Item = u32>) -> BTreeMap<u32, u64> {
+        out_of_group.map(|q| (q, self.received_from(q))).collect()
+    }
+
+    /// Commit-side bookkeeping: adopt `floors` as the advertised `RR`
+    /// values and arm the piggyback flag for each peer. Called once the
+    /// generation the floors belong to is durably committed (or after a
+    /// rollback re-establishes an older floor).
+    pub fn advertise(&mut self, floors: &BTreeMap<u32, u64>) {
+        for (&q, &r) in floors {
             self.rr.insert(q, r);
             self.needs_piggyback.insert(q);
         }
+    }
+
+    /// Checkpoint bookkeeping without durability (legacy single-generation
+    /// flow): snapshot the current `R` per out-of-group peer and advertise
+    /// it immediately.
+    pub fn record_at_checkpoint(&mut self, out_of_group: impl Iterator<Item = u32>) {
+        let snap = self.snapshot(out_of_group);
+        self.advertise(&snap);
     }
 
     /// If this is the first message to `dst` since the latest checkpoint,
@@ -115,6 +136,22 @@ mod tests {
         v.on_recv(7, 42);
         v.record_at_checkpoint([7].into_iter());
         assert_eq!(v.piggyback_for(7), Some(42));
+    }
+
+    #[test]
+    fn snapshot_does_not_arm_piggybacks() {
+        let mut v = VolumeCounters::new();
+        v.on_recv(1, 100);
+        let snap = v.snapshot([1, 2].into_iter());
+        assert_eq!(snap.get(&1), Some(&100));
+        assert_eq!(snap.get(&2), Some(&0));
+        // Nothing advertised yet: RR stays at its old floor, no piggyback.
+        assert_eq!(v.recorded_received(1), 0);
+        assert_eq!(v.piggyback_for(1), None);
+        // Commit: advertising the snapshot arms the piggybacks.
+        v.advertise(&snap);
+        assert_eq!(v.recorded_received(1), 100);
+        assert_eq!(v.piggyback_for(1), Some(100));
     }
 
     #[test]

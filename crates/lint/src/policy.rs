@@ -32,6 +32,7 @@ pub const RECOVERY_CRITICAL: &[&str] = &[
     "crates/core/src/restart.rs",
     "crates/core/src/msglog.rs",
     "crates/core/src/ctrlplane.rs",
+    "crates/net/src/ckptstore.rs",
     "crates/chaos/src/engine.rs",
 ];
 
@@ -77,6 +78,12 @@ mod tests {
 
         let p = policy_for("crates/core/src/restart.rs");
         assert!(p.d01 && p.d02 && p.d03 && p.d04);
+
+        // The durable checkpoint store is deterministic (gcr-net) AND on
+        // the recovery path (restart generation selection + validation),
+        // but gcr-net is not a protocol-API tier.
+        let p = policy_for("crates/net/src/ckptstore.rs");
+        assert!(p.d01 && p.d02 && p.d03 && !p.d04);
 
         let p = policy_for("crates/bench/src/sweep.rs");
         assert!(!p.d01 && !p.d02 && !p.d03 && !p.d04);

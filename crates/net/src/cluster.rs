@@ -5,6 +5,7 @@ use std::rc::Rc;
 
 use gcr_sim::{DetRng, Sim, SimDuration};
 
+use crate::ckptstore::CkptStore;
 use crate::network::{Network, NodeId};
 use crate::spec::ClusterSpec;
 use crate::storage::Storage;
@@ -16,6 +17,7 @@ pub struct Cluster {
     spec: Rc<ClusterSpec>,
     network: Rc<Network>,
     storage: Rc<Storage>,
+    ckpt_store: Rc<CkptStore>,
     /// Straggler-storm multiplier (fault injection): scales both the
     /// straggler probability (capped at 1) and the mean delay. Shared
     /// across clones so a controller can dial it up and back down.
@@ -39,6 +41,7 @@ impl Cluster {
             spec: Rc::new(spec),
             network,
             storage,
+            ckpt_store: Rc::new(CkptStore::new()),
             storm: Rc::new(Cell::new(1.0)),
         }
     }
@@ -82,6 +85,11 @@ impl Cluster {
     /// The storage subsystem.
     pub fn storage(&self) -> &Rc<Storage> {
         &self.storage
+    }
+
+    /// The durable checkpoint catalog (generations, two-phase commit).
+    pub fn ckpt_store(&self) -> &Rc<CkptStore> {
+        &self.ckpt_store
     }
 
     /// Execute `flops` of computation on a node (sleeps for the model time).

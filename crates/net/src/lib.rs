@@ -13,11 +13,13 @@
 
 #![warn(missing_docs)]
 
+pub mod ckptstore;
 pub mod cluster;
 pub mod network;
 pub mod spec;
 pub mod storage;
 
+pub use ckptstore::{CkptStore, GenState, LoadRecord, RetryPolicy, StorageError};
 pub use cluster::Cluster;
 pub use network::{Network, NodeId, TransferTiming};
 pub use spec::{ClusterSpec, NetSpec, StorageSpec, StragglerSpec};

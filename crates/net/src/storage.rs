@@ -8,6 +8,16 @@
 //!   network (§5.3, the MPICH-VCL comparison; LAM/MPI via NFS). Clients are
 //!   assigned round-robin (`node % k`). Contention on the server downlink and
 //!   server disk is exactly the scalability bottleneck Figure 13 exposes.
+//!
+//! Storage operations are **fallible**: a write can time out, tear, or find
+//! every server down ([`crate::ckptstore::StorageError`]), and the
+//! fault-injection hooks ([`Storage::inject_torn_writes`],
+//! [`Storage::inject_write_timeouts`], [`Storage::set_server_down`]) let the
+//! chaos harness trigger each mode deterministically. The
+//! [`Storage::write_with_retry`] / [`Storage::read_with_retry`] wrappers
+//! implement the bounded, sim-clock-driven backoff policy the protocol layer
+//! uses: transient faults are retried, a retry under an outage fails over to
+//! the next live server, and exhaustion degrades to a typed error.
 
 use std::cell::Cell;
 use std::rc::Rc;
@@ -15,6 +25,7 @@ use std::rc::Rc;
 use gcr_sim::resource::FifoResource;
 use gcr_sim::{Sim, SimDuration, SimTime};
 
+use crate::ckptstore::{RetryPolicy, StorageError};
 use crate::network::{Network, NodeId};
 use crate::spec::StorageSpec;
 
@@ -40,8 +51,24 @@ pub struct Storage {
     /// Outage flags (fault injection): a down server is skipped by
     /// [`Storage::server_for`], failing its clients over to the next one.
     remote_down: Vec<Cell<bool>>,
+    /// Pending injected torn writes, per compute node: each counted write
+    /// from that node lands only a prefix of its bytes and errors.
+    torn_writes: Vec<Cell<u32>>,
+    /// Pending injected write timeouts, per compute node: each counted
+    /// write pays its full service time and then errors.
+    write_timeouts: Vec<Cell<u32>>,
     first_server: NodeId,
     network: Rc<Network>,
+}
+
+fn take_one(counters: &[Cell<u32>], node: NodeId) -> bool {
+    match counters.get(node) {
+        Some(c) if c.get() > 0 => {
+            c.set(c.get() - 1);
+            true
+        }
+        _ => false,
+    }
 }
 
 impl Storage {
@@ -71,6 +98,8 @@ impl Storage {
                 .map(|i| FifoResource::new(sim, format!("ckpt-server{i}")))
                 .collect(),
             remote_down: (0..spec.remote_servers).map(|_| Cell::new(false)).collect(),
+            torn_writes: (0..compute_nodes).map(|_| Cell::new(0)).collect(),
+            write_timeouts: (0..compute_nodes).map(|_| Cell::new(0)).collect(),
             first_server: compute_nodes,
             network,
         }
@@ -84,25 +113,24 @@ impl Storage {
     /// The checkpoint server assigned to `node` (round-robin). Servers
     /// marked down by [`Storage::set_server_down`] are skipped: the client
     /// deterministically fails over to the next live server in ring order.
-    /// With every server down, the nominal assignment is kept (writes then
-    /// queue on the dead server until it returns).
     ///
-    /// # Panics
-    /// Panics if there are no remote servers.
-    pub fn server_for(&self, node: NodeId) -> usize {
-        assert!(
-            !self.remote_disks.is_empty(),
-            "no remote checkpoint servers configured"
-        );
+    /// # Errors
+    /// [`StorageError::AllServersDown`] when no remote server is configured
+    /// or every server is marked down — the caller surfaces the stall
+    /// instead of silently queueing on a dead server.
+    pub fn server_for(&self, node: NodeId) -> Result<usize, StorageError> {
         let k = self.remote_disks.len();
+        if k == 0 {
+            return Err(StorageError::AllServersDown { node });
+        }
         let base = node % k;
         for off in 0..k {
             let srv = (base + off) % k;
             if !self.remote_down[srv].get() {
-                return srv;
+                return Ok(srv);
             }
         }
-        base
+        Err(StorageError::AllServersDown { node })
     }
 
     /// Mark a remote checkpoint server down or back up (fault injection).
@@ -118,6 +146,24 @@ impl Storage {
         self.remote_down[server].get()
     }
 
+    /// Arm `count` torn writes on `node` (fault injection): each of the
+    /// next `count` writes from that node lands only half its bytes and
+    /// returns [`StorageError::TornWrite`].
+    pub fn inject_torn_writes(&self, node: NodeId, count: u32) {
+        if let Some(c) = self.torn_writes.get(node) {
+            c.set(c.get() + count);
+        }
+    }
+
+    /// Arm `count` write timeouts on `node` (fault injection): each of the
+    /// next `count` writes from that node pays its full service time and
+    /// returns [`StorageError::WriteTimeout`].
+    pub fn inject_write_timeouts(&self, node: NodeId, count: u32) {
+        if let Some(c) = self.write_timeouts.get(node) {
+            c.set(c.get() + count);
+        }
+    }
+
     fn local_service(&self, bytes: u64) -> SimDuration {
         self.local_seek + SimDuration::from_secs_f64(bytes as f64 / self.local_bps)
     }
@@ -126,45 +172,161 @@ impl Storage {
         self.remote_seek + SimDuration::from_secs_f64(bytes as f64 / self.remote_bps)
     }
 
-    /// Write `bytes` from `node` to `target`; returns the completion instant.
-    pub async fn write(&self, node: NodeId, bytes: u64, target: StorageTarget) -> SimTime {
+    async fn raw_write(
+        &self,
+        node: NodeId,
+        bytes: u64,
+        target: StorageTarget,
+    ) -> Result<SimTime, StorageError> {
         match target {
-            StorageTarget::Local => {
-                self.local_disks[node]
-                    .access(self.local_service(bytes))
-                    .await
-            }
+            StorageTarget::Local => Ok(self.local_disks[node]
+                .access(self.local_service(bytes))
+                .await),
             StorageTarget::Remote => {
-                let srv = self.server_for(node);
+                let srv = self.server_for(node)?;
                 // Ship the data to the server, then serialize on its disk.
                 let arrived = self
                     .network
                     .reserve_transfer(node, self.first_server + srv, bytes);
                 let done = self.remote_disks[srv].reserve_from(arrived, self.remote_service(bytes));
                 self.sim.sleep_until(done).await;
-                done
+                // The server went down while the write was in flight: the
+                // ack never arrives. The service time was already paid (the
+                // disk was busy until the outage), so the caller retries —
+                // and its retry fails over to the next live server.
+                if self.remote_down[srv].get() {
+                    return Err(StorageError::WriteTimeout { node });
+                }
+                Ok(done)
             }
         }
     }
 
+    /// Write `bytes` from `node` to `target`; returns the completion instant.
+    ///
+    /// # Errors
+    /// Injected faults surface here: [`StorageError::TornWrite`] (half the
+    /// bytes reach the medium), [`StorageError::WriteTimeout`] (full
+    /// service time paid, no ack — also produced when the assigned server
+    /// goes down mid-write), [`StorageError::AllServersDown`] for a remote
+    /// write with no live server.
+    pub async fn write(
+        &self,
+        node: NodeId,
+        bytes: u64,
+        target: StorageTarget,
+    ) -> Result<SimTime, StorageError> {
+        if take_one(&self.torn_writes, node) {
+            let written = bytes / 2;
+            self.raw_write(node, written, target).await?;
+            return Err(StorageError::TornWrite {
+                node,
+                written,
+                expected: bytes,
+            });
+        }
+        if take_one(&self.write_timeouts, node) {
+            self.raw_write(node, bytes, target).await?;
+            return Err(StorageError::WriteTimeout { node });
+        }
+        self.raw_write(node, bytes, target).await
+    }
+
     /// Read `bytes` back to `node` from `target`; returns the completion
     /// instant (used during restart).
-    pub async fn read(&self, node: NodeId, bytes: u64, target: StorageTarget) -> SimTime {
+    ///
+    /// # Errors
+    /// [`StorageError::AllServersDown`] for a remote read with no live
+    /// server; [`StorageError::ReadTimeout`] when the serving server goes
+    /// down mid-transfer.
+    pub async fn read(
+        &self,
+        node: NodeId,
+        bytes: u64,
+        target: StorageTarget,
+    ) -> Result<SimTime, StorageError> {
         match target {
-            StorageTarget::Local => {
-                self.local_disks[node]
-                    .access(self.local_service(bytes))
-                    .await
-            }
+            StorageTarget::Local => Ok(self.local_disks[node]
+                .access(self.local_service(bytes))
+                .await),
             StorageTarget::Remote => {
-                let srv = self.server_for(node);
+                let srv = self.server_for(node)?;
                 let disk_done = self.remote_disks[srv].reserve(self.remote_service(bytes));
                 self.sim.sleep_until(disk_done).await;
                 let done = self
                     .network
                     .transfer(self.first_server + srv, node, bytes)
                     .await;
-                done
+                if self.remote_down[srv].get() {
+                    return Err(StorageError::ReadTimeout { node });
+                }
+                Ok(done)
+            }
+        }
+    }
+
+    /// [`Storage::write`] under the bounded retry/backoff `policy`:
+    /// transient faults sleep the deterministic backoff and retry (a retry
+    /// under an outage fails over via [`Storage::server_for`]).
+    ///
+    /// # Errors
+    /// [`StorageError::RetriesExhausted`] once `policy.max_attempts` writes
+    /// have failed; [`StorageError::AllServersDown`] passes through
+    /// unmasked (retrying cannot help until a server returns).
+    pub async fn write_with_retry(
+        &self,
+        node: NodeId,
+        bytes: u64,
+        target: StorageTarget,
+        policy: RetryPolicy,
+    ) -> Result<SimTime, StorageError> {
+        let max = policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.write(node, bytes, target).await {
+                Ok(t) => return Ok(t),
+                Err(e) if attempt >= max => {
+                    return Err(match e {
+                        StorageError::AllServersDown { .. } => e,
+                        _ => StorageError::RetriesExhausted {
+                            node,
+                            attempts: attempt,
+                        },
+                    });
+                }
+                Err(_) => self.sim.sleep(policy.backoff(attempt)).await,
+            }
+        }
+    }
+
+    /// [`Storage::read`] under the bounded retry/backoff `policy`.
+    ///
+    /// # Errors
+    /// As [`Storage::write_with_retry`].
+    pub async fn read_with_retry(
+        &self,
+        node: NodeId,
+        bytes: u64,
+        target: StorageTarget,
+        policy: RetryPolicy,
+    ) -> Result<SimTime, StorageError> {
+        let max = policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.read(node, bytes, target).await {
+                Ok(t) => return Ok(t),
+                Err(e) if attempt >= max => {
+                    return Err(match e {
+                        StorageError::AllServersDown { .. } => e,
+                        _ => StorageError::RetriesExhausted {
+                            node,
+                            attempts: attempt,
+                        },
+                    });
+                }
+                Err(_) => self.sim.sleep(policy.backoff(attempt)).await,
             }
         }
     }
@@ -230,7 +392,10 @@ mod tests {
             let st = Rc::clone(&storage);
             let d = Rc::clone(&done_times);
             sim.spawn(async move {
-                let t = st.write(node, 1_000_000, StorageTarget::Local).await;
+                let t = st
+                    .write(node, 1_000_000, StorageTarget::Local)
+                    .await
+                    .unwrap();
                 d.borrow_mut().push(t);
             });
         }
@@ -249,7 +414,7 @@ mod tests {
             let st = Rc::clone(&storage);
             let l = Rc::clone(&last);
             sim.spawn(async move {
-                let t = st.write(0, 1_000_000, StorageTarget::Local).await;
+                let t = st.write(0, 1_000_000, StorageTarget::Local).await.unwrap();
                 l.set(l.get().max(t));
             });
         }
@@ -266,7 +431,10 @@ mod tests {
             let st = Rc::clone(&storage);
             let l = Rc::clone(&last);
             sim.spawn(async move {
-                let t = st.write(node, 1_000_000, StorageTarget::Remote).await;
+                let t = st
+                    .write(node, 1_000_000, StorageTarget::Remote)
+                    .await
+                    .unwrap();
                 l.set(l.get().max(t));
             });
         }
@@ -279,9 +447,9 @@ mod tests {
     #[test]
     fn server_assignment_is_round_robin() {
         let (_sim, storage) = setup(5);
-        assert_eq!(storage.server_for(0), 0);
-        assert_eq!(storage.server_for(1), 1);
-        assert_eq!(storage.server_for(2), 0);
+        assert_eq!(storage.server_for(0), Ok(0));
+        assert_eq!(storage.server_for(1), Ok(1));
+        assert_eq!(storage.server_for(2), Ok(0));
         assert_eq!(storage.remote_servers(), 2);
     }
 
@@ -292,12 +460,149 @@ mod tests {
         let st = Rc::clone(&storage);
         let d = Rc::clone(&done);
         sim.spawn(async move {
-            let t = st.read(1, 2_000_000, StorageTarget::Remote).await;
+            let t = st.read(1, 2_000_000, StorageTarget::Remote).await.unwrap();
             d.set(t);
         });
         sim.run().unwrap();
         // 2 s disk + 20 ms network (2 MB at 100 MB/s).
         let t = done.get().as_secs_f64();
         assert!((t - 2.02).abs() < 1e-6, "t {t}");
+    }
+
+    #[test]
+    fn all_servers_down_is_a_typed_error() {
+        let (sim, storage) = setup(2);
+        storage.set_server_down(0, true);
+        storage.set_server_down(1, true);
+        assert_eq!(
+            storage.server_for(0),
+            Err(StorageError::AllServersDown { node: 0 })
+        );
+        let got = Rc::new(std::cell::RefCell::new(None));
+        let st = Rc::clone(&storage);
+        let g = Rc::clone(&got);
+        sim.spawn(async move {
+            // Retrying cannot help while every server is down: the error
+            // passes through the retry wrapper unmasked.
+            let r = st
+                .write_with_retry(0, 1_000, StorageTarget::Remote, RetryPolicy::default())
+                .await;
+            *g.borrow_mut() = Some(r);
+        });
+        sim.run().unwrap();
+        assert_eq!(
+            *got.borrow(),
+            Some(Err(StorageError::AllServersDown { node: 0 }))
+        );
+    }
+
+    #[test]
+    fn mid_write_outage_fails_over_to_next_server() {
+        // Node 0 is assigned server 0. Take server 0 down while node 0's
+        // write is in flight: the write times out, and the retry fails
+        // over to server 1 and succeeds.
+        let (sim, storage) = setup(2);
+        let done = Rc::new(std::cell::RefCell::new(None));
+        let st = Rc::clone(&storage);
+        let d = Rc::clone(&done);
+        sim.spawn(async move {
+            let r = st
+                .write_with_retry(0, 1_000_000, StorageTarget::Remote, RetryPolicy::default())
+                .await;
+            *d.borrow_mut() = Some(r);
+        });
+        let st = Rc::clone(&storage);
+        sim.spawn(async move {
+            // The 1 MB write takes ~1 s on the server disk; kill the
+            // server halfway through.
+            st.sim.sleep(SimDuration::from_millis(500)).await;
+            st.set_server_down(0, true);
+        });
+        sim.run().unwrap();
+        let r = done.borrow().expect("write task finished");
+        let t = r.expect("failover write succeeds").as_secs_f64();
+        // First attempt pays its full 1 s service, then 50 ms backoff,
+        // then ~1 s on server 1.
+        assert!(t > 2.0, "t {t}");
+        assert!(storage.remote_busy(1).as_secs_f64() > 0.9);
+        assert!(storage.remote_busy(0).as_secs_f64() > 0.9);
+    }
+
+    #[test]
+    fn injected_faults_fire_once_each_and_then_clear() {
+        let (sim, storage) = setup(2);
+        storage.inject_torn_writes(0, 1);
+        storage.inject_write_timeouts(1, 1);
+        let results = Rc::new(std::cell::RefCell::new(Vec::new()));
+        for node in 0..2 {
+            let st = Rc::clone(&storage);
+            let res = Rc::clone(&results);
+            sim.spawn(async move {
+                let first = st.write(node, 1_000_000, StorageTarget::Local).await;
+                let second = st.write(node, 1_000_000, StorageTarget::Local).await;
+                res.borrow_mut().push((node, first, second));
+            });
+        }
+        sim.run().unwrap();
+        let res = results.borrow();
+        for &(node, first, second) in res.iter() {
+            match node {
+                0 => assert_eq!(
+                    first,
+                    Err(StorageError::TornWrite {
+                        node: 0,
+                        written: 500_000,
+                        expected: 1_000_000
+                    })
+                ),
+                _ => assert_eq!(first, Err(StorageError::WriteTimeout { node: 1 })),
+            }
+            assert!(second.is_ok(), "fault cleared after firing once");
+        }
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_write_timeouts() {
+        let (sim, storage) = setup(2);
+        storage.inject_write_timeouts(0, 2);
+        let done = Rc::new(std::cell::RefCell::new(None));
+        let st = Rc::clone(&storage);
+        let d = Rc::clone(&done);
+        sim.spawn(async move {
+            let r = st
+                .write_with_retry(0, 1_000_000, StorageTarget::Local, RetryPolicy::default())
+                .await;
+            *d.borrow_mut() = Some(r);
+        });
+        sim.run().unwrap();
+        let t = done
+            .borrow()
+            .expect("finished")
+            .expect("third attempt lands");
+        // Two failed 1.01 s attempts + 50 ms + 100 ms backoffs + success.
+        assert_eq!(t.as_nanos(), 3 * 1_010_000_000 + 150_000_000);
+    }
+
+    #[test]
+    fn retries_exhaust_into_a_typed_error() {
+        let (sim, storage) = setup(2);
+        storage.inject_write_timeouts(0, 3);
+        let done = Rc::new(std::cell::RefCell::new(None));
+        let st = Rc::clone(&storage);
+        let d = Rc::clone(&done);
+        sim.spawn(async move {
+            let r = st
+                .write_with_retry(0, 1_000, StorageTarget::Local, RetryPolicy::default())
+                .await;
+            *d.borrow_mut() = Some(r);
+        });
+        sim.run().unwrap();
+        assert_eq!(
+            *done.borrow(),
+            Some(Err(StorageError::RetriesExhausted {
+                node: 0,
+                attempts: 3
+            }))
+        );
     }
 }

@@ -177,6 +177,9 @@ USAGE:
                 [--workload <ring|cg|sp|hpl>] [--proto <norm|gp|gp1|gp4|vcl>]
                 [--storage <local|remote>] [--interval-ms I]
                 [--gc-overshoot BYTES] [--schedule 'crash:g1@2500;storm:x8@1000+4000']
+                (events: crash:g<G>@<ms> storm:x<F>@<ms>+<dur> outage:s<S>@<ms>+<dur>
+                 slow:n<N>x<F>@<ms>+<dur> torn:n<N>x<C>@<ms> corrupt:g<G>@<ms>
+                 crashckpt:g<G>p<0|1|2>@<ms>)
   gcrsim lint   [--root DIR] [--baseline FILE] [--json] [--update-baseline]
 ";
 
@@ -561,9 +564,10 @@ fn execute_chaos(a: ChaosArgs) -> Result<String, CliError> {
         if a.json {
             reports.push(r.to_json());
         } else {
+            let fallbacks = r.recoveries.iter().filter(|rec| rec.fell_back).count();
             lines.push(format!(
                 "seed {:>4}: {:>4}/{:<4} {:<6} interval {:>4} ms  sched [{}]  \
-                 exec {:>6.1}s  {:>2} wave(s)  {} recovery(s)  {}",
+                 exec {:>6.1}s  {:>2} wave(s)  {} recovery(s){}  {}",
                 r.seed,
                 r.workload,
                 r.proto,
@@ -573,6 +577,11 @@ fn execute_chaos(a: ChaosArgs) -> Result<String, CliError> {
                 r.exec_s,
                 r.waves,
                 r.recoveries.len(),
+                if fallbacks > 0 {
+                    format!(" ({fallbacks} fell back a generation)")
+                } else {
+                    String::new()
+                },
                 if r.passed() { "PASS" } else { "FAIL" }
             ));
             for v in &r.violations {

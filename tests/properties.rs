@@ -184,6 +184,128 @@ fn random_runs_leave_consistent_recovery_lines() {
     }
 }
 
+/// Satellite property: log bytes trimmed by the RR piggyback never exceed
+/// the bytes covered by a **committed** generation. Under random
+/// interleavings of inter-group sends, committed checkpoints, aborted
+/// checkpoints, and piggyback deliveries:
+///
+/// * the advertised GC floor always equals the lagged `RR` of a committed
+///   generation (aborted/pending snapshots never advance it),
+/// * the sender never trims more log bytes than that floor covers, and
+/// * the retained log still closes the byte stream `[RR_g, S)` for every
+///   committed generation inside the retention window (so a fallback
+///   restart of up to `W − 1` generations replays without holes).
+#[test]
+fn piggyback_gc_never_outruns_committed_generations() {
+    use gcr::ckpt::GpState;
+    use gcr::mpi::{Envelope, MpiHook, MsgId, MsgKind, Rank, Tag};
+    use gcr::sim::SimDuration;
+
+    fn env(src: u32, dst: u32, bytes: u64, seq: u64) -> Envelope {
+        Envelope {
+            src: Rank(src),
+            dst: Rank(dst),
+            tag: Tag::app(0),
+            bytes,
+            id: MsgId {
+                src: Rank(src),
+                seq,
+            },
+            kind: MsgKind::App,
+            piggyback_rr: None,
+            payload: None,
+            sent_at: SimTime::ZERO,
+            arrived_at: SimTime::ZERO,
+        }
+    }
+
+    for case in 0..48u64 {
+        let mut rng = DetRng::new(0xA160_0006).fork_idx(case);
+        let groups = Rc::new(gcr::group::GroupDef::new(4, vec![vec![0, 1], vec![2, 3]]).unwrap());
+        let retention = 1 + rng.index(3); // W ∈ {1, 2, 3}
+        let mk = |rank| {
+            GpState::new(
+                rank,
+                Rc::clone(&groups),
+                true,
+                250e6,
+                SimDuration::from_micros(20),
+            )
+        };
+        // Rank 2 (group 1) streams data to rank 0 (group 0); rank 0's
+        // occasional replies carry the piggybacked GC floor back.
+        let sender = mk(2);
+        let receiver = mk(0);
+        sender.set_gc_retention(retention);
+        receiver.set_gc_retention(retention);
+
+        let mut seq = 0u64;
+        let mut gen = 0u64;
+        // Mirror of the receiver's committed ledger: (generation, RR).
+        let mut committed: Vec<(u64, u64)> = Vec::new();
+        for _ in 0..rng.range_u64(10, 60) {
+            match rng.index(4) {
+                0 | 1 => {
+                    let mut e = env(2, 0, rng.range_u64(1, 4096), seq);
+                    seq += 1;
+                    sender.on_send(&mut e);
+                    receiver.on_recv(&e);
+                }
+                2 => {
+                    // The receiver checkpoints; a random abort point models
+                    // a member write failure or a crash mid-checkpoint.
+                    receiver.on_checkpoint(gen);
+                    if rng.chance(0.6) {
+                        receiver.on_commit(gen);
+                        committed.push((gen, receiver.rr(2)));
+                    } else {
+                        receiver.on_abort(gen);
+                    }
+                    gen += 1;
+                }
+                _ => {
+                    // Reply toward the sender: first one after a commit
+                    // carries the piggyback and triggers GC at the sender.
+                    let mut e = env(0, 2, 16, seq);
+                    seq += 1;
+                    receiver.on_send(&mut e);
+                    sender.on_recv(&e);
+                }
+            }
+
+            let idx = committed.len().saturating_sub(retention);
+            let floor = committed.get(idx).map_or(0, |&(_, rr)| rr);
+            assert_eq!(
+                receiver.gc_floor(2),
+                floor,
+                "case {case}: floor must track the lagged committed RR"
+            );
+            assert!(
+                sender.total_gc_bytes() <= floor,
+                "case {case}: trimmed {} bytes but only {floor} are covered \
+                 by a committed generation",
+                sender.total_gc_bytes()
+            );
+            let sent = sender.sent_to(0);
+            for &(g, rr) in committed.iter().rev().take(retention) {
+                let entries = sender.replay_entries_live(0, rr, sent);
+                let mut cursor = rr;
+                for e in &entries {
+                    assert!(
+                        e.offset <= cursor,
+                        "case {case} gen {g}: log hole at byte {cursor}"
+                    );
+                    cursor = cursor.max(e.end());
+                }
+                assert!(
+                    cursor >= sent,
+                    "case {case} gen {g}: replay covers only [{rr}, {cursor}) of [{rr}, {sent})"
+                );
+            }
+        }
+    }
+}
+
 /// Group definitions survive JSON round-trips for arbitrary valid
 /// partitions.
 #[test]
