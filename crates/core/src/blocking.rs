@@ -58,9 +58,11 @@ pub(crate) async fn blocking_wave(p: &RankProto, wave: u64) {
     // D03 recovery-critical set.
     bookmark_drain(ctx, &members, wave)
         .await
+        // gcr-lint: allow(D03-T) bookmark payloads are built by our own protocol code — a malformed one is a simulator bug, not an injectable fault
         .expect("bookmark payloads carry byte counters");
     ctrl_barrier(ctx, &members, tags::BARRIER1 + wave)
         .await
+        // gcr-lint: allow(D03-T) membership comes from the validated group definition, fixed before any fault fires
         .expect("barrier membership comes from the validated group definition");
     let t_coord = ctx.now();
 
@@ -72,6 +74,7 @@ pub(crate) async fn blocking_wave(p: &RankProto, wave: u64) {
     let gid = p.groups.group_of(rank.0);
     let store = world.cluster().ckpt_store().clone();
     store.begin(gid, wave);
+    // gcr-lint: allow(D03-T) image_bytes is sized to the world when the config is built; the restart side re-reads it with get()+MissingImage
     let image_bytes = p.cfg.image_bytes[rank.idx()];
     let trap = p.crash_trap(gid);
     let is_coord = members.first() == Some(&rank.0);
@@ -88,6 +91,7 @@ pub(crate) async fn blocking_wave(p: &RankProto, wave: u64) {
             // Crash halfway through the write: half the service time was
             // spent, but the image never completes.
             t.fired.set(true);
+            // gcr-lint: allow(E01) deliberate torn write — the injected crash abandons this I/O mid-flight, so its outcome must never reach the protocol
             let _ = storage
                 .write(rank.idx(), image_bytes / 2, p.cfg.storage)
                 .await;
@@ -110,6 +114,7 @@ pub(crate) async fn blocking_wave(p: &RankProto, wave: u64) {
     // the group coordinator decides commit vs. abort and broadcasts it.
     ctrl_barrier(ctx, &members, tags::BARRIER2 + wave)
         .await
+        // gcr-lint: allow(D03-T) membership comes from the validated group definition, fixed before any fault fires
         .expect("barrier membership comes from the validated group definition");
     let committed = if is_coord {
         let decision = if trap
@@ -141,6 +146,7 @@ pub(crate) async fn blocking_wave(p: &RankProto, wave: u64) {
         join_all(futs).await;
         decision
     } else {
+        // gcr-lint: allow(D03-T) members contains this rank, so it is never empty
         let coord = Rank(members[0]);
         let env = ctx.ctrl_recv(coord, tags::COMMIT + wave).await;
         env.payload_as::<u64>().map(|v| *v != 0).unwrap_or(false)

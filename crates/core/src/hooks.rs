@@ -9,6 +9,8 @@
 //! model: bytes arriving from a peer between this rank's checkpoint and
 //! that peer's marker belong to the channel state and must be persisted.
 
+// gcr-lint: trust(D03-T) per-rank recording/state tables are sized to the world at hook installation and indexed by validated Rank ids
+
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 

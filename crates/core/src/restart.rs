@@ -146,14 +146,13 @@ pub(crate) async fn restart_rank_with_peers(
                     let world = ctx.world().clone();
                     async move {
                         // Replayed messages are read back from the on-disk
-                        // log before they can be resent. Local log reads
-                        // have no failure mode in the storage model; the
-                        // Result exists for the remote paths.
+                        // log before they can be resent; a log-read fault
+                        // aborts this peer's replay as a typed error.
                         if bytes > 0 {
                             let storage = world.cluster().storage().clone();
-                            let _ = storage
+                            storage
                                 .read(ctx.rank().idx(), bytes, StorageTarget::Local)
-                                .await;
+                                .await?;
                         }
                         ctx.ctrl_send(
                             peer,
@@ -165,6 +164,7 @@ pub(crate) async fn restart_rank_with_peers(
                         for e in entries {
                             ctx.ctrl_send(peer, tags::RESTART_DATA, e.bytes, None).await;
                         }
+                        Ok::<(), RecoveryError>(())
                     }
                 };
                 let recv_side = {
@@ -182,7 +182,8 @@ pub(crate) async fn restart_rank_with_peers(
                         Ok::<(), RecoveryError>(())
                     }
                 };
-                let (_, drained) = join2(send_side, recv_side).await;
+                let (sent, drained) = join2(send_side, recv_side).await;
+                sent?;
                 drained?;
                 Ok::<(u64, u64, u64), RecoveryError>((ops, bytes, skip))
             }
@@ -263,11 +264,14 @@ pub(crate) async fn serve_peer_recovery(
                     let entries = entries.clone();
                     let world = world.clone();
                     async move {
+                        // A log-read fault fails the serving side loudly
+                        // instead of silently sending a replay built from
+                        // nothing.
                         if bytes > 0 {
                             let storage = world.cluster().storage().clone();
-                            let _ = storage
+                            storage
                                 .read(ctx.rank().idx(), bytes, StorageTarget::Local)
-                                .await;
+                                .await?;
                         }
                         ctx.ctrl_send(
                             peer,
@@ -279,6 +283,7 @@ pub(crate) async fn serve_peer_recovery(
                         for e in entries {
                             ctx.ctrl_send(peer, tags::RESTART_DATA, e.bytes, None).await;
                         }
+                        Ok::<(), RecoveryError>(())
                     }
                 };
                 let recv_side = {
@@ -296,7 +301,8 @@ pub(crate) async fn serve_peer_recovery(
                         Ok::<(), RecoveryError>(())
                     }
                 };
-                let (_, drained) = join2(send_side, recv_side).await;
+                let (sent, drained) = join2(send_side, recv_side).await;
+                sent?;
                 drained?;
                 Ok::<u64, RecoveryError>(bytes)
             }

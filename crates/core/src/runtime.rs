@@ -1,6 +1,8 @@
 //! The checkpoint runtime: per-rank protocol daemons, the `mpirun`-style
 //! controller API, and checkpoint schedules.
 
+// gcr-lint: trust(D03-T) gp/cmd-channel vectors are sized to the group map at install time and the daemon-gone panics assert simulator lifetime invariants; none are reachable from an injected fault
+
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 

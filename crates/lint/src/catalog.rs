@@ -1,0 +1,184 @@
+//! The rule catalog: one human-readable explanation per rule, served by
+//! `gcrsim lint --explain <RULE>`.
+//!
+//! Each entry states what the rule catches, why the property matters for
+//! group-based checkpoint/restart, a minimal firing example, and the
+//! sanctioned ways out (fix first, waive with a reason second).
+
+use crate::report::Rule;
+
+/// One rule's documentation.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleDoc {
+    /// The rule it documents.
+    pub rule: Rule,
+    /// One-line summary (also usable in tables).
+    pub summary: &'static str,
+    /// Why the property matters for this codebase.
+    pub rationale: &'static str,
+    /// A minimal snippet that fires the rule.
+    pub example: &'static str,
+    /// How to fix it — and when a waiver is legitimate.
+    pub fix: &'static str,
+}
+
+/// Documentation for every rule, in rule order.
+pub const CATALOG: &[RuleDoc] = &[
+    RuleDoc {
+        rule: Rule::D01,
+        summary: "no iteration over hash-ordered containers in deterministic crates",
+        rationale: "HashMap/HashSet iteration order varies run to run; one stray loop \
+                    breaks bit-determinism, replay, and schedule shrinking.",
+        example: "for (k, v) in map.iter() { … }   // map: HashMap<_, _>",
+        fix: "Use BTreeMap/BTreeSet, or collect and sort before iterating.",
+    },
+    RuleDoc {
+        rule: Rule::D02,
+        summary: "no wall clock, OS entropy, threads, or env reads in simulation code",
+        rationale: "Anything outside the simulated clock and DetRng injects host state \
+                    into the run and desynchronizes replays.",
+        example: "let t0 = std::time::Instant::now();",
+        fix: "Use sim time (`ctx.now()`) and DetRng. `crates/bench` and `src/cli.rs` \
+              are exempt (process boundary).",
+    },
+    RuleDoc {
+        rule: Rule::D03,
+        summary: "no unwrap/expect/panic!/unchecked indexing in recovery-critical modules",
+        rationale: "On the restart path an injected fault must degrade into a typed \
+                    `Err` the coordinator can act on — an abort kills the whole run.",
+        example: "let img = images[rank];   // in crates/core/src/restart.rs",
+        fix: "Use `.get()` + `ok_or(RecoveryError::…)` and `?`. Waive with \
+              `// gcr-lint: allow(D03) <reason>` only for invariant-guarded sites.",
+    },
+    RuleDoc {
+        rule: Rule::D03T,
+        summary: "recovery-critical fns must not *transitively* reach a panic site",
+        rationale: "D03 checks the file itself; D03-T walks the workspace call graph so \
+                    a restart fn cannot reach `unwrap`/`panic!`/`v[i]` through any chain \
+                    of callees in the protocol-plane crates (core, net, mpi, chaos). \
+                    Calls leaving that set (sim kernel, group math, workloads) are \
+                    trusted boundaries.",
+        example: "restart_rank() → Storage::read() → self.local_disks[node]  // panics",
+        fix: "Degrade the callee into a typed error, waive the call site with \
+              `allow(D03-T) <reason>`, or certify a whole file's panic sites as \
+              invariant-guarded with `// gcr-lint: trust(D03-T) <reason>` (file-scoped; \
+              stale trust directives are themselves findings).",
+    },
+    RuleDoc {
+        rule: Rule::D04,
+        summary: "no `#[allow(dead_code)]` on pub fns taking `&mut` protocol state",
+        rationale: "A mutating protocol entry point nobody calls is a rotting branch of \
+                    the state machine; it drifts from the live protocol unnoticed.",
+        example: "#[allow(dead_code)] pub fn force_commit(&mut self) { … }",
+        fix: "Wire the fn into the protocol or delete it.",
+    },
+    RuleDoc {
+        rule: Rule::E01,
+        summary: "`let _ =` must not discard a protocol `Result`",
+        rationale: "A `Result<_, RecoveryError|StorageError>` (or any Result produced by \
+                    a protocol crate) carries injected-fault information; discarding it \
+                    turns a detectable fault into silent corruption.",
+        example: "let _ = storage.read(node, bytes, target).await;",
+        fix: "Propagate with `?`/`map_err`, or handle the `Err` arm. Waive only for \
+              deliberately-abandoned operations (e.g. torn-write injection).",
+    },
+    RuleDoc {
+        rule: Rule::E02,
+        summary: "statement-level `.ok()` must not swallow a protocol error",
+        rationale: "`foo().ok();` as a statement is `let _ =` in disguise: the error \
+                    value is dropped on the floor with no record.",
+        example: "store.commit(gid, wave, &members).ok();",
+        fix: "Propagate the error or match on it; `.ok()` is fine when the Option is \
+              actually consumed.",
+    },
+    RuleDoc {
+        rule: Rule::E03,
+        summary: "`.unwrap_or_default()` must not paper over a protocol error",
+        rationale: "Substituting a default for a failed protocol operation hides the \
+                    fault *and* injects a plausible-looking wrong value — worse than a \
+                    loud failure.",
+        example: "let bytes = storage.read(n, b, t).await.unwrap_or_default();",
+        fix: "Handle the error; if a default genuinely is the semantics, say why in an \
+              `allow(E03)` waiver.",
+    },
+    RuleDoc {
+        rule: Rule::P01,
+        summary: "every control tag must be both sent and received",
+        rationale: "The ctrl-plane protocol is a set of matched `ctrl_send`/`ctrl_recv` \
+                    pairs over `tags::*`. A tag that is only ever sent (or only ever \
+                    received) is a latent deadlock: some wave will block forever.",
+        example: "ctx.ctrl_send(peer, tags::MARKER, …)   // and no ctrl_recv of MARKER",
+        fix: "Add the missing side, or route the tag through a helper — a use outside \
+              ctrl_send/ctrl_recv (e.g. `ctrl_barrier(…, tags::X)`) exempts the tag, \
+              because pairing is then the helper's contract.",
+    },
+    RuleDoc {
+        rule: Rule::P02,
+        summary: "no `_ =>` wildcard over protocol enums in recovery-critical matches",
+        rationale: "A wildcard arm silently absorbs protocol states added later — \
+                    exactly the states (new GenState, new event kinds) most likely to \
+                    need recovery handling.",
+        example: "match entry.state { Some(GenState::Committed) => …, _ => {} }",
+        fix: "Name every variant (`Some(GenState::Pending) | None => {}`), so adding a \
+              variant is a compile-time event.",
+    },
+    RuleDoc {
+        rule: Rule::S00,
+        summary: "stale or malformed suppression",
+        rationale: "A waiver that waives nothing (or does not parse) is debt pretending \
+                    to be documentation; the analyzer refuses to let it accumulate.",
+        example: "// gcr-lint: allow(D03) …   — on a line with no D03 finding",
+        fix: "Delete the suppression (or fix its spelling).",
+    },
+    RuleDoc {
+        rule: Rule::S01,
+        summary: "suppression without a justification",
+        rationale: "Every `allow(...)`/`trust(...)` is a claim that a finding is safe; \
+                    an unexplained claim cannot be audited.",
+        example: "// gcr-lint: allow(D03)",
+        fix: "Append the reason: `// gcr-lint: allow(D03) index guarded by resize above`.",
+    },
+];
+
+/// The catalog entry for `rule`.
+pub fn doc(rule: Rule) -> &'static RuleDoc {
+    CATALOG
+        .iter()
+        .find(|d| d.rule == rule)
+        .expect("every rule is documented")
+}
+
+/// Render one rule's explanation for the terminal.
+pub fn explain(rule: Rule) -> String {
+    let d = doc(rule);
+    format!(
+        "{id}: {summary}\n\nwhy\n  {rationale}\n\nfires on\n  {example}\n\nfix\n  {fix}\n",
+        id = rule.id(),
+        summary = d.summary,
+        rationale = d.rationale,
+        example = d.example,
+        fix = d.fix,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rule_is_documented_once_in_order() {
+        assert_eq!(CATALOG.len(), Rule::ALL.len());
+        for (d, &r) in CATALOG.iter().zip(Rule::ALL) {
+            assert_eq!(d.rule, r, "catalog order matches Rule::ALL");
+            assert!(!d.summary.is_empty() && !d.rationale.is_empty());
+            assert!(!d.example.is_empty() && !d.fix.is_empty());
+        }
+    }
+
+    #[test]
+    fn explain_renders_the_id_and_fix() {
+        let text = explain(Rule::D03T);
+        assert!(text.starts_with("D03-T:"));
+        assert!(text.contains("trust(D03-T)"));
+    }
+}

@@ -9,10 +9,14 @@
 //! source level, before any seed runs.
 //!
 //! Self-contained by design: a hand-rolled Rust surface lexer
-//! ([`lexer`]) feeds a line/token rule engine ([`rules`]) — the same
-//! no-external-dependency idiom as `gcr-json`. Policy tiers ([`policy`])
-//! decide which rules apply where; inline waivers ([`suppress`]) and a
-//! committed baseline ([`baseline`]) manage the path to zero findings.
+//! ([`lexer`]) feeds two engines. The local line/token rules ([`rules`])
+//! run per file; on top of them a symbol index ([`symbols`]) and an
+//! approximate workspace call graph ([`callgraph`]) power the semantic
+//! passes ([`semantic`]): transitive panic-reachability (D03-T),
+//! protocol error-flow (E01–E03) and control-protocol conformance
+//! (P01/P02). Policy tiers ([`policy`]) decide which rules apply where;
+//! inline waivers ([`suppress`]) and a committed baseline ([`baseline`])
+//! manage the path to zero findings.
 //!
 //! Run it as `gcrsim lint`; CI runs it with `--json` and fails on any
 //! non-baseline finding.
@@ -20,11 +24,15 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod callgraph;
+pub mod catalog;
 pub mod lexer;
 pub mod policy;
 pub mod report;
 pub mod rules;
+pub mod semantic;
 pub mod suppress;
+pub mod symbols;
 
 use std::fs;
 use std::io;
@@ -32,20 +40,82 @@ use std::path::{Path, PathBuf};
 
 pub use baseline::{Baseline, BaselineEntry};
 pub use policy::{policy_for, Policy};
-pub use report::{Finding, Report, Rule, Status};
+pub use report::{Finding, GraphStats, Report, Rule, Status};
 
-/// Analyze one source file (given its workspace-relative path, which
-/// selects the policy tier). Suppressions are already applied; baseline
-/// matching happens at the workspace level.
+/// Analyze one source file in isolation (its workspace-relative path
+/// selects the policy tier). Only the local rules run — the semantic
+/// passes need the whole workspace; use [`lint_files`] for those.
+/// Suppressions are already applied; baseline matching happens at the
+/// workspace level.
 pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
     let lx = lexer::lex(src);
     let policy = policy_for(rel);
     let raw = rules::check(rel, &lx, policy);
-    let (sups, mut malformed) = suppress::parse_suppressions(rel, &lx);
-    let mut out = suppress::apply_suppressions(rel, &lx, &sups, raw);
-    out.append(&mut malformed);
-    out.sort_by_key(|f| (f.line, f.rule));
-    out
+    let waivers = suppress::FileWaivers::parse(rel, &lx);
+    suppress::apply_file_waivers(rel, &lx, waivers, raw)
+}
+
+/// Analyze a set of sources as one workspace: local rules per file, then
+/// the symbol index, call graph and semantic passes across all of them,
+/// with waiver/stale-waiver accounting shared between every pass.
+///
+/// `files` pairs workspace-relative paths with their contents (as
+/// produced by [`collect_workspace_files`], but any in-memory set works —
+/// the fixture tests feed synthetic workspaces).
+pub fn lint_files(files: &[(String, String)], baseline: &Baseline) -> Report {
+    let lexed: Vec<lexer::Lexed> = files.iter().map(|(_, src)| lexer::lex(src)).collect();
+    let views: Vec<(&str, &lexer::Lexed)> = files
+        .iter()
+        .zip(&lexed)
+        .map(|((rel, _), lx)| (rel.as_str(), lx))
+        .collect();
+
+    let mut waivers: Vec<suppress::FileWaivers> = views
+        .iter()
+        .map(|(rel, lx)| suppress::FileWaivers::parse(rel, lx))
+        .collect();
+
+    // Local rules (raw — waivers applied after the semantic passes, so
+    // usage marks accumulate across every engine before staleness is
+    // judged).
+    let mut raw: Vec<Finding> = Vec::new();
+    for (rel, lx) in &views {
+        raw.extend(rules::check(rel, lx, policy_for(rel)));
+    }
+
+    // Workspace passes. Building the graph consults the waivers (panic
+    // sites excluded by line waivers / trust directives); the semantic
+    // passes mark call-site and finding-site waivers themselves.
+    let index = symbols::build(&views);
+    let graph = callgraph::build(&index, &views, &mut waivers);
+    raw.extend(semantic::check(&index, &graph, &views, &mut waivers));
+
+    // Apply line waivers to everything that is still unwaived (the
+    // semantic passes pre-filter, but the local rules have not), then
+    // collect stale/reasonless waiver findings.
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in raw {
+        let fi = views
+            .iter()
+            .position(|(rel, _)| *rel == f.file)
+            .expect("finding refers to a linted file");
+        if !waivers[fi].waives(f.line, f.rule) {
+            findings.push(f);
+        }
+    }
+    for ((rel, lx), w) in views.iter().zip(waivers) {
+        findings.extend(w.finish(rel, lx));
+    }
+
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    let unused_baseline = baseline.apply(&mut findings);
+    Report {
+        findings,
+        files_scanned: files.len(),
+        unused_baseline,
+        graph: Some(graph.stats),
+    }
 }
 
 /// Collect the workspace's analyzable sources: the root package's `src/`
@@ -106,25 +176,14 @@ fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 }
 
 /// Analyze the whole workspace under `root` against `baseline` (pass the
-/// default [`Baseline`] for none).
+/// default [`Baseline`] for none). Runs the local rules *and* the
+/// workspace semantic passes.
 ///
 /// # Errors
 /// Propagates I/O errors from the source walk.
 pub fn lint_workspace(root: &Path, baseline: &Baseline) -> io::Result<Report> {
     let files = collect_workspace_files(root)?;
-    let files_scanned = files.len();
-    let mut findings = Vec::new();
-    for (rel, src) in &files {
-        findings.extend(lint_source(rel, src));
-    }
-    findings
-        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
-    let unused_baseline = baseline.apply(&mut findings);
-    Ok(Report {
-        findings,
-        files_scanned,
-        unused_baseline,
-    })
+    Ok(lint_files(&files, baseline))
 }
 
 /// Load the baseline at `path`; a missing file is an empty baseline.
@@ -158,5 +217,20 @@ mod tests {
         let src = "fn f() { let t = std::time::Instant::now(); }\n";
         assert_eq!(lint_source("crates/sim/src/x.rs", src).len(), 1);
         assert!(lint_source("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lint_files_reports_graph_stats() {
+        let files = vec![(
+            "crates/sim/src/a.rs".to_string(),
+            "pub fn a() { b(); }\npub fn b() {}\n".to_string(),
+        )];
+        let rep = lint_files(&files, &Baseline::default());
+        assert!(rep.findings.is_empty());
+        let g = rep.graph.expect("graph stats");
+        assert_eq!(g.functions, 2);
+        assert_eq!(g.call_sites, 1);
+        assert_eq!(g.resolved, 1);
+        assert!((g.resolution_rate() - 1.0).abs() < 1e-9);
     }
 }

@@ -27,7 +27,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
 /// `#[allow(dead_code)]` (rule D04).
 pub const PROTOCOL_CRATES: &[&str] = &["core", "mpi", "group", "chaos"];
 
-/// Modules on the recovery path (rule D03).
+/// Modules on the recovery path (rules D03, D03-T roots, P02).
 pub const RECOVERY_CRITICAL: &[&str] = &[
     "crates/core/src/restart.rs",
     "crates/core/src/msglog.rs",
@@ -35,6 +35,18 @@ pub const RECOVERY_CRITICAL: &[&str] = &[
     "crates/net/src/ckptstore.rs",
     "crates/chaos/src/engine.rs",
 ];
+
+/// Crates the transitive panic-reachability pass (D03-T) propagates
+/// through. These hold the protocol data/control plane, where an injected
+/// fault must degrade into a typed error. Calls that leave this set (into
+/// the simulation kernel, group math, workload models, …) are trusted
+/// boundaries: a panic there is a simulator bug caught by the chaos
+/// harness, not a recoverable runtime fault. See DESIGN.md §9.
+pub const D03T_SCOPE_CRATES: &[&str] = &["core", "net", "mpi", "chaos"];
+
+/// Error types whose loss the error-flow rules (E01/E02/E03) never allow:
+/// these carry recovery-path fault information.
+pub const PROTOCOL_ERROR_TYPES: &[&str] = &["RecoveryError", "StorageError"];
 
 /// The rule set in force for one file.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -47,6 +59,8 @@ pub struct Policy {
     pub d03: bool,
     /// D04: no dead-code-suppressed pub fns taking `&mut` state.
     pub d04: bool,
+    /// E01/E02/E03: no discarded protocol `Result`s (workspace passes).
+    pub e: bool,
 }
 
 fn crate_of(rel: &str) -> Option<&str> {
@@ -64,6 +78,7 @@ pub fn policy_for(rel: &str) -> Policy {
         d02: !d02_exempt,
         d03: RECOVERY_CRITICAL.contains(&rel),
         d04: cr.is_some_and(|c| PROTOCOL_CRATES.contains(&c)),
+        e: !d02_exempt,
     }
 }
 

@@ -13,6 +13,19 @@ pub enum Rule {
     D03,
     /// `#[allow(dead_code)]` on a `pub fn` taking `&mut` state.
     D04,
+    /// Transitive panic-reachability: a recovery-critical fn reaches a
+    /// panic site through a workspace callee (call-graph pass).
+    D03T,
+    /// Discarded `Result` (`let _ = …`) carrying a protocol error type.
+    E01,
+    /// Statement-level `.ok()` discarding a protocol `Result`.
+    E02,
+    /// `.unwrap_or_default()` swallowing a protocol `Result`'s error.
+    E03,
+    /// Control tag sent without a matching receive (or vice versa).
+    P01,
+    /// Wildcard `_ =>` over a protocol enum in a recovery-critical module.
+    P02,
     /// Stale suppression: it matches no finding on its target line.
     S00,
     /// Suppression without a justification.
@@ -27,23 +40,52 @@ impl Rule {
             Rule::D02 => "D02",
             Rule::D03 => "D03",
             Rule::D04 => "D04",
+            Rule::D03T => "D03-T",
+            Rule::E01 => "E01",
+            Rule::E02 => "E02",
+            Rule::E03 => "E03",
+            Rule::P01 => "P01",
+            Rule::P02 => "P02",
             Rule::S00 => "S00",
             Rule::S01 => "S01",
         }
     }
 
-    /// Parse a rule id (as found inside `allow(...)`).
+    /// Parse a rule id (as found inside `allow(...)`). `D03-T` also
+    /// accepts the hyphen-free spelling `D03T`.
     pub fn parse(s: &str) -> Option<Rule> {
         match s {
             "D01" => Some(Rule::D01),
             "D02" => Some(Rule::D02),
             "D03" => Some(Rule::D03),
             "D04" => Some(Rule::D04),
+            "D03-T" | "D03T" => Some(Rule::D03T),
+            "E01" => Some(Rule::E01),
+            "E02" => Some(Rule::E02),
+            "E03" => Some(Rule::E03),
+            "P01" => Some(Rule::P01),
+            "P02" => Some(Rule::P02),
             "S00" => Some(Rule::S00),
             "S01" => Some(Rule::S01),
             _ => None,
         }
     }
+
+    /// Every rule, in catalog order.
+    pub const ALL: &'static [Rule] = &[
+        Rule::D01,
+        Rule::D02,
+        Rule::D03,
+        Rule::D03T,
+        Rule::D04,
+        Rule::E01,
+        Rule::E02,
+        Rule::E03,
+        Rule::P01,
+        Rule::P02,
+        Rule::S00,
+        Rule::S01,
+    ];
 }
 
 impl std::fmt::Display for Rule {
@@ -109,6 +151,48 @@ impl Finding {
     }
 }
 
+/// Call-graph construction statistics, reported so resolution quality is
+/// auditable from CI artifacts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GraphStats {
+    /// Functions indexed across the workspace (non-test).
+    pub functions: usize,
+    /// Call sites examined inside those functions.
+    pub call_sites: usize,
+    /// Sites linked to exactly the right workspace definition(s).
+    pub resolved: usize,
+    /// Sites whose callee name exists nowhere in the workspace index
+    /// (std / core / closure calls) — confidently classified external.
+    pub external: usize,
+    /// Sites linked by name fallback to several same-named definitions —
+    /// the over-approximation the rules accept but the metric reports.
+    pub ambiguous: usize,
+}
+
+impl GraphStats {
+    /// Fraction of call sites confidently resolved (workspace or
+    /// external); ambiguous fallback links count against it.
+    pub fn resolution_rate(&self) -> f64 {
+        if self.call_sites == 0 {
+            return 1.0;
+        }
+        (self.resolved + self.external) as f64 / self.call_sites as f64
+    }
+
+    fn to_json(self) -> Json {
+        // Fixed-point with 4 decimals keeps the report bit-stable.
+        let rate = format!("{:.4}", self.resolution_rate());
+        Json::obj([
+            ("functions", Json::from(self.functions as u64)),
+            ("call_sites", Json::from(self.call_sites as u64)),
+            ("resolved", Json::from(self.resolved as u64)),
+            ("external", Json::from(self.external as u64)),
+            ("ambiguous", Json::from(self.ambiguous as u64)),
+            ("resolution_rate", Json::from(rate.as_str())),
+        ])
+    }
+}
+
 /// A full analyzer run over the workspace.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -118,6 +202,9 @@ pub struct Report {
     pub files_scanned: usize,
     /// Baseline entries that matched nothing — the baseline should shrink.
     pub unused_baseline: Vec<String>,
+    /// Call-graph statistics (None for single-file analysis, which has no
+    /// workspace index to build a graph from).
+    pub graph: Option<GraphStats>,
 }
 
 impl Report {
@@ -144,6 +231,18 @@ impl Report {
         for u in &self.unused_baseline {
             s.push_str(&format!("warning: unused baseline entry: {u}\n"));
         }
+        if let Some(g) = &self.graph {
+            s.push_str(&format!(
+                "call graph: {} fn(s), {} call site(s), {:.1}% resolved \
+                 ({} workspace, {} external, {} ambiguous)\n",
+                g.functions,
+                g.call_sites,
+                g.resolution_rate() * 100.0,
+                g.resolved,
+                g.external,
+                g.ambiguous,
+            ));
+        }
         let baselined = self.findings.len() - self.new_count();
         s.push_str(&format!(
             "{} file(s) scanned, {} finding(s) ({} new, {} baselined)",
@@ -157,7 +256,7 @@ impl Report {
 
     /// The report as a JSON document (deterministic field order).
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("files_scanned", Json::from(self.files_scanned as u64)),
             ("new", Json::from(self.new_count() as u64)),
             (
@@ -178,6 +277,10 @@ impl Report {
                         .collect::<Vec<_>>(),
                 ),
             ),
-        ])
+        ];
+        if let Some(g) = &self.graph {
+            fields.push(("callgraph", g.to_json()));
+        }
+        Json::obj(fields)
     }
 }

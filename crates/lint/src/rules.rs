@@ -43,8 +43,10 @@ const D02_PATTERNS: &[&str] = &[
 ];
 
 /// Keywords that may legitimately sit directly before a `[` that is *not*
-/// an index expression (slice patterns, array expressions, types).
-const NON_INDEX_KEYWORDS: &[&str] = &[
+/// an index expression (slice patterns, array expressions, types). Shared
+/// with the call graph's panic-site extractor so D03 and D03-T agree on
+/// what counts as an unchecked index.
+pub(crate) const NON_INDEX_KEYWORDS: &[&str] = &[
     "let", "in", "mut", "ref", "move", "as", "else", "return", "break", "continue", "match",
     "loop", "while", "if", "unsafe", "dyn", "impl", "where", "static", "const", "use", "mod",
     "enum", "struct", "fn", "pub", "type", "trait", "box",

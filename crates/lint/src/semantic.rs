@@ -1,0 +1,668 @@
+//! The workspace-level semantic passes, built on the symbol index and
+//! call graph:
+//!
+//! * **D03-T** — transitive panic-reachability: a function defined in a
+//!   recovery-critical module must not reach `unwrap`/`expect`/panic
+//!   macros/unchecked indexing through any chain of workspace callees
+//!   within the protocol-plane crates ([`crate::policy::D03T_SCOPE_CRATES`]).
+//! * **E01/E02/E03** — error-flow: a `Result` carrying `RecoveryError`/
+//!   `StorageError` (or produced by a protocol crate) must not be
+//!   discarded via `let _ =`, a statement-level `.ok()`, or
+//!   `.unwrap_or_default()`.
+//! * **P01/P02** — protocol conformance: every `tags::*` control tag
+//!   used in a `ctrl_send` must have a `ctrl_recv` somewhere (and vice
+//!   versa), and recovery-critical `match`es over protocol enums must
+//!   not hide behind a `_ =>` wildcard.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::{self, CallGraph};
+use crate::lexer::{in_spans, test_spans, Lexed, Tok, TokKind};
+use crate::policy::{self, PROTOCOL_CRATES, PROTOCOL_ERROR_TYPES, RECOVERY_CRITICAL};
+use crate::report::{Finding, Rule, Status};
+use crate::suppress::FileWaivers;
+use crate::symbols::{FnDef, SymbolIndex, KEYWORDS};
+
+/// Run every semantic pass. `files` pairs workspace-relative paths with
+/// lexer output; `waivers` (parallel to `files`) is consulted and marked.
+pub fn check(
+    index: &SymbolIndex,
+    graph: &CallGraph,
+    files: &[(&str, &Lexed)],
+    waivers: &mut [FileWaivers],
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    d03t(index, graph, files, waivers, &mut out);
+    e_rules(index, files, waivers, &mut out);
+    p01(index, files, waivers, &mut out);
+    p02(index, files, waivers, &mut out);
+    // Nested fns are walked by both their own body scan and their
+    // enclosing fn's, so identical findings can be produced twice.
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+    out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
+    out
+}
+
+fn finding(rel: &str, lx: &Lexed, line: usize, rule: Rule, message: String) -> Finding {
+    Finding {
+        file: rel.to_string(),
+        line,
+        rule,
+        message,
+        snippet: lx.snippet(line).to_string(),
+        status: Status::New,
+    }
+}
+
+// ---------------------------------------------------------------- D03-T
+
+fn d03t(
+    index: &SymbolIndex,
+    graph: &CallGraph,
+    files: &[(&str, &Lexed)],
+    waivers: &mut [FileWaivers],
+    out: &mut Vec<Finding>,
+) {
+    let scope = callgraph::crate_scope(index, policy::D03T_SCOPE_CRATES);
+    let reach = graph.reaches_panic(&scope);
+    for (id, f) in index.fns.iter().enumerate() {
+        let rel = files[f.file].0;
+        if !RECOVERY_CRITICAL.contains(&rel) {
+            continue;
+        }
+        let mut seen_lines = BTreeSet::new();
+        for cs in &graph.calls[id] {
+            let Some(&bad) = cs
+                .targets
+                .iter()
+                .find(|&&t| t != id && scope[t] && reach[t])
+            else {
+                continue;
+            };
+            if !seen_lines.insert(cs.line) {
+                continue;
+            }
+            if waivers[f.file].waives(cs.line, Rule::D03T) {
+                continue;
+            }
+            let msg = match graph.witness(bad, &scope) {
+                Some(path) => {
+                    let chain: Vec<String> = path
+                        .iter()
+                        .map(|&p| format!("`{}`", index.fns[p].qualified()))
+                        .collect();
+                    let last = *path.last().unwrap_or(&bad);
+                    let site = &graph.panics[last][0];
+                    format!(
+                        "`{}` transitively reaches {} at {}:{} via {} — \
+                         degrade the fault into a typed error (or certify the \
+                         callee with trust(D03-T))",
+                        f.qualified(),
+                        site.what,
+                        files[index.fns[last].file].0,
+                        site.line,
+                        chain.join(" → "),
+                    )
+                }
+                None => format!(
+                    "`{}` transitively reaches a panic site via `{}`",
+                    f.qualified(),
+                    cs.name
+                ),
+            };
+            out.push(finding(rel, files[f.file].1, cs.line, Rule::D03T, msg));
+        }
+    }
+}
+
+// --------------------------------------------------------------- E-rules
+
+/// Does discarding this callee's return value lose protocol error info?
+fn protocol_result(fd: &FnDef) -> Option<String> {
+    let is_result = fd.ret.iter().any(|t| t == "Result");
+    if !is_result {
+        return None;
+    }
+    if let Some(err) = fd.result_err() {
+        if PROTOCOL_ERROR_TYPES.contains(&err) {
+            return Some(format!("error type `{err}`"));
+        }
+    }
+    PROTOCOL_CRATES
+        .contains(&fd.krate.as_str())
+        .then(|| format!("protocol crate `{}`", fd.krate))
+}
+
+fn e_rules(
+    index: &SymbolIndex,
+    files: &[(&str, &Lexed)],
+    waivers: &mut [FileWaivers],
+    out: &mut Vec<Finding>,
+) {
+    for (id, f) in index.fns.iter().enumerate() {
+        let _ = id;
+        let rel = files[f.file].0;
+        if !policy::policy_for(rel).e {
+            continue;
+        }
+        let lx = files[f.file].1;
+        let toks = &lx.toks;
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        let (start, end) = (open + 1, close);
+        let mut i = start;
+        while i < end.min(toks.len()) {
+            // E01: `let _ = <expr with a protocol-Result call>;`
+            if toks[i].text == "let"
+                && toks.get(i + 1).is_some_and(|t| t.text == "_")
+                && toks.get(i + 2).is_some_and(|t| t.text == "=")
+            {
+                let stmt_end = statement_end(toks, i + 3, end);
+                if let Some((name, why)) = first_protocol_call(index, f, toks, i + 3, stmt_end) {
+                    let line = toks[i].line;
+                    if !waivers[f.file].waives(line, Rule::E01) {
+                        out.push(finding(
+                            rel,
+                            lx,
+                            line,
+                            Rule::E01,
+                            format!(
+                                "`let _ =` discards the `Result` of `{name}` ({why}) — \
+                                 propagate with `?`/`map_err` or handle the error"
+                            ),
+                        ));
+                    }
+                }
+                i = stmt_end;
+                continue;
+            }
+            // E02: statement-level `<chain>.ok();`
+            if toks[i].text == "."
+                && toks.get(i + 1).is_some_and(|t| t.text == "ok")
+                && toks.get(i + 2).is_some_and(|t| t.text == "(")
+                && toks.get(i + 3).is_some_and(|t| t.text == ")")
+                && toks.get(i + 4).is_some_and(|t| t.text == ";")
+                && i > start
+            {
+                let (names, chain_start) = chain_callees(toks, i - 1, start);
+                let at_stmt_start = chain_start <= start
+                    || matches!(toks[chain_start - 1].text.as_str(), ";" | "{" | "}");
+                if at_stmt_start {
+                    if let Some((name, why)) = chain_protocol_call(index, f, &names) {
+                        let line = toks[i].line;
+                        if !waivers[f.file].waives(line, Rule::E02) {
+                            out.push(finding(
+                                rel,
+                                lx,
+                                line,
+                                Rule::E02,
+                                format!(
+                                    "`.ok()` throws away the error of `{name}` ({why}) — \
+                                     propagate it or match on the `Err`"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            // E03: `<chain>.unwrap_or_default()` over a protocol Result.
+            if toks[i].text == "."
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|t| t.text == "unwrap_or_default")
+                && toks.get(i + 2).is_some_and(|t| t.text == "(")
+                && i > start
+            {
+                let (names, _) = chain_callees(toks, i - 1, start);
+                if let Some((name, why)) = chain_protocol_call(index, f, &names) {
+                    let line = toks[i + 1].line;
+                    if !waivers[f.file].waives(line, Rule::E03) {
+                        out.push(finding(
+                            rel,
+                            lx,
+                            line,
+                            Rule::E03,
+                            format!(
+                                "`.unwrap_or_default()` swallows the error of `{name}` \
+                                 ({why}) — a silent default hides an injected fault"
+                            ),
+                        ));
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Token index just past the `;` ending the statement starting at `from`
+/// (depth-aware), or `to` if none.
+fn statement_end(toks: &[Tok], from: usize, to: usize) -> usize {
+    let mut d = 0i32;
+    for (k, t) in toks.iter().enumerate().take(to.min(toks.len())).skip(from) {
+        match t.text.as_str() {
+            "(" | "[" | "{" => d += 1,
+            ")" | "]" | "}" => d -= 1,
+            ";" if d == 0 => return k + 1,
+            _ => {}
+        }
+    }
+    to
+}
+
+/// The first call in `toks[from..to)` that resolves to a workspace fn
+/// whose `Result` carries protocol error info.
+fn first_protocol_call(
+    index: &SymbolIndex,
+    caller: &FnDef,
+    toks: &[Tok],
+    from: usize,
+    to: usize,
+) -> Option<(String, String)> {
+    let mut stats = crate::report::GraphStats::default();
+    for cs in callgraph::call_sites(index, caller, toks, from, to, &mut stats) {
+        for &t in &cs.targets {
+            if let Some(why) = protocol_result(&index.fns[t]) {
+                return Some((index.fns[t].qualified(), why));
+            }
+        }
+    }
+    None
+}
+
+/// Resolve each chained callee name and return the first that produces a
+/// protocol `Result`.
+fn chain_protocol_call(
+    index: &SymbolIndex,
+    caller: &FnDef,
+    names: &[(String, bool)],
+) -> Option<(String, String)> {
+    for (name, is_method) in names {
+        let ids = index.by_name.get(name)?.clone();
+        for id in ids {
+            let fd = &index.fns[id];
+            if fd.is_method != *is_method && *is_method {
+                continue;
+            }
+            let _ = caller;
+            if let Some(why) = protocol_result(fd) {
+                return Some((fd.qualified(), why));
+            }
+        }
+    }
+    None
+}
+
+/// Walk a postfix chain leftwards from `end` (the last token of the
+/// receiver expression). Returns the callee names encountered (with
+/// whether each was a `.method()` call) and the chain's start index.
+fn chain_callees(toks: &[Tok], mut end: usize, lo: usize) -> (Vec<(String, bool)>, usize) {
+    let mut names = Vec::new();
+    loop {
+        if end <= lo {
+            return (names, end);
+        }
+        let t = &toks[end];
+        match t.text.as_str() {
+            ")" => {
+                let Some(open) = match_back(toks, end, lo, "(", ")") else {
+                    return (names, end);
+                };
+                if open <= lo {
+                    return (names, open);
+                }
+                let nm = &toks[open - 1];
+                if nm.kind == TokKind::Ident && !KEYWORDS.contains(&nm.text.as_str()) {
+                    let is_m = open >= 2 && toks[open - 2].text == ".";
+                    names.push((nm.text.clone(), is_m));
+                    if is_m && open >= 3 {
+                        end = open - 3;
+                        continue;
+                    }
+                    return (names, open - 1);
+                }
+                // `(expr)` grouping: treat the paren group as the root.
+                return (names, open);
+            }
+            "]" => {
+                let Some(open) = match_back(toks, end, lo, "[", "]") else {
+                    return (names, end);
+                };
+                if open == 0 {
+                    return (names, open);
+                }
+                end = open - 1;
+            }
+            "?" => {
+                if end == 0 {
+                    return (names, end);
+                }
+                end -= 1;
+            }
+            _ if t.kind == TokKind::Ident => {
+                if t.text == "await" && end >= 2 && toks[end - 1].text == "." {
+                    end -= 2;
+                    continue;
+                }
+                if end >= 2 && toks[end - 1].text == "." {
+                    end -= 2; // field access: keep walking the receiver
+                } else {
+                    return (names, end);
+                }
+            }
+            _ => return (names, end),
+        }
+    }
+}
+
+/// Index of the `open` matching the `close` at `at`, scanning backwards,
+/// not crossing `lo`.
+fn match_back(toks: &[Tok], at: usize, lo: usize, open: &str, close: &str) -> Option<usize> {
+    let mut d = 0i32;
+    let mut k = at;
+    loop {
+        let t = &toks[k].text;
+        if t == close {
+            d += 1;
+        } else if t == open {
+            d -= 1;
+            if d == 0 {
+                return Some(k);
+            }
+        }
+        if k == lo || k == 0 {
+            return None;
+        }
+        k -= 1;
+    }
+}
+
+// --------------------------------------------------------------- P-rules
+
+#[derive(Default)]
+struct TagUses {
+    sends: Vec<(usize, usize)>, // (file idx, line)
+    recvs: Vec<(usize, usize)>,
+    unknown: usize,
+}
+
+fn p01(
+    index: &SymbolIndex,
+    files: &[(&str, &Lexed)],
+    waivers: &mut [FileWaivers],
+    out: &mut Vec<Finding>,
+) {
+    // The tag universe: consts defined in a module literally named `tags`.
+    let tag_names: BTreeSet<&str> = index
+        .consts
+        .iter()
+        .filter(|c| c.module == "tags")
+        .map(|c| c.name.as_str())
+        .collect();
+    if tag_names.is_empty() {
+        return;
+    }
+    let mut uses: BTreeMap<&str, TagUses> = BTreeMap::new();
+    for (file_idx, (_, lx)) in files.iter().enumerate() {
+        let toks = &lx.toks;
+        let tests = test_spans(lx);
+        for i in 0..toks.len() {
+            let is_tag = toks[i].text == "tags"
+                && toks.get(i + 1).is_some_and(|t| t.text == ":")
+                && toks.get(i + 2).is_some_and(|t| t.text == ":")
+                && toks
+                    .get(i + 3)
+                    .is_some_and(|t| tag_names.contains(t.text.as_str()));
+            if !is_tag || in_spans(&tests, toks[i].line) {
+                continue;
+            }
+            let name_tok = &toks[i + 3];
+            // The definition site itself (`pub const BOOKMARK…`) has no
+            // `tags::` qualifier, so every hit here is a *use*.
+            let entry = uses.entry(
+                tag_names
+                    .get(name_tok.text.as_str())
+                    .copied()
+                    .unwrap_or_default(),
+            );
+            let u = entry.or_default();
+            match enclosing_call(toks, i) {
+                Some(ref n) if n == "ctrl_send" => u.sends.push((file_idx, name_tok.line)),
+                Some(ref n) if n == "ctrl_recv" => u.recvs.push((file_idx, name_tok.line)),
+                _ => u.unknown += 1,
+            }
+        }
+    }
+    for (tag, u) in &uses {
+        // A use outside ctrl_send/ctrl_recv (bound to a local, passed to
+        // a helper like ctrl_barrier) makes the pairing undecidable for
+        // this tag — the approximation errs toward silence.
+        if u.unknown > 0 {
+            continue;
+        }
+        let (witness, missing, have) = if !u.sends.is_empty() && u.recvs.is_empty() {
+            (u.sends[0], "ctrl_recv", "sent")
+        } else if !u.recvs.is_empty() && u.sends.is_empty() {
+            (u.recvs[0], "ctrl_send", "received")
+        } else {
+            continue;
+        };
+        let (file_idx, line) = witness;
+        if waivers[file_idx].waives(line, Rule::P01) {
+            continue;
+        }
+        let rel = files[file_idx].0;
+        out.push(finding(
+            rel,
+            files[file_idx].1,
+            line,
+            Rule::P01,
+            format!(
+                "control tag `tags::{tag}` is {have} but has no matching `{missing}` \
+                 anywhere in the workspace — an unpaired control tag deadlocks the wave"
+            ),
+        ));
+    }
+}
+
+/// The name of the innermost `name(...)` call enclosing token `at`, if
+/// any, walking outwards through every enclosing argument list until a
+/// statement boundary.
+fn enclosing_call(toks: &[Tok], at: usize) -> Option<String> {
+    let mut bal = 0i32;
+    let mut k = at;
+    while k > 0 {
+        k -= 1;
+        match toks[k].text.as_str() {
+            ")" => bal += 1,
+            "(" => {
+                if bal > 0 {
+                    bal -= 1;
+                } else if k > 0 && toks[k - 1].kind == TokKind::Ident {
+                    let name = &toks[k - 1].text;
+                    if !KEYWORDS.contains(&name.as_str()) {
+                        return Some(name.clone());
+                    }
+                }
+            }
+            ";" | "{" | "}" if bal == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+fn p02(
+    index: &SymbolIndex,
+    files: &[(&str, &Lexed)],
+    waivers: &mut [FileWaivers],
+    out: &mut Vec<Finding>,
+) {
+    // Protocol enums: defined in the protocol-plane crates (the `json`
+    // crate's generic value enum is deliberately out — matching it with
+    // a wildcard is ordinary defensive parsing).
+    let mut protocol_enums: BTreeMap<&str, &Vec<String>> = BTreeMap::new();
+    for e in &index.enums {
+        if policy::D03T_SCOPE_CRATES.contains(&e.krate.as_str())
+            || e.krate == "group"
+            || e.krate == "mpi"
+        {
+            protocol_enums.insert(e.name.as_str(), &e.variants);
+        }
+    }
+    for (file_idx, (rel, lx)) in files.iter().enumerate() {
+        if !RECOVERY_CRITICAL.contains(rel) {
+            continue;
+        }
+        let toks = &lx.toks;
+        let tests = test_spans(lx);
+        let mut i = 0usize;
+        while i < toks.len() {
+            if toks[i].text != "match" || toks[i].kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            if in_spans(&tests, toks[i].line) {
+                i += 1;
+                continue;
+            }
+            // Find the match body `{` (scrutinee has no top-level braces;
+            // Rust requires parens around struct literals there).
+            let mut j = i + 1;
+            let mut d = 0i32;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" | "[" => d += 1,
+                    ")" | "]" => d -= 1,
+                    "{" if d == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let Some(close) = match_forward(toks, j) else {
+                i += 1;
+                continue;
+            };
+            let (wildcard, protocol) = scan_arms(toks, j, close, &protocol_enums);
+            if wildcard && protocol {
+                let line = toks[i].line;
+                if !waivers[file_idx].waives(line, Rule::P02) {
+                    out.push(finding(
+                        rel,
+                        lx,
+                        line,
+                        Rule::P02,
+                        "wildcard `_ =>` over a protocol enum in a recovery-critical \
+                         module — name every variant so new protocol states cannot be \
+                         silently ignored"
+                            .to_string(),
+                    ));
+                }
+            }
+            i = j + 1;
+        }
+    }
+}
+
+fn match_forward(toks: &[Tok], open: usize) -> Option<usize> {
+    if toks.get(open).is_none_or(|t| t.text != "{") {
+        return None;
+    }
+    let mut d = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "{" => d += 1,
+            "}" => {
+                d -= 1;
+                if d == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Scan a match body for (a) a bare `_ =>` arm, (b) any protocol-enum
+/// `Enum::Variant` in an arm pattern.
+fn scan_arms(
+    toks: &[Tok],
+    open: usize,
+    close: usize,
+    protocol_enums: &BTreeMap<&str, &Vec<String>>,
+) -> (bool, bool) {
+    let mut wildcard = false;
+    let mut protocol = false;
+    let mut k = open + 1;
+    while k < close {
+        // Pattern: tokens until `=>` at depth 0 (inside the match body).
+        let pat_start = k;
+        let mut d = 0i32;
+        let mut arrow = None;
+        while k < close {
+            let t = &toks[k].text;
+            match t.as_str() {
+                "(" | "[" | "{" => d += 1,
+                ")" | "]" | "}" => d -= 1,
+                "=" if d == 0 && toks.get(k + 1).is_some_and(|n| n.text == ">") => {
+                    arrow = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        let pat = &toks[pat_start..arrow];
+        if pat.len() == 1 && pat[0].text == "_" {
+            wildcard = true;
+        }
+        for (p, t) in pat.iter().enumerate() {
+            if t.kind == TokKind::Ident
+                && protocol_enums.get(t.text.as_str()).is_some_and(|variants| {
+                    pat.get(p + 1).is_some_and(|c| c.text == ":")
+                        && pat.get(p + 2).is_some_and(|c| c.text == ":")
+                        && pat.get(p + 3).is_some_and(|v| variants.contains(&v.text))
+                })
+            {
+                protocol = true;
+            }
+        }
+        // Arm body: a block (skip matched braces) or an expression up to
+        // the `,` at depth 0.
+        k = arrow + 2;
+        if toks.get(k).is_some_and(|t| t.text == "{") {
+            let Some(body_close) = match_forward(toks, k) else {
+                break;
+            };
+            k = body_close + 1;
+            if toks.get(k).is_some_and(|t| t.text == ",") {
+                k += 1;
+            }
+        } else {
+            let mut d = 0i32;
+            while k < close {
+                match toks[k].text.as_str() {
+                    "(" | "[" | "{" => d += 1,
+                    ")" | "]" | "}" => d -= 1,
+                    "," if d == 0 => {
+                        k += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+    }
+    (wildcard, protocol)
+}

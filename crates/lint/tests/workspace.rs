@@ -37,3 +37,25 @@ fn live_workspace_has_zero_non_baseline_findings() {
         report.files_scanned
     );
 }
+
+#[test]
+fn call_graph_resolves_enough_of_the_live_workspace() {
+    let root = workspace_root();
+    let report =
+        lint_workspace(root, &gcr_lint::Baseline::default()).expect("workspace must be readable");
+    let g = report
+        .graph
+        .expect("workspace lint always builds the graph");
+    // The semantic passes are only as good as the graph under them: if
+    // resolution decays (lexer drift, new call idioms), D03-T silently
+    // loses edges. Keep the floor explicit.
+    assert!(
+        g.resolution_rate() >= 0.95,
+        "call-graph resolution degraded: {} of {} sites ({:.1}%) — {} ambiguous",
+        g.resolved + g.external,
+        g.call_sites,
+        g.resolution_rate() * 100.0,
+        g.ambiguous
+    );
+    assert!(g.functions > 500, "index saw only {} fns", g.functions);
+}

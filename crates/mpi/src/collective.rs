@@ -8,6 +8,8 @@
 //! Algorithms follow the classic MPICH shapes: dissemination barrier,
 //! binomial-tree broadcast/reduce, ring allgather, pairwise all-to-all.
 
+// gcr-lint: trust(D03-T) Comm::new's panics are documented constructor preconditions (membership fixed at build time); rank tables are sized to the communicator
+
 use std::cell::Cell;
 use std::rc::Rc;
 

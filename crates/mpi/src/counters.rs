@@ -8,6 +8,8 @@
 //!   from / sent to each process, recorded at checkpoint time), and
 //! * end-of-run sanity invariants (nothing left in flight).
 
+// gcr-lint: trust(D03-T) the per-channel pair matrix is n×n by construction; rank indices come from the validated world
+
 use crate::rank::Rank;
 
 /// Byte and message counts on one directed channel `src → dst`.

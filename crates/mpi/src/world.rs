@@ -1,6 +1,8 @@
 //! The message-passing world: ranks, the send/receive engine, gates, and
 //! the protocol-facing control surface.
 
+// gcr-lint: trust(D03-T) per-rank state arrays (mailboxes, halt_gates, arrival_pulses, pending_grants, …) are sized to the world at construction and indexed by validated Rank ids — an out-of-range rank is a simulator bug, not a recoverable fault
+
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 

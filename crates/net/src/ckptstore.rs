@@ -298,7 +298,7 @@ impl CkptStore {
         match entry.state {
             Some(GenState::Committed) => return true,
             Some(GenState::Aborted) => return false,
-            _ => {}
+            Some(GenState::Pending) | None => {}
         }
         let complete =
             entry.failed.is_empty() && members.iter().all(|m| entry.images.contains_key(m));

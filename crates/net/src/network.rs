@@ -9,6 +9,8 @@
 //! `overhead + latency + bytes/bw`; contention — most importantly incast at
 //! checkpoint servers and barrier roots — emerges from the FIFO queues.
 
+// gcr-lint: trust(D03-T) per-node uplink/downlink/slowdown tables are sized to the cluster at construction and indexed by validated NodeIds
+
 use std::cell::Cell;
 
 use gcr_sim::resource::FifoResource;

@@ -19,6 +19,8 @@
 //! uses: transient faults are retried, a retry under an outage fails over to
 //! the next live server, and exhaustion degrades to a typed error.
 
+// gcr-lint: trust(D03-T) local_disks/remote_disks/remote_down are sized to the cluster at construction and indexed by NodeId/server ids the cluster validated; storage faults surface as StorageError, not index panics
+
 use std::cell::Cell;
 use std::rc::Rc;
 

@@ -73,6 +73,8 @@ pub struct LintArgs {
     pub json: bool,
     /// Rewrite the baseline to grandfather all current findings.
     pub update_baseline: bool,
+    /// Print one rule's catalog entry instead of linting.
+    pub explain: Option<String>,
 }
 
 /// Arguments of the `chaos` subcommand. Every field except the seed
@@ -181,6 +183,8 @@ USAGE:
                  slow:n<N>x<F>@<ms>+<dur> torn:n<N>x<C>@<ms> corrupt:g<G>@<ms>
                  crashckpt:g<G>p<0|1|2>@<ms>)
   gcrsim lint   [--root DIR] [--baseline FILE] [--json] [--update-baseline]
+                [--explain RULE]   (rules: D01 D02 D03 D03-T D04 E01 E02 E03
+                 P01 P02 S00 S01 — prints the catalog entry and exits)
 ";
 
 struct Flags<'a> {
@@ -387,6 +391,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             baseline: f.get("--baseline").map(str::to_string),
             json: f.has("--json"),
             update_baseline: f.has("--update-baseline"),
+            explain: f.get("--explain").map(str::to_string),
         })),
         "help" | "--help" | "-h" => Err(err(USAGE)),
         other => Err(err(format!("unknown subcommand '{other}'\n\n{USAGE}"))),
@@ -492,6 +497,13 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
 /// Run the static analyzer over the workspace. New (non-baseline)
 /// findings are a hard error so CI exits nonzero.
 fn execute_lint(a: LintArgs) -> Result<String, CliError> {
+    if let Some(id) = &a.explain {
+        let rule = gcr_lint::Rule::parse(id).ok_or_else(|| {
+            let known: Vec<&str> = gcr_lint::Rule::ALL.iter().map(|r| r.id()).collect();
+            err(format!("unknown rule '{id}' (known: {})", known.join(", ")))
+        })?;
+        return Ok(gcr_lint::catalog::explain(rule));
+    }
     let root = std::path::PathBuf::from(&a.root);
     let baseline_path = a
         .baseline
@@ -763,6 +775,15 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn lint_explain_prints_the_catalog_entry() {
+        let out = execute(parse(&argv("lint --explain E01")).unwrap()).unwrap();
+        assert!(out.starts_with("E01:"), "{out}");
+        assert!(out.contains("fix"), "{out}");
+        let bad = execute(parse(&argv("lint --explain Z99")).unwrap());
+        assert!(bad.is_err());
     }
 
     #[test]
