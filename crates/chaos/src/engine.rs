@@ -174,12 +174,16 @@ impl ChaosReport {
 pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
     let wl = spec.workload.build();
     let n = wl.n();
-    let sim = Sim::new();
+    let sim = Sim::with_shards(spec.shards.max(1));
     let cluster = Cluster::new(&sim, chaos_cluster_spec(n));
     let world = World::new(cluster.clone(), chaos_world_opts());
+    // Groups are resolved before launch (the profile trace runs on its own
+    // private Sim) so each rank's events can be attributed to its group's
+    // shard. Attribution never affects event order — see tests/determinism.rs.
+    let groups = Rc::new(spec.proto.resolve_groups(spec.workload));
+    world.set_shard_map((0..n as u32).map(|r| groups.group_of(r) as u32).collect());
     wl.launch(&world);
 
-    let groups = Rc::new(spec.proto.resolve_groups(spec.workload));
     let mode = if spec.proto == ChaosProto::Vcl {
         Mode::Vcl
     } else {

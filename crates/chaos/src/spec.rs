@@ -235,6 +235,11 @@ pub struct ChaosSpec {
     pub gc_overshoot: u64,
     /// The failure schedule.
     pub schedule: Vec<ChaosEvent>,
+    /// Executor shard count. Purely a kernel-layout knob: every shard
+    /// count produces the bit-identical report and digest for the same
+    /// seed (the determinism matrix in `tests/determinism.rs` enforces
+    /// this), so it is deliberately excluded from the report JSON.
+    pub shards: usize,
 }
 
 impl ChaosSpec {
@@ -306,6 +311,7 @@ impl ChaosSpec {
             interval_ms,
             gc_overshoot: 0,
             schedule,
+            shards: 1,
         }
     }
 
@@ -331,6 +337,9 @@ pub fn repro_command(spec: &ChaosSpec) -> String {
     );
     if spec.gc_overshoot > 0 {
         cmd.push_str(&format!(" --gc-overshoot {}", spec.gc_overshoot));
+    }
+    if spec.shards > 1 {
+        cmd.push_str(&format!(" --shards {}", spec.shards));
     }
     cmd.push_str(&format!(" --schedule '{}'", spec.schedule_string()));
     cmd

@@ -25,6 +25,7 @@ fn spec(
         interval_ms,
         gc_overshoot: 0,
         schedule: parse_schedule(schedule).expect("test schedule parses"),
+        shards: 1,
     }
 }
 

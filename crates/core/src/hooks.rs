@@ -9,8 +9,6 @@
 //! model: bytes arriving from a peer between this rank's checkpoint and
 //! that peer's marker belong to the channel state and must be persisted.
 
-// gcr-lint: trust(D03-T) per-rank recording/state tables are sized to the world at hook installation and indexed by validated Rank ids
-
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
@@ -128,11 +126,17 @@ impl GpState {
     /// Trimming log against an uncommitted generation would make
     /// generation-fallback restart unreplayable.
     pub fn on_checkpoint(&self, gen: u64) -> u64 {
-        let out = self.groups.out_of_group(self.rank);
+        // Traffic-sparse: only peers with recorded volume enter the
+        // snapshot (absent reads as zero everywhere). Materializing the
+        // full out-of-group set here would be O(world) per rank per wave
+        // — quadratic across the job, and the reason a dense snapshot
+        // cannot survive 100k ranks.
+        let gid = self.groups.group_of(self.rank);
+        let out = |q: u32| self.groups.group_of(q) != gid;
         let vols = self.vols.borrow();
         let snap = GenSnap {
-            rr: vols.snapshot(out.iter().copied()),
-            ss: out.iter().map(|&q| (q, vols.sent_to(q))).collect(),
+            rr: vols.snapshot_received(out),
+            ss: vols.snapshot_sent(out),
         };
         self.pending.borrow_mut().insert(gen, snap);
         self.log.borrow_mut().take_all_pending_flush()
@@ -174,21 +178,17 @@ impl GpState {
             Some(g) => committed.retain(|&(id, _)| id <= g),
             None => committed.clear(),
         }
-        // Re-establish floors for every out-of-group peer: zero unless the
-        // surviving ledger still covers the peer.
-        let mut floors: std::collections::BTreeMap<u32, u64> = self
-            .groups
-            .out_of_group(self.rank)
-            .into_iter()
-            .map(|q| (q, 0))
-            .collect();
+        // Floors move *backward* on rollback, so replace rather than
+        // merge: peers absent from the surviving ledger's floor drop to
+        // (implicit) zero.
         let idx = committed.len().saturating_sub(self.retention.get());
-        if let Some((_, floor)) = committed.get(idx) {
-            for (&q, &r) in &floor.rr {
-                floors.insert(q, r);
-            }
+        match committed.get(idx) {
+            Some((_, floor)) => self.vols.borrow_mut().reset_floors(&floor.rr),
+            None => self
+                .vols
+                .borrow_mut()
+                .reset_floors(&std::collections::BTreeMap::new()),
         }
-        self.vols.borrow_mut().advertise(&floors);
     }
 
     /// The newest committed generation in this rank's ledger.
@@ -288,11 +288,14 @@ impl GpState {
     /// only peers a restart needs to exchange volumes with. The set is
     /// symmetric: `q` lists me iff I list `q`.
     pub fn comm_peers(&self) -> Vec<u32> {
-        let vols = self.vols.borrow();
-        self.groups
-            .out_of_group(self.rank)
+        // Walk the sparse traffic partners (ascending) instead of the
+        // whole out-of-group set — at 100k ranks the latter is the job.
+        let gid = self.groups.group_of(self.rank);
+        self.vols
+            .borrow()
+            .active_partners()
             .into_iter()
-            .filter(|&q| vols.sent_to(q) > 0 || vols.received_from(q) > 0)
+            .filter(|&q| self.groups.group_of(q) != gid)
             .collect()
     }
 }
@@ -344,7 +347,12 @@ impl MpiHook for GpState {
 /// Per-rank Chandy–Lamport channel-state recorder (VCL model).
 pub struct VclState {
     rank: u32,
+    n: usize,
     /// recording\[p\] = true while messages from p belong to channel state.
+    /// Allocated lazily on the first wave: a rank that never starts one —
+    /// every rank in non-VCL modes, most ranks between waves — costs O(1)
+    /// instead of O(n), which matters in a 100k-rank world where the
+    /// per-rank state is built n times.
     recording: RefCell<Vec<bool>>,
     /// Channel-state bytes accumulated in the current wave.
     state_bytes: Cell<u64>,
@@ -355,7 +363,8 @@ impl VclState {
     pub fn new(rank: u32, n: usize) -> Rc<Self> {
         Rc::new(VclState {
             rank,
-            recording: RefCell::new(vec![false; n]),
+            n,
+            recording: RefCell::new(Vec::new()),
             state_bytes: Cell::new(0),
         })
     }
@@ -368,15 +377,20 @@ impl VclState {
     /// Start a wave: record every incoming channel until its marker shows
     /// up.
     pub fn start_wave(&self) {
-        for (p, rec) in self.recording.borrow_mut().iter_mut().enumerate() {
-            *rec = p as u32 != self.rank;
+        let mut rec = self.recording.borrow_mut();
+        rec.clear();
+        rec.resize(self.n, true);
+        if let Some(own) = rec.get_mut(self.rank as usize) {
+            *own = false;
         }
         self.state_bytes.set(0);
     }
 
     /// A marker from `p` arrived: channel `p → me` state is complete.
     pub fn marker_from(&self, p: u32) {
-        self.recording.borrow_mut()[p as usize] = false;
+        if let Some(rec) = self.recording.borrow_mut().get_mut(p as usize) {
+            *rec = false;
+        }
     }
 
     /// Bytes of channel state accumulated this wave.
@@ -387,7 +401,15 @@ impl VclState {
 
 impl MpiHook for VclState {
     fn on_arrival(&self, env: &Envelope) {
-        if self.recording.borrow()[env.src.idx()] {
+        // Before the first wave the lazily-allocated vector is empty:
+        // nothing is being recorded.
+        let recording = self
+            .recording
+            .borrow()
+            .get(env.src.idx())
+            .copied()
+            .unwrap_or(false);
+        if recording {
             self.state_bytes.set(self.state_bytes.get() + env.bytes);
         }
     }

@@ -5,8 +5,17 @@
 //! * `RR_X` — the value of `R_X` recorded at this rank's latest checkpoint.
 //! * A "first message to X since my checkpoint" flag per out-of-group peer,
 //!   which triggers piggybacking `RR_X` for log garbage collection.
+//!
+//! Everything here is **traffic-sparse**: maps only hold peers that
+//! actually exchanged bytes, and every read defaults to zero for absent
+//! peers. That is what lets a 100k-rank world checkpoint without
+//! materializing 100k entries per rank — the dense representation would
+//! be O(n²) across the job. The piggyback flag in particular is *not* a
+//! per-peer set (arming all out-of-group peers at every commit is O(n²)
+//! by itself): an advertisement bumps an epoch, and a send piggybacks
+//! iff its destination has not piggybacked in the current epoch.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// Algorithm-1 per-rank counter state.
 #[derive(Debug, Default, Clone)]
@@ -14,7 +23,11 @@ pub struct VolumeCounters {
     r: BTreeMap<u32, u64>,
     s: BTreeMap<u32, u64>,
     rr: BTreeMap<u32, u64>,
-    needs_piggyback: BTreeSet<u32>,
+    /// Arming epoch: bumped whenever new GC floors are advertised. A
+    /// fresh state is epoch 0 = nothing armed.
+    epoch: u64,
+    /// Per-destination epoch of the last piggyback actually attached.
+    piggybacked: BTreeMap<u32, u64>,
 }
 
 impl VolumeCounters {
@@ -52,38 +65,77 @@ impl VolumeCounters {
         self.rr.get(&x).copied().unwrap_or(0)
     }
 
-    /// Pure snapshot read: the current `R` per out-of-group peer, taken at
-    /// checkpoint time (Algorithm 1, "On receiving a group checkpoint
-    /// request"). Does **not** arm piggybacks — the snapshot belongs to a
-    /// *pending* generation; advertising it before the generation commits
-    /// would let peers trim log a fallback restart still needs.
-    pub fn snapshot(&self, out_of_group: impl Iterator<Item = u32>) -> BTreeMap<u32, u64> {
-        out_of_group.map(|q| (q, self.received_from(q))).collect()
+    /// Pure snapshot read of the `R` counters, taken at checkpoint time
+    /// (Algorithm 1, "On receiving a group checkpoint request"), filtered
+    /// to peers `keep` accepts (the out-of-group set). Sparse: peers that
+    /// never sent to this rank are simply absent, and every consumer
+    /// reads absent as zero. Does **not** arm piggybacks — the snapshot
+    /// belongs to a *pending* generation; advertising it before the
+    /// generation commits would let peers trim log a fallback restart
+    /// still needs.
+    pub fn snapshot_received(&self, keep: impl Fn(u32) -> bool) -> BTreeMap<u32, u64> {
+        self.r
+            .iter()
+            .filter(|&(&q, _)| keep(q))
+            .map(|(&q, &v)| (q, v))
+            .collect()
+    }
+
+    /// Sparse snapshot of the `S` counters, filtered like
+    /// [`VolumeCounters::snapshot_received`].
+    pub fn snapshot_sent(&self, keep: impl Fn(u32) -> bool) -> BTreeMap<u32, u64> {
+        self.s
+            .iter()
+            .filter(|&(&q, _)| keep(q))
+            .map(|(&q, &v)| (q, v))
+            .collect()
+    }
+
+    /// Peers this rank exchanged any bytes with, ascending, deduplicated.
+    pub fn active_partners(&self) -> Vec<u32> {
+        let mut partners: Vec<u32> = self.r.keys().chain(self.s.keys()).copied().collect();
+        partners.sort_unstable();
+        partners.dedup();
+        partners
     }
 
     /// Commit-side bookkeeping: adopt `floors` as the advertised `RR`
-    /// values and arm the piggyback flag for each peer. Called once the
-    /// generation the floors belong to is durably committed (or after a
-    /// rollback re-establishes an older floor).
+    /// values and re-arm the piggyback flag for every peer (epoch bump).
+    /// Called once the generation the floors belong to is durably
+    /// committed. Floors absent from the map stay at their previous value
+    /// — within one ledger progression `R` is monotonic, so a peer with
+    /// recorded traffic never drops out of a later snapshot.
     pub fn advertise(&mut self, floors: &BTreeMap<u32, u64>) {
         for (&q, &r) in floors {
             self.rr.insert(q, r);
-            self.needs_piggyback.insert(q);
         }
+        self.epoch += 1;
+    }
+
+    /// Rollback-side bookkeeping: *replace* the advertised floors (peers
+    /// absent from `floors` drop to zero — the rolled-back ledger no
+    /// longer vouches for them) and re-arm every piggyback.
+    pub fn reset_floors(&mut self, floors: &BTreeMap<u32, u64>) {
+        self.rr.clear();
+        self.rr.extend(floors.iter().map(|(&q, &v)| (q, v)));
+        self.epoch += 1;
     }
 
     /// Checkpoint bookkeeping without durability (legacy single-generation
-    /// flow): snapshot the current `R` per out-of-group peer and advertise
-    /// it immediately.
+    /// flow): snapshot the current `R` per accepted peer and advertise it
+    /// immediately.
     pub fn record_at_checkpoint(&mut self, out_of_group: impl Iterator<Item = u32>) {
-        let snap = self.snapshot(out_of_group);
+        let snap: BTreeMap<u32, u64> = out_of_group
+            .filter_map(|q| self.r.get(&q).map(|&v| (q, v)))
+            .collect();
         self.advertise(&snap);
     }
 
     /// If this is the first message to `dst` since the latest checkpoint,
     /// return the `RR_dst` value to piggyback and clear the flag.
     pub fn piggyback_for(&mut self, dst: u32) -> Option<u64> {
-        if self.needs_piggyback.remove(&dst) {
+        if self.piggybacked.get(&dst).copied().unwrap_or(0) < self.epoch {
+            self.piggybacked.insert(dst, self.epoch);
             Some(self.recorded_received(dst))
         } else {
             None
@@ -92,7 +144,7 @@ impl VolumeCounters {
 
     /// Whether a piggyback is still pending toward `dst` (diagnostics).
     pub fn piggyback_pending(&self, dst: u32) -> bool {
-        self.needs_piggyback.contains(&dst)
+        self.piggybacked.get(&dst).copied().unwrap_or(0) < self.epoch
     }
 }
 
@@ -142,9 +194,10 @@ mod tests {
     fn snapshot_does_not_arm_piggybacks() {
         let mut v = VolumeCounters::new();
         v.on_recv(1, 100);
-        let snap = v.snapshot([1, 2].into_iter());
+        let snap = v.snapshot_received(|_| true);
         assert_eq!(snap.get(&1), Some(&100));
-        assert_eq!(snap.get(&2), Some(&0));
+        // Sparse: a peer that never sent is absent, and absent reads zero.
+        assert_eq!(snap.get(&2), None);
         // Nothing advertised yet: RR stays at its old floor, no piggyback.
         assert_eq!(v.recorded_received(1), 0);
         assert_eq!(v.piggyback_for(1), None);
@@ -159,5 +212,31 @@ mod tests {
         let v = VolumeCounters::new();
         assert_eq!(v.recorded_received(5), 0);
         assert!(!v.piggyback_pending(5));
+    }
+
+    #[test]
+    fn reset_floors_drops_unlisted_peers_and_rearms() {
+        let mut v = VolumeCounters::new();
+        v.on_recv(1, 10);
+        v.on_recv(2, 20);
+        v.record_at_checkpoint([1, 2].into_iter());
+        assert_eq!(v.piggyback_for(1), Some(10));
+        // Roll back to a ledger that only vouches for peer 2.
+        let surviving: BTreeMap<u32, u64> = [(2u32, 20u64)].into_iter().collect();
+        v.reset_floors(&surviving);
+        assert_eq!(v.recorded_received(1), 0);
+        assert_eq!(v.recorded_received(2), 20);
+        // Every peer is re-armed, including the one that already sent.
+        assert_eq!(v.piggyback_for(1), Some(0));
+        assert_eq!(v.piggyback_for(2), Some(20));
+    }
+
+    #[test]
+    fn active_partners_union_both_directions() {
+        let mut v = VolumeCounters::new();
+        v.on_recv(9, 1);
+        v.on_send(3, 1);
+        v.on_send(9, 1);
+        assert_eq!(v.active_partners(), vec![3, 9]);
     }
 }

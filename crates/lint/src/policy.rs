@@ -27,13 +27,17 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
 /// `#[allow(dead_code)]` (rule D04).
 pub const PROTOCOL_CRATES: &[&str] = &["core", "mpi", "group", "chaos"];
 
-/// Modules on the recovery path (rules D03, D03-T roots, P02).
+/// Modules on the recovery path (rules D03, D03-T roots, P02). The
+/// executor's shard/merge module rides along: a panic in the cross-shard
+/// merge would take down every group at once, so it must stay free of
+/// unwrap/expect/unchecked indexing like the restart path proper.
 pub const RECOVERY_CRITICAL: &[&str] = &[
     "crates/core/src/restart.rs",
     "crates/core/src/msglog.rs",
     "crates/core/src/ctrlplane.rs",
     "crates/net/src/ckptstore.rs",
     "crates/chaos/src/engine.rs",
+    "crates/sim/src/shard.rs",
 ];
 
 /// Crates the transitive panic-reachability pass (D03-T) propagates
@@ -90,6 +94,11 @@ mod tests {
     fn tiers_resolve_as_documented() {
         let p = policy_for("crates/sim/src/executor.rs");
         assert!(p.d01 && p.d02 && !p.d03 && !p.d04);
+
+        // The shard/merge module: deterministic (gcr-sim is a D01 crate)
+        // AND panic-free (D03) — every group shares one merge loop.
+        let p = policy_for("crates/sim/src/shard.rs");
+        assert!(p.d01 && p.d02 && p.d03 && !p.d04);
 
         let p = policy_for("crates/core/src/restart.rs");
         assert!(p.d01 && p.d02 && p.d03 && p.d04);

@@ -122,6 +122,13 @@ impl Mailbox {
     /// Try to match a posted receive against the unexpected queue, removing
     /// and returning the first match.
     pub fn take_matching_arrival(&mut self, src: SrcSel, tag: Tag) -> Option<Arrival> {
+        // Hot path: the FIFO head matches. Tight send/recv loops hit this
+        // almost always, skipping the linear scan and the queue shift.
+        if let Some(a) = self.arrived.front() {
+            if a.env().tag == tag && src.matches(a.env().src) {
+                return self.arrived.pop_front();
+            }
+        }
         let pos = self
             .arrived
             .iter()
@@ -132,6 +139,11 @@ impl Mailbox {
     /// Try to match a new arrival against the posted queue, removing and
     /// returning the first matching posted receive.
     pub fn take_matching_posted(&mut self, env: &Envelope) -> Option<Posted> {
+        if let Some(p) = self.posted.front() {
+            if p.tag == env.tag && p.src.matches(env.src) {
+                return self.posted.pop_front();
+            }
+        }
         let pos = self
             .posted
             .iter()

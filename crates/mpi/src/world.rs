@@ -72,6 +72,11 @@ struct Inner {
     pending_grants: Vec<Cell<u64>>,
     grant_pulses: Vec<Pulse>,
     send_seq: Vec<Cell<u64>>,
+    /// Executor shard each rank's events are attributed to (usually the
+    /// rank's checkpoint group). Attribution is a placement choice — it
+    /// never affects event order — so the default all-zeros map is always
+    /// correct, just unsharded.
+    shard_of: RefCell<Vec<u32>>,
     ranks_done: WaitGroup,
     finished: Cell<usize>,
 }
@@ -105,6 +110,7 @@ impl World {
                 pending_grants: (0..n).map(|_| Cell::new(0)).collect(),
                 grant_pulses: (0..n).map(|_| Pulse::new()).collect(),
                 send_seq: (0..n).map(|_| Cell::new(0)).collect(),
+                shard_of: RefCell::new(vec![0; n]),
                 ranks_done,
                 finished: Cell::new(0),
             }),
@@ -141,6 +147,20 @@ impl World {
         }
     }
 
+    /// Attribute each rank's events to an executor shard (typically the
+    /// rank's checkpoint group, taken modulo the shard count). Call before
+    /// [`World::launch`] so rank mains spawn onto their shard. Attribution
+    /// never affects event order; it only spreads the timer heaps.
+    pub fn set_shard_map(&self, map: Vec<u32>) {
+        assert_eq!(map.len(), self.inner.n, "shard map must cover every rank");
+        *self.inner.shard_of.borrow_mut() = map;
+    }
+
+    /// The executor shard `rank`'s events are attributed to.
+    pub fn shard_of(&self, rank: Rank) -> usize {
+        self.inner.shard_of.borrow()[rank.idx()] as usize
+    }
+
     /// Spawn `rank`'s application main. Completion is tracked: see
     /// [`World::wait_all_ranks`] and [`World::ranks_finished`].
     pub fn launch<F, Fut>(&self, rank: Rank, f: F)
@@ -155,7 +175,7 @@ impl World {
         let inner2 = Rc::clone(&self.inner);
         self.inner
             .sim
-            .spawn_named(format!("rank{}", rank.0), async move {
+            .spawn_named_on(self.shard_of(rank), format!("rank{}", rank.0), async move {
                 fut.await;
                 inner2.finished.set(inner2.finished.get() + 1);
                 inner2.ranks_done.done();
@@ -388,6 +408,24 @@ impl World {
         RecvSlot::fulfill(&slot, env);
     }
 
+    /// Arrival of a rendezvous data transfer: runs as a scheduled call at
+    /// the delivery time, on the destination's shard.
+    fn deliver_rendezvous_data(&self, mut env: Envelope, slot: Rc<RefCell<RecvSlot>>) {
+        env.arrived_at = self.inner.sim.now();
+        if env.kind == MsgKind::App {
+            self.inner
+                .counters
+                .borrow_mut()
+                .on_arrival(env.src, env.dst, env.bytes);
+            for h in self.inner.hooks[env.dst.idx()].borrow().iter() {
+                h.on_arrival(&env);
+            }
+        }
+        let dst = env.dst;
+        self.complete_recv(slot, env);
+        self.inner.arrival_pulses[dst.idx()].pulse();
+    }
+
     /// Engine behind all sends. Returns when the sender's uplink is free
     /// (eager) or when the rendezvous data transfer has left (rendezvous).
     async fn send_impl(
@@ -432,12 +470,13 @@ impl World {
             }
             let timing = net.reserve_transfer_full(src.idx(), dst.idx(), bytes + opts.header_bytes);
             let world = self.clone();
-            let sim = self.inner.sim.clone();
-            let delivered = timing.delivered;
-            self.inner.sim.spawn_named("in-flight", async move {
-                sim.sleep_until(delivered).await;
-                world.deliver(env);
-            });
+            // In-flight message: an arena-allocated scheduled call on the
+            // destination's shard, replacing a task spawn per message.
+            self.inner
+                .sim
+                .schedule_call_on(self.shard_of(dst), timing.delivered, move || {
+                    world.deliver(env);
+                });
             self.inner.sim.sleep_until(timing.tx_done).await;
         } else {
             // Rendezvous: RTS → (match) → CTS → data.
@@ -446,13 +485,14 @@ impl World {
                 net.reserve_transfer_full(src.idx(), dst.idx(), opts.rts_bytes + opts.header_bytes);
             {
                 let world = self.clone();
-                let sim = self.inner.sim.clone();
                 let rts_env = env.clone();
-                let delivered = rts_timing.delivered;
-                self.inner.sim.spawn_named("rts-flight", async move {
-                    sim.sleep_until(delivered).await;
-                    world.deliver_rts(rts_env, grant_tx);
-                });
+                self.inner.sim.schedule_call_on(
+                    self.shard_of(dst),
+                    rts_timing.delivered,
+                    move || {
+                        world.deliver_rts(rts_env, grant_tx);
+                    },
+                );
             }
             let (cts_arrive, slot) = grant_rx.await.expect("receiver vanished during rendezvous");
             self.inner.sim.sleep_until(cts_arrive).await;
@@ -469,28 +509,71 @@ impl World {
             let timing = net.reserve_transfer_full(src.idx(), dst.idx(), bytes + opts.header_bytes);
             {
                 let world = self.clone();
-                let sim = self.inner.sim.clone();
-                let delivered = timing.delivered;
-                self.inner.sim.spawn_named("data-flight", async move {
-                    sim.sleep_until(delivered).await;
-                    env.arrived_at = sim.now();
-                    if env.kind == MsgKind::App {
-                        world
-                            .inner
-                            .counters
-                            .borrow_mut()
-                            .on_arrival(env.src, env.dst, env.bytes);
-                        for h in world.inner.hooks[env.dst.idx()].borrow().iter() {
-                            h.on_arrival(&env);
-                        }
-                    }
-                    let dst = env.dst;
-                    world.complete_recv(slot, env);
-                    world.inner.arrival_pulses[dst.idx()].pulse();
-                });
+                self.inner
+                    .sim
+                    .schedule_call_on(self.shard_of(dst), timing.delivered, move || {
+                        world.deliver_rendezvous_data(env, slot);
+                    });
             }
             self.inner.sim.sleep_until(timing.tx_done).await;
         }
+    }
+
+    /// Batched eager send: `count` back-to-back messages of `bytes` each.
+    /// The gates are waited once for the whole batch, hook costs are
+    /// charged as one up-front sleep, and the transfers are reserved
+    /// back-to-back — the link model serializes them, so this is the
+    /// saturated-link delivery path with one task wakeup per batch instead
+    /// of one per message. Each message is still counted, traced, and
+    /// delivered individually. Completes when the last transfer's uplink
+    /// slot is released.
+    async fn send_eager_batch_impl(&self, src: Rank, dst: Rank, tag: Tag, bytes: u64, count: u32) {
+        if count == 0 {
+            return;
+        }
+        self.inner.halt_gates[src.idx()].wait_open().await;
+        self.inner.app_gates[src.idx()].wait_open().await;
+        self.inner.send_gates[src.idx()].wait_open().await;
+        let net = Rc::clone(self.inner.cluster.network());
+        let opts = &self.inner.opts;
+        let shard = self.shard_of(dst);
+        let mut envs = Vec::with_capacity(count as usize);
+        let mut cost = SimDuration::ZERO;
+        for _ in 0..count {
+            let mut env = Envelope {
+                src,
+                dst,
+                tag,
+                bytes,
+                id: self.next_msg_id(src),
+                kind: MsgKind::App,
+                piggyback_rr: None,
+                payload: None,
+                sent_at: self.inner.sim.now(),
+                arrived_at: SimTime::ZERO,
+            };
+            cost += self.run_send_hooks(&mut env);
+            envs.push(env);
+        }
+        if !cost.is_zero() {
+            self.inner.sim.sleep(cost).await;
+        }
+        let now = self.inner.sim.now();
+        let mut last_tx_done = now;
+        for mut env in envs {
+            env.sent_at = now;
+            self.inner
+                .counters
+                .borrow_mut()
+                .on_send(env.src, env.dst, env.bytes);
+            let timing = net.reserve_transfer_full(src.idx(), dst.idx(), bytes + opts.header_bytes);
+            last_tx_done = timing.tx_done;
+            let world = self.clone();
+            self.inner
+                .sim
+                .schedule_call_on(shard, timing.delivered, move || world.deliver(env));
+        }
+        self.inner.sim.sleep_until(last_tx_done).await;
     }
 
     /// Engine behind all receives.
@@ -559,6 +642,16 @@ impl RankCtx {
     pub async fn send(&self, dst: Rank, tag: u64, bytes: u64) {
         self.world
             .send_impl(self.rank, dst, Tag::app(tag), bytes, MsgKind::App, None)
+            .await;
+    }
+
+    /// Send `count` back-to-back eager messages of `bytes` each to `dst` —
+    /// batch delivery on a saturated link. The gates are waited once and
+    /// the sender wakes once for the whole batch; every message is still
+    /// counted, traced, and delivered individually.
+    pub async fn send_batch(&self, dst: Rank, tag: u64, bytes: u64, count: u32) {
+        self.world
+            .send_eager_batch_impl(self.rank, dst, Tag::app(tag), bytes, count)
             .await;
     }
 

@@ -1,19 +1,25 @@
-//! The deterministic single-threaded async executor at the heart of the DES.
+//! The deterministic sharded async executor at the heart of the DES.
 //!
 //! Simulated processes (MPI ranks, protocol daemons, the `mpirun`
 //! controller…) are ordinary Rust futures. The executor interleaves them
 //! cooperatively and advances a virtual clock: when no task is runnable, the
-//! clock jumps to the next scheduled timer. There is no real-time blocking
+//! clock jumps to the next scheduled event. There is no real-time blocking
 //! anywhere, so a full 128-rank run finishes in milliseconds of wall time.
 //!
-//! Determinism: tasks are polled in FIFO wake order, timers fire in
+//! Pending events are partitioned into per-group *shards* (see
+//! [`crate::shard`]), each with its own timer heap. A conservative-window
+//! merge picks the next instant: because every event carries a sequence
+//! number from one global counter, the merged order is the exact total
+//! order `(deadline, sequence)` no matter how many shards exist — shard
+//! count is a layout choice, not a semantic one.
+//!
+//! Determinism: tasks are polled in FIFO wake order, events fire in
 //! `(deadline, sequence-number)` order, and all randomness is drawn from a
 //! seeded [`crate::rng::DetRng`]. Two runs with the same seed produce
-//! identical event schedules.
+//! identical event schedules, at any shard count.
 
 use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
@@ -22,6 +28,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 
+use crate::shard::{EventKind, EventSlot, HeapEntry, Shard, SimStats};
 use crate::time::{SimDuration, SimTime};
 
 /// Identifies a spawned task. Stable for the lifetime of the task.
@@ -34,13 +41,17 @@ pub struct TaskId {
 /// Error returned by [`Sim::run`] when no task can make progress but live
 /// tasks remain — i.e. every remaining task waits on an event that will
 /// never fire. The names of the stuck tasks are reported to make protocol
-/// deadlocks debuggable.
+/// deadlocks debuggable; with a sharded executor the shard of each stuck
+/// task is reported too, so a stall that looks like a cross-shard window
+/// that never closed can be localized to its group.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Deadlock {
     /// Simulated time at which the simulation stalled.
     pub at: SimTime,
     /// Names of the tasks that were still alive.
     pub stuck: Vec<String>,
+    /// Shard index of each stuck task, parallel to `stuck`.
+    pub stuck_shards: Vec<u32>,
 }
 
 impl fmt::Display for Deadlock {
@@ -51,14 +62,26 @@ impl fmt::Display for Deadlock {
             self.at,
             self.stuck.len()
         )?;
+        let multi_shard = self.stuck_shards.iter().any(|&s| s != 0);
         for (i, name) in self.stuck.iter().take(8).enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
             write!(f, "{name}")?;
+            if multi_shard {
+                if let Some(s) = self.stuck_shards.get(i) {
+                    write!(f, "[shard {s}]")?;
+                }
+            }
         }
         if self.stuck.len() > 8 {
             write!(f, ", …")?;
+        }
+        if multi_shard {
+            let mut shards: Vec<u32> = self.stuck_shards.clone();
+            shards.sort_unstable();
+            shards.dedup();
+            write!(f, " (blocked across {} shard(s))", shards.len())?;
         }
         Ok(())
     }
@@ -75,6 +98,20 @@ pub enum RunOutcome {
     HorizonReached,
 }
 
+/// Work item on the ready FIFO. Besides woken tasks, the FIFO carries the
+/// two-step lifecycle of scheduled calls: `CallInit` assigns the global
+/// sequence number at the FIFO position where the old task-per-message
+/// scheme performed its first poll (and timer registration), and `CallRun`
+/// runs the closure at the position where that task would have been polled
+/// after its timer fired. This is what keeps same-instant ordering
+/// bit-identical with the pre-shard executor.
+#[derive(Clone, Copy, Debug)]
+enum ReadyItem {
+    Task(TaskId),
+    CallInit(u32),
+    CallRun(u32),
+}
+
 struct TaskWaker {
     slot: usize,
     generation: u64,
@@ -82,41 +119,42 @@ struct TaskWaker {
     ready: Arc<ReadyQueue>,
 }
 
-impl Wake for TaskWaker {
-    fn wake(self: Arc<Self>) {
+impl TaskWaker {
+    fn enqueue(&self) {
         if !self.queued.swap(true, Ordering::AcqRel) {
-            self.ready.push(TaskId {
+            self.ready.push(ReadyItem::Task(TaskId {
                 slot: self.slot,
                 generation: self.generation,
-            });
+            }));
         }
+    }
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.enqueue();
     }
 
     fn wake_by_ref(self: &Arc<Self>) {
-        if !self.queued.swap(true, Ordering::AcqRel) {
-            self.ready.push(TaskId {
-                slot: self.slot,
-                generation: self.generation,
-            });
-        }
+        self.enqueue();
     }
 }
 
-/// FIFO of woken tasks. `Send + Sync` so it can live inside standard
+/// FIFO of runnable work. `Send + Sync` so it can live inside standard
 /// `Waker`s even though the simulation itself is single-threaded.
 struct ReadyQueue {
-    queue: Mutex<VecDeque<TaskId>>,
+    queue: Mutex<VecDeque<ReadyItem>>,
 }
 
 impl ReadyQueue {
-    fn push(&self, id: TaskId) {
+    fn push(&self, item: ReadyItem) {
         self.queue
             .lock()
             .expect("ready queue poisoned")
-            .push_back(id);
+            .push_back(item);
     }
 
-    fn pop(&self) -> Option<TaskId> {
+    fn pop(&self) -> Option<ReadyItem> {
         self.queue.lock().expect("ready queue poisoned").pop_front()
     }
 }
@@ -128,41 +166,77 @@ struct Task {
     name: Rc<str>,
     waker: Arc<TaskWaker>,
     generation: u64,
+    /// Shard this task's timers are attributed to.
+    shard: u32,
 }
 
-struct Timer {
-    at: SimTime,
-    seq: u64,
-    waker: Waker,
-}
-
-impl PartialEq for Timer {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Timer {}
-impl PartialOrd for Timer {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Timer {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
+/// What to do for an event popped off a shard heap. Built in global
+/// sequence order under the core borrow, executed after it is released.
+enum FireOp {
+    Wake(Waker),
+    Run(u32),
 }
 
 struct Core {
     now: SimTime,
-    timer_seq: u64,
-    timers: BinaryHeap<Reverse<Timer>>,
+    /// Single global schedule counter — the tiebreak of the total order.
+    event_seq: u64,
+    shards: Vec<Shard>,
+    /// Event arena; heaps and the ready FIFO refer to slots by index.
+    events: Vec<EventSlot>,
+    free_events: Vec<u32>,
     tasks: Vec<Option<Task>>,
     free_slots: Vec<usize>,
     live_tasks: usize,
+    /// Calls scheduled but not yet run (they keep the simulation alive the
+    /// way the in-flight tasks they replace did).
+    pending_calls: usize,
     next_generation: u64,
-    /// Total number of task polls, for diagnostics.
+    /// Shard of the task/call currently being polled; spawns and timer
+    /// registrations inherit it.
+    current_shard: u32,
     polls: u64,
+    events_fired: u64,
+    calls_run: u64,
+    merges: u64,
+    window_batches: u64,
+    window_events: u64,
+    /// Reusable scratch for the fire loop.
+    fire_scratch: Vec<FireOp>,
+    batch_scratch: Vec<HeapEntry>,
+}
+
+impl Core {
+    fn alloc_event(&mut self, ev: EventSlot) -> u32 {
+        match self.free_events.pop() {
+            Some(slot) => {
+                self.events[slot as usize] = ev;
+                slot
+            }
+            None => {
+                self.events.push(ev);
+                (self.events.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Convert a popped heap entry into its fire op. Wake slots are freed
+    /// here; Call slots stay allocated until their `CallRun` drains.
+    fn op_for(&mut self, entry: HeapEntry) -> FireOp {
+        let is_wake = matches!(
+            self.events.get(entry.slot as usize).map(|e| &e.kind),
+            Some(Some(EventKind::Wake(_)))
+        );
+        if is_wake {
+            if let Some(ev) = self.events.get_mut(entry.slot as usize) {
+                if let Some(EventKind::Wake(w)) = ev.kind.take() {
+                    self.free_events.push(entry.slot);
+                    return FireOp::Wake(w);
+                }
+            }
+        }
+        FireOp::Run(entry.slot)
+    }
 }
 
 /// A cheaply-cloneable handle to the simulation. All spawned futures
@@ -180,18 +254,37 @@ impl Default for Sim {
 }
 
 impl Sim {
-    /// Create an empty simulation with the clock at zero.
+    /// Create an empty single-shard simulation with the clock at zero.
     pub fn new() -> Self {
+        Self::with_shards(1)
+    }
+
+    /// Create an empty simulation with `shards` event shards. The shard
+    /// count never affects the event order — only how pending events are
+    /// partitioned — so any count is digest-equivalent to one shard.
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
         Sim {
             core: Rc::new(RefCell::new(Core {
                 now: SimTime::ZERO,
-                timer_seq: 0,
-                timers: BinaryHeap::new(),
+                event_seq: 0,
+                shards: (0..shards).map(|_| Shard::new()).collect(),
+                events: Vec::new(),
+                free_events: Vec::new(),
                 tasks: Vec::new(),
                 free_slots: Vec::new(),
                 live_tasks: 0,
+                pending_calls: 0,
                 next_generation: 0,
+                current_shard: 0,
                 polls: 0,
+                events_fired: 0,
+                calls_run: 0,
+                merges: 0,
+                window_batches: 0,
+                window_events: 0,
+                fire_scratch: Vec::new(),
+                batch_scratch: Vec::new(),
             })),
             ready: Arc::new(ReadyQueue {
                 queue: Mutex::new(VecDeque::new()),
@@ -204,6 +297,11 @@ impl Sim {
         self.core.borrow().now
     }
 
+    /// Number of event shards.
+    pub fn shard_count(&self) -> usize {
+        self.core.borrow().shards.len()
+    }
+
     /// Number of tasks that have not yet completed.
     pub fn live_tasks(&self) -> usize {
         self.core.borrow().live_tasks
@@ -214,12 +312,53 @@ impl Sim {
         self.core.borrow().polls
     }
 
-    /// Spawn a named task. The name appears in deadlock reports.
+    /// Number of events currently waiting in the shard heaps.
+    pub fn pending_events(&self) -> usize {
+        self.core.borrow().shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Snapshot of kernel counters (polls, fired events, merge behavior).
+    pub fn stats(&self) -> SimStats {
+        let core = self.core.borrow();
+        SimStats {
+            shard_count: core.shards.len(),
+            polls: core.polls,
+            events_fired: core.events_fired,
+            calls_run: core.calls_run,
+            merges: core.merges,
+            window_batches: core.window_batches,
+            window_events: core.window_events,
+        }
+    }
+
+    /// Spawn a named task on the shard of the current task (shard 0 when
+    /// spawned from outside the executor). The name appears in deadlock
+    /// reports.
     pub fn spawn_named<F>(&self, name: impl Into<String>, fut: F) -> TaskId
     where
         F: Future<Output = ()> + 'static,
     {
+        let shard = self.core.borrow().current_shard;
+        self.spawn_on_shard(shard, name, fut)
+    }
+
+    /// Spawn a named task attributed to `shard` (taken modulo the shard
+    /// count). Attribution decides which heap the task's timers wait in;
+    /// it never affects ordering.
+    pub fn spawn_named_on<F>(&self, shard: usize, name: impl Into<String>, fut: F) -> TaskId
+    where
+        F: Future<Output = ()> + 'static,
+    {
+        let count = self.core.borrow().shards.len();
+        self.spawn_on_shard((shard % count) as u32, name, fut)
+    }
+
+    fn spawn_on_shard<F>(&self, shard: u32, name: impl Into<String>, fut: F) -> TaskId
+    where
+        F: Future<Output = ()> + 'static,
+    {
         let mut core = self.core.borrow_mut();
+        let shard = shard % core.shards.len() as u32;
         let generation = core.next_generation;
         core.next_generation += 1;
         let slot = core.free_slots.pop().unwrap_or_else(|| {
@@ -237,11 +376,12 @@ impl Sim {
             name: Rc::from(name.into()),
             waker: Arc::clone(&waker),
             generation,
+            shard,
         });
         core.live_tasks += 1;
         drop(core);
         let id = TaskId { slot, generation };
-        self.ready.push(id);
+        self.ready.push(ReadyItem::Task(id));
         id
     }
 
@@ -255,6 +395,9 @@ impl Sim {
 
     /// Schedule `waker` to be invoked at absolute time `at`.
     /// This is the primitive all timed futures are built on.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the simulated past.
     pub fn schedule_waker(&self, at: SimTime, waker: Waker) {
         let mut core = self.core.borrow_mut();
         assert!(
@@ -263,9 +406,54 @@ impl Sim {
             at,
             core.now
         );
-        let seq = core.timer_seq;
-        core.timer_seq += 1;
-        core.timers.push(Reverse(Timer { at, seq, waker }));
+        let seq = core.event_seq;
+        core.event_seq += 1;
+        let shard = core.current_shard;
+        let slot = core.alloc_event(EventSlot {
+            at,
+            shard,
+            kind: Some(EventKind::Wake(waker)),
+        });
+        core.shards[shard as usize].push(HeapEntry { at, seq, slot });
+    }
+
+    /// Schedule `f` to run on the executor at absolute time `at`,
+    /// attributed to the current shard. This is the arena-allocated
+    /// replacement for spawning a task that sleeps and then acts: no
+    /// future, no task slot, no waker — one event slot and one closure.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the simulated past.
+    pub fn schedule_call(&self, at: SimTime, f: impl FnOnce() + 'static) {
+        let shard = self.core.borrow().current_shard;
+        self.schedule_call_on(shard as usize, at, f);
+    }
+
+    /// Schedule `f` to run at `at`, attributed to `shard` (taken modulo
+    /// the shard count). Cross-shard message deliveries use this with the
+    /// destination's shard.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the simulated past.
+    pub fn schedule_call_on(&self, shard: usize, at: SimTime, f: impl FnOnce() + 'static) {
+        let mut core = self.core.borrow_mut();
+        assert!(
+            at >= core.now,
+            "cannot schedule a call in the past ({} < {})",
+            at,
+            core.now
+        );
+        let shard = (shard % core.shards.len()) as u32;
+        let slot = core.alloc_event(EventSlot {
+            at,
+            shard,
+            kind: Some(EventKind::Call(Box::new(f))),
+        });
+        core.pending_calls += 1;
+        drop(core);
+        // The sequence number is assigned when this drains — the same FIFO
+        // position where the task-per-message scheme registered its timer.
+        self.ready.push(ReadyItem::CallInit(slot));
     }
 
     /// A future that completes at absolute simulated time `deadline`.
@@ -312,48 +500,147 @@ impl Sim {
 
     fn run_inner(&self, horizon: SimTime) -> Result<RunOutcome, Deadlock> {
         loop {
-            // Drain the ready queue.
-            while let Some(id) = self.ready.pop() {
-                self.poll_task(id);
+            // Drain the ready FIFO.
+            while let Some(item) = self.ready.pop() {
+                match item {
+                    ReadyItem::Task(id) => self.poll_task(id),
+                    ReadyItem::CallInit(slot) => self.init_call(slot),
+                    ReadyItem::CallRun(slot) => self.run_call(slot),
+                }
             }
             let mut core = self.core.borrow_mut();
-            if core.live_tasks == 0 {
+            if core.live_tasks == 0 && core.pending_calls == 0 {
                 return Ok(RunOutcome::AllDone);
             }
-            // No ready tasks: advance the clock to the next timer.
-            match core.timers.peek() {
-                Some(Reverse(t)) if t.at <= horizon => {
-                    let at = t.at;
-                    core.now = at;
-                    // Fire every timer scheduled for this instant.
-                    let mut fired = Vec::new();
-                    while let Some(Reverse(t)) = core.timers.peek() {
-                        if t.at != at {
-                            break;
+            // No runnable work: merge the shard heads. The winner is the
+            // global minimum `(at, seq)`; `other_at` tracks the earliest
+            // deadline in any *other* shard, which decides whether the
+            // winning instant can be drained from one shard alone.
+            let mut best: Option<(SimTime, u64, usize)> = None;
+            let mut other_at: Option<SimTime> = None;
+            for i in 0..core.shards.len() {
+                if let Some((at, seq)) = core.shards[i].head() {
+                    match best {
+                        None => best = Some((at, seq, i)),
+                        Some((bat, bseq, _)) => {
+                            if (at, seq) < (bat, bseq) {
+                                other_at = Some(other_at.map_or(bat, |o| o.min(bat)));
+                                best = Some((at, seq, i));
+                            } else {
+                                other_at = Some(other_at.map_or(at, |o| o.min(at)));
+                            }
                         }
-                        fired.push(core.timers.pop().unwrap().0.waker);
                     }
+                }
+            }
+            match best {
+                Some((at, _, shard)) if at <= horizon => {
+                    core.now = at;
+                    core.merges += 1;
+                    let mut ops = std::mem::take(&mut core.fire_scratch);
+                    ops.clear();
+                    if other_at != Some(at) {
+                        // Conservative-window fast path: every event at
+                        // this instant lives in one shard, whose heap
+                        // already yields them in sequence order.
+                        while let Some(entry) = core.shards[shard].pop_at(at) {
+                            let op = core.op_for(entry);
+                            ops.push(op);
+                        }
+                    } else {
+                        // Slow path: the instant spans shards; collect and
+                        // restore the global sequence order explicitly.
+                        core.window_batches += 1;
+                        let mut batch = std::mem::take(&mut core.batch_scratch);
+                        batch.clear();
+                        for i in 0..core.shards.len() {
+                            while let Some(entry) = core.shards[i].pop_at(at) {
+                                batch.push(entry);
+                            }
+                        }
+                        batch.sort_unstable_by_key(|e| e.seq);
+                        core.window_events += batch.len() as u64;
+                        for entry in batch.drain(..) {
+                            let op = core.op_for(entry);
+                            ops.push(op);
+                        }
+                        core.batch_scratch = batch;
+                    }
+                    core.events_fired += ops.len() as u64;
                     drop(core);
-                    for w in fired {
-                        w.wake();
+                    for op in ops.drain(..) {
+                        match op {
+                            FireOp::Wake(w) => w.wake(),
+                            FireOp::Run(slot) => self.ready.push(ReadyItem::CallRun(slot)),
+                        }
                     }
+                    self.core.borrow_mut().fire_scratch = ops;
                 }
                 Some(_) => return Ok(RunOutcome::HorizonReached),
                 None => {
-                    let stuck = core
-                        .tasks
-                        .iter()
-                        .flatten()
-                        .filter(|t| t.future.is_some())
-                        .map(|t| t.name.to_string())
-                        .collect();
+                    // Live work but no pending event can ever fire. Calls
+                    // always hold a heap entry once initialized (and the
+                    // FIFO is drained), so this is a pure task deadlock.
+                    let mut stuck = Vec::new();
+                    let mut stuck_shards = Vec::new();
+                    for t in core.tasks.iter().flatten() {
+                        if t.future.is_some() {
+                            stuck.push(t.name.to_string());
+                            stuck_shards.push(t.shard);
+                        }
+                    }
                     return Err(Deadlock {
                         at: core.now,
                         stuck,
+                        stuck_shards,
                     });
                 }
             }
         }
+    }
+
+    /// Second half of `schedule_call`: assign the global sequence number
+    /// and move the event into its shard heap.
+    fn init_call(&self, slot: u32) {
+        let mut core = self.core.borrow_mut();
+        let (at, shard) = match core.events.get(slot as usize) {
+            Some(ev) => (ev.at, ev.shard),
+            None => return,
+        };
+        let seq = core.event_seq;
+        core.event_seq += 1;
+        core.shards[shard as usize].push(HeapEntry { at, seq, slot });
+    }
+
+    /// Final half of a scheduled call: take the closure, free the slot,
+    /// run the closure with the core released.
+    fn run_call(&self, slot: u32) {
+        let f = {
+            let mut core = self.core.borrow_mut();
+            let taken = core
+                .events
+                .get_mut(slot as usize)
+                .and_then(|e| e.kind.take());
+            match taken {
+                Some(EventKind::Call(f)) => {
+                    let shard = core.events[slot as usize].shard;
+                    core.free_events.push(slot);
+                    core.pending_calls -= 1;
+                    core.calls_run += 1;
+                    core.current_shard = shard;
+                    f
+                }
+                Some(EventKind::Wake(w)) => {
+                    // Defensive: never produced by the fire loop.
+                    core.free_events.push(slot);
+                    drop(core);
+                    w.wake();
+                    return;
+                }
+                None => return,
+            }
+        };
+        f();
     }
 
     fn poll_task(&self, id: TaskId) {
@@ -366,15 +653,17 @@ impl Sim {
                 _ => return, // task already finished; stale wake
             };
             slot.waker.queued.store(false, Ordering::Release);
+            let shard = slot.shard;
             match slot.future.take() {
-                Some(f) => (f, Arc::clone(&slot.waker)),
+                Some(f) => {
+                    let pair = (f, Arc::clone(&slot.waker));
+                    core.current_shard = shard;
+                    core.polls += 1;
+                    pair
+                }
                 None => return,
             }
         };
-        {
-            let mut core = self.core.borrow_mut();
-            core.polls += 1;
-        }
         let std_waker = Waker::from(Arc::clone(&waker));
         let mut cx = Context::from_waker(&std_waker);
         match fut.as_mut().poll(&mut cx) {
@@ -501,6 +790,124 @@ mod tests {
     }
 
     #[test]
+    fn simultaneous_timers_fire_in_schedule_order_across_shards() {
+        // Same program as above, but each task parks its timer in a
+        // different shard: the same-instant merge must restore the global
+        // schedule order, not the per-shard one.
+        let sim = Sim::with_shards(4);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for label in 0..10usize {
+            let s = sim.clone();
+            let ord = Rc::clone(&order);
+            sim.spawn_named_on(label % 4, format!("t{label}"), async move {
+                s.sleep(SimDuration::from_millis(5)).await;
+                ord.borrow_mut().push(label);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*order.borrow(), (0..10).collect::<Vec<_>>());
+        let stats = sim.stats();
+        assert_eq!(stats.shard_count, 4);
+        assert!(
+            stats.window_batches >= 1,
+            "same-instant merge should engage"
+        );
+    }
+
+    #[test]
+    fn shard_count_does_not_change_event_order() {
+        // A mix of staggered and simultaneous timers spread over shards
+        // must produce the identical firing order at every shard count.
+        let run = |shards: usize| {
+            let sim = Sim::with_shards(shards);
+            let order = Rc::new(RefCell::new(Vec::new()));
+            for label in 0..12usize {
+                let s = sim.clone();
+                let ord = Rc::clone(&order);
+                sim.spawn_named_on(label % 5, format!("t{label}"), async move {
+                    s.sleep(SimDuration::from_millis((label as u64 % 3) * 7))
+                        .await;
+                    ord.borrow_mut().push(label);
+                    s.sleep(SimDuration::from_millis(11)).await;
+                    ord.borrow_mut().push(100 + label);
+                });
+            }
+            sim.run().unwrap();
+            Rc::try_unwrap(order).unwrap().into_inner()
+        };
+        let base = run(1);
+        assert_eq!(run(4), base);
+        assert_eq!(run(16), base);
+    }
+
+    #[test]
+    fn scheduled_calls_run_at_their_deadline() {
+        let sim = Sim::new();
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        let s = sim.clone();
+        let h = Rc::clone(&hits);
+        sim.spawn(async move {
+            let at = s.now() + SimDuration::from_millis(5);
+            let (s2, h2) = (s.clone(), Rc::clone(&h));
+            s.schedule_call(at, move || h2.borrow_mut().push(s2.now()));
+            s.sleep(SimDuration::from_millis(10)).await;
+            h.borrow_mut().push(s.now());
+        });
+        sim.run().unwrap();
+        assert_eq!(
+            *hits.borrow(),
+            vec![SimTime::from_millis(5), SimTime::from_millis(10)]
+        );
+        assert_eq!(sim.stats().calls_run, 1);
+    }
+
+    #[test]
+    fn calls_and_sleeps_at_same_instant_keep_schedule_order() {
+        // Interleave sleeps and scheduled calls with the same deadline:
+        // they must fire in the order they were scheduled, across shards.
+        let run = |shards: usize| {
+            let sim = Sim::with_shards(shards);
+            let order = Rc::new(RefCell::new(Vec::new()));
+            for label in 0..8usize {
+                let s = sim.clone();
+                let ord = Rc::clone(&order);
+                sim.spawn_named_on(label % 3, format!("t{label}"), async move {
+                    let at = s.now() + SimDuration::from_millis(5);
+                    if label % 2 == 0 {
+                        let ord2 = Rc::clone(&ord);
+                        s.schedule_call_on(label, at, move || ord2.borrow_mut().push(label));
+                    } else {
+                        s.sleep_until(at).await;
+                        ord.borrow_mut().push(label);
+                    }
+                });
+            }
+            sim.run().unwrap();
+            Rc::try_unwrap(order).unwrap().into_inner()
+        };
+        let base = run(1);
+        assert_eq!(run(4), base);
+        assert_eq!(run(16), base);
+    }
+
+    #[test]
+    fn pending_calls_keep_the_sim_alive() {
+        let sim = Sim::new();
+        let done = Rc::new(Cell::new(false));
+        let s = sim.clone();
+        let d = Rc::clone(&done);
+        sim.spawn(async move {
+            let at = s.now() + SimDuration::from_secs(3);
+            s.schedule_call(at, move || d.set(true));
+            // Task completes immediately; the call alone must keep the
+            // run loop going.
+        });
+        sim.run().unwrap();
+        assert!(done.get());
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
     fn yield_now_reschedules_without_time() {
         let sim = Sim::new();
         let count = Rc::new(Cell::new(0));
@@ -523,6 +930,25 @@ mod tests {
         sim.spawn_named("waits-forever", std::future::pending::<()>());
         let err = sim.run().unwrap_err();
         assert_eq!(err.stuck, vec!["waits-forever".to_string()]);
+    }
+
+    #[test]
+    fn multi_shard_deadlock_reports_blocked_shards() {
+        // A quiescent multi-shard run must terminate with a deadlock
+        // report naming the blocked tasks and their shards — not hang
+        // waiting for a cross-shard window that never closes.
+        let sim = Sim::with_shards(4);
+        sim.spawn_named_on(1, "stuck-a", std::future::pending::<()>());
+        sim.spawn_named_on(3, "stuck-b", std::future::pending::<()>());
+        let err = sim.run().unwrap_err();
+        assert_eq!(
+            err.stuck,
+            vec!["stuck-a".to_string(), "stuck-b".to_string()]
+        );
+        assert_eq!(err.stuck_shards, vec![1, 3]);
+        let msg = err.to_string();
+        assert!(msg.contains("stuck-a[shard 1]"), "got: {msg}");
+        assert!(msg.contains("2 shard(s)"), "got: {msg}");
     }
 
     #[test]
@@ -594,5 +1020,20 @@ mod tests {
         }
         sim.run().unwrap();
         assert_eq!(count.get(), 4);
+    }
+
+    #[test]
+    fn event_slots_are_reused() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn(async move {
+            for _ in 0..100 {
+                s.sleep(SimDuration::from_millis(1)).await;
+            }
+        });
+        sim.run().unwrap();
+        // One live sleep at a time: the arena should stay tiny.
+        assert!(sim.core.borrow().events.len() <= 2);
+        assert_eq!(sim.stats().events_fired, 100);
     }
 }

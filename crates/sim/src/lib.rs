@@ -30,10 +30,12 @@ pub mod executor;
 pub mod future;
 pub mod resource;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod sync;
 pub mod time;
 
 pub use executor::{Deadlock, RunOutcome, Sim, TaskId};
 pub use rng::DetRng;
+pub use shard::SimStats;
 pub use time::{SimDuration, SimTime};

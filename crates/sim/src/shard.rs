@@ -1,0 +1,177 @@
+//! Event shards for the sharded DES kernel.
+//!
+//! The executor partitions scheduled events into *shards* — one per
+//! checkpoint group in the intended use — each with its own timer heap.
+//! Every event still carries a sequence number drawn from one global
+//! counter, so the merged firing order is the exact total order
+//! `(deadline, schedule-sequence)` regardless of how events are assigned
+//! to shards. Sharding therefore changes *where* an event waits, never
+//! *when* it fires: digests are bit-identical across shard counts by
+//! construction.
+//!
+//! The merge is driven by a conservative window: at each clock advance the
+//! executor compares the head `(at, seq)` of every shard. If no other
+//! shard holds an event at the winning instant, the whole instant is
+//! drained from the winning shard alone — its heap already yields entries
+//! in sequence order, so no cross-shard sort is needed. Group boundaries
+//! make this the common case: intra-group traffic lands in the sender's
+//! own shard, and only cross-group deliveries can force the slow
+//! same-instant merge.
+//!
+//! Events live in an arena owned by the executor core ([`EventSlot`]);
+//! heaps store only 24-byte [`HeapEntry`] keys. Slot lifetime rules are
+//! documented on [`EventSlot`].
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::task::Waker;
+
+use crate::time::SimTime;
+
+/// What an event does when its deadline is reached.
+pub(crate) enum EventKind {
+    /// Wake a parked task (classic timer semantics).
+    Wake(Waker),
+    /// Run a closure on the executor — the arena-allocated replacement for
+    /// spawning a short-lived "in-flight" task per message.
+    Call(Box<dyn FnOnce()>),
+}
+
+/// Arena slot for a scheduled event.
+///
+/// Lifetime rules:
+/// * A slot is allocated when the event is scheduled and holds
+///   `kind: Some(_)` until the event is consumed.
+/// * `Wake` slots are freed at fire time — the waker is extracted while
+///   the heap entry is popped.
+/// * `Call` slots outlive their heap entry: firing only enqueues the run
+///   on the ready FIFO, and the closure is taken (and the slot freed) when
+///   that FIFO entry drains. This mirrors the poll-after-wake lifecycle of
+///   the task-per-message scheme it replaces, which is what keeps
+///   same-instant ordering bit-identical.
+/// * Slots are reused only after being freed; each slot has exactly one
+///   heap entry and at most one pending ready-FIFO reference at a time, so
+///   no generation counter is needed.
+pub(crate) struct EventSlot {
+    /// Absolute deadline.
+    pub(crate) at: SimTime,
+    /// Owning shard index (attribution only — never affects order).
+    pub(crate) shard: u32,
+    /// Payload; `None` once consumed (slot is free or about to be).
+    pub(crate) kind: Option<EventKind>,
+}
+
+/// Key stored in a shard's timer heap, ordered by `(at, seq)`.
+///
+/// `seq` comes from the executor's single global counter, so comparing
+/// entries from *different* shards is meaningful: the minimum over all
+/// shard heads is the globally next event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct HeapEntry {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) slot: u32,
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// One event shard: a min-heap of pending events.
+pub(crate) struct Shard {
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+}
+
+impl Shard {
+    pub(crate) fn new() -> Self {
+        Shard {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// The `(at, seq)` key of the earliest pending event, if any.
+    pub(crate) fn head(&self) -> Option<(SimTime, u64)> {
+        self.heap.peek().map(|Reverse(e)| (e.at, e.seq))
+    }
+
+    /// Push an entry.
+    pub(crate) fn push(&mut self, entry: HeapEntry) {
+        self.heap.push(Reverse(entry));
+    }
+
+    /// Pop the earliest entry if its deadline is exactly `at`.
+    pub(crate) fn pop_at(&mut self, at: SimTime) -> Option<HeapEntry> {
+        match self.heap.peek() {
+            Some(Reverse(e)) if e.at == at => self.heap.pop().map(|Reverse(e)| e),
+            _ => None,
+        }
+    }
+
+    /// Number of pending events in this shard.
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// Snapshot of executor counters, for benchmarks and diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Number of event shards.
+    pub shard_count: usize,
+    /// Task polls performed.
+    pub polls: u64,
+    /// Events fired off the shard heaps (wakes and calls).
+    pub events_fired: u64,
+    /// Scheduled closures run (arena-allocated in-flight work).
+    pub calls_run: u64,
+    /// Clock advances (cross-shard merge decisions).
+    pub merges: u64,
+    /// Merge decisions that needed the slow same-instant cross-shard path.
+    pub window_batches: u64,
+    /// Events drained through the slow same-instant path.
+    pub window_events: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(at_ms: u64, seq: u64, slot: u32) -> HeapEntry {
+        HeapEntry {
+            at: SimTime::from_millis(at_ms),
+            seq,
+            slot,
+        }
+    }
+
+    #[test]
+    fn heap_entries_order_by_time_then_seq() {
+        let mut sh = Shard::new();
+        sh.push(e(5, 9, 0));
+        sh.push(e(5, 3, 1));
+        sh.push(e(2, 7, 2));
+        assert_eq!(sh.head(), Some((SimTime::from_millis(2), 7)));
+        assert_eq!(sh.pop_at(SimTime::from_millis(2)).map(|x| x.slot), Some(2));
+        // Same instant drains in seq order.
+        assert_eq!(sh.pop_at(SimTime::from_millis(5)).map(|x| x.seq), Some(3));
+        assert_eq!(sh.pop_at(SimTime::from_millis(5)).map(|x| x.seq), Some(9));
+        assert_eq!(sh.pop_at(SimTime::from_millis(5)), None);
+        assert_eq!(sh.len(), 0);
+    }
+
+    #[test]
+    fn pop_at_refuses_other_instants() {
+        let mut sh = Shard::new();
+        sh.push(e(10, 0, 0));
+        assert_eq!(sh.pop_at(SimTime::from_millis(9)), None);
+        assert_eq!(sh.len(), 1);
+    }
+}

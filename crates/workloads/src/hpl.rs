@@ -129,20 +129,33 @@ impl Workload for Hpl {
         );
         let cfg = self.cfg.clone();
         let flops_rate = world.cluster().spec().flops_per_sec;
+        let q_total = cfg.q as u32;
+        let p_total = cfg.p as u32;
+        // Communicator membership is shared across ranks (one vector per
+        // process column / row instead of one per rank): at 100k ranks the
+        // per-rank copies would dominate memory.
+        let all_cols: Rc<Vec<Rc<Vec<Rank>>>> = Rc::new(
+            (0..q_total)
+                .map(|q| Rc::new((0..p_total).map(|p| Rank(p * q_total + q)).collect()))
+                .collect(),
+        );
+        let all_rows: Rc<Vec<Rc<Vec<Rank>>>> = Rc::new(
+            (0..p_total)
+                .map(|p| Rc::new((0..q_total).map(|q| Rank(p * q_total + q)).collect()))
+                .collect(),
+        );
         for rank in 0..self.n() as u32 {
             let cfg = cfg.clone();
+            let all_cols = Rc::clone(&all_cols);
+            let all_rows = Rc::clone(&all_rows);
             world.launch(Rank(rank), move |ctx| async move {
-                let q_total = cfg.q as u32;
-                let p_total = cfg.p as u32;
                 let my_p = rank / q_total;
                 let my_q = rank % q_total;
                 // Column communicator: ranks with the same q (id 1 + q).
-                let col_ranks: Rc<Vec<Rank>> =
-                    Rc::new((0..p_total).map(|p| Rank(p * q_total + my_q)).collect());
+                let col_ranks = Rc::clone(&all_cols[my_q as usize]);
                 let col = gcr_mpi::Comm::new(ctx.clone(), 1 + my_q as u64, col_ranks);
                 // Row communicator: ranks with the same p (id 1000 + p).
-                let row_ranks: Rc<Vec<Rank>> =
-                    Rc::new((0..q_total).map(|q| Rank(my_p * q_total + q)).collect());
+                let row_ranks = Rc::clone(&all_rows[my_p as usize]);
                 let row = gcr_mpi::Comm::new(ctx.clone(), 1000 + my_p as u64, row_ranks);
 
                 let panels = cfg.panels();

@@ -1,0 +1,92 @@
+//! Bench smoke test (tier-1): the kernel benchmark's JSON report is
+//! well-formed, the committed `BENCH_kernel.json` trajectory still
+//! parses against the schema, and the 1-shard executor still produces
+//! the exact digests captured *before* the kernel was sharded. The last
+//! check is the anchor of the whole refactor: combined with the
+//! cross-shard matrix in `tests/determinism.rs` it proves every shard
+//! count reproduces the original single-heap executor bit-for-bit.
+
+use gcr_bench::kernel::{report_json, run_kernel, validate_report, KernelSpec};
+use gcr_chaos::{parse_schedule, run_chaos, ChaosProto, ChaosSpec, ChaosWorkload};
+use gcr_json::Json;
+use gcr_net::StorageTarget;
+
+/// Digests of the pinned scenario (seed 0xD1CE, ring workload, local
+/// storage, 700 ms interval, `crash:g1@2500`) captured on the
+/// single-heap executor immediately before the sharding refactor.
+const PINNED: [(ChaosProto, u64); 5] = [
+    (ChaosProto::Norm, 0xaa0753172d701950),
+    (ChaosProto::Gp, 0x3638182098136693),
+    (ChaosProto::Gp1, 0x85db100133b6753e),
+    (ChaosProto::Gp4, 0x994ab282c0502e59),
+    (ChaosProto::Vcl, 0x3b1eea16a89df404),
+];
+
+#[test]
+fn one_shard_digests_match_the_pre_refactor_pins() {
+    for (proto, want) in PINNED {
+        let spec = ChaosSpec {
+            seed: 0xD1CE,
+            workload: ChaosWorkload::Ring,
+            proto,
+            storage: StorageTarget::Local,
+            interval_ms: 700,
+            gc_overshoot: 0,
+            schedule: parse_schedule("crash:g1@2500").expect("literal schedule parses"),
+            shards: 1,
+        };
+        let got = run_chaos(&spec).digest();
+        assert_eq!(
+            got,
+            want,
+            "{}: 1-shard digest {got:#018x} != pre-refactor pin {want:#018x} — \
+             the sharded kernel changed observable behavior",
+            proto.label()
+        );
+    }
+}
+
+#[test]
+fn generated_bench_report_is_well_formed() {
+    let points: Vec<_> = [(16usize, 1usize), (16, 4), (32, 1)]
+        .iter()
+        .map(|&(ranks, shards)| {
+            run_kernel(&KernelSpec {
+                ranks,
+                shards,
+                iters: 2,
+                seed: 5,
+            })
+        })
+        .collect();
+    let doc = report_json(5, &points);
+    let parsed = Json::parse(&doc.pretty()).expect("report serializes to valid JSON");
+    validate_report(&parsed).expect("report matches the v1 schema");
+
+    // Spot-check the required fields survive the round trip with values.
+    let pts = parsed.arr_field("points").unwrap();
+    assert_eq!(pts.len(), 3);
+    assert_eq!(pts[0].u64_field("ranks").unwrap(), 16);
+    assert_eq!(pts[1].u64_field("shards").unwrap(), 4);
+    assert!(pts[0].f64_field("events_per_sec").unwrap() > 0.0);
+    // Same (ranks, iters, seed) ⇒ same digest regardless of shard count.
+    assert_eq!(
+        pts[0].str_field("digest").unwrap(),
+        pts[1].str_field("digest").unwrap(),
+        "digest leaked shard layout"
+    );
+}
+
+#[test]
+fn committed_bench_trajectory_validates() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_kernel.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("{path} must be committed alongside the kernel: {e}"));
+    let doc = Json::parse(&text).expect("committed BENCH_kernel.json parses");
+    validate_report(&doc).expect("committed BENCH_kernel.json matches the v1 schema");
+    // The acceptance bar: at least three (ranks × shards) grid points.
+    assert!(
+        doc.arr_field("points").unwrap().len() >= 3,
+        "trajectory needs at least three grid points"
+    );
+}

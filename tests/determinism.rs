@@ -1,17 +1,23 @@
 //! Determinism regression gate: the same chaos scenario, run twice in the
 //! same process, must produce bit-identical oracle reports for every
-//! protocol. This is the dynamic counterpart of `gcr-lint`'s static rules
-//! (D01/D02): if a hash-ordered iteration or wall-clock read slips past
-//! the analyzer, the digest comparison catches it here before it corrupts
-//! replay, shrinking, or a published figure.
+//! protocol — at every executor shard count, and identically *across*
+//! shard counts. This is the dynamic counterpart of `gcr-lint`'s static
+//! rules (D01/D02): if a hash-ordered iteration or wall-clock read slips
+//! past the analyzer, the digest comparison catches it here before it
+//! corrupts replay, shrinking, or a published figure. The cross-shard
+//! half is the contract that makes the sharded kernel a refactor rather
+//! than a semantics change: shard count is a layout knob, never an input.
 
 use gcr_chaos::{parse_schedule, run_chaos, ChaosProto, ChaosSpec};
 use gcr_net::StorageTarget;
 
+/// Shard counts exercised by the matrix.
+const SHARD_MATRIX: [usize; 3] = [1, 4, 16];
+
 /// A fixed scenario per protocol: ring workload (fast), one mid-run group
 /// crash, local storage. The schedule exercises the full recovery path —
 /// halt, volume exchange, replay — where nondeterminism likes to hide.
-fn spec_for(proto: ChaosProto) -> ChaosSpec {
+fn spec_for(proto: ChaosProto, shards: usize) -> ChaosSpec {
     ChaosSpec {
         seed: 0xD1CE,
         workload: gcr_chaos::ChaosWorkload::Ring,
@@ -20,13 +26,14 @@ fn spec_for(proto: ChaosProto) -> ChaosSpec {
         interval_ms: 700,
         gc_overshoot: 0,
         schedule: parse_schedule("crash:g1@2500").expect("literal schedule parses"),
+        shards,
     }
 }
 
 #[test]
 fn every_protocol_is_bit_deterministic_under_chaos() {
     for proto in ChaosProto::ALL {
-        let spec = spec_for(proto);
+        let spec = spec_for(proto, 1);
         let a = run_chaos(&spec);
         let b = run_chaos(&spec);
         assert_eq!(
@@ -44,5 +51,45 @@ fn every_protocol_is_bit_deterministic_under_chaos() {
             "{}: reports diverged",
             proto.label()
         );
+    }
+}
+
+/// The shard-count matrix: every protocol's scenario is digested twice at
+/// shard counts 1, 4, and 16. Digests must be identical run-over-run at
+/// each count AND identical across counts for the same seed.
+#[test]
+fn shard_count_matrix_is_bit_identical() {
+    for proto in ChaosProto::ALL {
+        let mut baseline: Option<(u64, String)> = None;
+        for &shards in &SHARD_MATRIX {
+            let spec = spec_for(proto, shards);
+            let a = run_chaos(&spec);
+            let b = run_chaos(&spec);
+            assert_eq!(
+                a.digest(),
+                b.digest(),
+                "{} @ {shards} shard(s): run-over-run digest mismatch",
+                proto.label()
+            );
+            match &baseline {
+                None => baseline = Some((a.digest(), a.to_json().pretty())),
+                Some((digest, dump)) => {
+                    assert_eq!(
+                        a.digest(),
+                        *digest,
+                        "{}: digest changed between 1 and {shards} shard(s) — \
+                         the cross-shard merge leaked shard layout into \
+                         event order",
+                        proto.label()
+                    );
+                    assert_eq!(
+                        &a.to_json().pretty(),
+                        dump,
+                        "{} @ {shards} shard(s): reports diverged",
+                        proto.label()
+                    );
+                }
+            }
+        }
     }
 }

@@ -306,6 +306,96 @@ fn piggyback_gc_never_outruns_committed_generations() {
     }
 }
 
+/// Sharded-executor property: under a randomized shard assignment the
+/// cross-shard merge (a) never delivers an event before its timestamp
+/// and (b) never reorders two events with the same `(time, tiebreak)`
+/// key. The tiebreak is the global scheduling sequence, and the 1-shard
+/// executor *is* that reference total order — so (b) reduces to "the
+/// observed trace is bit-identical to the 1-shard trace of the same
+/// program", which also covers events at distinct times.
+#[test]
+fn cross_shard_merge_preserves_time_and_tiebreak_order() {
+    use gcr::sim::SimDuration;
+    use std::cell::RefCell;
+
+    for case in 0..32u64 {
+        let mut rng = DetRng::new(0xA160_0007).fork_idx(case);
+        let ntasks = rng.range_u64(2, 12) as usize;
+        // Each task: a random program of sleep durations in µs. Zero is
+        // included on purpose: same-instant wakes across shards are the
+        // interesting tiebreak case.
+        let programs: Vec<Vec<u64>> = (0..ntasks)
+            .map(|_| {
+                (0..rng.range_u64(1, 8))
+                    .map(|_| rng.range_u64(0, 40))
+                    .collect()
+            })
+            .collect();
+        // Arbitrary shard ids — the executor folds them modulo the shard
+        // count, so one assignment exercises every tested count.
+        let assignment: Vec<usize> = (0..ntasks).map(|_| rng.index(64)).collect();
+        // Plus bare scheduled calls at random future instants on random
+        // shards (the mpi delivery path uses exactly this entry point).
+        let calls: Vec<(u64, usize)> = (0..rng.range_u64(1, 6))
+            .map(|_| (rng.range_u64(1, 120), rng.index(64)))
+            .collect();
+
+        let mut baseline: Option<Vec<(u64, String)>> = None;
+        for shards in [1usize, 2 + rng.index(15)] {
+            let sim = Sim::with_shards(shards);
+            let log: Rc<RefCell<Vec<(u64, String)>>> = Rc::new(RefCell::new(Vec::new()));
+            for (t, prog) in programs.iter().enumerate() {
+                let s = sim.clone();
+                let log = Rc::clone(&log);
+                let prog = prog.clone();
+                sim.spawn_named_on(assignment[t], format!("t{t}"), async move {
+                    for (i, &d) in prog.iter().enumerate() {
+                        let target = s.now() + SimDuration::from_micros(d);
+                        s.sleep(SimDuration::from_micros(d)).await;
+                        assert!(
+                            s.now() >= target,
+                            "case {case}: t{t}.{i} woke at {} before its {} deadline",
+                            s.now(),
+                            target
+                        );
+                        log.borrow_mut()
+                            .push((s.now().as_nanos(), format!("t{t}.{i}")));
+                    }
+                });
+            }
+            for (j, &(at_us, sh)) in calls.iter().enumerate() {
+                let s = sim.clone();
+                let log = Rc::clone(&log);
+                let at = SimTime::from_nanos(at_us * 1_000);
+                sim.schedule_call_on(sh, at, move || {
+                    assert!(
+                        s.now() >= at,
+                        "case {case}: call c{j} ran at {} before its {} deadline",
+                        s.now(),
+                        at
+                    );
+                    log.borrow_mut().push((s.now().as_nanos(), format!("c{j}")));
+                });
+            }
+            sim.run().expect("property program deadlocked");
+
+            let trace = Rc::try_unwrap(log).expect("all tasks done").into_inner();
+            assert!(
+                trace.windows(2).all(|w| w[0].0 <= w[1].0),
+                "case {case} @ {shards} shard(s): simulated time went backward"
+            );
+            match &baseline {
+                None => baseline = Some(trace),
+                Some(reference) => assert_eq!(
+                    &trace, reference,
+                    "case {case}: {shards}-shard trace diverged from the \
+                     1-shard reference order"
+                ),
+            }
+        }
+    }
+}
+
 /// Group definitions survive JSON round-trips for arbitrary valid
 /// partitions.
 #[test]
