@@ -114,6 +114,39 @@ impl Baseline {
         }
     }
 
+    /// Rebuild the baseline from the current findings
+    /// (`--update-baseline`): entries whose `(file, rule, snippet)` key
+    /// still matches keep their note (and get the fresh count); entries
+    /// that no longer match anything are *pruned* instead of silently
+    /// carried forever. Returns the refreshed baseline and one human
+    /// description per pruned entry.
+    pub fn refresh(&self, findings: &[Finding]) -> (Baseline, Vec<String>) {
+        let mut fresh = Baseline::from_findings(findings);
+        let mut old: BTreeMap<(String, String, String), String> = self
+            .entries
+            .iter()
+            .map(|e| {
+                (
+                    (e.file.clone(), e.rule.clone(), e.snippet.clone()),
+                    e.note.clone(),
+                )
+            })
+            .collect();
+        for e in &mut fresh.entries {
+            let key = (e.file.clone(), e.rule.clone(), e.snippet.clone());
+            if let Some(note) = old.remove(&key) {
+                e.note = note;
+            }
+        }
+        let pruned = old
+            .into_keys()
+            .map(|(file, rule, snippet)| {
+                format!("{file}: {rule} `{snippet}` — stale (no longer matches any finding)")
+            })
+            .collect();
+        (fresh, pruned)
+    }
+
     /// Mark findings covered by this baseline as [`Status::Baselined`].
     /// Returns human descriptions of entries (or residual counts) that
     /// matched nothing.

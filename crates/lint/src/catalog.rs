@@ -73,6 +73,20 @@ pub const CATALOG: &[RuleDoc] = &[
         fix: "Wire the fn into the protocol or delete it.",
     },
     RuleDoc {
+        rule: Rule::D10,
+        summary: "no nondeterministic value may *flow into* a digest, trace record, or payload",
+        rationale: "D01/D02 flag any use of a nondeterminism source; D10 is the \
+                    flow-sensitive refinement: it tracks tainted values through \
+                    bindings, branches and call returns, and fires only when one \
+                    actually reaches the replay-checked plane — a digest fold, a \
+                    metrics/trace record, or a protocol message payload. Each \
+                    finding carries the source→sink witness chain.",
+        example: "let t0 = Instant::now(); … digest(t0.elapsed().as_nanos() as u64)",
+        fix: "Derive the value from sim time / DetRng, or keep the wall-clock \
+              reading out of the digested plane (bench wall-time may be *reported*, \
+              never digested). A clean reassignment kills the taint.",
+    },
+    RuleDoc {
         rule: Rule::E01,
         summary: "`let _ =` must not discard a protocol `Result`",
         rationale: "A `Result<_, RecoveryError|StorageError>` (or any Result produced by \
@@ -123,16 +137,47 @@ pub const CATALOG: &[RuleDoc] = &[
               variant is a compile-time event.",
     },
     RuleDoc {
-        rule: Rule::S00,
-        summary: "stale or malformed suppression",
-        rationale: "A waiver that waives nothing (or does not parse) is debt pretending \
-                    to be documentation; the analyzer refuses to let it accumulate.",
-        example: "// gcr-lint: allow(D03) …   — on a line with no D03 finding",
-        fix: "Delete the suppression (or fix its spelling).",
+        rule: Rule::P10,
+        summary: "protocol bodies must follow their checked-in phase-machine spec",
+        rationale: "Each protocol (blocking 2PC, VCL, restart, bookmark drain) is a \
+                    phase machine: begin only after the drain+barrier, commit/abort \
+                    only after the post-write barrier, no sends after the commit \
+                    decision, every opened generation resolved, abort always \
+                    reachable. P10 extracts the interprocedural ctrl-tag / storage \
+                    event sequence along every path through the entry points and \
+                    model-checks it against the specs in `crates/lint/src/phases.rs`. \
+                    Every violation carries a witness path.",
+        example: "ctx.ctrl_send(peer, tags::BOOKMARK + wave, …)  // after store.commit",
+        fix: "Reorder the protocol body to match the spec — or, if the protocol \
+              itself legitimately changed, update the spec table in the same PR so \
+              the diff documents the new phase order.",
     },
     RuleDoc {
         rule: Rule::S01,
-        summary: "suppression without a justification",
+        summary: "shard-local kernel state must stay behind the merge boundary",
+        rationale: "The sharded DES kernel is bit-identical across shard counts only \
+                    because every cross-shard interaction goes through the \
+                    merge/global-sequence path in `crates/sim/src/shard.rs` + \
+                    `executor.rs`. Any other `sim`/`mpi` file naming a shard-local \
+                    type, reaching into the `.shards` arena, or the boundary file \
+                    exporting one as bare `pub`, opens a side channel that breaks \
+                    digest invariance.",
+        example: "sh.push(HeapEntry { at, seq, slot })   // outside executor.rs",
+        fix: "Route the interaction through the executor's merge API \
+              (`spawn_on`/`schedule_call_on`); keep shard types `pub(crate)`. Only \
+              `SimStats` (merged read-only counters) is exported.",
+    },
+    RuleDoc {
+        rule: Rule::W00,
+        summary: "stale or malformed waiver",
+        rationale: "A waiver that waives nothing (or does not parse) is debt pretending \
+                    to be documentation; the analyzer refuses to let it accumulate.",
+        example: "// gcr-lint: allow(D03) …   — on a line with no D03 finding",
+        fix: "Delete the waiver (or fix its spelling).",
+    },
+    RuleDoc {
+        rule: Rule::W01,
+        summary: "waiver without a justification",
         rationale: "Every `allow(...)`/`trust(...)` is a claim that a finding is safe; \
                     an unexplained claim cannot be audited.",
         example: "// gcr-lint: allow(D03)",

@@ -1,0 +1,503 @@
+//! D10 — determinism taint dataflow; S01 — shard isolation.
+//!
+//! **D10** upgrades D01/D02's "any use anywhere" syntactic net into a
+//! flow-sensitive question: does a nondeterministic *value* actually
+//! reach a determinism-critical *sink*? Sources are hash-order iteration
+//! and the clock/entropy/thread/env surfaces; sinks are digest folds,
+//! trace/metrics records, and protocol message payloads. The analysis is
+//! an intraprocedural worklist walk over the structured CFG
+//! ([`crate::cfg`]) with a taint environment per simple binding, merged
+//! at joins and iterated (twice) through loops, plus a coarse
+//! interprocedural summary over the call graph: a function *returns
+//! taint* if its body touches a source (or it calls one that does) and
+//! it returns a value. Every finding carries the source→sink witness
+//! chain. Bindings killed by a clean reassignment drop their taint — the
+//! exact case the syntactic rules cannot express.
+//!
+//! **S01** protects the sharded kernel's bit-identical-digest invariant:
+//! per-shard timer state (the types defined in
+//! [`crate::policy::SHARD_BOUNDARY`]) must be reachable from another
+//! shard only through the merge/global-sequence boundary. Inside the
+//! scope crates (`sim`, `mpi`), any file outside the allow-listed merge
+//! boundary that names a shard-local type, or reaches into the `.shards`
+//! arena, is a finding — as is the boundary file itself exporting a
+//! shard-local item as bare `pub`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::CallGraph;
+use crate::cfg::{self, Cfg};
+use crate::lexer::{self, Lexed, TokKind};
+use crate::policy;
+use crate::report::{Finding, Rule, Status};
+use crate::rules;
+use crate::symbols::SymbolIndex;
+
+/// Sink function names: a call to one of these with a tainted argument
+/// is a D10 finding. Digest folds, metrics/trace records, and the
+/// protocol payload path.
+const SINKS: &[&str] = &[
+    "digest",
+    "image_digest",
+    "push_ckpt",
+    "push_restart",
+    "trace_send",
+    "ctrl_send",
+    "send_batch",
+];
+
+/// A taint chain: human-readable steps from source to the current value.
+type Chain = Vec<(String, usize)>;
+
+/// Taint environment: simple binding name → how it got tainted.
+type Env = BTreeMap<String, Chain>;
+
+/// Run the D10 determinism taint pass over the workspace.
+pub fn check(index: &SymbolIndex, graph: &CallGraph, views: &[(&str, &Lexed)]) -> Vec<Finding> {
+    let n = index.fns.len();
+
+    // Per-file hash-bound identifier sets (reused from D01's binding scan).
+    let hash_bound: Vec<BTreeSet<String>> = views
+        .iter()
+        .map(|(_, lx)| rules::hash_bound_idents(&lx.toks))
+        .collect();
+
+    // Summary 1: does the body touch a source at all?
+    let mut gen = vec![false; n];
+    for (f, fd) in index.fns.iter().enumerate() {
+        let Some((lo, hi)) = fd.body else { continue };
+        let lx = views[fd.file].1;
+        gen[f] = has_source(&lx.toks, lo, hi, &hash_bound[fd.file]);
+    }
+
+    // Summary 2: returns-taint — generates (or transitively calls a
+    // generator) *and* returns a value. Fixpoint over the call graph.
+    let mut ret_taint: Vec<bool> = (0..n)
+        .map(|f| gen[f] && !index.fns[f].ret.is_empty())
+        .collect();
+    loop {
+        let mut grew = false;
+        for f in 0..n {
+            if ret_taint[f] || index.fns[f].ret.is_empty() {
+                continue;
+            }
+            if graph.edges[f].iter().any(|&c| ret_taint[c]) {
+                ret_taint[f] = true;
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    let mut out = Vec::new();
+    for (f, fd) in index.fns.iter().enumerate() {
+        let Some((lo, hi)) = fd.body else { continue };
+        // A body with no source and no call into a taint-returning fn
+        // cannot produce a flow; skip the CFG walk.
+        let lx = views[fd.file].1;
+        let calls_taint = graph.calls[f]
+            .iter()
+            .any(|cs| cs.targets.iter().any(|&t| ret_taint[t]));
+        if !gen[f] && !calls_taint {
+            continue;
+        }
+        let mut flow = Flow {
+            index,
+            lx,
+            rel: views[fd.file].0,
+            hash_bound: &hash_bound[fd.file],
+            ret_taint: &ret_taint,
+            reported: BTreeSet::new(),
+            out: &mut out,
+        };
+        let graph_cfg = cfg::build(&lx.toks, lo, hi);
+        flow.walk(&graph_cfg, Env::new());
+    }
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.message.as_str(),
+        ))
+    });
+    out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.message == b.message);
+    out
+}
+
+/// Does `[lo, hi)` contain a nondeterminism source?
+fn has_source(toks: &[lexer::Tok], lo: usize, hi: usize, hash_bound: &BTreeSet<String>) -> bool {
+    let hi = hi.min(toks.len());
+    (lo..hi).any(|i| source_at(toks, i, hi, hash_bound).is_some())
+}
+
+/// The nondeterminism source starting at token `i`, if any.
+fn source_at(
+    toks: &[lexer::Tok],
+    i: usize,
+    hi: usize,
+    hash_bound: &BTreeSet<String>,
+) -> Option<String> {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    let path_next = |j: usize| {
+        toks.get(j).is_some_and(|a| a.text == ":") && toks.get(j + 1).is_some_and(|a| a.text == ":")
+    };
+    match t.text.as_str() {
+        "Instant" if path_next(i + 1) && toks.get(i + 3).is_some_and(|a| a.text == "now") => {
+            return Some("Instant::now()".to_string());
+        }
+        "SystemTime" => return Some("SystemTime".to_string()),
+        "RandomState" => return Some("RandomState".to_string()),
+        "available_parallelism" => return Some("available_parallelism()".to_string()),
+        "thread" if path_next(i + 1) => return Some("std::thread".to_string()),
+        "env" if path_next(i + 1) => return Some("std::env".to_string()),
+        _ => {}
+    }
+    // Hash-order iteration: `m.iter()` where `m` is hash-bound.
+    if hash_bound.contains(&t.text)
+        && toks.get(i + 1).is_some_and(|a| a.text == ".")
+        && i + 2 < hi
+        && toks[i + 2].kind == TokKind::Ident
+        && matches!(
+            toks[i + 2].text.as_str(),
+            "iter" | "iter_mut" | "into_iter" | "keys" | "values" | "values_mut" | "drain"
+        )
+    {
+        return Some(format!("hash-ordered iteration over `{}`", t.text));
+    }
+    None
+}
+
+struct Flow<'a> {
+    index: &'a SymbolIndex,
+    lx: &'a Lexed,
+    rel: &'a str,
+    hash_bound: &'a BTreeSet<String>,
+    ret_taint: &'a [bool],
+    reported: BTreeSet<(usize, String)>,
+    out: &'a mut Vec<Finding>,
+}
+
+impl Flow<'_> {
+    fn walk(&mut self, c: &Cfg, mut env: Env) -> Env {
+        match c {
+            Cfg::Stmt(lo, hi) => {
+                self.stmt(&mut env, *lo, *hi);
+                env
+            }
+            Cfg::Seq(v) => v.iter().fold(env, |e, n| self.walk(n, e)),
+            Cfg::Branch(v) => {
+                let mut merged = Env::new();
+                for n in v {
+                    for (k, chain) in self.walk(n, env.clone()) {
+                        merged.entry(k).or_insert(chain);
+                    }
+                }
+                merged
+            }
+            Cfg::Loop(b) => {
+                // Two rounds pick up loop-carried taint; the env only
+                // grows, so this is a cheap truncated fixpoint.
+                for _ in 0..2 {
+                    for (k, chain) in self.walk(b, env.clone()) {
+                        env.entry(k).or_insert(chain);
+                    }
+                }
+                env
+            }
+        }
+    }
+
+    /// Transfer one straight-line run: per `;`-separated statement,
+    /// check sinks against the pre-state, then apply the binding.
+    fn stmt(&mut self, env: &mut Env, lo: usize, hi: usize) {
+        let toks = &self.lx.toks;
+        let hi = hi.min(toks.len());
+        let mut a = lo;
+        while a < hi {
+            let mut depth = 0i32;
+            let mut b = a;
+            while b < hi {
+                match toks[b].text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+                b += 1;
+            }
+            if a < b {
+                self.sinks(env, a, b);
+                self.binding(env, a, b);
+            }
+            a = b + 1;
+        }
+    }
+
+    /// Report tainted arguments reaching sink calls in `[a, b)`.
+    fn sinks(&mut self, env: &Env, a: usize, b: usize) {
+        let toks = &self.lx.toks;
+        for i in a..b {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident
+                || !SINKS.contains(&t.text.as_str())
+                || toks.get(i + 1).is_none_or(|n| n.text != "(")
+            {
+                continue;
+            }
+            let close = cfg::matching(toks, i + 1, toks.len());
+            let Some(chain) = self.expr_taint(env, i + 2, close) else {
+                continue;
+            };
+            let key = (t.line, t.text.clone());
+            if !self.reported.insert(key) {
+                continue;
+            }
+            let steps: Vec<String> = chain
+                .iter()
+                .map(|(desc, line)| format!("{desc} (line {line})"))
+                .collect();
+            self.out.push(Finding {
+                file: self.rel.to_string(),
+                line: t.line,
+                rule: Rule::D10,
+                message: format!(
+                    "nondeterministic value flows into sink `{}(…)`: {} → {}() \
+                     — the digest/trace/payload plane must be replay-stable",
+                    t.text,
+                    steps.join(" → "),
+                    t.text,
+                ),
+                snippet: self.lx.snippet(t.line).to_string(),
+                status: Status::New,
+            });
+        }
+    }
+
+    /// Apply a simple `let x = …` / `x = …` binding: taint or kill.
+    fn binding(&mut self, env: &mut Env, a: usize, b: usize) {
+        let toks = &self.lx.toks;
+        let (target, rhs) = if toks[a].text == "let" {
+            let mut j = a + 1;
+            if toks.get(j).is_some_and(|t| t.text == "mut") {
+                j += 1;
+            }
+            let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) else {
+                return; // destructuring pattern: no simple binding to track
+            };
+            // Only simple bindings: `let x = …` / `let x: T = …`. A
+            // pattern (`let Some(x) = …`, `let (a, b) = …`) is skipped.
+            if !toks
+                .get(j + 1)
+                .is_some_and(|t| t.text == ":" || t.text == "=" || t.text == ";")
+            {
+                return;
+            }
+            let name = name.text.clone();
+            let mut k = j + 1;
+            // Optional `: Type` annotation, then `=` (a bare `let x;` kills).
+            let mut depth = 0i32;
+            while k < b {
+                match toks[k].text.as_str() {
+                    "(" | "[" | "{" | "<" => depth += 1,
+                    ")" | "]" | "}" | ">" => depth -= 1,
+                    "=" if depth <= 0 && toks.get(k + 1).is_none_or(|t| t.text != "=") => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            if k >= b {
+                env.remove(&name); // `let x;` — uninitialized, kills taint
+                return;
+            }
+            (name, k + 1)
+        } else if toks[a].kind == TokKind::Ident
+            && toks.get(a + 1).is_some_and(|t| t.text == "=")
+            && toks.get(a + 2).is_none_or(|t| t.text != "=")
+        {
+            (toks[a].text.clone(), a + 2)
+        } else {
+            return;
+        };
+        match self.expr_taint(env, rhs, b) {
+            Some(mut chain) => {
+                if chain.last().map(|(d, _)| d.as_str()) != Some(&format!("`{target}`")) {
+                    chain.push((format!("`{target}`"), toks[a].line));
+                }
+                env.insert(target, chain);
+            }
+            None => {
+                env.remove(&target);
+            }
+        }
+    }
+
+    /// The leftmost taint in an expression range, if any: a source, a
+    /// tainted binding, or a call to a taint-returning function.
+    fn expr_taint(&self, env: &Env, lo: usize, hi: usize) -> Option<Chain> {
+        let toks = &self.lx.toks;
+        let hi = hi.min(toks.len());
+        let mut i = lo;
+        while i < hi {
+            if let Some(desc) = source_at(toks, i, hi, self.hash_bound) {
+                return Some(vec![(desc, toks[i].line)]);
+            }
+            let t = &toks[i];
+            if t.kind == TokKind::Ident {
+                if let Some(chain) = env.get(&t.text) {
+                    return Some(chain.clone());
+                }
+                if toks.get(i + 1).is_some_and(|n| n.text == "(") {
+                    if let Some(ids) = self.index.by_name.get(&t.text) {
+                        if ids.iter().any(|&id| self.ret_taint[id]) {
+                            return Some(vec![(
+                                format!("`{}()` (returns a nondeterministic value)", t.text),
+                                t.line,
+                            )]);
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+        None
+    }
+}
+
+/// Run the S01 shard-isolation pass.
+pub fn shard_isolation(views: &[(&str, &Lexed)]) -> Vec<Finding> {
+    let Some(bi) = views
+        .iter()
+        .position(|(rel, _)| *rel == policy::SHARD_BOUNDARY)
+    else {
+        return Vec::new(); // no sharded kernel in this workspace
+    };
+    let mut out = Vec::new();
+    let (_, blx) = views[bi];
+    let btests = lexer::test_spans(blx);
+
+    // Shard-local type names defined by the boundary file.
+    let mut names: BTreeSet<&str> = BTreeSet::new();
+    for (i, t) in blx.toks.iter().enumerate() {
+        if matches!(t.text.as_str(), "struct" | "enum")
+            && !lexer::in_spans(&btests, t.line)
+            && blx
+                .toks
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokKind::Ident)
+        {
+            let name = blx.toks[i + 1].text.as_str();
+            if !policy::SHARD_EXPORTED.contains(&name) {
+                names.insert(name);
+            }
+        }
+    }
+
+    // (a) The boundary file must not export shard-local items: a bare
+    // `pub` item other than the allow-listed read-only exports.
+    let mut i = 0;
+    while i < blx.toks.len() {
+        let t = &blx.toks[i];
+        if t.text == "pub"
+            && !lexer::in_spans(&btests, t.line)
+            && blx.toks.get(i + 1).is_none_or(|n| n.text != "(")
+        {
+            let mut j = i + 1;
+            while blx
+                .toks
+                .get(j)
+                .is_some_and(|n| matches!(n.text.as_str(), "async" | "const" | "unsafe"))
+            {
+                j += 1;
+            }
+            if blx
+                .toks
+                .get(j)
+                .is_some_and(|n| matches!(n.text.as_str(), "fn" | "struct" | "enum"))
+            {
+                if let Some(name) = blx.toks.get(j + 1) {
+                    if !policy::SHARD_EXPORTED.contains(&name.text.as_str()) {
+                        out.push(Finding {
+                            file: views[bi].0.to_string(),
+                            line: t.line,
+                            rule: Rule::S01,
+                            message: format!(
+                                "shard-boundary item `{}` is exported `pub` — keep \
+                                 shard-local state `pub(crate)` so only the merge \
+                                 boundary can reach it",
+                                name.text
+                            ),
+                            snippet: blx.snippet(t.line).to_string(),
+                            status: Status::New,
+                        });
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // (b) Scope crates: shard-local types and the `.shards` arena are
+    // reachable only through the merge boundary.
+    for (rel, lx) in views {
+        let scoped = crate_name(rel).is_some_and(|c| policy::SHARD_SCOPE_CRATES.contains(&c))
+            && !policy::SHARD_MERGERS.contains(rel);
+        if !scoped {
+            continue;
+        }
+        let tests = lexer::test_spans(lx);
+        for (i, t) in lx.toks.iter().enumerate() {
+            if lexer::in_spans(&tests, t.line) {
+                continue;
+            }
+            if t.kind == TokKind::Ident && names.contains(t.text.as_str()) {
+                out.push(Finding {
+                    file: rel.to_string(),
+                    line: t.line,
+                    rule: Rule::S01,
+                    message: format!(
+                        "shard-local type `{}` used outside the merge boundary \
+                         ({}) — cross-shard state must flow through the \
+                         merge/global-sequence path",
+                        t.text,
+                        policy::SHARD_MERGERS.join(", "),
+                    ),
+                    snippet: lx.snippet(t.line).to_string(),
+                    status: Status::New,
+                });
+            }
+            if t.text == "shards" && i >= 1 && lx.toks[i - 1].text == "." {
+                out.push(Finding {
+                    file: rel.to_string(),
+                    line: t.line,
+                    rule: Rule::S01,
+                    message: "per-shard arena `.shards` accessed outside the merge \
+                              boundary — shard heaps are private to the \
+                              merge/global-sequence path"
+                        .to_string(),
+                    snippet: lx.snippet(t.line).to_string(),
+                    status: Status::New,
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.message.as_str(),
+        ))
+    });
+    out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.message == b.message);
+    out
+}
+
+fn crate_name(rel: &str) -> Option<&str> {
+    let rest = rel.strip_prefix("crates/")?;
+    let (name, tail) = rest.split_once('/')?;
+    tail.starts_with("src/").then_some(name)
+}

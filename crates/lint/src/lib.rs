@@ -26,7 +26,10 @@
 pub mod baseline;
 pub mod callgraph;
 pub mod catalog;
+pub mod cfg;
+pub mod dataflow;
 pub mod lexer;
+pub mod phases;
 pub mod policy;
 pub mod report;
 pub mod rules;
@@ -90,6 +93,13 @@ pub fn lint_files(files: &[(String, String)], baseline: &Baseline) -> Report {
     let graph = callgraph::build(&index, &views, &mut waivers);
     raw.extend(semantic::check(&index, &graph, &views, &mut waivers));
 
+    // Flow-sensitive passes: protocol phase-order model checking (P10),
+    // determinism taint dataflow (D10) and shard isolation (S01). Their
+    // findings go through the same waiver/baseline machinery below.
+    raw.extend(phases::check(&index, &views));
+    raw.extend(dataflow::check(&index, &graph, &views));
+    raw.extend(dataflow::shard_isolation(&views));
+
     // Apply line waivers to everything that is still unwaived (the
     // semantic passes pre-filter, but the local rules have not), then
     // collect stale/reasonless waiver findings.
@@ -107,8 +117,24 @@ pub fn lint_files(files: &[(String, String)], baseline: &Baseline) -> Report {
         findings.extend(w.finish(rel, lx));
     }
 
-    findings
-        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    // Full-key sort: `--json`/`--sarif` must be byte-stable even when two
+    // findings of the same rule land on one line.
+    findings.sort_by(|a, b| {
+        (
+            a.file.as_str(),
+            a.line,
+            a.rule,
+            a.message.as_str(),
+            a.snippet.as_str(),
+        )
+            .cmp(&(
+                b.file.as_str(),
+                b.line,
+                b.rule,
+                b.message.as_str(),
+                b.snippet.as_str(),
+            ))
+    });
     let unused_baseline = baseline.apply(&mut findings);
     Report {
         findings,

@@ -1,0 +1,663 @@
+//! P10 — protocol phase-order model checking.
+//!
+//! Each checkpoint/restart protocol is a phase machine: the blocking
+//! protocol must `begin` a generation only after the bookmark drain and
+//! the pre-write barrier, may `commit`/`abort` only after the post-write
+//! barrier, and must never send application-visible control traffic after
+//! the commit decision fans out. Those orderings are *specs* here —
+//! declarative state machines checked into [`SPECS`] — and this pass
+//! verifies them against the event sequences it extracts from the real
+//! protocol bodies in `crates/core`.
+//!
+//! Extraction is interprocedural and path-sensitive over the structured
+//! CFG ([`crate::cfg`]): `if`/`match` become alternatives, loops become
+//! Kleene closures, and calls into the control-plane helpers (the entry's
+//! own file plus `ctrlplane.rs`) are inlined, so `bookmark_drain`'s
+//! BOOKMARK sends count inside `blocking_wave`'s sequence. Events are
+//! * `send:TAG` / `recv:TAG` — `ctrl_send`/`ctrl_recv` with a `tags::TAG`
+//!   argument (a local `let t = tags::TAG + wave` alias also resolves);
+//! * `barrier:TAG` — `ctrl_barrier`;
+//! * `store.OP` — catalog transitions (`begin`, `commit`, `abort`,
+//!   `record_image`, `record_failure`, `validate`, `record_load`) on a
+//!   receiver literally named `store`;
+//! * `write` / `read` — image I/O on a receiver literally named `storage`.
+//!
+//! The check runs the event tree through the spec's automaton as a set of
+//! live phases, each carrying a representative witness trail. Three
+//! violation classes fire, each with its witness path: an event illegal
+//! in every live phase (send-after-commit, commit-without-barrier), a
+//! path ending in a non-accepting phase (unmatched begin), and a spec
+//! `required` event the extracted body can never exercise
+//! (abort-unreachable).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::cfg::{self, Cfg};
+use crate::lexer::{Lexed, TokKind};
+use crate::report::{Finding, Rule, Status};
+use crate::symbols::SymbolIndex;
+
+/// Control-plane helper file whose callees are inlined into every
+/// protocol entry (alongside the entry's own file).
+pub const INLINE_HELPERS: &str = "crates/core/src/ctrlplane.rs";
+
+/// Storage-catalog method names that are protocol events (on a `store`
+/// receiver).
+const STORE_OPS: &[&str] = &[
+    "begin",
+    "commit",
+    "abort",
+    "record_image",
+    "record_failure",
+    "validate",
+    "record_load",
+];
+
+/// One protocol's phase machine.
+#[derive(Debug)]
+pub struct PhaseSpec {
+    /// Protocol name, used in finding messages.
+    pub protocol: &'static str,
+    /// Entry function the event sequence is extracted from.
+    pub entry: &'static str,
+    /// Workspace-relative file the entry lives in. A spec whose entry is
+    /// absent is inactive (synthetic fixture workspaces stay quiet).
+    pub entry_file: &'static str,
+    /// Phase the automaton starts in.
+    pub start: &'static str,
+    /// Phases a protocol run may legally end in.
+    pub accepting: &'static [&'static str],
+    /// `(from-phase, event, to-phase)` transitions. The event alphabet is
+    /// derived from this table (plus `required`); events outside it are
+    /// ignored, so unrelated control traffic cannot break a spec.
+    pub transitions: &'static [(&'static str, &'static str, &'static str)],
+    /// Events that must be exercisable somewhere in the extracted body,
+    /// with the reason they are load-bearing.
+    pub required: &'static [(&'static str, &'static str)],
+}
+
+/// The checked-in phase specs. These encode DESIGN.md's protocol phase
+/// diagrams; P10 fails the build when the code and the spec diverge.
+pub const SPECS: &[PhaseSpec] = &[
+    PhaseSpec {
+        protocol: "blocking-2pc",
+        entry: "blocking_wave",
+        entry_file: "crates/core/src/blocking.rs",
+        start: "idle",
+        accepting: &["resolved"],
+        transitions: &[
+            // Bookmark drain: in-flight bytes settle before the freeze
+            // barrier. No storage traffic may precede BARRIER1.
+            ("idle", "send:BOOKMARK", "drain"),
+            ("idle", "recv:BOOKMARK", "drain"),
+            ("idle", "barrier:BARRIER1", "synced"),
+            ("drain", "send:BOOKMARK", "drain"),
+            ("drain", "recv:BOOKMARK", "drain"),
+            ("drain", "barrier:BARRIER1", "synced"),
+            // A generation opens only once the group is synced.
+            ("synced", "store.begin", "pending"),
+            // Image writes (including torn ones) and per-rank outcome
+            // records all happen under the pending generation.
+            ("pending", "write", "pending"),
+            ("pending", "store.record_image", "pending"),
+            ("pending", "store.record_failure", "pending"),
+            // The post-write barrier seals the wave: only after every
+            // member reports may the coordinator decide.
+            ("pending", "barrier:BARRIER2", "sealed"),
+            ("sealed", "store.commit", "resolved"),
+            ("sealed", "store.abort", "resolved"),
+            ("sealed", "recv:COMMIT", "resolved"),
+            // The decision broadcast is the only legal post-commit send.
+            ("resolved", "send:COMMIT", "resolved"),
+        ],
+        required: &[(
+            "store.abort",
+            "a pending generation with no abort path wedges the restart \
+             fallback on the first failed wave",
+        )],
+    },
+    PhaseSpec {
+        protocol: "vcl",
+        entry: "vcl_wave",
+        entry_file: "crates/core/src/vcl.rs",
+        start: "wave",
+        accepting: &["flushed"],
+        transitions: &[
+            // Marker collection arms before the generation opens.
+            ("wave", "recv:MARKER", "wave"),
+            ("wave", "store.begin", "armed"),
+            ("armed", "write", "armed"),
+            ("armed", "send:MARKER", "armed"),
+            ("armed", "recv:MARKER", "armed"),
+            ("armed", "store.record_image", "flushed"),
+            ("armed", "store.record_failure", "flushed"),
+        ],
+        required: &[
+            ("send:MARKER", "every outgoing channel must get a marker"),
+            (
+                "store.record_failure",
+                "a failed image/state write must be recorded, or the wave \
+                 commits a generation with holes",
+            ),
+        ],
+    },
+    PhaseSpec {
+        protocol: "restart",
+        entry: "restart_rank_with_peers",
+        entry_file: "crates/core/src/restart.rs",
+        start: "load",
+        accepting: &["done"],
+        transitions: &[
+            // Generation selection: validate against the catalog, record
+            // the load, then read the image — all before any replay.
+            ("load", "store.validate", "load"),
+            ("load", "store.record_load", "load"),
+            ("load", "read", "loaded"),
+            ("loaded", "send:RESTART_VOL", "replay"),
+            ("loaded", "recv:RESTART_VOL", "replay"),
+            // A rank with no out-of-group peers resumes directly.
+            ("loaded", "barrier:RESTART_BARRIER", "done"),
+            ("replay", "send:RESTART_VOL", "replay"),
+            ("replay", "recv:RESTART_VOL", "replay"),
+            ("replay", "read", "replay"),
+            ("replay", "send:RESTART_PLAN", "replay"),
+            ("replay", "recv:RESTART_PLAN", "replay"),
+            ("replay", "send:RESTART_DATA", "replay"),
+            ("replay", "recv:RESTART_DATA", "replay"),
+            ("replay", "barrier:RESTART_BARRIER", "done"),
+        ],
+        required: &[(
+            "store.validate",
+            "restart must validate the generation against the catalog \
+             before consuming an image — the store-load oracle depends on it",
+        )],
+    },
+    PhaseSpec {
+        protocol: "restart-serve",
+        entry: "serve_peer_recovery",
+        entry_file: "crates/core/src/restart.rs",
+        start: "serve",
+        accepting: &["serve"],
+        transitions: &[
+            ("serve", "send:RESTART_VOL", "serve"),
+            ("serve", "recv:RESTART_VOL", "serve"),
+            ("serve", "read", "serve"),
+            ("serve", "send:RESTART_PLAN", "serve"),
+            ("serve", "recv:RESTART_PLAN", "serve"),
+            ("serve", "send:RESTART_DATA", "serve"),
+            ("serve", "recv:RESTART_DATA", "serve"),
+        ],
+        required: &[],
+    },
+    PhaseSpec {
+        protocol: "bookmark-drain",
+        entry: "bookmark_drain",
+        entry_file: "crates/core/src/ctrlplane.rs",
+        start: "drain",
+        accepting: &["drain"],
+        transitions: &[
+            ("drain", "send:BOOKMARK", "drain"),
+            ("drain", "recv:BOOKMARK", "drain"),
+        ],
+        required: &[],
+    },
+];
+
+/// One extracted protocol event.
+#[derive(Debug, Clone)]
+struct Ev {
+    name: String,
+    file: usize,
+    line: usize,
+}
+
+/// Structured event tree mirroring the CFG shape.
+#[derive(Debug)]
+enum Tree {
+    Seq(Vec<Tree>),
+    Alt(Vec<Tree>),
+    Loop(Box<Tree>),
+    Ev(Ev),
+}
+
+/// Witness trail: the events (with locations) that drove the automaton
+/// into the current phase.
+type Trail = Vec<Ev>;
+
+/// Live phases of the subset simulation, each with one representative
+/// trail (first reached, deterministically).
+type States = BTreeMap<&'static str, Trail>;
+
+/// Protocols whose spec is active (entry found) in this workspace. Used
+/// by the tier-1 coverage test: the live workspace must keep every spec
+/// active.
+pub fn active_specs(index: &SymbolIndex, views: &[(&str, &Lexed)]) -> Vec<&'static str> {
+    SPECS
+        .iter()
+        .filter(|s| find_entry(index, views, s).is_some())
+        .map(|s| s.protocol)
+        .collect()
+}
+
+/// Run every active spec; returns P10 findings.
+pub fn check(index: &SymbolIndex, views: &[(&str, &Lexed)]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for spec in SPECS {
+        let Some(f) = find_entry(index, views, spec) else {
+            continue;
+        };
+        let ex = Extractor {
+            index,
+            views,
+            entry_file: spec.entry_file,
+        };
+        let tree = ex.extract_fn(f, &mut Vec::new());
+        out.extend(simulate(spec, &tree, index, views, f));
+    }
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.message.as_str(),
+        ))
+    });
+    out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.message == b.message);
+    out
+}
+
+fn find_entry(index: &SymbolIndex, views: &[(&str, &Lexed)], spec: &PhaseSpec) -> Option<usize> {
+    index.fns.iter().position(|f| {
+        f.name == spec.entry && f.body.is_some() && views[f.file].0 == spec.entry_file
+    })
+}
+
+struct Extractor<'a> {
+    index: &'a SymbolIndex,
+    views: &'a [(&'a str, &'a Lexed)],
+    entry_file: &'a str,
+}
+
+impl Extractor<'_> {
+    /// Extract the event tree of fn `f`, inlining eligible callees.
+    /// `stack` guards recursion and bounds inline depth.
+    fn extract_fn(&self, f: usize, stack: &mut Vec<usize>) -> Tree {
+        let fd = &self.index.fns[f];
+        let Some((lo, hi)) = fd.body else {
+            return Tree::Seq(Vec::new());
+        };
+        let lx = self.views[fd.file].1;
+        let tag_lets = tag_lets(lx, lo, hi);
+        let graph = cfg::build(&lx.toks, lo, hi);
+        stack.push(f);
+        let t = self.tree_of(&graph, fd.file, &tag_lets, stack);
+        stack.pop();
+        t
+    }
+
+    fn tree_of(
+        &self,
+        c: &Cfg,
+        fi: usize,
+        tag_lets: &BTreeMap<String, String>,
+        stack: &mut Vec<usize>,
+    ) -> Tree {
+        match c {
+            Cfg::Stmt(lo, hi) => Tree::Seq(self.stmt_events(fi, *lo, *hi, tag_lets, stack)),
+            Cfg::Seq(v) => Tree::Seq(
+                v.iter()
+                    .map(|n| self.tree_of(n, fi, tag_lets, stack))
+                    .collect(),
+            ),
+            Cfg::Branch(v) => Tree::Alt(
+                v.iter()
+                    .map(|n| self.tree_of(n, fi, tag_lets, stack))
+                    .collect(),
+            ),
+            Cfg::Loop(b) => Tree::Loop(Box::new(self.tree_of(b, fi, tag_lets, stack))),
+        }
+    }
+
+    /// Linear scan of a straight-line token range for events and
+    /// inlinable calls.
+    fn stmt_events(
+        &self,
+        fi: usize,
+        lo: usize,
+        hi: usize,
+        tag_lets: &BTreeMap<String, String>,
+        stack: &mut Vec<usize>,
+    ) -> Vec<Tree> {
+        let lx = self.views[fi].1;
+        let toks = &lx.toks;
+        let mut out = Vec::new();
+        let mut i = lo;
+        while i < hi.min(toks.len()) {
+            let t = &toks[i];
+            let called = t.kind == TokKind::Ident && toks.get(i + 1).is_some_and(|n| n.text == "(");
+            if !called {
+                i += 1;
+                continue;
+            }
+            let name = t.text.as_str();
+            let ctrl = match name {
+                "ctrl_send" => Some("send"),
+                "ctrl_recv" => Some("recv"),
+                "ctrl_barrier" => Some("barrier"),
+                _ => None,
+            };
+            if let Some(kind) = ctrl {
+                let close = cfg::matching(toks, i + 1, toks.len());
+                if let Some(tag) = find_tag(lx, i + 2, close, tag_lets) {
+                    out.push(Tree::Ev(Ev {
+                        name: format!("{kind}:{tag}"),
+                        file: fi,
+                        line: t.line,
+                    }));
+                }
+                i += 1;
+                continue;
+            }
+            let receiver_is = |want: &str| {
+                i >= 2
+                    && toks[i - 1].text == "."
+                    && toks[i - 2].kind == TokKind::Ident
+                    && toks[i - 2].text == want
+            };
+            if STORE_OPS.contains(&name) && receiver_is("store") {
+                out.push(Tree::Ev(Ev {
+                    name: format!("store.{name}"),
+                    file: fi,
+                    line: t.line,
+                }));
+                i += 1;
+                continue;
+            }
+            if matches!(name, "write" | "write_with_retry") && receiver_is("storage") {
+                out.push(Tree::Ev(Ev {
+                    name: "write".to_string(),
+                    file: fi,
+                    line: t.line,
+                }));
+                i += 1;
+                continue;
+            }
+            if matches!(name, "read" | "read_with_retry") && receiver_is("storage") {
+                out.push(Tree::Ev(Ev {
+                    name: "read".to_string(),
+                    file: fi,
+                    line: t.line,
+                }));
+                i += 1;
+                continue;
+            }
+            // Inline a control-plane callee (entry file or ctrlplane.rs).
+            if stack.len() < 4 {
+                if let Some(callee) = self.resolve_inline(name) {
+                    if !stack.contains(&callee) {
+                        out.push(self.extract_fn(callee, stack));
+                    }
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+
+    fn resolve_inline(&self, name: &str) -> Option<usize> {
+        let ids = self.index.by_name.get(name)?;
+        ids.iter().copied().find(|&id| {
+            let fd = &self.index.fns[id];
+            fd.body.is_some() && {
+                let rel = self.views[fd.file].0;
+                rel == self.entry_file || rel == INLINE_HELPERS
+            }
+        })
+    }
+}
+
+/// `let IDENT = tags::NAME …` aliases within a body — `bookmark_drain`
+/// binds its tag once and reuses it.
+fn tag_lets(lx: &Lexed, lo: usize, hi: usize) -> BTreeMap<String, String> {
+    let toks = &lx.toks;
+    let mut map = BTreeMap::new();
+    let hi = hi.min(toks.len());
+    let mut i = lo;
+    while i + 6 < hi {
+        if toks[i].text == "let"
+            && toks[i + 1].kind == TokKind::Ident
+            && toks[i + 2].text == "="
+            && toks[i + 3].text == "tags"
+            && toks[i + 4].text == ":"
+            && toks[i + 5].text == ":"
+            && toks[i + 6].kind == TokKind::Ident
+        {
+            map.insert(toks[i + 1].text.clone(), toks[i + 6].text.clone());
+        }
+        i += 1;
+    }
+    map
+}
+
+/// The ctrl tag named in `[lo, hi)`: a literal `tags::NAME`, or an ident
+/// aliased by a `tag_lets` binding.
+fn find_tag(
+    lx: &Lexed,
+    lo: usize,
+    hi: usize,
+    tag_lets: &BTreeMap<String, String>,
+) -> Option<String> {
+    let toks = &lx.toks;
+    let hi = hi.min(toks.len());
+    let mut i = lo;
+    while i < hi {
+        if toks[i].text == "tags"
+            && i + 3 < hi
+            && toks[i + 1].text == ":"
+            && toks[i + 2].text == ":"
+            && toks[i + 3].kind == TokKind::Ident
+        {
+            return Some(toks[i + 3].text.clone());
+        }
+        if toks[i].kind == TokKind::Ident {
+            if let Some(name) = tag_lets.get(&toks[i].text) {
+                return Some(name.clone());
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Run the event tree through the spec automaton; produce P10 findings.
+fn simulate(
+    spec: &PhaseSpec,
+    tree: &Tree,
+    index: &SymbolIndex,
+    views: &[(&str, &Lexed)],
+    entry: usize,
+) -> Vec<Finding> {
+    let alphabet: BTreeSet<&str> = spec
+        .transitions
+        .iter()
+        .map(|(_, ev, _)| *ev)
+        .chain(spec.required.iter().map(|(ev, _)| *ev))
+        .collect();
+    let mut sim = Sim {
+        spec,
+        views,
+        alphabet,
+        consumed: BTreeSet::new(),
+        violations: Vec::new(),
+    };
+    let mut init = States::new();
+    init.insert(spec.start, Vec::new());
+    let end = sim.run(tree, init);
+
+    let ed = &index.fns[entry];
+    let mut out = sim.violations;
+
+    if !end.is_empty() && !end.keys().any(|st| spec.accepting.contains(st)) {
+        let (st, trail) = end.iter().next_back().expect("non-empty end states");
+        let (file, line) = trail
+            .last()
+            .map(|e| (e.file, e.line))
+            .unwrap_or((ed.file, ed.line));
+        out.push(raw_finding(
+            views,
+            file,
+            line,
+            format!(
+                "protocol `{}` can finish in non-accepting phase `{st}` — an \
+                 opened generation is never resolved (unmatched begin/commit/abort); \
+                 witness: {}",
+                spec.protocol,
+                witness(views, trail),
+            ),
+        ));
+    }
+    for (ev, why) in spec.required {
+        if !sim.consumed.contains(ev) {
+            out.push(raw_finding(
+                views,
+                ed.file,
+                ed.line,
+                format!(
+                    "protocol `{}`: required event `{ev}` is unreachable in \
+                     `{}` — {why}",
+                    spec.protocol, spec.entry,
+                ),
+            ));
+        }
+    }
+    out
+}
+
+struct Sim<'s> {
+    spec: &'s PhaseSpec,
+    views: &'s [(&'s str, &'s Lexed)],
+    alphabet: BTreeSet<&'s str>,
+    consumed: BTreeSet<&'s str>,
+    violations: Vec<Finding>,
+}
+
+impl Sim<'_> {
+    fn run(&mut self, t: &Tree, states: States) -> States {
+        match t {
+            Tree::Seq(v) => v.iter().fold(states, |s, n| self.run(n, s)),
+            Tree::Alt(v) => {
+                let mut merged = States::new();
+                for n in v {
+                    for (st, trail) in self.run(n, states.clone()) {
+                        merged.entry(st).or_insert(trail);
+                    }
+                }
+                merged
+            }
+            Tree::Loop(b) => {
+                let mut acc = states;
+                // Fixpoint: the phase set is finite, so |phases| rounds
+                // suffice; violations inside the body are deduped later.
+                for _ in 0..self.spec.transitions.len().max(4) {
+                    let after = self.run(b, acc.clone());
+                    let mut grew = false;
+                    for (st, trail) in after {
+                        if !acc.contains_key(st) {
+                            acc.insert(st, trail);
+                            grew = true;
+                        }
+                    }
+                    if !grew {
+                        break;
+                    }
+                }
+                acc
+            }
+            Tree::Ev(ev) => self.step(ev, states),
+        }
+    }
+
+    fn step(&mut self, ev: &Ev, states: States) -> States {
+        if !self.alphabet.contains(ev.name.as_str()) {
+            return states;
+        }
+        let mut next = States::new();
+        for (&st, trail) in &states {
+            for &(from, tev, to) in self.spec.transitions {
+                if from == st && tev == ev.name {
+                    self.consumed.insert(tev);
+                    let mut t2 = trail.clone();
+                    t2.push(ev.clone());
+                    next.entry(to).or_insert(t2);
+                }
+            }
+        }
+        if next.is_empty() && !states.is_empty() {
+            let (&st, trail) = states.iter().next().expect("non-empty states");
+            let message = format!(
+                "protocol `{}`: event `{}` is illegal in phase `{st}` — the \
+                 spec allows only {}; witness: {}",
+                self.spec.protocol,
+                ev.name,
+                legal_events(self.spec, st),
+                witness_with(self.views, trail, ev),
+            );
+            self.violations
+                .push(raw_finding(self.views, ev.file, ev.line, message));
+            // Report, then ignore the event: the rest of the protocol is
+            // still checked from the phases we were in.
+            return states;
+        }
+        next
+    }
+}
+
+fn legal_events(spec: &PhaseSpec, state: &str) -> String {
+    let evs: Vec<&str> = spec
+        .transitions
+        .iter()
+        .filter(|(from, _, _)| *from == state)
+        .map(|(_, ev, _)| *ev)
+        .collect();
+    if evs.is_empty() {
+        "no further events".to_string()
+    } else {
+        format!("[{}]", evs.join(", "))
+    }
+}
+
+fn witness_with(views: &[(&str, &Lexed)], trail: &Trail, last: &Ev) -> String {
+    let mut full = trail.clone();
+    full.push(last.clone());
+    witness(views, &full)
+}
+
+fn witness(views: &[(&str, &Lexed)], trail: &Trail) -> String {
+    if trail.is_empty() {
+        return "(no events extracted)".to_string();
+    }
+    let mut steps: Vec<String> = trail
+        .iter()
+        .map(|e| format!("{}@{}:{}", e.name, basename(views[e.file].0), e.line))
+        .collect();
+    let skipped = steps.len().saturating_sub(8);
+    if skipped > 0 {
+        steps.drain(..skipped);
+        steps.insert(0, format!("… {skipped} earlier"));
+    }
+    steps.join(" → ")
+}
+
+fn basename(rel: &str) -> &str {
+    rel.rsplit('/').next().unwrap_or(rel)
+}
+
+fn raw_finding(views: &[(&str, &Lexed)], file: usize, line: usize, message: String) -> Finding {
+    Finding {
+        file: views[file].0.to_string(),
+        line,
+        rule: Rule::P10,
+        message,
+        snippet: views[file].1.snippet(line).to_string(),
+        status: Status::New,
+    }
+}

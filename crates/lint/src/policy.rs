@@ -52,6 +52,24 @@ pub const D03T_SCOPE_CRATES: &[&str] = &["core", "net", "mpi", "chaos"];
 /// these carry recovery-path fault information.
 pub const PROTOCOL_ERROR_TYPES: &[&str] = &["RecoveryError", "StorageError"];
 
+/// The shard-isolation boundary (rule S01): the module defining the
+/// per-shard timer heaps and the merge/global-sequence order. Types
+/// declared here are shard-local state.
+pub const SHARD_BOUNDARY: &str = "crates/sim/src/shard.rs";
+
+/// Files allowed to touch shard-local state: the boundary itself and the
+/// executor's merge loop (which owns the `.shards` arena and the
+/// conservative-window drain).
+pub const SHARD_MERGERS: &[&str] = &["crates/sim/src/shard.rs", "crates/sim/src/executor.rs"];
+
+/// Boundary types that are deliberately exported read-only (merged
+/// counters, no timer state).
+pub const SHARD_EXPORTED: &[&str] = &["SimStats"];
+
+/// Crates inside which S01 polices shard-local reachability: the
+/// simulation kernel and the MPI layer routed onto it.
+pub const SHARD_SCOPE_CRATES: &[&str] = &["sim", "mpi"];
+
 /// The rule set in force for one file.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Policy {

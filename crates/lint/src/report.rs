@@ -16,6 +16,9 @@ pub enum Rule {
     /// Transitive panic-reachability: a recovery-critical fn reaches a
     /// panic site through a workspace callee (call-graph pass).
     D03T,
+    /// Determinism taint dataflow: a nondeterminism source *flows into* a
+    /// digest / trace record / protocol payload sink (witness chain).
+    D10,
     /// Discarded `Result` (`let _ = …`) carrying a protocol error type.
     E01,
     /// Statement-level `.ok()` discarding a protocol `Result`.
@@ -26,10 +29,16 @@ pub enum Rule {
     P01,
     /// Wildcard `_ =>` over a protocol enum in a recovery-critical module.
     P02,
-    /// Stale suppression: it matches no finding on its target line.
-    S00,
-    /// Suppression without a justification.
+    /// Protocol phase-order violation: the extracted ctrl/storage event
+    /// sequence leaves the checked-in phase-machine spec (witness path).
+    P10,
+    /// Shard-isolation: shard-local simulator state touched outside the
+    /// merge/global-sequence boundary.
     S01,
+    /// Stale waiver: it matches no finding on its target line.
+    W00,
+    /// Waiver without a justification.
+    W01,
 }
 
 impl Rule {
@@ -41,13 +50,16 @@ impl Rule {
             Rule::D03 => "D03",
             Rule::D04 => "D04",
             Rule::D03T => "D03-T",
+            Rule::D10 => "D10",
             Rule::E01 => "E01",
             Rule::E02 => "E02",
             Rule::E03 => "E03",
             Rule::P01 => "P01",
             Rule::P02 => "P02",
-            Rule::S00 => "S00",
+            Rule::P10 => "P10",
             Rule::S01 => "S01",
+            Rule::W00 => "W00",
+            Rule::W01 => "W01",
         }
     }
 
@@ -60,13 +72,16 @@ impl Rule {
             "D03" => Some(Rule::D03),
             "D04" => Some(Rule::D04),
             "D03-T" | "D03T" => Some(Rule::D03T),
+            "D10" => Some(Rule::D10),
             "E01" => Some(Rule::E01),
             "E02" => Some(Rule::E02),
             "E03" => Some(Rule::E03),
             "P01" => Some(Rule::P01),
             "P02" => Some(Rule::P02),
-            "S00" => Some(Rule::S00),
+            "P10" => Some(Rule::P10),
             "S01" => Some(Rule::S01),
+            "W00" => Some(Rule::W00),
+            "W01" => Some(Rule::W01),
             _ => None,
         }
     }
@@ -78,13 +93,16 @@ impl Rule {
         Rule::D03,
         Rule::D03T,
         Rule::D04,
+        Rule::D10,
         Rule::E01,
         Rule::E02,
         Rule::E03,
         Rule::P01,
         Rule::P02,
-        Rule::S00,
+        Rule::P10,
         Rule::S01,
+        Rule::W00,
+        Rule::W01,
     ];
 }
 
@@ -282,5 +300,76 @@ impl Report {
             fields.push(("callgraph", g.to_json()));
         }
         Json::obj(fields)
+    }
+
+    /// The report as a minimal SARIF 2.1.0 document, so CI can attach the
+    /// findings to PR diffs. New findings are `error` (they fail the run),
+    /// baselined ones are `note`. Deterministic: findings keep the
+    /// report's sorted order and the rule metadata follows the catalog.
+    pub fn to_sarif(&self) -> Json {
+        let rules: Vec<Json> = crate::catalog::CATALOG
+            .iter()
+            .map(|doc| {
+                Json::obj([
+                    ("id", Json::from(doc.rule.id())),
+                    (
+                        "shortDescription",
+                        Json::obj([("text", Json::from(doc.summary))]),
+                    ),
+                    ("helpUri", Json::from("README.md")),
+                ])
+            })
+            .collect();
+        let results: Vec<Json> = self
+            .findings
+            .iter()
+            .map(|f| {
+                let level = match f.status {
+                    Status::New => "error",
+                    Status::Baselined => "note",
+                };
+                let location = Json::obj([(
+                    "physicalLocation",
+                    Json::obj([
+                        (
+                            "artifactLocation",
+                            Json::obj([("uri", Json::from(f.file.as_str()))]),
+                        ),
+                        (
+                            "region",
+                            Json::obj([("startLine", Json::from(f.line as u64))]),
+                        ),
+                    ]),
+                )]);
+                Json::obj([
+                    ("ruleId", Json::from(f.rule.id())),
+                    ("level", Json::from(level)),
+                    (
+                        "message",
+                        Json::obj([("text", Json::from(f.message.as_str()))]),
+                    ),
+                    ("locations", Json::from(vec![location])),
+                ])
+            })
+            .collect();
+        let driver = Json::obj([
+            ("name", Json::from("gcr-lint")),
+            ("informationUri", Json::from("DESIGN.md")),
+            ("rules", Json::from(rules)),
+        ]);
+        let run = Json::obj([
+            ("tool", Json::obj([("driver", driver)])),
+            ("results", Json::from(results)),
+        ]);
+        Json::obj([
+            (
+                "$schema",
+                Json::from(
+                    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+                ),
+            ),
+            ("version", Json::from("2.1.0")),
+            ("runs", Json::from(vec![run])),
+        ])
     }
 }

@@ -92,7 +92,7 @@ fn is_hash_type(t: &Tok) -> bool {
 /// Identifiers bound to a `HashMap`/`HashSet` anywhere in the file:
 /// `let m = HashMap::new()`, `m: HashMap<..>` (locals, fields, params),
 /// including `std::collections::`-qualified spellings.
-fn hash_bound_idents(toks: &[Tok]) -> BTreeSet<String> {
+pub(crate) fn hash_bound_idents(toks: &[Tok]) -> BTreeSet<String> {
     let mut bound = BTreeSet::new();
     for (k, t) in toks.iter().enumerate() {
         if !is_hash_type(t) {

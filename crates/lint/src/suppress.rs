@@ -3,7 +3,7 @@
 //! A suppression on its own line covers the next code line; a trailing
 //! suppression covers its own line. Several rules may be listed
 //! (`allow(D01,D03)`). Every suppression must carry a justification, and
-//! a suppression that suppresses nothing is itself a finding (S00) — the
+//! a suppression that suppresses nothing is itself a finding (W00) — the
 //! analyzer refuses to let dead waivers accumulate.
 //!
 //! The transitive pass (D03-T) adds a second, file-scoped form:
@@ -41,7 +41,7 @@ pub struct Trust {
 /// All waivers of one file, with usage tracking shared between the local
 /// rule engine and the workspace-level semantic passes. Every pass that
 /// honors a waiver marks it used; [`FileWaivers::finish`] then reports
-/// the stale (S00) and reasonless (S01) leftovers.
+/// the stale (W00) and reasonless (W01) leftovers.
 #[derive(Debug, Default)]
 pub struct FileWaivers {
     /// Line suppressions in source order.
@@ -56,7 +56,7 @@ pub struct FileWaivers {
 impl FileWaivers {
     /// Extract waivers from a lexed file. Malformed `gcr-lint:` comments
     /// (unknown rule id, missing `allow(...)`/`trust(...)`) are recorded
-    /// as S00 findings immediately — a waiver that silently fails to
+    /// as W00 findings immediately — a waiver that silently fails to
     /// parse is worse than none.
     pub fn parse(rel: &str, lx: &Lexed) -> FileWaivers {
         let mut w = FileWaivers::default();
@@ -145,7 +145,7 @@ impl FileWaivers {
         true
     }
 
-    /// Report stale (S00) and reasonless (S01) waivers. Call once, after
+    /// Report stale (W00) and reasonless (W01) waivers. Call once, after
     /// every pass has had the chance to mark usage.
     pub fn finish(mut self, rel: &str, lx: &Lexed) -> Vec<Finding> {
         let mut out = std::mem::take(&mut self.malformed);
@@ -154,7 +154,7 @@ impl FileWaivers {
                 out.push(Finding {
                     file: rel.to_string(),
                     line: s.line,
-                    rule: Rule::S00,
+                    rule: Rule::W00,
                     message: format!(
                         "stale suppression: allow({}) waives nothing on line {} — remove it",
                         s.rules.iter().map(Rule::id).collect::<Vec<_>>().join(","),
@@ -168,7 +168,7 @@ impl FileWaivers {
                 out.push(Finding {
                     file: rel.to_string(),
                     line: s.line,
-                    rule: Rule::S01,
+                    rule: Rule::W01,
                     message: "suppression without a justification — say why the waiver is safe"
                         .to_string(),
                     snippet: lx.snippet(s.line).to_string(),
@@ -181,7 +181,7 @@ impl FileWaivers {
                 out.push(Finding {
                     file: rel.to_string(),
                     line: t.line,
-                    rule: Rule::S00,
+                    rule: Rule::W00,
                     message: "stale trust(D03-T): the file has no panic sites to certify — \
                               remove it"
                         .to_string(),
@@ -193,7 +193,7 @@ impl FileWaivers {
                 out.push(Finding {
                     file: rel.to_string(),
                     line: t.line,
-                    rule: Rule::S01,
+                    rule: Rule::W01,
                     message: "trust(D03-T) without a justification — say why every panic \
                               site in this file is invariant-guarded"
                         .to_string(),
@@ -210,7 +210,7 @@ fn malformed_finding(rel: &str, lx: &Lexed, line: usize, body: &str) -> Finding 
     Finding {
         file: rel.to_string(),
         line,
-        rule: Rule::S00,
+        rule: Rule::W00,
         message: format!(
             "malformed suppression `{}` — expected \
              `gcr-lint: allow(D0x[,D0y]) <reason>` or `gcr-lint: trust(D03-T) <reason>`",
@@ -232,7 +232,7 @@ fn next_code_line(lx: &Lexed, line: usize) -> usize {
 }
 
 /// Apply a file's waivers to its raw local findings: waived findings are
-/// removed, then stale (S00) and unjustified (S01) waivers are appended
+/// removed, then stale (W00) and unjustified (W01) waivers are appended
 /// as findings of their own. Single-file convenience around
 /// [`FileWaivers`] for [`crate::lint_source`].
 pub fn apply_file_waivers(

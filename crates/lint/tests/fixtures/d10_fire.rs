@@ -1,0 +1,23 @@
+// Fixture: wall-clock taint reaching the digest/trace plane (D10).
+// `direct_flow` binds the clock and digests it two statements later;
+// `call_flow` gets the taint through a helper's return value.
+
+fn digest(x: u64) -> u64 {
+    x.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+fn wall_nanos() -> u64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos() as u64
+}
+
+pub fn direct_flow(out: &mut Vec<u64>) {
+    let t0 = std::time::Instant::now();
+    let wall = t0.elapsed().as_nanos() as u64;
+    out.push(digest(wall));
+}
+
+pub fn call_flow(tr: &mut Trace) {
+    let w = wall_nanos();
+    tr.trace_send(0, w);
+}

@@ -1,0 +1,21 @@
+// Fixture: D10 quiet. `killed` overwrites the tainted binding with a
+// clean value before the digest (the kill the syntactic rules cannot
+// express); `reported` reads the wall clock but only *reports* it —
+// bench wall-time may be printed, never digested.
+
+fn digest(x: u64) -> u64 {
+    x.wrapping_mul(3)
+}
+
+pub fn killed(out: &mut Vec<u64>) {
+    let mut t = 0u64;
+    t = std::time::Instant::now().elapsed().as_nanos() as u64;
+    t = 42;
+    out.push(digest(t));
+}
+
+pub fn reported(lines: &mut Vec<String>) {
+    let t0 = std::time::Instant::now();
+    let wall = t0.elapsed().as_nanos() as u64;
+    lines.push(format!("wall: {wall}"));
+}

@@ -1,0 +1,29 @@
+// Fixture: a coordinator that always commits (P10 fire,
+// abort-unreachable class). The spec requires `store.abort` to be
+// exercisable — without it a failed wave wedges the restart fallback.
+pub async fn blocking_wave(
+    ctx: &mut Ctx,
+    store: &mut Store,
+    storage: &mut Storage,
+) -> Result<(), WaveError> {
+    for peer in ctx.peers() {
+        ctx.ctrl_send(peer, tags::BOOKMARK, 0).await?;
+        ctx.ctrl_recv(peer, tags::BOOKMARK).await?;
+    }
+    ctx.ctrl_barrier(&members, tags::BARRIER1).await?;
+    store.begin(gid, wave, &members)?;
+    match storage.write_with_retry(node, bytes, target).await {
+        Ok(n) => store.record_image(gid, wave, rank, n)?,
+        Err(e) => store.record_failure(gid, wave, rank, e)?,
+    }
+    ctx.ctrl_barrier(&members, tags::BARRIER2).await?;
+    if is_coord {
+        store.commit(gid, wave, &members)?;
+        for peer in ctx.peers() {
+            ctx.ctrl_send(peer, tags::COMMIT, outcome).await?;
+        }
+    } else {
+        ctx.ctrl_recv(coord, tags::COMMIT).await?;
+    }
+    Ok(())
+}

@@ -1,0 +1,20 @@
+// Fixture: a generation opened and never resolved (P10 fire,
+// unmatched-begin class). The wave ends with the generation still
+// `pending`: no barrier, no commit, no abort.
+pub async fn blocking_wave(
+    ctx: &mut Ctx,
+    store: &mut Store,
+    storage: &mut Storage,
+) -> Result<(), WaveError> {
+    for peer in ctx.peers() {
+        ctx.ctrl_send(peer, tags::BOOKMARK, 0).await?;
+        ctx.ctrl_recv(peer, tags::BOOKMARK).await?;
+    }
+    ctx.ctrl_barrier(&members, tags::BARRIER1).await?;
+    store.begin(gid, wave, &members)?;
+    match storage.write_with_retry(node, bytes, target).await {
+        Ok(n) => store.record_image(gid, wave, rank, n)?,
+        Err(e) => store.record_failure(gid, wave, rank, e)?,
+    }
+    Ok(())
+}

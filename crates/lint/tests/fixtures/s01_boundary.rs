@@ -1,0 +1,16 @@
+// Fixture: a minimal shard boundary (stands in for crates/sim/src/shard.rs).
+// Timer-heap types stay pub(crate); only the merged counters are exported.
+
+pub(crate) struct HeapEntry {
+    pub(crate) at: u64,
+    pub(crate) seq: u64,
+}
+
+pub(crate) struct Shard {
+    pub(crate) heap: Vec<HeapEntry>,
+}
+
+pub struct SimStats {
+    pub events: u64,
+    pub spawns: u64,
+}

@@ -1,0 +1,11 @@
+// Fixture: a sim-crate module reaching shard-local state directly (S01).
+// Both the `.shards` arena poke and the shard-local type uses must fire.
+
+pub fn steal(ex: &mut Executor) -> u64 {
+    let n = ex.shards[0].heap.len() as u64;
+    n
+}
+
+pub fn forge(at: u64, seq: u64) -> HeapEntry {
+    HeapEntry { at, seq }
+}

@@ -1,0 +1,6 @@
+// Fixture: S01 quiet — only the exported merged counters cross the
+// boundary; no shard-local type, no `.shards` access.
+
+pub fn throughput(stats: &SimStats) -> u64 {
+    stats.events + stats.spawns
+}

@@ -1,4 +1,4 @@
-// Fixture: a suppression over a clean line is itself a finding (S00).
+// Fixture: a suppression over a clean line is itself a finding (W00).
 pub fn add(a: u64, b: u64) -> u64 {
     // gcr-lint: allow(D02) nothing on the next line needs this
     a + b

@@ -1,4 +1,4 @@
-// Fixture: a suppression without a reason waives the finding but earns S01.
+// Fixture: a suppression without a reason waives the finding but earns W01.
 pub fn stamp() -> u128 {
     // gcr-lint: allow(D02)
     let t = std::time::Instant::now();

@@ -158,21 +158,21 @@ fn justified_suppression_waives_the_finding() {
 }
 
 #[test]
-fn stale_suppression_is_reported_as_s00() {
+fn stale_suppression_is_reported_as_w00() {
     let fs = lint_at(
         "crates/net/src/fixture.rs",
         include_str!("fixtures/suppress_stale.rs"),
     );
-    assert_eq!(rules_of(&fs), vec![Rule::S00], "{fs:?}");
+    assert_eq!(rules_of(&fs), vec![Rule::W00], "{fs:?}");
 }
 
 #[test]
-fn unjustified_suppression_waives_but_earns_s01() {
+fn unjustified_suppression_waives_but_earns_w01() {
     let fs = lint_at(
         "crates/net/src/fixture.rs",
         include_str!("fixtures/suppress_unjustified.rs"),
     );
-    assert_eq!(rules_of(&fs), vec![Rule::S01], "{fs:?}");
+    assert_eq!(rules_of(&fs), vec![Rule::W01], "{fs:?}");
 }
 
 // ----------------------------------------------------------- baseline

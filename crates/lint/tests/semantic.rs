@@ -106,14 +106,14 @@ fn d03t_honors_a_trust_directive_and_reports_it_stale_when_unused() {
         rules_of(&rep)
     );
 
-    // The same directive on a panic-free file is stale (S00).
+    // The same directive on a panic-free file is stale (W00).
     let rep = run(&[(
         "crates/net/src/storage.rs",
         "// gcr-lint: trust(D03-T) nothing here\npub fn helper() {}\n",
     )]);
     assert_eq!(
         rules_of(&rep),
-        vec![("crates/net/src/storage.rs".into(), 1, Rule::S00)]
+        vec![("crates/net/src/storage.rs".into(), 1, Rule::W00)]
     );
 }
 

@@ -39,6 +39,36 @@ fn live_workspace_has_zero_non_baseline_findings() {
 }
 
 #[test]
+fn every_protocol_phase_spec_is_active_on_the_live_workspace() {
+    // Zero P10 findings is only meaningful if every spec actually bound
+    // to its entry point: a renamed/moved protocol fn would otherwise
+    // silently deactivate its spec and pass vacuously.
+    let root = workspace_root();
+    let files = gcr_lint::collect_workspace_files(root).expect("workspace must be readable");
+    let lexed: Vec<_> = files
+        .iter()
+        .map(|(_, src)| gcr_lint::lexer::lex(src))
+        .collect();
+    let views: Vec<(&str, &gcr_lint::lexer::Lexed)> = files
+        .iter()
+        .zip(&lexed)
+        .map(|((rel, _), lx)| (rel.as_str(), lx))
+        .collect();
+    let index = gcr_lint::symbols::build(&views);
+    let active = gcr_lint::phases::active_specs(&index, &views);
+    for spec in gcr_lint::phases::SPECS {
+        assert!(
+            active.contains(&spec.protocol),
+            "spec `{}` lost its entry `{}` in {} — update the spec table \
+             alongside the protocol",
+            spec.protocol,
+            spec.entry,
+            spec.entry_file
+        );
+    }
+}
+
+#[test]
 fn call_graph_resolves_enough_of_the_live_workspace() {
     let root = workspace_root();
     let report =

@@ -92,6 +92,8 @@ pub struct LintArgs {
     pub baseline: Option<String>,
     /// Emit the JSON report instead of human lines.
     pub json: bool,
+    /// Emit a SARIF 2.1.0 report (for code-scanning upload).
+    pub sarif: bool,
     /// Rewrite the baseline to grandfather all current findings.
     pub update_baseline: bool,
     /// Print one rule's catalog entry instead of linting.
@@ -210,9 +212,11 @@ USAGE:
   gcrsim bench  [--ranks N,N,..] [--shards N,N,..] [--iters K] [--seed X]
                 [--out FILE] [--json]   (sharded-kernel throughput grid;
                  --out writes the BENCH_kernel.json trajectory file)
-  gcrsim lint   [--root DIR] [--baseline FILE] [--json] [--update-baseline]
-                [--explain RULE]   (rules: D01 D02 D03 D03-T D04 E01 E02 E03
-                 P01 P02 S00 S01 — prints the catalog entry and exits)
+  gcrsim lint   [--root DIR] [--baseline FILE] [--json] [--sarif]
+                [--update-baseline]   (--update-baseline also prunes
+                 entries that no longer match any finding)
+                [--explain RULE]   (rules: D01 D02 D03 D03-T D04 D10 E01 E02
+                 E03 P01 P02 P10 S01 W00 W01 — prints the entry and exits)
 ";
 
 struct Flags<'a> {
@@ -468,6 +472,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             root: f.get("--root").unwrap_or(".").to_string(),
             baseline: f.get("--baseline").map(str::to_string),
             json: f.has("--json"),
+            sarif: f.has("--sarif"),
             update_baseline: f.has("--update-baseline"),
             explain: f.get("--explain").map(str::to_string),
         })),
@@ -625,19 +630,30 @@ fn execute_lint(a: LintArgs) -> Result<String, CliError> {
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| root.join("lint-baseline.json"));
     if a.update_baseline {
+        // Refresh, don't regenerate: still-matching entries keep their
+        // justification notes; entries matching nothing are pruned and
+        // reported, so the baseline only shrinks.
+        let old = gcr_lint::load_baseline(&baseline_path).map_err(|e| err(e.to_string()))?;
         let report = gcr_lint::lint_workspace(&root, &gcr_lint::Baseline::default())
             .map_err(|e| err(e.to_string()))?;
-        let baseline = gcr_lint::Baseline::from_findings(&report.findings);
+        let (baseline, pruned) = old.refresh(&report.findings);
         std::fs::write(&baseline_path, baseline.dump() + "\n").map_err(|e| err(e.to_string()))?;
-        return Ok(format!(
+        let mut msg = format!(
             "baseline rewritten: {} entry(ies) -> {}",
             baseline.entries.len(),
             baseline_path.display()
-        ));
+        );
+        for p in &pruned {
+            msg.push_str("\npruned: ");
+            msg.push_str(p);
+        }
+        return Ok(msg);
     }
     let baseline = gcr_lint::load_baseline(&baseline_path).map_err(|e| err(e.to_string()))?;
     let report = gcr_lint::lint_workspace(&root, &baseline).map_err(|e| err(e.to_string()))?;
-    let rendered = if a.json {
+    let rendered = if a.sarif {
+        report.to_sarif().pretty()
+    } else if a.json {
         report.to_json().pretty()
     } else {
         report.human()
@@ -939,6 +955,7 @@ mod tests {
             Command::Lint(a) => {
                 assert_eq!(a.root, ".");
                 assert!(a.json);
+                assert!(!a.sarif);
                 assert!(a.baseline.is_none());
                 assert!(!a.update_baseline);
             }
@@ -951,6 +968,10 @@ mod tests {
         let out = execute(parse(&argv("lint --explain E01")).unwrap()).unwrap();
         assert!(out.starts_with("E01:"), "{out}");
         assert!(out.contains("fix"), "{out}");
+        for id in ["P10", "D10", "S01"] {
+            let out = execute(parse(&argv(&format!("lint --explain {id}"))).unwrap()).unwrap();
+            assert!(out.starts_with(&format!("{id}:")), "{out}");
+        }
         let bad = execute(parse(&argv("lint --explain Z99")).unwrap());
         assert!(bad.is_err());
     }
@@ -960,6 +981,18 @@ mod tests {
         // Tests of the root package run with cwd = workspace root.
         let out = execute(parse(&argv("lint --json")).unwrap()).unwrap();
         assert!(out.contains("\"new\": 0"), "{out}");
+    }
+
+    #[test]
+    fn lint_sarif_renders_a_valid_empty_run() {
+        let out = execute(parse(&argv("lint --sarif")).unwrap()).unwrap();
+        assert!(out.contains("\"version\": \"2.1.0\""), "{out}");
+        assert!(out.contains("\"name\": \"gcr-lint\""), "{out}");
+        assert!(out.contains("\"results\""), "{out}");
+        // Byte-stability: the report is fully sorted, so a second run over
+        // the same tree renders the identical document.
+        let again = execute(parse(&argv("lint --sarif")).unwrap()).unwrap();
+        assert_eq!(out, again);
     }
 
     #[test]
