@@ -22,6 +22,11 @@
 //!   the chosen phase of its next wave (before / during / after the image
 //!   write), the pending generation aborts, and recovery restarts from
 //!   the last committed one.
+//! * **replica** — (restore backend) the target group's held replica
+//!   copies evaporate, then the bounded re-replication pass runs;
+//!   optionally sabotaged (phase 0: one transient push fault the retry
+//!   must absorb; phase 1: every push fails and the pass must degrade to
+//!   the typed `DegradedRedundancy`, never abort).
 //!
 //! After the run, the end-of-run oracles check workload completion,
 //! quiescence, the recovery line, exact byte-stream closure, and the
@@ -37,11 +42,11 @@ use gcr_ckpt::{check_quiescent, check_recovery_line, CkptConfig, CkptRuntime, Mo
 use gcr_group::GroupDef;
 use gcr_json::Json;
 use gcr_mpi::{Rank, World};
-use gcr_net::{Cluster, GenState, StorageTarget};
+use gcr_net::{Cluster, GenState, RestoreBackend, StorageTarget};
 use gcr_sim::{Sim, SimDuration, SimTime};
 
 use crate::schedule::ChaosEvent;
-use crate::spec::{chaos_cluster_spec, chaos_world_opts, ChaosProto, ChaosSpec};
+use crate::spec::{chaos_cluster_spec, chaos_world_opts, ChaosBackend, ChaosProto, ChaosSpec};
 
 /// Injector poll cadence while waiting for wave-idle or recovery turns.
 const POLL: SimDuration = SimDuration::from_millis(1);
@@ -65,6 +70,9 @@ pub struct RecoverySummary {
     /// Whether restart fell back past the newest attempted generation
     /// (it aborted mid-checkpoint, or its images failed validation).
     pub fell_back: bool,
+    /// Restore backend only: whether this recovery recorded degraded
+    /// replica redundancy (some read fell back to the disk path).
+    pub degraded: bool,
 }
 
 /// Everything a chaos run reports. Fully deterministic given the spec:
@@ -99,6 +107,16 @@ pub struct ChaosReport {
     pub violations: Vec<String>,
     /// Digest over every metrics record (nanosecond-exact).
     pub metrics_digest: u64,
+    /// Checkpoint image backend label (`disk` / `restore`).
+    pub backend: String,
+    /// Replication factor k (restore backend; 0 for disk).
+    pub replication: usize,
+    /// Restart reads served from peer memory (restore backend).
+    pub peer_reads: u64,
+    /// Restart reads that fell back to the disk path (restore backend).
+    pub fallback_reads: u64,
+    /// Degraded-redundancy events the backend recorded (restore backend).
+    pub degraded_events: u64,
 }
 
 impl ChaosReport {
@@ -108,8 +126,14 @@ impl ChaosReport {
     }
 
     /// The report as a JSON document (deterministic field order).
+    ///
+    /// Backend fields (`backend`, `replication`, `peer_reads`, …) and the
+    /// per-recovery `degraded` flag are emitted **only for restore-backend
+    /// runs**: disk-run reports stay byte-identical to the pre-backend
+    /// format, which is what the pinned `--verify` digests check.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let restore = self.backend == "restore";
+        let mut fields = vec![
             ("seed", Json::from(self.seed)),
             ("workload", Json::from(self.workload.as_str())),
             ("proto", Json::from(self.proto.as_str())),
@@ -121,41 +145,53 @@ impl ChaosReport {
             ("waves", Json::from(self.waves)),
             ("events_applied", Json::from(self.events_applied)),
             ("events_skipped", Json::from(self.events_skipped)),
-            (
-                "recoveries",
-                Json::from(
-                    self.recoveries
-                        .iter()
-                        .map(|r| {
-                            Json::obj([
-                                ("group", Json::from(r.group)),
-                                ("ranks", Json::from(r.ranks)),
-                                ("at_ms", Json::from(r.at_ms)),
-                                ("downtime_s", Json::from(r.downtime_s)),
-                                ("replayed_bytes", Json::from(r.replayed_bytes)),
-                                // −1 encodes "restarted from the initial
-                                // state" (no committed generation).
-                                (
-                                    "generation",
-                                    Json::from(r.generation.map(|g| g as i64).unwrap_or(-1)),
-                                ),
-                                ("fell_back", Json::from(r.fell_back)),
-                            ])
-                        })
-                        .collect::<Vec<_>>(),
-                ),
+        ];
+        if restore {
+            fields.push(("backend", Json::from(self.backend.as_str())));
+            fields.push(("replication", Json::from(self.replication)));
+            fields.push(("peer_reads", Json::from(self.peer_reads)));
+            fields.push(("fallback_reads", Json::from(self.fallback_reads)));
+            fields.push(("degraded_events", Json::from(self.degraded_events)));
+        }
+        fields.push((
+            "recoveries",
+            Json::from(
+                self.recoveries
+                    .iter()
+                    .map(|r| {
+                        let mut rec = vec![
+                            ("group", Json::from(r.group)),
+                            ("ranks", Json::from(r.ranks)),
+                            ("at_ms", Json::from(r.at_ms)),
+                            ("downtime_s", Json::from(r.downtime_s)),
+                            ("replayed_bytes", Json::from(r.replayed_bytes)),
+                            // −1 encodes "restarted from the initial
+                            // state" (no committed generation).
+                            (
+                                "generation",
+                                Json::from(r.generation.map(|g| g as i64).unwrap_or(-1)),
+                            ),
+                            ("fell_back", Json::from(r.fell_back)),
+                        ];
+                        if restore {
+                            rec.push(("degraded", Json::from(r.degraded)));
+                        }
+                        Json::obj(rec)
+                    })
+                    .collect::<Vec<_>>(),
             ),
-            (
-                "violations",
-                Json::from(
-                    self.violations
-                        .iter()
-                        .map(|v| Json::from(v.as_str()))
-                        .collect::<Vec<_>>(),
-                ),
+        ));
+        fields.push((
+            "violations",
+            Json::from(
+                self.violations
+                    .iter()
+                    .map(|v| Json::from(v.as_str()))
+                    .collect::<Vec<_>>(),
             ),
-            ("metrics_digest", Json::from(self.metrics_digest)),
-        ])
+        ));
+        fields.push(("metrics_digest", Json::from(self.metrics_digest)));
+        Json::obj(fields)
     }
 
     /// FNV-1a digest of the serialized report — the unit of the
@@ -182,6 +218,19 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
     // shard. Attribution never affects event order — see tests/determinism.rs.
     let groups = Rc::new(spec.proto.resolve_groups(spec.workload));
     world.set_shard_map((0..n as u32).map(|r| groups.group_of(r) as u32).collect());
+    // The restore backend is installed before launch so every wave and
+    // restart routes its image I/O through it. The engine keeps the
+    // concrete handle: injectors and oracles need the replica table.
+    let restore: Option<Rc<RestoreBackend>> = if spec.backend == ChaosBackend::Restore {
+        let group_of: Vec<usize> = (0..n as u32).map(|r| groups.group_of(r)).collect();
+        Some(RestoreBackend::install(
+            &cluster,
+            group_of,
+            spec.replication.max(1),
+        ))
+    } else {
+        None
+    };
     wl.launch(&world);
 
     let mode = if spec.proto == ChaosProto::Vcl {
@@ -231,6 +280,7 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
         let applied = Rc::clone(&applied);
         let skipped = Rc::clone(&skipped);
         let recovering = Rc::clone(&recovering);
+        let restore = restore.clone();
         let n_u = n;
         sim.spawn_named(format!("chaos-inject{i}"), async move {
             sim2.sleep_until(SimTime::ZERO + SimDuration::from_millis(ev.at_ms()))
@@ -258,6 +308,7 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
                         gid,
                         at_ms,
                         false,
+                        restore.as_ref(),
                         &violations,
                         &recoveries,
                     )
@@ -285,6 +336,7 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
                         gid,
                         at_ms,
                         true,
+                        restore.as_ref(),
                         &violations,
                         &recoveries,
                     )
@@ -333,6 +385,7 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
                             gid,
                             at_ms,
                             false,
+                            restore.as_ref(),
                             &violations,
                             &recoveries,
                         )
@@ -375,6 +428,33 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
                     applied.set(applied.get() + 1);
                     sim2.sleep(SimDuration::from_millis(dur_ms)).await;
                     storage.set_server_down(srv, false);
+                }
+                ChaosEvent::Replica {
+                    group, crash_phase, ..
+                } => {
+                    // Replica loss only means something when replicas
+                    // exist; under the disk backend the event is a no-op.
+                    let Some(rb) = restore.as_ref() else {
+                        skipped.set(skipped.get() + 1);
+                        return;
+                    };
+                    if world.ranks_finished() >= n_u {
+                        skipped.set(skipped.get() + 1);
+                        return;
+                    }
+                    let gid = (group as usize) % groups.group_count();
+                    rb.drop_group_holders(gid);
+                    match crash_phase {
+                        // Phase 0: one transient push fault — the bounded
+                        // retry must absorb it. Phase 1: every push fails —
+                        // the pass must degrade typed, never abort.
+                        Some(0) => rb.inject_rebuild_faults(1),
+                        Some(_) => rb.inject_rebuild_faults(u32::MAX),
+                        None => {}
+                    }
+                    rb.rebuild().await;
+                    rb.clear_rebuild_faults();
+                    applied.set(applied.get() + 1);
                 }
                 ChaosEvent::Slow {
                     dur_ms,
@@ -426,6 +506,36 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
     for v in store_load_violations(&cluster) {
         violations.borrow_mut().push(format!("end-of-run {v}"));
     }
+    // Survivability oracle (restore backend): unless the backend itself
+    // reported degraded redundancy (too few groups for k, replica loss
+    // that re-replication could not repair, …), every committed
+    // generation must be reconstructible from surviving peer memory, and
+    // no restart read may have fallen back to the remote servers. With a
+    // non-empty degraded ledger the typed error IS the contract — the
+    // run already proved the failure degraded instead of aborting.
+    if let Some(rb) = restore.as_ref() {
+        if rb.degraded_events().is_empty() && mode == Mode::Blocking {
+            let store = cluster.ckpt_store();
+            for gid in 0..groups.group_count() {
+                let members = groups.members(gid);
+                for gen in store.committed_gens(gid) {
+                    if !rb.replicas().reconstructible(gid, gen, members) {
+                        violations.borrow_mut().push(format!(
+                            "restore: committed g{gid}/gen{gen} not reconstructible \
+                             from peer memory (no degraded-redundancy report)"
+                        ));
+                    }
+                }
+            }
+            if rb.remote_fallback_reads() > 0 {
+                violations.borrow_mut().push(format!(
+                    "restore: {} restart read(s) hit the remote servers with no \
+                     degraded-redundancy report",
+                    rb.remote_fallback_reads()
+                ));
+            }
+        }
+    }
 
     let violations = violations.borrow().clone();
     let recoveries = recoveries.borrow().clone();
@@ -447,6 +557,17 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
         recoveries,
         violations,
         metrics_digest: rt.metrics().digest(),
+        backend: spec.backend.label().to_string(),
+        replication: match &restore {
+            Some(rb) => rb.replication(),
+            None => 0,
+        },
+        peer_reads: restore.as_ref().map(|rb| rb.peer_reads()).unwrap_or(0),
+        fallback_reads: restore.as_ref().map(|rb| rb.fallback_reads()).unwrap_or(0),
+        degraded_events: restore
+            .as_ref()
+            .map(|rb| rb.degraded_events().len() as u64)
+            .unwrap_or(0),
     }
 }
 
@@ -488,6 +609,7 @@ async fn crash_and_recover(
     gid: usize,
     at_ms: u64,
     corrupt_image: bool,
+    restore: Option<&Rc<RestoreBackend>>,
     violations: &RefCell<Vec<String>>,
     recoveries: &RefCell<Vec<RecoverySummary>>,
 ) {
@@ -497,6 +619,21 @@ async fn crash_and_recover(
     while rt.waves_in_flight() > 0 {
         sim.sleep(POLL).await;
     }
+    // A whole-group crash evaporates the replica copies its members were
+    // *holding* for other groups (its own images' replicas live elsewhere
+    // by placement). Restart reads below must still be servable from the
+    // surviving peers; the post-recovery rebuild restores redundancy.
+    let degraded_before = if let Some(rb) = restore {
+        rb.drop_group_holders(gid);
+        // Other groups keep committing (and may trigger commit-hook
+        // rebuilds) while this one recovers; mark its nodes down so
+        // those passes defer pushes aimed at them rather than recording
+        // a degradation the post-recovery pass heals anyway.
+        rb.set_down(groups.members(gid));
+        rb.degraded_events().len()
+    } else {
+        0
+    };
     // Corruption is injected at the protocol-quiescent point (after the
     // drain), so it hits the generation restart would otherwise select —
     // but only when an older committed generation is still inside the
@@ -521,6 +658,9 @@ async fn crash_and_recover(
                 replayed_bytes: stats.replayed_into_group_bytes,
                 generation: stats.generation,
                 fell_back: stats.fell_back,
+                degraded: restore
+                    .map(|rb| rb.degraded_events().len() > degraded_before)
+                    .unwrap_or(false),
             });
             // Post-recovery oracles, before the group resumes.
             if rt.mode() == Mode::Blocking {
@@ -546,6 +686,12 @@ async fn crash_and_recover(
     }
     for &m in groups.members(gid) {
         world.resume(Rank(m));
+    }
+    // Re-replicate everything the crashed group was holding, now that its
+    // members are back. A failure here degrades typed inside the pass.
+    if let Some(rb) = restore {
+        rb.clear_down();
+        rb.rebuild().await;
     }
 }
 

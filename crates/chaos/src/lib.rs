@@ -21,7 +21,14 @@
 //! outages, per-node link degradation, torn image writes, corruption of
 //! the newest committed image (restart must fall back a generation), and
 //! crash-during-checkpoint traps that abort a pending generation before /
-//! during / after the image write. Everything — the schedule, the
+//! during / after the image write. Under the replicated in-memory
+//! backend ([`ChaosBackend::Restore`]), `replica:` events evaporate a
+//! group's held replica copies (optionally sabotaging the re-replication
+//! pass), and a survivability oracle checks that every committed
+//! generation stays reconstructible from surviving peers after any
+//! schedule with at most `k − 1` concurrent group failures — restart
+//! reads must never touch the remote servers unless the backend reported
+//! a typed `DegradedRedundancy`. Everything — the schedule, the
 //! injection instants, the simulation itself — derives from one `u64`
 //! seed, so every run is replayable with
 //! `gcrsim chaos --seed N [--schedule ...]`.
@@ -40,4 +47,4 @@ mod spec;
 pub use engine::{run_chaos, run_chaos_verified, ChaosReport, RecoverySummary};
 pub use schedule::{format_schedule, parse_schedule, ChaosEvent};
 pub use shrink::{shrink, ShrinkOutcome};
-pub use spec::{repro_command, ChaosProto, ChaosSpec, ChaosWorkload};
+pub use spec::{repro_command, ChaosBackend, ChaosProto, ChaosSpec, ChaosWorkload};

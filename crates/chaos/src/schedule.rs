@@ -13,6 +13,10 @@
 //!                          then crash it (restart must fall back)
 //! crashckpt:g1p1@2000      group 1 dies during its next checkpoint, halfway
 //!                          through the image write (phase 0|1|2)
+//! replica:g1@1500          group 1's held replica copies evaporate, then a
+//!                          rebuild pass re-replicates (restore backend)
+//! replica:g1p1@1500        same, but every rebuild push fails: the pass
+//!                          must degrade typed, never abort (phase 0|1)
 //! ```
 //!
 //! The string form is what `gcrsim chaos --schedule` accepts, so a
@@ -96,6 +100,21 @@ pub enum ChaosEvent {
         /// Crash phase (0, 1 or 2).
         phase: u64,
     },
+    /// Replica loss (restore backend only; a no-op under the disk
+    /// backend): every replica copy held in the target group's peer
+    /// memory evaporates at `at_ms`, then a re-replication (rebuild)
+    /// pass runs. With `crash_phase` set, rebuild pushes are sabotaged:
+    /// phase 0 injects one transient push fault (the bounded retry must
+    /// recover), phase 1 fails every push (the pass must degrade to the
+    /// typed `DegradedRedundancy`, never abort).
+    Replica {
+        /// Injection instant (simulated ms).
+        at_ms: u64,
+        /// Target group (mod group count).
+        group: u64,
+        /// Rebuild-phase crash trap (`None`, or 0|1).
+        crash_phase: Option<u64>,
+    },
 }
 
 impl ChaosEvent {
@@ -108,7 +127,8 @@ impl ChaosEvent {
             | ChaosEvent::Slow { at_ms, .. }
             | ChaosEvent::TornWrite { at_ms, .. }
             | ChaosEvent::CorruptImage { at_ms, .. }
-            | ChaosEvent::CrashCkpt { at_ms, .. } => at_ms,
+            | ChaosEvent::CrashCkpt { at_ms, .. }
+            | ChaosEvent::Replica { at_ms, .. } => at_ms,
         }
     }
 
@@ -122,7 +142,8 @@ impl ChaosEvent {
             | ChaosEvent::Slow { at_ms, .. }
             | ChaosEvent::TornWrite { at_ms, .. }
             | ChaosEvent::CorruptImage { at_ms, .. }
-            | ChaosEvent::CrashCkpt { at_ms, .. } => *at_ms += ms,
+            | ChaosEvent::CrashCkpt { at_ms, .. }
+            | ChaosEvent::Replica { at_ms, .. } => *at_ms += ms,
         }
     }
 
@@ -163,6 +184,14 @@ impl ChaosEvent {
             } => {
                 format!("crashckpt:g{group}p{phase}@{at_ms}")
             }
+            ChaosEvent::Replica {
+                at_ms,
+                group,
+                crash_phase,
+            } => match crash_phase {
+                Some(p) => format!("replica:g{group}p{p}@{at_ms}"),
+                None => format!("replica:g{group}@{at_ms}"),
+            },
         }
     }
 }
@@ -293,6 +322,26 @@ fn parse_event(s: &str) -> Result<ChaosEvent, String> {
                 phase,
             })
         }
+        "replica" => {
+            let body = head.strip_prefix('g').ok_or_else(|| {
+                format!("event `{s}`: expected `replica:g<group>[p<phase>]@<ms>`")
+            })?;
+            let (group, crash_phase) = match body.split_once('p') {
+                Some((g, p)) => {
+                    let phase = num(p)?;
+                    if phase > 1 {
+                        return Err(format!("event `{s}`: rebuild phase must be 0 or 1"));
+                    }
+                    (num(g)?, Some(phase))
+                }
+                None => (num(body)?, None),
+            };
+            Ok(ChaosEvent::Replica {
+                at_ms: num(times)?,
+                group,
+                crash_phase,
+            })
+        }
         other => Err(format!("unknown event kind `{other}` in `{s}`")),
     }
 }
@@ -338,12 +387,23 @@ mod tests {
                 group: 1,
                 phase: 1,
             },
+            ChaosEvent::Replica {
+                at_ms: 1500,
+                group: 2,
+                crash_phase: None,
+            },
+            ChaosEvent::Replica {
+                at_ms: 1700,
+                group: 0,
+                crash_phase: Some(1),
+            },
         ];
         let s = format_schedule(&sched);
         assert_eq!(
             s,
             "crash:g1@2500;storm:x8@1000+4000;outage:s0@2000+3000;slow:n3x4@1500+2500;\
-             torn:n2x3@1800;corrupt:g1@2500;crashckpt:g1p1@2000"
+             torn:n2x3@1800;corrupt:g1@2500;crashckpt:g1p1@2000;replica:g2@1500;\
+             replica:g0p1@1700"
         );
         assert_eq!(parse_schedule(&s).unwrap(), sched);
     }
@@ -365,6 +425,9 @@ mod tests {
         assert!(parse_schedule("corrupt:1@2500").is_err());
         assert!(parse_schedule("crashckpt:g1@2000").is_err());
         assert!(parse_schedule("crashckpt:g1p3@2000").is_err());
+        assert!(parse_schedule("replica:1@1500").is_err());
+        assert!(parse_schedule("replica:g1p2@1500").is_err());
+        assert!(parse_schedule("replica:g1p@1500").is_err());
     }
 
     #[test]

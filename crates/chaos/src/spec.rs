@@ -178,6 +178,35 @@ impl ChaosProto {
     }
 }
 
+/// Which checkpoint image backend a chaos run installs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosBackend {
+    /// The original local-disk / remote-server path.
+    Disk,
+    /// ReStore-style replicated in-memory checkpoints
+    /// ([`gcr_net::RestoreBackend`]).
+    Restore,
+}
+
+impl ChaosBackend {
+    /// CLI / report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChaosBackend::Disk => "disk",
+            ChaosBackend::Restore => "restore",
+        }
+    }
+
+    /// Parse a CLI label.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "disk" => Ok(ChaosBackend::Disk),
+            "restore" => Ok(ChaosBackend::Restore),
+            other => Err(format!("unknown chaos backend `{other}` (disk|restore)")),
+        }
+    }
+}
+
 /// World options shared by every chaos run (mirrors the benchmark
 /// runner's LAM/MPI-era settings).
 pub(crate) fn chaos_world_opts() -> WorldOpts {
@@ -240,6 +269,10 @@ pub struct ChaosSpec {
     /// seed (the determinism matrix in `tests/determinism.rs` enforces
     /// this), so it is deliberately excluded from the report JSON.
     pub shards: usize,
+    /// Checkpoint image backend the run installs.
+    pub backend: ChaosBackend,
+    /// Replication factor k for the restore backend (ignored by disk).
+    pub replication: usize,
 }
 
 impl ChaosSpec {
@@ -248,6 +281,14 @@ impl ChaosSpec {
     /// least one crash). Deterministic: the same seed always yields the
     /// same spec.
     pub fn generate(seed: u64) -> Self {
+        Self::generate_for(seed, ChaosBackend::Disk)
+    }
+
+    /// [`ChaosSpec::generate`], parameterized by backend. The disk draw
+    /// sequence is untouched (kind modulus 7 — pinned `--verify` digests
+    /// depend on it); the restore backend widens the event vocabulary to
+    /// include replica loss (kind modulus 8) and defaults to k = 2.
+    pub fn generate_for(seed: u64, backend: ChaosBackend) -> Self {
         let mut rng = DetRng::new(seed).fork("chaos-spec");
         let workload = ChaosWorkload::ALL[rng.index(4)];
         let proto = ChaosProto::ALL[rng.index(5)];
@@ -259,11 +300,16 @@ impl ChaosSpec {
         };
         let interval_ms = rng.range_u64(400, 1201);
         let n_events = 1 + rng.index(4);
+        let kinds = if backend == ChaosBackend::Restore {
+            8
+        } else {
+            7
+        };
         let mut schedule = Vec::with_capacity(n_events);
         for i in 0..n_events {
             let at_ms = rng.range_u64(300, 3501);
             // The first event is always a crash — recovery is the point.
-            let kind = if i == 0 { 0 } else { rng.index(7) };
+            let kind = if i == 0 { 0 } else { rng.index(kinds) };
             schedule.push(match kind {
                 0 => ChaosEvent::Crash {
                     at_ms,
@@ -293,6 +339,17 @@ impl ChaosSpec {
                     group: rng.range_u64(0, 64),
                     phase: rng.range_u64(0, 3),
                 },
+                // Restore backend only: replica loss, 1-in-3 with a
+                // rebuild-phase sabotage trap.
+                7 => ChaosEvent::Replica {
+                    at_ms,
+                    group: rng.range_u64(0, 64),
+                    crash_phase: match rng.index(3) {
+                        0 => None,
+                        1 => Some(0),
+                        _ => Some(1),
+                    },
+                },
                 // Kind 3, and 2 when the run uses local storage.
                 _ => ChaosEvent::Slow {
                     at_ms,
@@ -312,6 +369,8 @@ impl ChaosSpec {
             gc_overshoot: 0,
             schedule,
             shards: 1,
+            backend,
+            replication: 2,
         }
     }
 
@@ -340,6 +399,12 @@ pub fn repro_command(spec: &ChaosSpec) -> String {
     }
     if spec.shards > 1 {
         cmd.push_str(&format!(" --shards {}", spec.shards));
+    }
+    if spec.backend != ChaosBackend::Disk {
+        cmd.push_str(&format!(" --backend {}", spec.backend.label()));
+    }
+    if spec.replication != 2 {
+        cmd.push_str(&format!(" --replication {}", spec.replication));
     }
     cmd.push_str(&format!(" --schedule '{}'", spec.schedule_string()));
     cmd
@@ -389,6 +454,51 @@ mod tests {
         }
         assert_eq!(protos.len(), 5, "{protos:?}");
         assert_eq!(wls.len(), 4, "{wls:?}");
+    }
+
+    #[test]
+    fn restore_generation_is_deterministic_and_reaches_replica_events() {
+        let mut saw_replica = false;
+        for seed in 0..200u64 {
+            let a = ChaosSpec::generate_for(seed, ChaosBackend::Restore);
+            let b = ChaosSpec::generate_for(seed, ChaosBackend::Restore);
+            assert_eq!(a.schedule, b.schedule, "seed {seed}");
+            assert_eq!(a.backend, ChaosBackend::Restore);
+            assert_eq!(a.replication, 2);
+            saw_replica |= a
+                .schedule
+                .iter()
+                .any(|e| matches!(e, ChaosEvent::Replica { .. }));
+        }
+        assert!(saw_replica, "replica events never generated in 200 seeds");
+    }
+
+    #[test]
+    fn disk_generation_ignores_the_widened_event_vocabulary() {
+        for seed in 0..100u64 {
+            let a = ChaosSpec::generate(seed);
+            let b = ChaosSpec::generate_for(seed, ChaosBackend::Disk);
+            assert_eq!(a.schedule, b.schedule, "seed {seed}");
+            assert!(
+                !a.schedule
+                    .iter()
+                    .any(|e| matches!(e, ChaosEvent::Replica { .. })),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn repro_command_names_non_default_backend() {
+        let mut spec = ChaosSpec::generate_for(3, ChaosBackend::Restore);
+        spec.replication = 3;
+        let cmd = repro_command(&spec);
+        assert!(cmd.contains("--backend restore"), "{cmd}");
+        assert!(cmd.contains("--replication 3"), "{cmd}");
+        let disk = ChaosSpec::generate(3);
+        let cmd = repro_command(&disk);
+        assert!(!cmd.contains("--backend"), "{cmd}");
+        assert!(!cmd.contains("--replication"), "{cmd}");
     }
 
     #[test]

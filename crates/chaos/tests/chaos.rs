@@ -4,7 +4,8 @@
 //! and seeded sweeps.
 
 use gcr_chaos::{
-    parse_schedule, run_chaos, run_chaos_verified, shrink, ChaosProto, ChaosSpec, ChaosWorkload,
+    parse_schedule, run_chaos, run_chaos_verified, shrink, ChaosBackend, ChaosProto, ChaosSpec,
+    ChaosWorkload,
 };
 use gcr_net::StorageTarget;
 
@@ -26,6 +27,8 @@ fn spec(
         gc_overshoot: 0,
         schedule: parse_schedule(schedule).expect("test schedule parses"),
         shards: 1,
+        backend: ChaosBackend::Disk,
+        replication: 2,
     }
 }
 

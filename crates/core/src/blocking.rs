@@ -15,6 +15,7 @@
 use std::rc::Rc;
 
 use gcr_mpi::Rank;
+use gcr_net::ImageOp;
 use gcr_sim::future::join_all;
 
 use crate::ctrlplane::{bookmark_drain, ctrl_barrier, tags, CTRL_BYTES};
@@ -73,6 +74,7 @@ pub(crate) async fn blocking_wave(p: &RankProto, wave: u64) {
     // decided at commit time.
     let gid = p.groups.group_of(rank.0);
     let store = world.cluster().ckpt_store().clone();
+    let backend = world.cluster().backend();
     store.begin(gid, wave);
     // gcr-lint: allow(D03-T) image_bytes is sized to the world when the config is built; the restart side re-reads it with get()+MissingImage
     let image_bytes = p.cfg.image_bytes[rank.idx()];
@@ -98,10 +100,20 @@ pub(crate) async fn blocking_wave(p: &RankProto, wave: u64) {
             store.record_failure(gid, wave, rank.0);
         }
         None => {
-            match storage
-                .write_with_retry(rank.idx(), image_bytes, p.cfg.storage, p.cfg.retry)
-                .await
-            {
+            // The image goes through the cluster's checkpoint backend:
+            // the disk path writes it to the configured target, the
+            // restore path additionally pushes staged replica copies to
+            // peer memory during this post-write phase.
+            let op = ImageOp {
+                node: rank.idx(),
+                group: gid,
+                gen: Some(wave),
+                rank: rank.0,
+                bytes: image_bytes,
+                target: p.cfg.storage,
+                policy: p.cfg.retry,
+            };
+            match backend.write_image(op).await {
                 Ok(_) => store.record_image(gid, wave, rank.0, image_bytes),
                 Err(_) => store.record_failure(gid, wave, rank.0),
             }
@@ -131,6 +143,13 @@ pub(crate) async fn blocking_wave(p: &RankProto, wave: u64) {
         } else {
             store.commit(gid, wave, &members)
         };
+        // The backend rides the commit broadcast: a commit flips the
+        // wave's staged replica copies servable, an abort discards them.
+        if decision {
+            backend.on_commit(gid, wave);
+        } else {
+            backend.on_abort(gid, wave);
+        }
         let futs: Vec<_> = members
             .iter()
             .filter(|&&m| m != rank.0)

@@ -17,7 +17,7 @@ use std::rc::Rc;
 use gcr_mpi::Rank;
 use gcr_sim::future::{join2, join_all};
 
-use gcr_net::StorageTarget;
+use gcr_net::{ImageOp, StorageTarget};
 
 use crate::ctrlplane::{ctrl_barrier, tags, CTRL_BYTES};
 use crate::error::RecoveryError;
@@ -55,7 +55,6 @@ pub(crate) async fn restart_rank_with_peers(
     let world = ctx.world().clone();
     let sim = world.sim().clone();
     let rank = ctx.rank();
-    let storage = world.cluster().storage().clone();
     let started = ctx.now();
 
     // Process re-creation noise: restarts are scripted (mpirun re-spawns
@@ -71,10 +70,10 @@ pub(crate) async fn restart_rank_with_peers(
     // digest) and recorded, so the chaos oracle can prove no restart ever
     // consumed an uncommitted or corrupt image. With no usable generation
     // (`gen == None`) the rank restarts from its initial image.
+    let gid = p.groups.group_of(rank.0);
     let image_bytes = match gen {
         Some(g) => {
             let store = world.cluster().ckpt_store().clone();
-            let gid = p.groups.group_of(rank.0);
             let bytes = store
                 .validate(gid, g, rank.0)
                 .map_err(RecoveryError::Storage)?;
@@ -88,8 +87,21 @@ pub(crate) async fn restart_rank_with_peers(
             .copied()
             .ok_or(RecoveryError::MissingImage { rank: rank.0 })?,
     };
-    storage
-        .read_with_retry(rank.idx(), image_bytes, p.cfg.storage, p.cfg.retry)
+    // The image comes back through the cluster's checkpoint backend: the
+    // disk path reads the configured target, the restore path serves the
+    // block from the nearest surviving peer replica and only falls back
+    // to storage (recording degraded redundancy) when none survives.
+    let backend = world.cluster().backend();
+    backend
+        .read_image(ImageOp {
+            node: rank.idx(),
+            group: gid,
+            gen,
+            rank: rank.0,
+            bytes: image_bytes,
+            target: p.cfg.storage,
+            policy: p.cfg.retry,
+        })
         .await
         .map_err(RecoveryError::Storage)?;
     let image_loaded = ctx.now();

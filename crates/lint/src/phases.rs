@@ -53,6 +53,10 @@ const STORE_OPS: &[&str] = &[
     "record_load",
 ];
 
+/// Replica-table method names that are protocol events (on a `replicas`
+/// receiver) — the restore backend's rebuild pass.
+const REPLICA_OPS: &[&str] = &["push_block", "ack_quorum", "commit_visible"];
+
 /// One protocol's phase machine.
 #[derive(Debug)]
 pub struct PhaseSpec {
@@ -200,6 +204,42 @@ pub const SPECS: &[PhaseSpec] = &[
             ("drain", "recv:BOOKMARK", "drain"),
         ],
         required: &[],
+    },
+    PhaseSpec {
+        protocol: "restore-rebuild",
+        entry: "rebuild",
+        entry_file: "crates/net/src/restore.rs",
+        start: "scan",
+        accepting: &["visible"],
+        transitions: &[
+            // Each degraded block re-pushes copies (bounded retry), then
+            // its quorum is checked before anything becomes servable.
+            ("scan", "replicas.push_block", "pushing"),
+            ("pushing", "replicas.push_block", "pushing"),
+            ("scan", "replicas.ack_quorum", "checked"),
+            ("pushing", "replicas.ack_quorum", "checked"),
+            // The next block starts pushing (or checks straight away
+            // when it had nothing to push / every push failed).
+            ("checked", "replicas.push_block", "pushing"),
+            ("checked", "replicas.ack_quorum", "checked"),
+            // One atomic publish at the end of the pass: staged copies
+            // flip servable together, never mid-scan.
+            ("scan", "replicas.commit_visible", "visible"),
+            ("checked", "replicas.commit_visible", "visible"),
+        ],
+        required: &[
+            (
+                "replicas.ack_quorum",
+                "a rebuilt copy must pass the quorum check before the pass \
+                 may publish it — silent under-replication defeats the \
+                 survivability oracle",
+            ),
+            (
+                "replicas.commit_visible",
+                "staged rebuild copies must flip servable atomically at the \
+                 end of the pass, or readers observe half-rebuilt redundancy",
+            ),
+        ],
     },
 ];
 
@@ -384,6 +424,36 @@ impl Extractor<'_> {
             if matches!(name, "read" | "read_with_retry") && receiver_is("storage") {
                 out.push(Tree::Ev(Ev {
                     name: "read".to_string(),
+                    file: fi,
+                    line: t.line,
+                }));
+                i += 1;
+                continue;
+            }
+            // Backend-routed image I/O is the same protocol event as the
+            // direct storage call it replaced: the disk path delegates
+            // verbatim, the restore path adds replica traffic on top.
+            if name == "write_image" && receiver_is("backend") {
+                out.push(Tree::Ev(Ev {
+                    name: "write".to_string(),
+                    file: fi,
+                    line: t.line,
+                }));
+                i += 1;
+                continue;
+            }
+            if name == "read_image" && receiver_is("backend") {
+                out.push(Tree::Ev(Ev {
+                    name: "read".to_string(),
+                    file: fi,
+                    line: t.line,
+                }));
+                i += 1;
+                continue;
+            }
+            if REPLICA_OPS.contains(&name) && receiver_is("replicas") {
+                out.push(Tree::Ev(Ev {
+                    name: format!("replicas.{name}"),
                     file: fi,
                     line: t.line,
                 }));

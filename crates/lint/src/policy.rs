@@ -36,6 +36,7 @@ pub const RECOVERY_CRITICAL: &[&str] = &[
     "crates/core/src/msglog.rs",
     "crates/core/src/ctrlplane.rs",
     "crates/net/src/ckptstore.rs",
+    "crates/net/src/restore.rs",
     "crates/chaos/src/engine.rs",
     "crates/sim/src/shard.rs",
 ];
@@ -125,6 +126,11 @@ mod tests {
         // the recovery path (restart generation selection + validation),
         // but gcr-net is not a protocol-API tier.
         let p = policy_for("crates/net/src/ckptstore.rs");
+        assert!(p.d01 && p.d02 && p.d03 && !p.d04);
+
+        // The replicated restore backend serves restart reads from peer
+        // memory: replica exhaustion must degrade typed, never panic.
+        let p = policy_for("crates/net/src/restore.rs");
         assert!(p.d01 && p.d02 && p.d03 && !p.d04);
 
         let p = policy_for("crates/bench/src/sweep.rs");

@@ -82,6 +82,19 @@ pub enum StorageError {
         /// The uncommitted generation.
         gen: u64,
     },
+    /// A replicated backend holds fewer live copies than the configured
+    /// replication factor k — the data may still be readable (from the
+    /// surviving copies, or from the disk path), but one more failure
+    /// could make it unrecoverable. Degradation is a typed, reportable
+    /// state, never an abort.
+    DegradedRedundancy {
+        /// The owning group whose checkpoint data is under-replicated.
+        group: usize,
+        /// Live placements/copies available.
+        have: usize,
+        /// Placements/copies the replication factor demands.
+        need: usize,
+    },
 }
 
 impl std::fmt::Display for StorageError {
@@ -117,6 +130,12 @@ impl std::fmt::Display for StorageError {
             }
             StorageError::NotCommitted { group, gen } => {
                 write!(f, "g{group}/gen{gen} was never durably committed")
+            }
+            StorageError::DegradedRedundancy { group, have, need } => {
+                write!(
+                    f,
+                    "g{group}: replica redundancy degraded ({have} of {need} live copies)"
+                )
             }
         }
     }

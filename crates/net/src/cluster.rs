@@ -1,10 +1,11 @@
 //! The assembled cluster: nodes + network + storage + noise models.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use gcr_sim::{DetRng, Sim, SimDuration};
 
+use crate::backend::{CkptBackend, DiskBackend};
 use crate::ckptstore::CkptStore;
 use crate::network::{Network, NodeId};
 use crate::spec::ClusterSpec;
@@ -18,6 +19,9 @@ pub struct Cluster {
     network: Rc<Network>,
     storage: Rc<Storage>,
     ckpt_store: Rc<CkptStore>,
+    /// Active checkpoint image backend. Defaults to the disk path;
+    /// swappable (before protocols start) via [`Cluster::install_backend`].
+    backend: Rc<RefCell<Rc<dyn CkptBackend>>>,
     /// Straggler-storm multiplier (fault injection): scales both the
     /// straggler probability (capped at 1) and the mean delay. Shared
     /// across clones so a controller can dial it up and back down.
@@ -36,12 +40,18 @@ impl Cluster {
             spec.nodes,
             Rc::clone(&network),
         ));
+        let ckpt_store = Rc::new(CkptStore::new());
+        let backend: Rc<dyn CkptBackend> = Rc::new(DiskBackend::new(
+            Rc::clone(&storage),
+            Rc::clone(&ckpt_store),
+        ));
         Cluster {
             sim: sim.clone(),
             spec: Rc::new(spec),
             network,
             storage,
-            ckpt_store: Rc::new(CkptStore::new()),
+            ckpt_store,
+            backend: Rc::new(RefCell::new(backend)),
             storm: Rc::new(Cell::new(1.0)),
         }
     }
@@ -90,6 +100,17 @@ impl Cluster {
     /// The durable checkpoint catalog (generations, two-phase commit).
     pub fn ckpt_store(&self) -> &Rc<CkptStore> {
         &self.ckpt_store
+    }
+
+    /// The active checkpoint image backend (disk by default).
+    pub fn backend(&self) -> Rc<dyn CkptBackend> {
+        Rc::clone(&self.backend.borrow())
+    }
+
+    /// Swap the checkpoint image backend. Install before any protocol
+    /// runtime starts so every wave and restart sees the same backend.
+    pub fn install_backend(&self, backend: Rc<dyn CkptBackend>) {
+        *self.backend.borrow_mut() = backend;
     }
 
     /// Execute `flops` of computation on a node (sleeps for the model time).

@@ -13,14 +13,18 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod ckptstore;
 pub mod cluster;
 pub mod network;
+pub mod restore;
 pub mod spec;
 pub mod storage;
 
+pub use backend::{CkptBackend, DiskBackend, ImageFuture, ImageOp};
 pub use ckptstore::{CkptStore, GenState, LoadRecord, RetryPolicy, StorageError};
 pub use cluster::Cluster;
 pub use network::{Network, NodeId, TransferTiming};
+pub use restore::{place_replicas, placement_digest, RebuildStats, ReplicaTable, RestoreBackend};
 pub use spec::{ClusterSpec, NetSpec, StorageSpec, StragglerSpec};
 pub use storage::{Storage, StorageTarget};

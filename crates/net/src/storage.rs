@@ -59,6 +59,11 @@ pub struct Storage {
     /// Pending injected write timeouts, per compute node: each counted
     /// write pays its full service time and then errors.
     write_timeouts: Vec<Cell<u32>>,
+    /// Pending injected read timeouts, per compute node: each counted
+    /// read pays its full service time and then errors (mirrors
+    /// `write_timeouts` so the restart-side `read_with_retry` failover is
+    /// chaos-testable too).
+    read_timeouts: Vec<Cell<u32>>,
     first_server: NodeId,
     network: Rc<Network>,
 }
@@ -102,6 +107,7 @@ impl Storage {
             remote_down: (0..spec.remote_servers).map(|_| Cell::new(false)).collect(),
             torn_writes: (0..compute_nodes).map(|_| Cell::new(0)).collect(),
             write_timeouts: (0..compute_nodes).map(|_| Cell::new(0)).collect(),
+            read_timeouts: (0..compute_nodes).map(|_| Cell::new(0)).collect(),
             first_server: compute_nodes,
             network,
         }
@@ -162,6 +168,17 @@ impl Storage {
     /// returns [`StorageError::WriteTimeout`].
     pub fn inject_write_timeouts(&self, node: NodeId, count: u32) {
         if let Some(c) = self.write_timeouts.get(node) {
+            c.set(c.get() + count);
+        }
+    }
+
+    /// Arm `count` read timeouts on `node` (fault injection): each of the
+    /// next `count` reads to that node pays its full service time and
+    /// returns [`StorageError::ReadTimeout`]. The restart path's
+    /// [`Storage::read_with_retry`] must ride out transient read faults
+    /// exactly like the write path does.
+    pub fn inject_read_timeouts(&self, node: NodeId, count: u32) {
+        if let Some(c) = self.read_timeouts.get(node) {
             c.set(c.get() + count);
         }
     }
@@ -240,8 +257,21 @@ impl Storage {
     /// # Errors
     /// [`StorageError::AllServersDown`] for a remote read with no live
     /// server; [`StorageError::ReadTimeout`] when the serving server goes
-    /// down mid-transfer.
+    /// down mid-transfer or an injected read timeout fires.
     pub async fn read(
+        &self,
+        node: NodeId,
+        bytes: u64,
+        target: StorageTarget,
+    ) -> Result<SimTime, StorageError> {
+        if take_one(&self.read_timeouts, node) {
+            self.raw_read(node, bytes, target).await?;
+            return Err(StorageError::ReadTimeout { node });
+        }
+        self.raw_read(node, bytes, target).await
+    }
+
+    async fn raw_read(
         &self,
         node: NodeId,
         bytes: u64,
@@ -583,6 +613,70 @@ mod tests {
             .expect("third attempt lands");
         // Two failed 1.01 s attempts + 50 ms + 100 ms backoffs + success.
         assert_eq!(t.as_nanos(), 3 * 1_010_000_000 + 150_000_000);
+    }
+
+    #[test]
+    fn injected_read_timeouts_fire_once_each_and_then_clear() {
+        let (sim, storage) = setup(2);
+        storage.inject_read_timeouts(0, 1);
+        let results = Rc::new(std::cell::RefCell::new(None));
+        let st = Rc::clone(&storage);
+        let res = Rc::clone(&results);
+        sim.spawn(async move {
+            let first = st.read(0, 1_000_000, StorageTarget::Local).await;
+            let second = st.read(0, 1_000_000, StorageTarget::Local).await;
+            *res.borrow_mut() = Some((first, second));
+        });
+        sim.run().unwrap();
+        let (first, second) = results.borrow().expect("read task finished");
+        assert_eq!(first, Err(StorageError::ReadTimeout { node: 0 }));
+        assert!(second.is_ok(), "fault cleared after firing once");
+    }
+
+    #[test]
+    fn read_retry_recovers_from_transient_read_timeouts() {
+        let (sim, storage) = setup(2);
+        storage.inject_read_timeouts(0, 2);
+        let done = Rc::new(std::cell::RefCell::new(None));
+        let st = Rc::clone(&storage);
+        let d = Rc::clone(&done);
+        sim.spawn(async move {
+            let r = st
+                .read_with_retry(0, 1_000_000, StorageTarget::Local, RetryPolicy::default())
+                .await;
+            *d.borrow_mut() = Some(r);
+        });
+        sim.run().unwrap();
+        let t = done
+            .borrow()
+            .expect("finished")
+            .expect("third attempt lands");
+        // Two failed 1.01 s attempts + 50 ms + 100 ms backoffs + success —
+        // the exact mirror of the write-side retry timing.
+        assert_eq!(t.as_nanos(), 3 * 1_010_000_000 + 150_000_000);
+    }
+
+    #[test]
+    fn read_retries_exhaust_into_a_typed_error() {
+        let (sim, storage) = setup(2);
+        storage.inject_read_timeouts(0, 3);
+        let done = Rc::new(std::cell::RefCell::new(None));
+        let st = Rc::clone(&storage);
+        let d = Rc::clone(&done);
+        sim.spawn(async move {
+            let r = st
+                .read_with_retry(0, 1_000, StorageTarget::Local, RetryPolicy::default())
+                .await;
+            *d.borrow_mut() = Some(r);
+        });
+        sim.run().unwrap();
+        assert_eq!(
+            *done.borrow(),
+            Some(Err(StorageError::RetriesExhausted {
+                node: 0,
+                attempts: 3
+            }))
+        );
     }
 
     #[test]

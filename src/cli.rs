@@ -15,8 +15,8 @@
 use gcr_bench::kernel::{report_json, run_kernel, KernelSpec};
 use gcr_bench::{profile_trace, run_one, Proto, RunSpec, Schedule, WorkloadSpec};
 use gcr_chaos::{
-    parse_schedule, run_chaos, run_chaos_verified, shrink, ChaosEvent, ChaosProto, ChaosSpec,
-    ChaosWorkload,
+    parse_schedule, run_chaos, run_chaos_verified, shrink, ChaosBackend, ChaosEvent, ChaosProto,
+    ChaosSpec, ChaosWorkload,
 };
 use gcr_group::{detect_phases, form_groups};
 use gcr_net::StorageTarget;
@@ -124,6 +124,11 @@ pub struct ChaosArgs {
     /// Executor shard-count override (layout only; digests are
     /// invariant, so this is a perf/coverage knob, not a scenario knob).
     pub shards: Option<usize>,
+    /// Checkpoint-image backend (`disk` default; `restore` replicates
+    /// images into peer memory and widens the event vocabulary).
+    pub backend: Option<ChaosBackend>,
+    /// Replication factor k for the restore backend.
+    pub replication: Option<usize>,
     /// Run each scenario twice and check bit-determinism.
     pub verify: bool,
     /// Skip shrinking on failure.
@@ -205,10 +210,11 @@ USAGE:
                 [--workload <ring|cg|sp|hpl>] [--proto <norm|gp|gp1|gp4|vcl>]
                 [--storage <local|remote>] [--interval-ms I]
                 [--gc-overshoot BYTES] [--schedule 'crash:g1@2500;storm:x8@1000+4000']
-                [--shards N]
+                [--shards N] [--backend <disk|restore>] [--replication K]
                 (events: crash:g<G>@<ms> storm:x<F>@<ms>+<dur> outage:s<S>@<ms>+<dur>
                  slow:n<N>x<F>@<ms>+<dur> torn:n<N>x<C>@<ms> corrupt:g<G>@<ms>
-                 crashckpt:g<G>p<0|1|2>@<ms>)
+                 crashckpt:g<G>p<0|1|2>@<ms> replica:g<G>[p<0|1>]@<ms>;
+                 replica events drop a group's held peer copies — restore only)
   gcrsim bench  [--ranks N,N,..] [--shards N,N,..] [--iters K] [--seed X]
                 [--out FILE] [--json]   (sharded-kernel throughput grid;
                  --out writes the BENCH_kernel.json trajectory file)
@@ -425,6 +431,23 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     Some(s)
                 }
             };
+            let backend = f
+                .get("--backend")
+                .map(ChaosBackend::parse)
+                .transpose()
+                .map_err(err)?;
+            let replication = match f.get("--replication") {
+                None => None,
+                Some(v) => {
+                    let k: usize = v
+                        .parse()
+                        .map_err(|_| err("--replication expects a count"))?;
+                    if k == 0 {
+                        return Err(err("--replication must be at least 1"));
+                    }
+                    Some(k)
+                }
+            };
             Ok(Command::Chaos(ChaosArgs {
                 seed: f.parse_num("--seed")?,
                 runs: f.parse_num_or("--runs", 1)?,
@@ -435,6 +458,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 gc_overshoot,
                 schedule,
                 shards,
+                backend,
+                replication,
                 verify: f.has("--verify"),
                 no_shrink: f.has("--no-shrink"),
                 json: f.has("--json"),
@@ -667,7 +692,7 @@ fn execute_lint(a: LintArgs) -> Result<String, CliError> {
 
 /// The scenario a chaos seed plus CLI overrides denotes.
 fn chaos_spec_for(a: &ChaosArgs, seed: u64) -> ChaosSpec {
-    let mut spec = ChaosSpec::generate(seed);
+    let mut spec = ChaosSpec::generate_for(seed, a.backend.unwrap_or(ChaosBackend::Disk));
     if let Some(w) = a.workload {
         spec.workload = w;
     }
@@ -688,6 +713,9 @@ fn chaos_spec_for(a: &ChaosArgs, seed: u64) -> ChaosSpec {
     }
     if let Some(s) = a.shards {
         spec.shards = s;
+    }
+    if let Some(k) = a.replication {
+        spec.replication = k;
     }
     spec
 }
@@ -711,6 +739,7 @@ fn execute_chaos(a: ChaosArgs) -> Result<String, CliError> {
             reports.push(r.to_json());
         } else {
             let fallbacks = r.recoveries.iter().filter(|rec| rec.fell_back).count();
+            let degraded = r.recoveries.iter().filter(|rec| rec.degraded).count();
             lines.push(format!(
                 "seed {:>4}: {:>4}/{:<4} {:<6} interval {:>4} ms  sched [{}]  \
                  exec {:>6.1}s  {:>2} wave(s)  {} recovery(s){}  {}",
@@ -730,6 +759,21 @@ fn execute_chaos(a: ChaosArgs) -> Result<String, CliError> {
                 },
                 if r.passed() { "PASS" } else { "FAIL" }
             ));
+            if r.backend == "restore" {
+                lines.push(format!(
+                    "    restore k={}: {} peer read(s), {} fallback read(s), \
+                     {} degraded event(s){}",
+                    r.replication,
+                    r.peer_reads,
+                    r.fallback_reads,
+                    r.degraded_events,
+                    if degraded > 0 {
+                        format!(", {degraded} recovery(s) degraded")
+                    } else {
+                        String::new()
+                    }
+                ));
+            }
             for v in &r.violations {
                 lines.push(format!("    violation: {v}"));
             }
@@ -900,6 +944,28 @@ mod tests {
     }
 
     #[test]
+    fn parses_chaos_backend_and_replication_flags() {
+        match parse(&argv("chaos --seed 5 --backend restore --replication 3")).unwrap() {
+            Command::Chaos(a) => {
+                assert_eq!(a.backend, Some(ChaosBackend::Restore));
+                assert_eq!(a.replication, Some(3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaults: no backend override → disk scenario generation.
+        match parse(&argv("chaos --seed 5")).unwrap() {
+            Command::Chaos(a) => {
+                assert_eq!(a.backend, None);
+                assert_eq!(a.replication, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("chaos --seed 5 --backend nfs")).is_err());
+        assert!(parse(&argv("chaos --seed 5 --replication 0")).is_err());
+        assert!(parse(&argv("chaos --seed 5 --schedule replica:g1@1500")).is_ok());
+    }
+
+    #[test]
     fn parses_a_bench_command() {
         let cmd = parse(&argv(
             "bench --ranks 100,200 --shards 1,4 --iters 2 --seed 7",
@@ -1005,6 +1071,47 @@ mod tests {
         let out = execute(cmd).unwrap();
         assert!(out.contains("PASS"), "{out}");
         assert!(out.contains("all oracles held"), "{out}");
+    }
+
+    #[test]
+    fn chaos_command_surfaces_restore_backend_counters() {
+        // Human rendering: the restore summary line with peer/fallback
+        // read counts appears only for restore-backend runs.
+        let cmd = parse(&argv(
+            "chaos --seed 42 --backend restore --workload ring --proto gp4 --storage local \
+             --interval-ms 700 --schedule crash:g1@2000;replica:g0@2600",
+        ))
+        .unwrap();
+        let out = execute(cmd).unwrap();
+        assert!(out.contains("PASS"), "{out}");
+        assert!(out.contains("restore k=2"), "{out}");
+        assert!(out.contains("peer read(s)"), "{out}");
+
+        // JSON rendering: backend fields and per-recovery degraded flag.
+        let cmd = parse(&argv(
+            "chaos --seed 42 --backend restore --workload ring --proto gp4 --storage local \
+             --interval-ms 700 --schedule crash:g1@2000 --json",
+        ))
+        .unwrap();
+        let out = execute(cmd).unwrap();
+        assert!(out.contains("\"backend\": \"restore\""), "{out}");
+        assert!(out.contains("\"replication\": 2"), "{out}");
+        assert!(out.contains("\"peer_reads\""), "{out}");
+        assert!(out.contains("\"fallback_reads\""), "{out}");
+        assert!(out.contains("\"degraded_events\""), "{out}");
+        assert!(out.contains("\"degraded\""), "{out}");
+        assert!(out.contains("\"fell_back\""), "{out}");
+        assert!(out.contains("\"generation\""), "{out}");
+
+        // Disk runs keep the pre-backend JSON shape: no backend fields.
+        let cmd = parse(&argv(
+            "chaos --seed 42 --workload ring --proto gp4 --storage local \
+             --interval-ms 700 --schedule crash:g1@2000 --json",
+        ))
+        .unwrap();
+        let out = execute(cmd).unwrap();
+        assert!(!out.contains("\"backend\""), "{out}");
+        assert!(!out.contains("\"degraded\""), "{out}");
     }
 
     #[test]

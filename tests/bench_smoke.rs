@@ -7,7 +7,7 @@
 //! count reproduces the original single-heap executor bit-for-bit.
 
 use gcr_bench::kernel::{report_json, run_kernel, validate_report, KernelSpec};
-use gcr_chaos::{parse_schedule, run_chaos, ChaosProto, ChaosSpec, ChaosWorkload};
+use gcr_chaos::{parse_schedule, run_chaos, ChaosBackend, ChaosProto, ChaosSpec, ChaosWorkload};
 use gcr_json::Json;
 use gcr_net::StorageTarget;
 
@@ -34,6 +34,8 @@ fn one_shard_digests_match_the_pre_refactor_pins() {
             gc_overshoot: 0,
             schedule: parse_schedule("crash:g1@2500").expect("literal schedule parses"),
             shards: 1,
+            backend: ChaosBackend::Disk,
+            replication: 2,
         };
         let got = run_chaos(&spec).digest();
         assert_eq!(
@@ -89,4 +91,49 @@ fn committed_bench_trajectory_validates() {
         doc.arr_field("points").unwrap().len() >= 3,
         "trajectory needs at least three grid points"
     );
+}
+
+/// The committed recovery-latency trajectory (`BENCH_recovery.json`,
+/// written by the `recovery_latency` bin) parses, pairs every world size
+/// as (remote, restore), and preserves the acceptance bar: peer-memory
+/// recovery is strictly faster than the remote-server path and actually
+/// served restart reads from peers.
+#[test]
+fn committed_recovery_trajectory_validates() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_recovery.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("{path} must be committed alongside the backend: {e}"));
+    let doc = Json::parse(&text).expect("committed BENCH_recovery.json parses");
+    assert_eq!(
+        doc.str_field("schema").expect("schema"),
+        "gcr-bench-recovery/v1"
+    );
+    assert!(doc.u64_field("replication").expect("replication") >= 1);
+    let points = doc.arr_field("points").expect("points array");
+    assert!(
+        points.len() >= 4,
+        "need at least two (remote, restore) pairs"
+    );
+    assert_eq!(points.len() % 2, 0, "points must pair remote with restore");
+    for pair in points.chunks(2) {
+        let (remote, restore) = (&pair[0], &pair[1]);
+        assert_eq!(remote.str_field("backend").expect("backend"), "remote");
+        assert_eq!(restore.str_field("backend").expect("backend"), "restore");
+        let procs = remote.u64_field("procs").expect("procs");
+        assert_eq!(
+            restore.u64_field("procs").expect("procs"),
+            procs,
+            "pair mismatch"
+        );
+        let remote_s = remote.f64_field("downtime_s").expect("remote downtime");
+        let restore_s = restore.f64_field("downtime_s").expect("restore downtime");
+        assert!(
+            restore_s < remote_s,
+            "{procs} procs: restore {restore_s}s not below remote {remote_s}s"
+        );
+        assert!(
+            restore.u64_field("peer_reads").unwrap_or(0) > 0,
+            "{procs} procs: restore point never read from peer memory"
+        );
+    }
 }

@@ -8,7 +8,7 @@
 //! half is the contract that makes the sharded kernel a refactor rather
 //! than a semantics change: shard count is a layout knob, never an input.
 
-use gcr_chaos::{parse_schedule, run_chaos, ChaosProto, ChaosSpec};
+use gcr_chaos::{parse_schedule, run_chaos, ChaosBackend, ChaosProto, ChaosSpec};
 use gcr_net::StorageTarget;
 
 /// Shard counts exercised by the matrix.
@@ -27,6 +27,8 @@ fn spec_for(proto: ChaosProto, shards: usize) -> ChaosSpec {
         gc_overshoot: 0,
         schedule: parse_schedule("crash:g1@2500").expect("literal schedule parses"),
         shards,
+        backend: ChaosBackend::Disk,
+        replication: 2,
     }
 }
 

@@ -416,3 +416,68 @@ fn groupdef_json_roundtrip() {
         assert_eq!(back, def, "case {case}");
     }
 }
+
+/// Replica placement (restore backend): over random world shapes and
+/// group maps, `place_replicas` never co-locates a replica with the
+/// owner's own group, spreads the k copies over k *distinct* groups, and
+/// degrades to the typed error exactly when fewer than k non-owner
+/// groups exist. The placement digest is a pure function of the group
+/// map and k — bit-identical across repeated evaluation, so every
+/// simulation node computes the same placement with no coordination.
+#[test]
+fn replica_placement_never_colocates_and_is_bit_stable() {
+    use gcr::net::{place_replicas, placement_digest, StorageError};
+    for case in 0..128u64 {
+        let mut rng = DetRng::new(0x9E57_0003).fork_idx(case);
+        let n = rng.range_u64(2, 40) as usize;
+        let n_groups = rng.range_u64(1, 8) as usize;
+        let group_of: Vec<usize> = (0..n)
+            .map(|_| rng.range_u64(0, n_groups as u64) as usize)
+            .collect();
+        let k = rng.range_u64(1, 4) as usize;
+        let distinct: std::collections::BTreeSet<usize> = group_of.iter().copied().collect();
+        for owner in 0..n as u32 {
+            let own = group_of[owner as usize];
+            let non_owner_groups = distinct.iter().filter(|&&g| g != own).count();
+            match place_replicas(&group_of, owner, k) {
+                Ok(holders) => {
+                    assert!(
+                        non_owner_groups >= k,
+                        "case {case}: owner {owner} got a full placement with only \
+                         {non_owner_groups} non-owner group(s) for k={k}"
+                    );
+                    assert_eq!(holders.len(), k, "case {case}");
+                    let mut groups_hit = std::collections::BTreeSet::new();
+                    for &h in &holders {
+                        let hg = group_of[h as usize];
+                        assert_ne!(
+                            hg, own,
+                            "case {case}: replica of rank {owner} co-located in its \
+                             own group {own} (holder {h})"
+                        );
+                        assert!(
+                            groups_hit.insert(hg),
+                            "case {case}: two replicas of rank {owner} landed in group {hg}"
+                        );
+                    }
+                }
+                Err(StorageError::DegradedRedundancy { have, need, .. }) => {
+                    assert!(
+                        non_owner_groups < k,
+                        "case {case}: owner {owner} degraded with {non_owner_groups} \
+                         non-owner group(s) available for k={k}"
+                    );
+                    assert_eq!(have, non_owner_groups, "case {case}");
+                    assert_eq!(need, k, "case {case}");
+                }
+                Err(e) => panic!("case {case}: unexpected error {e}"),
+            }
+        }
+        // Bit-identical digest: same inputs, same placement, twice.
+        assert_eq!(
+            placement_digest(&group_of, k),
+            placement_digest(&group_of, k),
+            "case {case}: placement digest is not a pure function of its inputs"
+        );
+    }
+}
