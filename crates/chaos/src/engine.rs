@@ -233,10 +233,11 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
     };
     wl.launch(&world);
 
-    let mode = if spec.proto == ChaosProto::Vcl {
-        Mode::Vcl
-    } else {
-        Mode::Blocking
+    let mode = match spec.proto {
+        ChaosProto::Norm | ChaosProto::Gp | ChaosProto::Gp1 | ChaosProto::Gp4 => Mode::Blocking,
+        ChaosProto::Vcl => Mode::Vcl,
+        ChaosProto::Cvc => Mode::Cvc,
+        ChaosProto::Rblog => Mode::RbLog,
     };
     let mut cfg = CkptConfig::uniform(n, 0, spec.storage);
     cfg.image_bytes = wl.image_bytes();
@@ -502,6 +503,15 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
         for v in stream_closure_violations(n, &groups, &rt) {
             violations.borrow_mut().push(format!("end-of-run {v}"));
         }
+    }
+    // CVC's consistency argument is orphan-freedom: no rank may consume a
+    // message stamped with a cut epoch its own cut has not reached. The
+    // runtime counts such receives; any nonzero count is a protocol bug.
+    if mode == Mode::Cvc && rt.cvc_orphans() > 0 {
+        violations.borrow_mut().push(format!(
+            "cvc: {} orphaned receive(s) consumed ahead of the cut epoch",
+            rt.cvc_orphans()
+        ));
     }
     for v in store_load_violations(&cluster) {
         violations.borrow_mut().push(format!("end-of-run {v}"));

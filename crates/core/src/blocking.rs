@@ -49,7 +49,12 @@ pub(crate) async fn blocking_wave(p: &RankProto, wave: u64) {
     // the background between checkpoints; here we only wait for the
     // un-synced tail to hit stable storage. The RR/S snapshot goes under
     // the *pending* generation: GC advertisement waits for the commit.
-    let log_flushed_bytes = p.gp.on_checkpoint(wave);
+    let mut log_flushed_bytes = p.gp.on_checkpoint(wave);
+    if let Some(rb) = &p.rb {
+        // Receiver-based logging: the receiver-side log's un-synced
+        // tail must also hit the local disk before the image counts.
+        log_flushed_bytes += rb.take_recv_flush();
+    }
     if log_flushed_bytes > 0 {
         storage.drain_local(rank.idx()).await;
     }
@@ -172,6 +177,11 @@ pub(crate) async fn blocking_wave(p: &RankProto, wave: u64) {
     };
     if committed {
         p.gp.on_commit(wave);
+        if let Some(rb) = &p.rb {
+            // Receiver-log entries below the committed (retention-
+            // lagged) floor can never replay again — drop them.
+            rb.on_commit();
+        }
     } else {
         p.gp.on_abort(wave);
     }

@@ -14,6 +14,21 @@ pub enum Mode {
     /// (MPICH-VCL-style): image written concurrently with execution, new
     /// sends suspended during the write, markers flush channel state.
     Vcl,
+    /// Non-blocking collective-vector-clock checkpointing (CVC,
+    /// Xu & Cooperman): per-communicator clocks derived from collective
+    /// traffic pick a common cut target; each rank cuts when its clock
+    /// reaches the target, a piggybacked cut epoch on application sends
+    /// forces lagging receivers to cut before consuming post-cut traffic
+    /// (so the cut stays orphan-free), and the image is written
+    /// concurrently with execution under the group 2PC catalog.
+    Cvc,
+    /// Blocking group checkpointing with **receiver-based** message
+    /// logging (Dichev & Nikolopoulos): every inter-group receive is
+    /// logged durably on the receiver's node, acknowledgements piggyback
+    /// on application sends to trim the sender-side log down to the
+    /// unacked in-transit tail, and restart replays from the local
+    /// receiver log instead of soliciting full sender logs from peers.
+    RbLog,
 }
 
 /// Tunables of the checkpoint system.

@@ -34,6 +34,17 @@ pub mod tags {
     /// Two-phase-commit outcome broadcast (coordinator → members):
     /// `COMMIT + wave`, payload `1` = committed, `0` = aborted.
     pub const COMMIT: u64 = 0x0900_0000;
+    /// CVC clock-exchange round: `CVC_CLOCK + wave`, payload the
+    /// sender's flattened per-communicator clock vector.
+    pub const CVC_CLOCK: u64 = 0x0A00_0000;
+    /// Receiver-based restart volume exchange (restarting rank sends its
+    /// receiver-log high-water mark; a live peer answers with its
+    /// consumed volume).
+    pub const RBLOG_VOL: u64 = 0x0B00_0000;
+    /// Receiver-based restart tail-replay plan (entry count).
+    pub const RBLOG_PLAN: u64 = 0x0C00_0000;
+    /// Receiver-based restart tail-replayed message.
+    pub const RBLOG_DATA: u64 = 0x0D00_0000;
 }
 
 /// Wire size of a small control message (bookmarks, barrier tokens).

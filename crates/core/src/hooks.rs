@@ -17,7 +17,7 @@ use gcr_mpi::{Envelope, MpiHook};
 use gcr_net::Storage;
 use gcr_sim::SimDuration;
 
-use crate::msglog::MsgLog;
+use crate::msglog::{MsgLog, RecvEntry, RecvLog};
 use crate::volume::VolumeCounters;
 
 /// One generation's volume snapshot: the `RR`/`SS` values a restart from
@@ -274,6 +274,18 @@ impl GpState {
         self.gc_bytes.get()
     }
 
+    /// Receiver-acknowledgement GC (receiver-based logging): the peer has
+    /// durably logged `acked` bytes of my stream on its *own* node, so my
+    /// copy of that prefix is redundant — only the unacked tail must stay
+    /// for in-transit replay. Unlike the piggybacked-`RR` path this trims
+    /// independently of the committed-generation floor: the receiver's
+    /// log, not my checkpoint ledger, is the durable copy now.
+    pub fn ack_gc(&self, peer: u32, acked: u64) -> u64 {
+        let dropped = self.log.borrow_mut().peer_mut(peer).gc(acked);
+        self.gc_bytes.set(self.gc_bytes.get() + dropped);
+        dropped
+    }
+
     /// Current `S` toward `q` (diagnostics / invariants).
     pub fn sent_to(&self, q: u32) -> u64 {
         self.vols.borrow().sent_to(q)
@@ -415,6 +427,149 @@ impl MpiHook for VclState {
     }
 }
 
+/// Per-rank receiver-based logging state (Dichev & Nikolopoulos):
+/// wraps [`GpState`] (volume counters, sender-side tail, `RR`
+/// piggybacks all still apply) and adds the receiver-side log plus its
+/// acknowledgement piggyback.
+///
+/// Every inter-group **receive** is appended to a local [`RecvLog`] and
+/// streamed to the node's own disk in the background — the receiver, not
+/// the sender, owns the durable replay copy. Application sends piggyback
+/// the receiver's logged high-water mark for the destination's stream
+/// back to it; the destination then [`GpState::ack_gc`]s its sender-side
+/// log down to that offset. What remains on the sender is exactly the
+/// unacked tail — the bytes that may be in flight (neither consumed nor
+/// logged by the receiver) when a crash hits, which is the one range the
+/// local receiver log cannot replay.
+pub struct RbState {
+    gp: Rc<GpState>,
+    groups: Rc<GroupDef>,
+    recv: RefCell<RecvLog>,
+    /// Background receiver-log writer (the receiver's own local disk).
+    recv_disk: RefCell<Option<(Rc<Storage>, usize)>>,
+    /// Total bytes ever receiver-logged (diagnostics).
+    recv_logged_bytes: Cell<u64>,
+    /// Receiver-log bytes dropped below committed checkpoint floors.
+    recv_gc_bytes: Cell<u64>,
+}
+
+impl RbState {
+    /// Wrap a rank's [`GpState`] with receiver-based logging.
+    pub fn new(gp: Rc<GpState>, groups: Rc<GroupDef>) -> Rc<Self> {
+        Rc::new(RbState {
+            gp,
+            groups,
+            recv: RefCell::new(RecvLog::new()),
+            recv_disk: RefCell::new(None),
+            recv_logged_bytes: Cell::new(0),
+            recv_gc_bytes: Cell::new(0),
+        })
+    }
+
+    /// The wrapped sender-side state.
+    pub fn gp(&self) -> &Rc<GpState> {
+        &self.gp
+    }
+
+    /// The rank this state belongs to.
+    pub fn rank(&self) -> u32 {
+        self.gp.rank()
+    }
+
+    /// Attach the background receiver-log writer (this node's local
+    /// disk). The log survives a crash of the rank: restart replays it.
+    pub fn attach_recv_disk(&self, storage: Rc<Storage>, node: usize) {
+        *self.recv_disk.borrow_mut() = Some((storage, node));
+    }
+
+    /// High-water mark of peer `q`'s logged stream — everything below it
+    /// replays locally after a restart, and it is the acknowledgement
+    /// value piggybacked back to `q`.
+    pub fn logged_end(&self, q: u32) -> u64 {
+        self.recv.borrow().logged_end(q)
+    }
+
+    /// Locally-logged entries of `q`'s stream overlapping
+    /// `[from_offset, logged_end)` — the restart's local replay.
+    pub fn replay_local(&self, q: u32, from_offset: u64) -> Vec<RecvEntry> {
+        self.recv
+            .borrow()
+            .peer(q)
+            .map(|l| l.replay_from(from_offset))
+            .unwrap_or_default()
+    }
+
+    /// Checkpoint-time "synchronize message logs" for the receiver side:
+    /// the un-synced receiver-log bytes that must reach the local disk
+    /// before the image is declared durable.
+    pub fn take_recv_flush(&self) -> u64 {
+        self.recv.borrow_mut().take_all_pending_flush()
+    }
+
+    /// A generation durably committed: entries of each peer stream below
+    /// the (retention-lagged) committed floor can never be replayed again
+    /// — drop them. The high-water marks are unaffected.
+    pub fn on_commit(&self) {
+        let peers: Vec<u32> = self.recv.borrow().iter().map(|(p, _)| p).collect();
+        let mut recv = self.recv.borrow_mut();
+        for p in peers {
+            let dropped = recv.peer_mut(p).gc(self.gp.gc_floor(p));
+            self.recv_gc_bytes.set(self.recv_gc_bytes.get() + dropped);
+        }
+    }
+
+    /// Total bytes ever receiver-logged.
+    pub fn total_recv_logged_bytes(&self) -> u64 {
+        self.recv_logged_bytes.get()
+    }
+
+    /// Receiver-log bytes garbage-collected below committed floors.
+    pub fn total_recv_gc_bytes(&self) -> u64 {
+        self.recv_gc_bytes.get()
+    }
+
+    /// Bytes currently retained in the receiver log.
+    pub fn retained_recv_bytes(&self) -> u64 {
+        self.recv.borrow().retained_bytes()
+    }
+}
+
+impl MpiHook for RbState {
+    fn on_send(&self, env: &mut Envelope) -> SimDuration {
+        // Sender-side logging, counters and RR piggybacks run unchanged;
+        // the ack piggyback rides on the same inter-group messages.
+        let cost = self.gp.on_send(env);
+        let dst = env.dst.0;
+        if !self.groups.is_intra(self.rank(), dst) {
+            env.piggyback_ack = Some(self.recv.borrow().logged_end(dst));
+        }
+        cost
+    }
+
+    fn on_recv(&self, env: &Envelope) {
+        self.gp.on_recv(env);
+        let src = env.src.0;
+        if !self.groups.is_intra(self.rank(), src) {
+            // The receiver owns the durable copy: log the message
+            // locally (asynchronously — drained at checkpoint time).
+            self.recv
+                .borrow_mut()
+                .peer_mut(src)
+                .append(src, env.bytes, env.id.seq);
+            self.recv_logged_bytes
+                .set(self.recv_logged_bytes.get() + env.bytes);
+            if let Some((storage, node)) = self.recv_disk.borrow().as_ref() {
+                let _ = storage.queue_local_log_write(*node, env.bytes);
+            }
+        }
+        if let Some(acked) = env.piggyback_ack {
+            // The peer has durably logged this much of my stream: my
+            // sender-side copy of that prefix is redundant.
+            self.gp.ack_gc(src, acked);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,6 +588,8 @@ mod tests {
             },
             kind: MsgKind::App,
             piggyback_rr: None,
+            piggyback_epoch: None,
+            piggyback_ack: None,
             payload: None,
             sent_at: SimTime::ZERO,
             arrived_at: SimTime::ZERO,

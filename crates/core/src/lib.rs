@@ -16,6 +16,14 @@
 //!   skipping.
 //! * **The MPICH-VCL baseline** ([`vcl`]): non-blocking Chandy–Lamport
 //!   with a send-suspension window and remote checkpoint servers.
+//! * **CVC checkpointing** ([`cvc`]): non-blocking cuts driven by
+//!   per-communicator collective vector clocks, kept orphan-free by a
+//!   cut-epoch piggyback on application sends (Xu & Cooperman).
+//! * **Receiver-based logging** ([`hooks::RbState`], [`Mode::RbLog`]):
+//!   inter-group receives are logged durably on the receiver's node,
+//!   acknowledgement piggybacks trim the sender log to the unacked
+//!   tail, and restart replays from the local receiver log
+//!   (Dichev & Nikolopoulos).
 //! * **Mechanical consistency checking** ([`consistency`]): the recovery
 //!   line formed by group checkpoints + logs is verified, not assumed.
 //!
@@ -28,6 +36,7 @@ pub mod blocking;
 pub mod config;
 pub mod consistency;
 pub mod ctrlplane;
+pub mod cvc;
 pub mod error;
 pub mod hooks;
 pub mod metrics;
@@ -42,9 +51,10 @@ pub use advisor::{
 };
 pub use config::{CkptConfig, Mode};
 pub use consistency::{check_quiescent, check_recovery_line, Violation};
+pub use cvc::CvcState;
 pub use error::RecoveryError;
-pub use hooks::{GpState, VclState};
+pub use hooks::{GpState, RbState, VclState};
 pub use metrics::{CkptRecord, Metrics, PhaseBreakdown, RestartRecord};
-pub use msglog::{LogEntry, MsgLog, PeerLog};
+pub use msglog::{LogEntry, MsgLog, PeerLog, RecvEntry, RecvLog, RecvPeerLog};
 pub use runtime::{CkptRuntime, RecoveryStats};
 pub use volume::VolumeCounters;

@@ -15,10 +15,14 @@ use gcr_sim::{DetRng, SimDuration, SimTime};
 
 use crate::blocking::blocking_wave;
 use crate::config::{CkptConfig, Mode};
+use crate::cvc::{cvc_wave, CvcState};
 use crate::error::RecoveryError;
-use crate::hooks::{GpState, VclState};
+use crate::hooks::{GpState, RbState, VclState};
 use crate::metrics::Metrics;
-use crate::restart::{restart_rank, restart_rank_with_peers, serve_peer_recovery};
+use crate::restart::{
+    restart_rank, restart_rank_rblog, restart_rank_with_peers, restart_rank_with_peers_rblog,
+    serve_peer_recovery, serve_peer_recovery_rblog,
+};
 use crate::vcl::vcl_wave;
 
 /// A crash trap armed on a group (fault injection): the group's next
@@ -40,6 +44,8 @@ pub(crate) struct RankProto {
     pub(crate) metrics: Metrics,
     pub(crate) gp: Rc<GpState>,
     pub(crate) vcl: Rc<VclState>,
+    pub(crate) cvc: Rc<CvcState>,
+    pub(crate) rb: Option<Rc<RbState>>,
     pub(crate) rng: RefCell<DetRng>,
     pub(crate) traps: TrapMap,
 }
@@ -62,6 +68,8 @@ struct RtInner {
     mode: Mode,
     metrics: Metrics,
     gp: Vec<Rc<GpState>>,
+    cvc: Vec<Rc<CvcState>>,
+    rb: Vec<Option<Rc<RbState>>>,
     cmd_tx: RefCell<Vec<Sender<Cmd>>>,
     next_wave: Cell<u64>,
     /// Checkpoint rounds currently executing — a fault injector must not
@@ -99,12 +107,21 @@ impl CkptRuntime {
                 "the VCL model checkpoints globally; use a single group"
             );
         }
+        if mode == Mode::Cvc {
+            assert_eq!(
+                groups.group_count(),
+                1,
+                "the CVC model checkpoints globally; use a single group"
+            );
+        }
         let cfg = Rc::new(cfg);
         let metrics = Metrics::new();
         let root_rng = DetRng::new(cfg.seed);
         let traps: TrapMap = Rc::new(RefCell::new(Default::default()));
 
         let mut gp_states = Vec::with_capacity(n);
+        let mut cvc_states = Vec::with_capacity(n);
+        let mut rb_states = Vec::with_capacity(n);
         let mut senders = Vec::with_capacity(n);
         for r in 0..n as u32 {
             let gp = GpState::new(
@@ -118,6 +135,15 @@ impl CkptRuntime {
             gp.set_gc_retention(cfg.gc_retention_gens);
             gp.attach_log_disk(Rc::clone(world.cluster().storage()), r as usize);
             let vcl = VclState::new(r, n);
+            let cvc = CvcState::new();
+            let rb = match mode {
+                Mode::RbLog => {
+                    let rb = RbState::new(Rc::clone(&gp), Rc::clone(&groups));
+                    rb.attach_recv_disk(Rc::clone(world.cluster().storage()), r as usize);
+                    Some(rb)
+                }
+                Mode::Blocking | Mode::Vcl | Mode::Cvc => None,
+            };
             match mode {
                 Mode::Blocking => {
                     // The GP data plane only acts on inter-group traffic, so
@@ -128,6 +154,14 @@ impl CkptRuntime {
                 Mode::Vcl => {
                     world.install_hook(Rank(r), Rc::clone(&vcl) as Rc<dyn MpiHook>);
                 }
+                Mode::Cvc => {
+                    world.install_hook(Rank(r), Rc::clone(&cvc) as Rc<dyn MpiHook>);
+                }
+                Mode::RbLog => {
+                    if let Some(rb) = &rb {
+                        world.install_hook(Rank(r), Rc::clone(rb) as Rc<dyn MpiHook>);
+                    }
+                }
             }
             let proto = RankProto {
                 ctx: world.ctx(Rank(r)),
@@ -136,10 +170,14 @@ impl CkptRuntime {
                 metrics: metrics.clone(),
                 gp: Rc::clone(&gp),
                 vcl,
+                cvc: Rc::clone(&cvc),
+                rb: rb.clone(),
                 rng: RefCell::new(root_rng.fork("proto").fork_idx(r as u64)),
                 traps: Rc::clone(&traps),
             };
             gp_states.push(gp);
+            cvc_states.push(cvc);
+            rb_states.push(rb);
 
             // The per-rank protocol daemon.
             let (tx, mut rx) = channel::<Cmd>();
@@ -155,10 +193,13 @@ impl CkptRuntime {
                 .position(|&m| m == r)
                 .expect("rank in own group") as u64;
             let propagation = match mode {
-                Mode::Blocking => cfg.propagation_per_proc * pos_in_group,
+                // Receiver-based logging rides the blocking group plane:
+                // per-group children signal members serially.
+                Mode::Blocking | Mode::RbLog => cfg.propagation_per_proc * pos_in_group,
                 // MPICH-VCL's checkpoint scheduler contacts processes
-                // sequentially as well — one global sequence.
-                Mode::Vcl => cfg.propagation_per_proc * r as u64,
+                // sequentially as well — one global sequence; CVC's single
+                // mpirun child does the same.
+                Mode::Vcl | Mode::Cvc => cfg.propagation_per_proc * r as u64,
             };
             world.sim().spawn_named(format!("ckptd{r}"), async move {
                 while let Some(cmd) = rx.recv().await {
@@ -170,8 +211,9 @@ impl CkptRuntime {
                             sim.sleep(latency + propagation + SimDuration::from_micros(jitter_us))
                                 .await;
                             match mode {
-                                Mode::Blocking => blocking_wave(&proto, wave).await,
+                                Mode::Blocking | Mode::RbLog => blocking_wave(&proto, wave).await,
                                 Mode::Vcl => vcl_wave(&proto, wave).await,
+                                Mode::Cvc => cvc_wave(&proto, wave).await,
                             }
                             done.done();
                         }
@@ -191,6 +233,8 @@ impl CkptRuntime {
                 mode,
                 metrics,
                 gp: gp_states,
+                cvc: cvc_states,
+                rb: rb_states,
                 cmd_tx: RefCell::new(senders),
                 next_wave: Cell::new(0),
                 waves_in_flight: Cell::new(0),
@@ -217,6 +261,26 @@ impl CkptRuntime {
     /// The protocol mode.
     pub fn mode(&self) -> Mode {
         self.inner.mode
+    }
+
+    /// Per-rank CVC protocol state (collective clocks, cut epoch,
+    /// orphan oracle). Meaningful in [`Mode::Cvc`] only.
+    pub fn cvc_state(&self, rank: u32) -> &Rc<CvcState> {
+        &self.inner.cvc[rank as usize]
+    }
+
+    /// Total orphaned receives observed across all ranks — messages
+    /// consumed while stamped with a cut epoch ahead of the consumer's.
+    /// The CVC cut protocol makes this impossible by construction; the
+    /// chaos harness and the property suite assert it stays zero.
+    pub fn cvc_orphans(&self) -> u64 {
+        self.inner.cvc.iter().map(|c| c.orphans()).sum()
+    }
+
+    /// Per-rank receiver-based-logging state (`None` outside
+    /// [`Mode::RbLog`]).
+    pub fn rb_state(&self, rank: u32) -> Option<&Rc<RbState>> {
+        self.inner.rb[rank as usize].as_ref()
     }
 
     /// Number of checkpoint rounds currently executing. A fault injector
@@ -427,6 +491,7 @@ impl CkptRuntime {
         done.add(n);
         let root_rng = DetRng::new(self.inner.cfg.seed ^ 0xdead_beef);
         let first_err: Rc<RefCell<Option<RecoveryError>>> = Rc::new(RefCell::new(None));
+        let mode = self.inner.mode;
         for r in 0..n as u32 {
             let proto = RankProto {
                 ctx: self.inner.world.ctx(Rank(r)),
@@ -435,6 +500,8 @@ impl CkptRuntime {
                 metrics: self.inner.metrics.clone(),
                 gp: Rc::clone(&self.inner.gp[r as usize]),
                 vcl: VclState::new(r, n),
+                cvc: Rc::clone(&self.inner.cvc[r as usize]),
+                rb: self.inner.rb[r as usize].clone(),
                 rng: RefCell::new(root_rng.fork_idx(r as u64)),
                 traps: Rc::clone(&self.inner.traps),
             };
@@ -445,7 +512,15 @@ impl CkptRuntime {
                 .world
                 .sim()
                 .spawn_named(format!("restart{r}"), async move {
-                    if let Err(e) = restart_rank(&proto, gen).await {
+                    let rb = proto.rb.clone();
+                    let result = if let (Mode::RbLog, Some(rb)) = (mode, &rb) {
+                        // Receiver-based restart: replay from the local
+                        // receiver log, solicit only the unacked tail.
+                        restart_rank_rblog(&proto, rb, gen).await
+                    } else {
+                        restart_rank(&proto, gen).await
+                    };
+                    if let Err(e) = result {
                         first_err.borrow_mut().get_or_insert(e);
                     }
                     done.done();
@@ -512,6 +587,7 @@ impl CkptRuntime {
         let replayed_in = Rc::new(Cell::new(0u64));
         let first_err: Rc<RefCell<Option<RecoveryError>>> = Rc::new(RefCell::new(None));
         let root_rng = DetRng::new(self.inner.cfg.seed ^ 0xfa11_ed00);
+        let mode = self.inner.mode;
         for r in 0..n as u32 {
             let proto = RankProto {
                 ctx: self.inner.world.ctx(Rank(r)),
@@ -520,6 +596,8 @@ impl CkptRuntime {
                 metrics: self.inner.metrics.clone(),
                 gp: Rc::clone(&self.inner.gp[r as usize]),
                 vcl: VclState::new(r, n),
+                cvc: Rc::clone(&self.inner.cvc[r as usize]),
+                rb: self.inner.rb[r as usize].clone(),
                 rng: RefCell::new(root_rng.fork_idx(r as u64)),
                 traps: Rc::clone(&self.inner.traps),
             };
@@ -538,11 +616,22 @@ impl CkptRuntime {
                 .sim()
                 .spawn_named(format!("recover{r}"), async move {
                     if is_member {
-                        if let Err(e) = restart_rank_with_peers(&proto, &peers, generation).await {
+                        let rb = proto.rb.clone();
+                        let result = if let (Mode::RbLog, Some(rb)) = (mode, &rb) {
+                            restart_rank_with_peers_rblog(&proto, rb, &peers, generation).await
+                        } else {
+                            restart_rank_with_peers(&proto, &peers, generation).await
+                        };
+                        if let Err(e) = result {
                             first_err.borrow_mut().get_or_insert(e);
                         }
                     } else {
-                        match serve_peer_recovery(&proto, &peers).await {
+                        let result = if mode == Mode::RbLog {
+                            serve_peer_recovery_rblog(&proto, &peers).await
+                        } else {
+                            serve_peer_recovery(&proto, &peers).await
+                        };
+                        match result {
                             Ok(served) => replayed_in.set(replayed_in.get() + served),
                             Err(e) => {
                                 first_err.borrow_mut().get_or_insert(e);

@@ -565,3 +565,125 @@ fn staggered_interval_schedule_runs_rounds() {
     assert_eq!(rt.metrics().ckpt_records().len() as u64, 4 * rounds.get());
     check_recovery_line(&world, &rt).unwrap();
 }
+
+#[test]
+fn cvc_wave_completes_and_commits_without_blocking() {
+    let (sim, world) = make_world(4);
+    launch_ring(&world, 60, 4_000, 5);
+    let rt = CkptRuntime::install(&world, Rc::new(single(4)), Mode::Cvc, cfg(4));
+    {
+        let rt = rt.clone();
+        let world = world.clone();
+        sim.spawn(async move {
+            rt.single_checkpoint_at(SimTime::from_millis(100)).await;
+            world.wait_all_ranks().await;
+            rt.shutdown();
+        });
+    }
+    sim.run().unwrap();
+    let recs = rt.metrics().ckpt_records();
+    assert_eq!(recs.len(), 4);
+    for r in &recs {
+        assert!(r.committed, "CVC wave must commit");
+        // Lock/finalize are not part of the CVC model: the application
+        // is never frozen and sends are never suspended.
+        assert_eq!(r.phases.lock, SimDuration::ZERO);
+        assert_eq!(r.phases.finalize, SimDuration::ZERO);
+    }
+    // The cut protocol's own oracle: no message was ever consumed ahead
+    // of the consumer's (forced) cut epoch.
+    assert_eq!(rt.cvc_orphans(), 0);
+    check_quiescent(&world).unwrap();
+}
+
+#[test]
+#[should_panic(expected = "CVC model checkpoints globally")]
+fn cvc_rejects_partitioned_groups() {
+    let (_sim, world) = make_world(4);
+    let _ = CkptRuntime::install(&world, Rc::new(contiguous(4, 2)), Mode::Cvc, cfg(4));
+}
+
+#[test]
+fn rblog_ack_piggybacks_trim_the_sender_log_without_checkpoints() {
+    let (sim, world) = make_world(2);
+    // Continuous bidirectional traffic so acks flow both ways; no
+    // checkpoint wave ever runs, so any sender-side GC is ack-driven.
+    for r in 0..2u32 {
+        world.launch(Rank(r), move |ctx| async move {
+            let peer = Rank(1 - r);
+            for _ in 0..100 {
+                ctx.busy(SimDuration::from_millis(2)).await;
+                ctx.sendrecv(peer, 2_000, peer, 1).await;
+            }
+        });
+    }
+    let rt = CkptRuntime::install(&world, Rc::new(singletons(2)), Mode::RbLog, cfg(2));
+    {
+        let rt = rt.clone();
+        let world = world.clone();
+        sim.spawn(async move {
+            world.wait_all_ranks().await;
+            rt.shutdown();
+        });
+    }
+    sim.run().unwrap();
+    let rb0 = rt.rb_state(0).expect("RbLog mode carries rb state").clone();
+    // Every inter-group receive was logged on the receiver's node.
+    assert_eq!(rb0.total_recv_logged_bytes(), 100 * 2_000);
+    // The ack piggyback trimmed the sender-side log down to the unacked
+    // tail — no committed generation exists, so this is purely ack GC.
+    let gp0 = rt.gp_state(0);
+    assert!(gp0.total_gc_bytes() > 0, "ack GC never fired");
+    assert!(gp0.retained_log_bytes() < gp0.total_logged_bytes());
+    check_quiescent(&world).unwrap();
+}
+
+#[test]
+fn rblog_restart_replays_from_the_local_receiver_log() {
+    let (sim, world) = make_world(2);
+    // Same shape as the sender-based GP1 replay test: rank 0 pushes ten
+    // eager messages, rank 1 consumes them only after the checkpoint.
+    world.launch(Rank(0), |ctx| async move {
+        for _ in 0..10 {
+            ctx.send(Rank(1), 1, 1000).await;
+        }
+    });
+    world.launch(Rank(1), |ctx| async move {
+        ctx.busy(SimDuration::from_millis(500)).await;
+        for _ in 0..10 {
+            ctx.recv(Rank(0), 1).await;
+        }
+    });
+    let rt = CkptRuntime::install(&world, Rc::new(singletons(2)), Mode::RbLog, cfg(2));
+    {
+        let rt = rt.clone();
+        let world = world.clone();
+        sim.spawn(async move {
+            rt.single_checkpoint_at(SimTime::from_millis(100)).await;
+            world.wait_all_ranks().await;
+            rt.shutdown();
+        });
+    }
+    sim.run().unwrap();
+    // Same checkpoint-time counters as the sender-based run…
+    assert_eq!(rt.gp_state(0).ss(1), 10_000);
+    assert_eq!(rt.gp_state(1).rr(0), 0);
+    // …but by quiescence rank 1 has durably logged the whole stream.
+    let rb1 = rt.rb_state(1).expect("RbLog mode carries rb state").clone();
+    assert_eq!(rb1.logged_end(0), 10_000);
+
+    {
+        let rt = rt.clone();
+        sim.spawn(async move {
+            rt.restart_all().await.unwrap();
+        });
+    }
+    sim.run().unwrap();
+    let restarts = rt.metrics().restart_records();
+    assert_eq!(restarts.len(), 2);
+    // The sender-based protocol resends all ten messages here; the
+    // receiver-based one replays them from rank 1's local log and
+    // solicits nothing over the network.
+    assert_eq!(rt.metrics().total_resend_ops(), 0);
+    assert_eq!(rt.metrics().total_resend_bytes(), 0);
+}

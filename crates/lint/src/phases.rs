@@ -194,6 +194,103 @@ pub const SPECS: &[PhaseSpec] = &[
         required: &[],
     },
     PhaseSpec {
+        protocol: "cvc",
+        entry: "cvc_wave",
+        entry_file: "crates/core/src/cvc.rs",
+        start: "agree",
+        accepting: &["resolved"],
+        transitions: &[
+            // Step 1: butterfly max-merge of the collective clocks. No
+            // storage traffic may precede target agreement.
+            ("agree", "send:CVC_CLOCK", "agree"),
+            ("agree", "recv:CVC_CLOCK", "agree"),
+            // The generation opens only after the cut is armed; the
+            // image (torn or whole) is written under it.
+            ("agree", "store.begin", "pending"),
+            ("pending", "write", "pending"),
+            // The pre-record barrier closes the channel-state window;
+            // the captured state is persisted after it, then the
+            // member's outcome is recorded.
+            ("pending", "barrier:BARRIER1", "synced"),
+            ("synced", "write", "synced"),
+            ("synced", "store.record_image", "recorded"),
+            ("synced", "store.record_failure", "recorded"),
+            // The post-record barrier seals the wave: only after every
+            // member's outcome is in the catalog may the coordinator
+            // decide.
+            ("recorded", "barrier:BARRIER2", "sealed"),
+            ("sealed", "store.commit", "resolved"),
+            ("sealed", "store.abort", "resolved"),
+            ("sealed", "recv:COMMIT", "resolved"),
+            // The decision broadcast is the only legal post-commit send.
+            ("resolved", "send:COMMIT", "resolved"),
+        ],
+        required: &[
+            (
+                "store.abort",
+                "a pending generation with no abort path wedges the restart \
+                 fallback on the first failed wave",
+            ),
+            (
+                "barrier:BARRIER1",
+                "the channel-state window must close at a full-group \
+                 barrier, or a rank persists state bytes while a peer is \
+                 still pre-cut",
+            ),
+        ],
+    },
+    PhaseSpec {
+        protocol: "rblog-restart",
+        entry: "restart_rank_with_peers_rblog",
+        entry_file: "crates/core/src/restart.rs",
+        start: "load",
+        accepting: &["done"],
+        transitions: &[
+            // Generation selection: validate against the catalog, record
+            // the load, then read the image — all before any replay.
+            ("load", "store.validate", "load"),
+            ("load", "store.record_load", "load"),
+            ("load", "read", "loaded"),
+            // Local replay from the rank's own receiver log is pure
+            // disk traffic — legal any time after the image load.
+            ("loaded", "read", "loaded"),
+            ("loaded", "send:RBLOG_VOL", "replay"),
+            ("loaded", "recv:RBLOG_VOL", "replay"),
+            // A rank with no out-of-group peers resumes directly.
+            ("loaded", "barrier:RESTART_BARRIER", "done"),
+            ("replay", "send:RBLOG_VOL", "replay"),
+            ("replay", "recv:RBLOG_VOL", "replay"),
+            ("replay", "read", "replay"),
+            ("replay", "send:RBLOG_PLAN", "replay"),
+            ("replay", "recv:RBLOG_PLAN", "replay"),
+            ("replay", "send:RBLOG_DATA", "replay"),
+            ("replay", "recv:RBLOG_DATA", "replay"),
+            ("replay", "barrier:RESTART_BARRIER", "done"),
+        ],
+        required: &[(
+            "store.validate",
+            "restart must validate the generation against the catalog \
+             before consuming an image — the store-load oracle depends on it",
+        )],
+    },
+    PhaseSpec {
+        protocol: "rblog-serve",
+        entry: "serve_peer_recovery_rblog",
+        entry_file: "crates/core/src/restart.rs",
+        start: "serve",
+        accepting: &["serve"],
+        transitions: &[
+            ("serve", "send:RBLOG_VOL", "serve"),
+            ("serve", "recv:RBLOG_VOL", "serve"),
+            ("serve", "read", "serve"),
+            ("serve", "send:RBLOG_PLAN", "serve"),
+            ("serve", "recv:RBLOG_PLAN", "serve"),
+            ("serve", "send:RBLOG_DATA", "serve"),
+            ("serve", "recv:RBLOG_DATA", "serve"),
+        ],
+        required: &[],
+    },
+    PhaseSpec {
         protocol: "bookmark-drain",
         entry: "bookmark_drain",
         entry_file: "crates/core/src/ctrlplane.rs",

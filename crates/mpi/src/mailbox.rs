@@ -244,6 +244,8 @@ mod tests {
             },
             kind: MsgKind::App,
             piggyback_rr: None,
+            piggyback_epoch: None,
+            piggyback_ack: None,
             payload: None,
             sent_at: SimTime::ZERO,
             arrived_at: SimTime::ZERO,

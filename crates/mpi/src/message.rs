@@ -107,6 +107,17 @@ pub struct Envelope {
     /// first message to each out-of-group peer after a checkpoint so the
     /// peer can garbage-collect its message log.
     pub piggyback_rr: Option<u64>,
+    /// Piggybacked cut epoch (CVC): the sender's count of completed
+    /// checkpoint cuts when the message left. A receiver still behind
+    /// that epoch takes its own cut before consuming the message, which
+    /// is what keeps the cut orphan-free without blocking sends.
+    pub piggyback_epoch: Option<u64>,
+    /// Piggybacked receiver-log acknowledgement (receiver-based
+    /// logging): how many bytes of the *destination's* stream the sender
+    /// has durably logged on its own node. The destination trims its
+    /// sender-side log up to this offset — only the unacked tail must be
+    /// retained for in-transit replay.
+    pub piggyback_ack: Option<u64>,
     /// Optional typed control payload.
     pub payload: Payload,
     /// When the send was initiated.
@@ -167,6 +178,8 @@ mod tests {
             },
             kind: MsgKind::Ctrl,
             piggyback_rr: None,
+            piggyback_epoch: None,
+            piggyback_ack: None,
             payload: Some(Rc::new(42u64)),
             sent_at: SimTime::ZERO,
             arrived_at: SimTime::ZERO,

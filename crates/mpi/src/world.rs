@@ -451,6 +451,8 @@ impl World {
             id: self.next_msg_id(src),
             kind,
             piggyback_rr: None,
+            piggyback_epoch: None,
+            piggyback_ack: None,
             payload,
             sent_at: self.inner.sim.now(),
             arrived_at: SimTime::ZERO,
@@ -548,6 +550,8 @@ impl World {
                 id: self.next_msg_id(src),
                 kind: MsgKind::App,
                 piggyback_rr: None,
+                piggyback_epoch: None,
+                piggyback_ack: None,
                 payload: None,
                 sent_at: self.inner.sim.now(),
                 arrived_at: SimTime::ZERO,

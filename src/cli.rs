@@ -207,7 +207,7 @@ USAGE:
   gcrsim stats  --trace FILE
   gcrsim phases --trace FILE --window-ms W --max-size G
   gcrsim chaos  --seed N [--runs K] [--verify] [--json] [--no-shrink]
-                [--workload <ring|cg|sp|hpl>] [--proto <norm|gp|gp1|gp4|vcl>]
+                [--workload <ring|cg|sp|hpl>] [--proto <norm|gp|gp1|gp4|vcl|cvc|rblog>]
                 [--storage <local|remote>] [--interval-ms I]
                 [--gc-overshoot BYTES] [--schedule 'crash:g1@2500;storm:x8@1000+4000']
                 [--shards N] [--backend <disk|restore>] [--replication K]
@@ -1071,6 +1071,23 @@ mod tests {
         let out = execute(cmd).unwrap();
         assert!(out.contains("PASS"), "{out}");
         assert!(out.contains("all oracles held"), "{out}");
+    }
+
+    #[test]
+    fn chaos_command_runs_the_new_protocols() {
+        // CVC checkpoints globally (one group), receiver-based logging
+        // runs singleton groups; both must survive a crash scenario and
+        // hold every oracle.
+        for proto in ["cvc", "rblog"] {
+            let cmd = parse(&argv(&format!(
+                "chaos --seed 42 --workload ring --proto {proto} --storage local \
+                 --interval-ms 700 --schedule crash:g0@2000",
+            )))
+            .unwrap();
+            let out = execute(cmd).unwrap();
+            assert!(out.contains("PASS"), "{proto}: {out}");
+            assert!(out.contains("all oracles held"), "{proto}: {out}");
+        }
     }
 
     #[test]

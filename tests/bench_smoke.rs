@@ -93,6 +93,79 @@ fn committed_bench_trajectory_validates() {
     );
 }
 
+/// The committed protocol-crossover grid (`BENCH_protocols.json`, written
+/// by the `protocol_crossover` bin) parses, covers the full protocol ×
+/// workload × failure-rate grid, includes both protocols added by the
+/// zoo (CVC and receiver-based logging), and keeps the bookkeeping
+/// coherent: a point with no recoveries reports zero downtime and zero
+/// replayed bytes, and crash counts match recovery counts.
+#[test]
+fn committed_protocol_crossover_validates() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_protocols.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("{path} must be committed alongside the protocol zoo: {e}"));
+    let doc = Json::parse(&text).expect("committed BENCH_protocols.json parses");
+    assert_eq!(
+        doc.str_field("schema").expect("schema"),
+        "gcr-bench-protocols/v1"
+    );
+    let protocols: Vec<String> = doc
+        .arr_field("protocols")
+        .expect("protocols array")
+        .iter()
+        .map(|p| p.as_str().expect("protocol label").to_string())
+        .collect();
+    for required in ["cvc", "rblog"] {
+        assert!(
+            protocols.iter().any(|p| p == required),
+            "crossover grid must include `{required}`"
+        );
+    }
+    let points = doc.arr_field("points").expect("points array");
+    // Full grid: every swept protocol appears at every failure rate in
+    // every workload, so each protocol contributes points ≡ 0 (mod 3).
+    assert!(
+        points.len() >= protocols.len() * 3,
+        "grid needs ≥ 3 failure rates per protocol"
+    );
+    for proto in &protocols {
+        let mine: Vec<_> = points
+            .iter()
+            .filter(|p| p.str_field("proto").expect("proto") == *proto)
+            .collect();
+        assert!(
+            !mine.is_empty() && mine.len() % 3 == 0,
+            "`{proto}`: expected a full 3-rate grid, got {} point(s)",
+            mine.len()
+        );
+        assert!(
+            mine.iter()
+                .any(|p| p.u64_field("crashes").expect("crashes") == 0)
+                && mine
+                    .iter()
+                    .any(|p| p.u64_field("crashes").expect("crashes") >= 2),
+            "`{proto}`: grid must span crash-free through multi-crash rates"
+        );
+    }
+    for p in points {
+        assert!(p.f64_field("exec_s").expect("exec_s") > 0.0);
+        let recoveries = p.u64_field("recoveries").expect("recoveries");
+        let downtime = p.f64_field("downtime_s").expect("downtime_s");
+        let replayed = p.u64_field("replayed_bytes").expect("replayed_bytes");
+        assert_eq!(
+            recoveries,
+            p.u64_field("crashes").expect("crashes"),
+            "every injected crash must surface as exactly one recovery"
+        );
+        if recoveries == 0 {
+            assert_eq!(downtime, 0.0, "no recovery, yet nonzero downtime");
+            assert_eq!(replayed, 0, "no recovery, yet bytes were replayed");
+        } else {
+            assert!(downtime > 0.0, "recovery with zero downtime");
+        }
+    }
+}
+
 /// The committed recovery-latency trajectory (`BENCH_recovery.json`,
 /// written by the `recovery_latency` bin) parses, pairs every world size
 /// as (remote, restore), and preserves the acceptance bar: peer-memory

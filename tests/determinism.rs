@@ -32,27 +32,45 @@ fn spec_for(proto: ChaosProto, shards: usize) -> ChaosSpec {
     }
 }
 
+/// The conformance harness shared by every matrix test: run the
+/// protocol's fixed scenario twice at the given shard count, require the
+/// oracles to hold, and require the two reports to be bit-identical.
+/// Returns the digest and the dumped report for cross-shard comparison.
+/// Iterating [`ChaosProto::ALL`] means a protocol added to the chaos
+/// vocabulary is enrolled here automatically — there is no separate
+/// registration step to forget.
+fn assert_conformant(proto: ChaosProto, shards: usize) -> (u64, String) {
+    let spec = spec_for(proto, shards);
+    let a = run_chaos(&spec);
+    let b = run_chaos(&spec);
+    assert!(
+        a.passed(),
+        "{} @ {shards} shard(s): oracle violation(s): {:?}",
+        proto.label(),
+        a.violations
+    );
+    assert_eq!(
+        a.digest(),
+        b.digest(),
+        "{} @ {shards} shard(s): same spec, different report digest — a \
+         nondeterministic input leaked into the simulation",
+        proto.label()
+    );
+    // The digest covers the dumped report; compare the dumps too so a
+    // failure here prints the actual divergence.
+    assert_eq!(
+        a.to_json().pretty(),
+        b.to_json().pretty(),
+        "{} @ {shards} shard(s): reports diverged",
+        proto.label()
+    );
+    (a.digest(), a.to_json().pretty())
+}
+
 #[test]
 fn every_protocol_is_bit_deterministic_under_chaos() {
     for proto in ChaosProto::ALL {
-        let spec = spec_for(proto, 1);
-        let a = run_chaos(&spec);
-        let b = run_chaos(&spec);
-        assert_eq!(
-            a.digest(),
-            b.digest(),
-            "{}: same spec, different report digest — a nondeterministic \
-             input leaked into the simulation",
-            proto.label()
-        );
-        // The digest covers the dumped report; compare the dumps too so a
-        // failure here prints the actual divergence.
-        assert_eq!(
-            a.to_json().pretty(),
-            b.to_json().pretty(),
-            "{}: reports diverged",
-            proto.label()
-        );
+        assert_conformant(proto, 1);
     }
 }
 
@@ -64,29 +82,21 @@ fn shard_count_matrix_is_bit_identical() {
     for proto in ChaosProto::ALL {
         let mut baseline: Option<(u64, String)> = None;
         for &shards in &SHARD_MATRIX {
-            let spec = spec_for(proto, shards);
-            let a = run_chaos(&spec);
-            let b = run_chaos(&spec);
-            assert_eq!(
-                a.digest(),
-                b.digest(),
-                "{} @ {shards} shard(s): run-over-run digest mismatch",
-                proto.label()
-            );
+            let (digest, dump) = assert_conformant(proto, shards);
             match &baseline {
-                None => baseline = Some((a.digest(), a.to_json().pretty())),
-                Some((digest, dump)) => {
+                None => baseline = Some((digest, dump)),
+                Some((base_digest, base_dump)) => {
                     assert_eq!(
-                        a.digest(),
-                        *digest,
+                        digest,
+                        *base_digest,
                         "{}: digest changed between 1 and {shards} shard(s) — \
                          the cross-shard merge leaked shard layout into \
                          event order",
                         proto.label()
                     );
                     assert_eq!(
-                        &a.to_json().pretty(),
-                        dump,
+                        &dump,
+                        base_dump,
                         "{} @ {shards} shard(s): reports diverged",
                         proto.label()
                     );

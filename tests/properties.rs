@@ -213,6 +213,8 @@ fn piggyback_gc_never_outruns_committed_generations() {
             },
             kind: MsgKind::App,
             piggyback_rr: None,
+            piggyback_epoch: None,
+            piggyback_ack: None,
             payload: None,
             sent_at: SimTime::ZERO,
             arrived_at: SimTime::ZERO,
@@ -393,6 +395,347 @@ fn cross_shard_merge_preserves_time_and_tiebreak_order() {
                 ),
             }
         }
+    }
+}
+
+/// CVC property: under randomized collective schedules — skewed clock
+/// advancement across communicators, point-to-point traffic with
+/// arbitrary in-flight delays, and waves armed at arbitrary instants —
+/// the epoch piggyback always produces a **consistent cut**: no rank
+/// ever consumes a message stamped ahead of its own (forced) cut epoch,
+/// and every armed wave completes with all ranks on the same epoch. The
+/// second half re-checks the same invariant whole-system: seeded chaos
+/// runs with mid-run group crashes under `Mode::Cvc` must hold every
+/// oracle, including the engine's orphan oracle.
+#[test]
+fn cvc_piggybacked_epochs_keep_every_cut_consistent() {
+    use gcr::ckpt::CvcState;
+    use gcr::mpi::{Envelope, MpiHook, MsgId, MsgKind, Rank, Tag};
+    use std::collections::{BTreeMap, VecDeque};
+
+    fn env(src: u32, dst: u32, tag: Tag, bytes: u64, seq: u64) -> Envelope {
+        Envelope {
+            src: Rank(src),
+            dst: Rank(dst),
+            tag,
+            bytes,
+            id: MsgId {
+                src: Rank(src),
+                seq,
+            },
+            kind: MsgKind::App,
+            piggyback_rr: None,
+            piggyback_epoch: None,
+            piggyback_ack: None,
+            payload: None,
+            sent_at: SimTime::ZERO,
+            arrived_at: SimTime::ZERO,
+        }
+    }
+
+    for case in 0..24u64 {
+        let mut rng = DetRng::new(0xA160_0008).fork_idx(case);
+        let n = rng.range_u64(2, 8) as usize;
+        let ranks: Vec<Rc<CvcState>> = (0..n).map(|_| CvcState::new()).collect();
+        // Random communicators: each has ≥ 2 members and an op counter.
+        // A collective "step" is one member's entry whose internal
+        // traffic reaches one other member — so members of the same
+        // communicator see arbitrarily skewed clocks mid-operation.
+        let n_comms = rng.range_u64(1, 4) as usize;
+        let comms: Vec<Vec<usize>> = (0..n_comms)
+            .map(|_| {
+                let mut members: Vec<usize> = (0..n).filter(|_| rng.chance(0.5)).collect();
+                while members.len() < 2 {
+                    let r = rng.index(n);
+                    if !members.contains(&r) {
+                        members.push(r);
+                    }
+                }
+                members.sort_unstable();
+                members
+            })
+            .collect();
+        let mut ops = vec![0u64; n_comms];
+        let mut flight: VecDeque<Envelope> = VecDeque::new();
+        let mut seq = 0u64;
+
+        // One random action: a collective entry, a p2p send into the
+        // in-flight queue, or a FIFO delivery. Every delivery checks the
+        // consistency invariant directly: after `on_recv` (which forces
+        // the cut) the stamp can never still be ahead of the epoch.
+        let step = |rng: &mut DetRng,
+                    ops: &mut Vec<u64>,
+                    flight: &mut VecDeque<Envelope>,
+                    seq: &mut u64| {
+            match rng.index(4) {
+                0 => {
+                    let c = rng.index(n_comms);
+                    let m = &comms[c];
+                    let from = m[rng.index(m.len())];
+                    let to = m[rng.index(m.len())];
+                    let tag = Tag::coll(((c as u64) << 16) | ops[c]);
+                    let mut e = env(from as u32, to as u32, tag, 512, *seq);
+                    *seq += 1;
+                    ranks[from].on_send(&mut e);
+                    if to != from {
+                        ranks[to].on_recv(&e);
+                        assert!(
+                            e.piggyback_epoch.is_some_and(|s| s <= ranks[to].epoch()),
+                            "case {case}: collective delivery left an orphan stamp"
+                        );
+                    }
+                    if rng.chance(0.4) {
+                        ops[c] += 1;
+                    }
+                }
+                1 | 2 => {
+                    let from = rng.index(n);
+                    let to = (from + 1 + rng.index(n - 1)) % n;
+                    let mut e = env(from as u32, to as u32, Tag::app(0), 1024, *seq);
+                    *seq += 1;
+                    ranks[from].on_send(&mut e);
+                    flight.push_back(e);
+                }
+                _ => {
+                    if let Some(e) = flight.pop_front() {
+                        let to = e.dst.0 as usize;
+                        ranks[to].on_recv(&e);
+                        assert!(
+                            e.piggyback_epoch.is_some_and(|s| s <= ranks[to].epoch()),
+                            "case {case}: p2p delivery left an orphan stamp"
+                        );
+                    }
+                }
+            }
+            for r in &ranks {
+                assert_eq!(r.orphans(), 0, "case {case}: orphan receive recorded");
+            }
+        };
+
+        let waves = rng.range_u64(1, 3);
+        for wave in 0..waves {
+            for _ in 0..rng.range_u64(0, 20) {
+                step(&mut rng, &mut ops, &mut flight, &mut seq);
+            }
+            // Butterfly agreement: the target is the max-merge of every
+            // rank's clock, identical at all ranks.
+            let mut target: BTreeMap<u64, u64> = BTreeMap::new();
+            for r in &ranks {
+                for (c, v) in r.clock_snapshot() {
+                    let e = target.entry(c).or_insert(0);
+                    *e = (*e).max(v);
+                }
+            }
+            for r in &ranks {
+                r.arm(wave, target.clone());
+            }
+            for _ in 0..rng.range_u64(0, 30) {
+                step(&mut rng, &mut ops, &mut flight, &mut seq);
+            }
+            // Drive the wave to completion: drain the channel, advance
+            // every communicator, and let cut ranks' sends force the
+            // rest. The loop bound is generous — a wave that fails to
+            // complete is itself a protocol bug.
+            let mut rounds = 0;
+            while ranks.iter().any(|r| r.epoch() <= wave) {
+                rounds += 1;
+                assert!(rounds < 200, "case {case}: wave {wave} never completed");
+                while let Some(e) = flight.pop_front() {
+                    ranks[e.dst.0 as usize].on_recv(&e);
+                }
+                for (c, m) in comms.iter().enumerate() {
+                    for &from in m {
+                        let to = m[(m.iter().position(|&x| x == from).unwrap() + 1) % m.len()];
+                        let tag = Tag::coll(((c as u64) << 16) | ops[c]);
+                        let mut e = env(from as u32, to as u32, tag, 512, seq);
+                        seq += 1;
+                        ranks[from].on_send(&mut e);
+                        if to != from {
+                            ranks[to].on_recv(&e);
+                        }
+                    }
+                    ops[c] += 1;
+                }
+                if let Some(cut) = (0..n).find(|&r| ranks[r].epoch() > wave) {
+                    for r in 0..n {
+                        if ranks[r].epoch() <= wave {
+                            let mut e = env(cut as u32, r as u32, Tag::app(0), 64, seq);
+                            seq += 1;
+                            ranks[cut].on_send(&mut e);
+                            ranks[r].on_recv(&e);
+                        }
+                    }
+                }
+            }
+            for (i, r) in ranks.iter().enumerate() {
+                assert_eq!(
+                    r.epoch(),
+                    wave + 1,
+                    "case {case}: rank {i} finished wave {wave} on a different epoch"
+                );
+                assert_eq!(r.orphans(), 0, "case {case}: rank {i} recorded an orphan");
+                r.end_wave();
+            }
+        }
+    }
+
+    // Whole-system half: a mid-run group crash under Mode::Cvc must
+    // leave every oracle green — including the engine's orphan oracle.
+    use gcr_chaos::{parse_schedule, run_chaos, ChaosBackend, ChaosProto, ChaosSpec};
+    use gcr_net::StorageTarget as ChaosStorage;
+    for case in 0..6u64 {
+        let mut rng = DetRng::new(0xA160_0008).fork("chaos").fork_idx(case);
+        let at_ms = rng.range_u64(1500, 3500);
+        let spec = ChaosSpec {
+            seed: 0xC0C0 + case,
+            workload: gcr_chaos::ChaosWorkload::Ring,
+            proto: ChaosProto::Cvc,
+            storage: ChaosStorage::Local,
+            interval_ms: rng.range_u64(500, 900),
+            gc_overshoot: 0,
+            schedule: parse_schedule(&format!("crash:g0@{at_ms}")).expect("literal schedule"),
+            shards: 1,
+            backend: ChaosBackend::Disk,
+            replication: 2,
+        };
+        let r = run_chaos(&spec);
+        assert!(
+            r.passed(),
+            "case {case}: cvc chaos run violated oracles: {:?}",
+            r.violations
+        );
+    }
+}
+
+/// Receiver-based logging property: a rank restarted from its last
+/// committed checkpoint observes a **byte-identical** `(src, seq,
+/// payload digest)` receive stream, for arbitrary interleavings of
+/// sends, in-flight delays, acknowledgement piggybacks (which trim the
+/// sender log), committed and aborted checkpoints (which trim the
+/// receiver log), and an arbitrary crash point. The spliced replay —
+/// local receiver log from the rolled-back `RR`, then the live sender's
+/// unacked tail above the logged high-water mark — must reproduce the
+/// original stream exactly: no hole, no duplicate, no reordering.
+#[test]
+fn rblog_restart_replays_a_byte_identical_receive_stream() {
+    use gcr::ckpt::{GpState, RbState, RecvEntry};
+    use gcr::mpi::{Envelope, MpiHook, MsgId, MsgKind, Rank, Tag};
+    use gcr::sim::SimDuration;
+    use std::collections::VecDeque;
+
+    fn env(src: u32, dst: u32, bytes: u64, seq: u64) -> Envelope {
+        Envelope {
+            src: Rank(src),
+            dst: Rank(dst),
+            tag: Tag::app(0),
+            bytes,
+            id: MsgId {
+                src: Rank(src),
+                seq,
+            },
+            kind: MsgKind::App,
+            piggyback_rr: None,
+            piggyback_epoch: None,
+            piggyback_ack: None,
+            payload: None,
+            sent_at: SimTime::ZERO,
+            arrived_at: SimTime::ZERO,
+        }
+    }
+
+    for case in 0..48u64 {
+        let mut rng = DetRng::new(0xA160_0009).fork_idx(case);
+        let groups = Rc::new(GroupDef::new(2, vec![vec![0], vec![1]]).unwrap());
+        let retention = 1 + rng.index(3);
+        let mk = |rank| {
+            GpState::new(
+                rank,
+                Rc::clone(&groups),
+                true,
+                250e6,
+                SimDuration::from_micros(20),
+            )
+        };
+        let gp_r = mk(0);
+        let gp_s = mk(1);
+        gp_r.set_gc_retention(retention);
+        gp_s.set_gc_retention(retention);
+        let rb_r = RbState::new(Rc::clone(&gp_r), Rc::clone(&groups));
+        let rb_s = RbState::new(Rc::clone(&gp_s), Rc::clone(&groups));
+
+        // Full send history of the 1 → 0 stream: (offset, bytes, seq).
+        let mut history: Vec<(u64, u64, u64)> = Vec::new();
+        let mut offset = 0u64;
+        let mut seq = 0u64;
+        let mut ack_seq = 1_000_000u64;
+        let mut gen = 0u64;
+        let mut flight: VecDeque<Envelope> = VecDeque::new();
+
+        // The random step count doubles as a random crash point: the
+        // run simply stops mid-interleaving wherever it stops.
+        for _ in 0..rng.range_u64(10, 60) {
+            match rng.index(5) {
+                0 | 1 => {
+                    let bytes = rng.range_u64(1, 4096);
+                    let mut e = env(1, 0, bytes, seq);
+                    rb_s.on_send(&mut e);
+                    history.push((offset, bytes, seq));
+                    offset += bytes;
+                    seq += 1;
+                    flight.push_back(e);
+                }
+                2 => {
+                    // FIFO delivery: the receiver consumes and logs.
+                    if let Some(e) = flight.pop_front() {
+                        rb_r.on_recv(&e);
+                    }
+                }
+                3 => {
+                    // A reply toward the sender carries the ack
+                    // piggyback; the sender trims its log on receipt.
+                    let mut e = env(0, 1, 16, ack_seq);
+                    ack_seq += 1;
+                    rb_r.on_send(&mut e);
+                    rb_s.on_recv(&e);
+                }
+                _ => {
+                    // Receiver checkpoints; an abort models a member
+                    // write failure or a crash mid-checkpoint.
+                    gp_r.on_checkpoint(gen);
+                    if rng.chance(0.7) {
+                        gp_r.on_commit(gen);
+                        rb_r.on_commit();
+                    } else {
+                        gp_r.on_abort(gen);
+                    }
+                    gen += 1;
+                }
+            }
+        }
+
+        // Crash and restart from the newest committed generation: splice
+        // the local receiver-log replay with the live sender's tail.
+        let rr = gp_r.rr(1);
+        let my_logged = rb_r.logged_end(1);
+        let mut replayed: Vec<(u64, u32, u64, u64)> = Vec::new();
+        for e in rb_r.replay_local(1, rr) {
+            replayed.push((e.offset, 1, e.seq, e.digest));
+        }
+        for e in gp_s.replay_entries_live(0, my_logged, gp_s.sent_to(0)) {
+            replayed.push((e.offset, 1, e.seq, RecvEntry::digest_of(1, e.seq, e.bytes)));
+        }
+        let expected: Vec<(u64, u32, u64, u64)> = history
+            .iter()
+            .filter(|&&(off, bytes, _)| off + bytes > rr)
+            .map(|&(off, bytes, s)| (off, 1, s, RecvEntry::digest_of(1, s, bytes)))
+            .collect();
+        assert_eq!(
+            replayed,
+            expected,
+            "case {case}: spliced replay diverged from the original stream \
+             (rr={rr}, logged={my_logged}, sent={})",
+            gp_s.sent_to(0)
+        );
     }
 }
 
