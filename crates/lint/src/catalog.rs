@@ -153,6 +153,39 @@ pub const CATALOG: &[RuleDoc] = &[
               the diff documents the new phase order.",
     },
     RuleDoc {
+        rule: Rule::P20,
+        summary: "every ctrl tag a protocol mode emits must have a reachable handler in that mode",
+        rationale: "Each `Mode` of the protocol zoo is a *session*: the set of entry \
+                    points the runtime dispatches for it (wave, restart, serve). P20 \
+                    extracts, per mode, the ctrl tags emitted on any reachable path \
+                    (interprocedural, with `ctrlplane.rs` helpers inlined) and the \
+                    tags its dispatch side can receive. An emitted-but-unhandled tag \
+                    is a peer that hangs forever; a handled-but-unemittable tag is a \
+                    dead dispatch arm rotting away from the live protocol; a tag \
+                    emitted under one mode but handled only under another is a \
+                    cross-protocol wiring mistake chaos catches only probabilistically. \
+                    Every `Mode` variant must also be bound to a live session table — \
+                    that is how protocol #8 gets enrolled automatically.",
+        example: "ctx.ctrl_send(peer, tags::CVC_CLOCK + wave, …)  // no reachable ctrl_recv in Cvc",
+        fix: "Add the missing receive/send on the session's entry paths, delete the \
+              dead arm, or — when a protocol legitimately gains/loses a tag — update \
+              the session table in `crates/lint/src/session.rs` in the same PR.",
+    },
+    RuleDoc {
+        rule: Rule::P21,
+        summary: "no log-trim or floor-advertise may consume a *pending*-generation value",
+        rationale: "The GC floor must derive from durably *committed* generations only: \
+                    trimming a peer's log (or advertising a floor) against a pending \
+                    snapshot lets a crash-before-commit strand a fallback restart with \
+                    no log to replay. P21 is a taint dataflow over the hooks state \
+                    machine: values read from the `pending` ledger must not reach \
+                    `advertise`/`reset_floors`/`.gc(…)` sinks — promotion into the \
+                    committed ledger is the one sanctioned laundering point.",
+        example: "let snap = self.pending.borrow_mut().remove(&gen)…; vols.advertise(&snap.rr);",
+        fix: "Push the snapshot into the committed ledger first and derive the floor \
+              from the (retention-lagged) committed entry, as `on_commit` does.",
+    },
+    RuleDoc {
         rule: Rule::S01,
         summary: "shard-local kernel state must stay behind the merge boundary",
         rationale: "The sharded DES kernel is bit-identical across shard counts only \
@@ -166,6 +199,25 @@ pub const CATALOG: &[RuleDoc] = &[
         fix: "Route the interaction through the executor's merge API \
               (`spawn_on`/`schedule_call_on`); keep shard types `pub(crate)`. Only \
               `SimStats` (merged read-only counters) is exported.",
+    },
+    RuleDoc {
+        rule: Rule::W10,
+        summary: "encoder field writes and decoder field reads must agree in arity and order",
+        rationale: "Hand-rolled wire formats (the CVC flattened clock, ctrl payloads) \
+                    pair an encoder with a decoder by convention only. A field-order \
+                    swap or arity drift between them corrupts state silently — the \
+                    dynamic FNV digest oracle catches it only on paths chaos happens \
+                    to schedule. W10 statically extracts the encoder's ordered field \
+                    writes (array-literal groups, `push` sequences) and the decoder's \
+                    reads (`chunks_exact(k)` arity, slice-pattern binders) for every \
+                    checked-in pair, and also checks, per ctrl tag, that the payload \
+                    type sent (`Rc::new(expr)`) matches the type decoded \
+                    (`payload_as::<T>()`).",
+        example: "encoder writes `[comm, val]`; decoder destructures `[val, comm]`",
+        fix: "Make the decoder consume fields in the encoder's order (and width); for \
+              payload mismatches, align the `Rc::new(…)` value type with the \
+              `payload_as::<T>()` at every handler of that tag. New encode/decode \
+              pairs register in `crates/lint/src/wire.rs`.",
     },
     RuleDoc {
         rule: Rule::W00,

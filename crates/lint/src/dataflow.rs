@@ -1,4 +1,5 @@
-//! D10 — determinism taint dataflow; S01 — shard isolation.
+//! D10 — determinism taint dataflow; P21 — GC-floor soundness; S01 —
+//! shard isolation.
 //!
 //! **D10** upgrades D01/D02's "any use anywhere" syntactic net into a
 //! flow-sensitive question: does a nondeterministic *value* actually
@@ -13,6 +14,16 @@
 //! it returns a value. Every finding carries the source→sink witness
 //! chain. Bindings killed by a clean reassignment drop their taint — the
 //! exact case the syntactic rules cannot express.
+//!
+//! **P21** reuses the same walker for the generation ledger: a value read
+//! from the *pending* (uncommitted) side of `GpState`'s ledger must
+//! never reach a log-trim or floor-advertise sink (`advertise`,
+//! `reset_floors`, `gc`). The sanctioned laundering point is promotion
+//! into `committed` — floors derived from the committed ledger are clean
+//! by construction, and that is exactly what the flow-sensitive kill
+//! expresses. Trimming to an uncommitted floor destroys log bytes a
+//! fallback restart still needs; the survivability oracle only catches
+//! it when chaos happens to schedule the crash inside the window.
 //!
 //! **S01** protects the sharded kernel's bit-identical-digest invariant:
 //! per-shard timer state (the types defined in
@@ -281,48 +292,13 @@ impl Flow<'_> {
     /// Apply a simple `let x = …` / `x = …` binding: taint or kill.
     fn binding(&mut self, env: &mut Env, a: usize, b: usize) {
         let toks = &self.lx.toks;
-        let (target, rhs) = if toks[a].text == "let" {
-            let mut j = a + 1;
-            if toks.get(j).is_some_and(|t| t.text == "mut") {
-                j += 1;
-            }
-            let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) else {
-                return; // destructuring pattern: no simple binding to track
-            };
-            // Only simple bindings: `let x = …` / `let x: T = …`. A
-            // pattern (`let Some(x) = …`, `let (a, b) = …`) is skipped.
-            if !toks
-                .get(j + 1)
-                .is_some_and(|t| t.text == ":" || t.text == "=" || t.text == ";")
-            {
-                return;
-            }
-            let name = name.text.clone();
-            let mut k = j + 1;
-            // Optional `: Type` annotation, then `=` (a bare `let x;` kills).
-            let mut depth = 0i32;
-            while k < b {
-                match toks[k].text.as_str() {
-                    "(" | "[" | "{" | "<" => depth += 1,
-                    ")" | "]" | "}" | ">" => depth -= 1,
-                    "=" if depth <= 0 && toks.get(k + 1).is_none_or(|t| t.text != "=") => break,
-                    _ => {}
-                }
-                k += 1;
-            }
-            if k >= b {
-                env.remove(&name); // `let x;` — uninitialized, kills taint
-                return;
-            }
-            (name, k + 1)
-        } else if toks[a].kind == TokKind::Ident
-            && toks.get(a + 1).is_some_and(|t| t.text == "=")
-            && toks.get(a + 2).is_none_or(|t| t.text != "=")
-        {
-            (toks[a].text.clone(), a + 2)
-        } else {
-            return;
+        let Some((target, rhs)) = simple_binding(toks, a, b) else {
+            return; // destructuring pattern: no simple binding to track
         };
+        if rhs >= b {
+            env.remove(&target); // `let x;` — uninitialized, kills taint
+            return;
+        }
         match self.expr_taint(env, rhs, b) {
             Some(mut chain) => {
                 if chain.last().map(|(d, _)| d.as_str()) != Some(&format!("`{target}`")) {
@@ -363,6 +339,241 @@ impl Flow<'_> {
                 }
             }
             i += 1;
+        }
+        None
+    }
+}
+
+/// Parse a simple `let [mut] x [: T] = …` / `x = …` statement in
+/// `[a, b)`: the bound name and the RHS start. An uninitialized `let x;`
+/// returns the name with RHS start `b` (the binding kills taint);
+/// destructuring patterns return `None` (nothing simple to track).
+fn simple_binding(toks: &[lexer::Tok], a: usize, b: usize) -> Option<(String, usize)> {
+    if toks[a].text == "let" {
+        let mut j = a + 1;
+        if toks.get(j).is_some_and(|t| t.text == "mut") {
+            j += 1;
+        }
+        let name = toks.get(j).filter(|t| t.kind == TokKind::Ident)?;
+        // Only simple bindings: `let x = …` / `let x: T = …`. A
+        // pattern (`let Some(x) = …`, `let (a, b) = …`) is skipped.
+        if !toks
+            .get(j + 1)
+            .is_some_and(|t| t.text == ":" || t.text == "=" || t.text == ";")
+        {
+            return None;
+        }
+        let name = name.text.clone();
+        let mut k = j + 1;
+        // Optional `: Type` annotation, then `=` (a bare `let x;` kills).
+        let mut depth = 0i32;
+        while k < b {
+            match toks[k].text.as_str() {
+                "(" | "[" | "{" | "<" => depth += 1,
+                ")" | "]" | "}" | ">" => depth -= 1,
+                "=" if depth <= 0 && toks.get(k + 1).is_none_or(|t| t.text != "=") => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        if k >= b {
+            return Some((name, b)); // `let x;` — uninitialized
+        }
+        Some((name, k + 1))
+    } else if toks[a].kind == TokKind::Ident
+        && toks.get(a + 1).is_some_and(|t| t.text == "=")
+        && toks.get(a + 2).is_none_or(|t| t.text != "=")
+    {
+        Some((toks[a].text.clone(), a + 2))
+    } else {
+        None
+    }
+}
+
+/// P21 sinks: log-trim and floor-advertise surfaces. A pending-ledger
+/// value reaching one of these trims log a fallback restart still needs.
+const GC_SINKS: &[&str] = &["advertise", "reset_floors", "gc"];
+
+/// The generation-ledger file P21 audits. The pending/committed split is
+/// this file's contract; elsewhere `pending` names unrelated state.
+const GC_FILE: &str = "crates/core/src/hooks.rs";
+
+/// Run the P21 GC-floor soundness pass.
+pub fn gc_floor(index: &SymbolIndex, views: &[(&str, &Lexed)]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for fd in &index.fns {
+        if views[fd.file].0 != GC_FILE {
+            continue;
+        }
+        let Some((lo, hi)) = fd.body else { continue };
+        let lx = views[fd.file].1;
+        // A body that never touches the pending ledger cannot leak it.
+        let touches = (lo..hi.min(lx.toks.len()))
+            .any(|i| lx.toks[i].kind == TokKind::Ident && lx.toks[i].text == "pending");
+        if !touches {
+            continue;
+        }
+        let mut flow = GcFlow {
+            lx,
+            rel: views[fd.file].0,
+            reported: BTreeSet::new(),
+            out: &mut out,
+        };
+        let graph_cfg = cfg::build(&lx.toks, lo, hi);
+        flow.walk(&graph_cfg, Env::new());
+    }
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.message.as_str(),
+        ))
+    });
+    out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.message == b.message);
+    out
+}
+
+/// The P21 walker: D10's flow-sensitive machinery with the pending
+/// ledger as the sole source and the GC surfaces as sinks. Promotion
+/// into `committed` is not a sink, so the committed-ledger laundering
+/// path stays clean — exactly the sanctioned flow.
+struct GcFlow<'a> {
+    lx: &'a Lexed,
+    rel: &'a str,
+    reported: BTreeSet<(usize, String)>,
+    out: &'a mut Vec<Finding>,
+}
+
+impl GcFlow<'_> {
+    fn walk(&mut self, c: &Cfg, mut env: Env) -> Env {
+        match c {
+            Cfg::Stmt(lo, hi) => {
+                self.stmt(&mut env, *lo, *hi);
+                env
+            }
+            Cfg::Seq(v) => v.iter().fold(env, |e, n| self.walk(n, e)),
+            Cfg::Branch(v) => {
+                let mut merged = Env::new();
+                for n in v {
+                    for (k, chain) in self.walk(n, env.clone()) {
+                        merged.entry(k).or_insert(chain);
+                    }
+                }
+                merged
+            }
+            Cfg::Loop(b) => {
+                for _ in 0..2 {
+                    for (k, chain) in self.walk(b, env.clone()) {
+                        env.entry(k).or_insert(chain);
+                    }
+                }
+                env
+            }
+        }
+    }
+
+    fn stmt(&mut self, env: &mut Env, lo: usize, hi: usize) {
+        let toks = &self.lx.toks;
+        let hi = hi.min(toks.len());
+        let mut a = lo;
+        while a < hi {
+            let mut depth = 0i32;
+            let mut b = a;
+            while b < hi {
+                match toks[b].text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+                b += 1;
+            }
+            if a < b {
+                self.sinks(env, a, b);
+                self.binding(env, a, b);
+            }
+            a = b + 1;
+        }
+    }
+
+    fn sinks(&mut self, env: &Env, a: usize, b: usize) {
+        let toks = &self.lx.toks;
+        for i in a..b {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident
+                || !GC_SINKS.contains(&t.text.as_str())
+                || toks.get(i + 1).is_none_or(|n| n.text != "(")
+            {
+                continue;
+            }
+            let close = cfg::matching(toks, i + 1, toks.len());
+            let Some(chain) = self.expr_taint(env, i + 2, close) else {
+                continue;
+            };
+            let key = (t.line, t.text.clone());
+            if !self.reported.insert(key) {
+                continue;
+            }
+            let steps: Vec<String> = chain
+                .iter()
+                .map(|(desc, line)| format!("{desc} (line {line})"))
+                .collect();
+            self.out.push(Finding {
+                file: self.rel.to_string(),
+                line: t.line,
+                rule: Rule::P21,
+                message: format!(
+                    "GC floor derived from an *uncommitted* generation reaches \
+                     `{}(…)`: {} → {}() — promote the snapshot to the committed \
+                     ledger first, or a crash inside the window trims log bytes \
+                     the fallback restart still needs",
+                    t.text,
+                    steps.join(" → "),
+                    t.text,
+                ),
+                snippet: self.lx.snippet(t.line).to_string(),
+                status: Status::New,
+            });
+        }
+    }
+
+    fn binding(&mut self, env: &mut Env, a: usize, b: usize) {
+        let toks = &self.lx.toks;
+        let Some((target, rhs)) = simple_binding(toks, a, b) else {
+            return;
+        };
+        if rhs >= b {
+            env.remove(&target);
+            return;
+        }
+        match self.expr_taint(env, rhs, b) {
+            Some(mut chain) => {
+                if chain.last().map(|(d, _)| d.as_str()) != Some(&format!("`{target}`")) {
+                    chain.push((format!("`{target}`"), toks[a].line));
+                }
+                env.insert(target, chain);
+            }
+            None => {
+                env.remove(&target);
+            }
+        }
+    }
+
+    /// The leftmost pending-ledger taint in `[lo, hi)`: the `pending`
+    /// field itself, or a binding carrying a value read from it.
+    fn expr_taint(&self, env: &Env, lo: usize, hi: usize) -> Option<Chain> {
+        let toks = &self.lx.toks;
+        let hi = hi.min(toks.len());
+        for t in &toks[lo..hi] {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            if t.text == "pending" {
+                return Some(vec![("the pending generation ledger".to_string(), t.line)]);
+            }
+            if let Some(chain) = env.get(&t.text) {
+                return Some(chain.clone());
+            }
         }
         None
     }

@@ -14,9 +14,15 @@
 //! approximate workspace call graph ([`callgraph`]) power the semantic
 //! passes ([`semantic`]): transitive panic-reachability (D03-T),
 //! protocol error-flow (E01–E03) and control-protocol conformance
-//! (P01/P02). Policy tiers ([`policy`]) decide which rules apply where;
-//! inline waivers ([`suppress`]) and a committed baseline ([`baseline`])
-//! manage the path to zero findings.
+//! (P01/P02). The flow-sensitive layer ([`phases`], [`dataflow`]) adds
+//! phase-order model checking (P10), determinism taint (D10), GC-floor
+//! soundness (P21) and shard isolation (S01); the conformance layer
+//! ([`session`], [`wire`]) checks session tag-duality per protocol mode
+//! (P20) and wire-shape encode/decode pairing (W10). Policy tiers
+//! ([`policy`]) decide which rules apply where; inline waivers
+//! ([`suppress`]) and a committed baseline ([`baseline`]) manage the
+//! path to zero findings. An incremental cache ([`cache`]) keyed by
+//! content hashes keeps warm runs fast without changing any output.
 //!
 //! Run it as `gcrsim lint`; CI runs it with `--json` and fails on any
 //! non-baseline finding.
@@ -24,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod cache;
 pub mod callgraph;
 pub mod catalog;
 pub mod cfg;
@@ -34,8 +41,10 @@ pub mod policy;
 pub mod report;
 pub mod rules;
 pub mod semantic;
+pub mod session;
 pub mod suppress;
 pub mod symbols;
+pub mod wire;
 
 use std::fs;
 use std::io;
@@ -66,6 +75,22 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
 /// produced by [`collect_workspace_files`], but any in-memory set works —
 /// the fixture tests feed synthetic workspaces).
 pub fn lint_files(files: &[(String, String)], baseline: &Baseline) -> Report {
+    lint_files_with_local(files, baseline, &mut |rel, _src, lx| {
+        rules::check(rel, lx, policy_for(rel))
+    })
+}
+
+/// [`lint_files`] with a pluggable per-file local-rule provider — the
+/// seam the incremental cache ([`cache`]) uses to substitute cached raw
+/// findings for unchanged files. The provider receives each file's
+/// workspace-relative path, contents and lexed view and returns the raw
+/// (pre-waiver) local-rule findings; everything downstream (workspace
+/// passes, waivers, baseline) is identical to the uncached path.
+pub fn lint_files_with_local(
+    files: &[(String, String)],
+    baseline: &Baseline,
+    local: &mut dyn FnMut(&str, &str, &lexer::Lexed) -> Vec<Finding>,
+) -> Report {
     let lexed: Vec<lexer::Lexed> = files.iter().map(|(_, src)| lexer::lex(src)).collect();
     let views: Vec<(&str, &lexer::Lexed)> = files
         .iter()
@@ -82,8 +107,8 @@ pub fn lint_files(files: &[(String, String)], baseline: &Baseline) -> Report {
     // usage marks accumulate across every engine before staleness is
     // judged).
     let mut raw: Vec<Finding> = Vec::new();
-    for (rel, lx) in &views {
-        raw.extend(rules::check(rel, lx, policy_for(rel)));
+    for ((rel, src), lx) in files.iter().zip(&lexed) {
+        raw.extend(local(rel, src, lx));
     }
 
     // Workspace passes. Building the graph consults the waivers (panic
@@ -99,6 +124,13 @@ pub fn lint_files(files: &[(String, String)], baseline: &Baseline) -> Report {
     raw.extend(phases::check(&index, &views));
     raw.extend(dataflow::check(&index, &graph, &views));
     raw.extend(dataflow::shard_isolation(&views));
+
+    // Conformance passes: session tag-duality per protocol mode (P20),
+    // wire-shape encode/decode pairing (W10) and GC-floor soundness
+    // (P21). Same extraction substrate, same waiver/baseline machinery.
+    raw.extend(session::check(&index, &views));
+    raw.extend(wire::check(&index, &views));
+    raw.extend(dataflow::gc_floor(&index, &views));
 
     // Apply line waivers to everything that is still unwaived (the
     // semantic passes pre-filter, but the local rules have not), then

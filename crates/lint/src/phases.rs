@@ -342,10 +342,10 @@ pub const SPECS: &[PhaseSpec] = &[
 
 /// One extracted protocol event.
 #[derive(Debug, Clone)]
-struct Ev {
-    name: String,
-    file: usize,
-    line: usize,
+pub(crate) struct Ev {
+    pub(crate) name: String,
+    pub(crate) file: usize,
+    pub(crate) line: usize,
 }
 
 /// Structured event tree mirroring the CFG shape.
@@ -403,9 +403,51 @@ pub fn check(index: &SymbolIndex, views: &[(&str, &Lexed)]) -> Vec<Finding> {
 }
 
 fn find_entry(index: &SymbolIndex, views: &[(&str, &Lexed)], spec: &PhaseSpec) -> Option<usize> {
-    index.fns.iter().position(|f| {
-        f.name == spec.entry && f.body.is_some() && views[f.file].0 == spec.entry_file
-    })
+    find_fn(index, views, spec.entry, spec.entry_file)
+}
+
+/// The id of the fn named `name` with a body in `file`, if indexed.
+pub(crate) fn find_fn(
+    index: &SymbolIndex,
+    views: &[(&str, &Lexed)],
+    name: &str,
+    file: &str,
+) -> Option<usize> {
+    index
+        .fns
+        .iter()
+        .position(|f| f.name == name && f.body.is_some() && views[f.file].0 == file)
+}
+
+/// Flatten the interprocedural event tree of fn `f` into the list of
+/// event sites in deterministic source order — every branch of every
+/// `Alt` counts as reachable, loops contribute their body once. This is
+/// the session pass's (P20) view of a protocol entry: duality is a
+/// question about event *sets*, not orders, so the tree structure the
+/// phase simulation needs is deliberately discarded here.
+pub(crate) fn flat_events(
+    index: &SymbolIndex,
+    views: &[(&str, &Lexed)],
+    entry_file: &str,
+    f: usize,
+) -> Vec<Ev> {
+    let ex = Extractor {
+        index,
+        views,
+        entry_file,
+    };
+    let tree = ex.extract_fn(f, &mut Vec::new());
+    let mut out = Vec::new();
+    flatten_tree(&tree, &mut out);
+    out
+}
+
+fn flatten_tree(t: &Tree, out: &mut Vec<Ev>) {
+    match t {
+        Tree::Seq(v) | Tree::Alt(v) => v.iter().for_each(|n| flatten_tree(n, out)),
+        Tree::Loop(b) => flatten_tree(b, out),
+        Tree::Ev(ev) => out.push(ev.clone()),
+    }
 }
 
 struct Extractor<'a> {
@@ -584,7 +626,7 @@ impl Extractor<'_> {
 
 /// `let IDENT = tags::NAME …` aliases within a body — `bookmark_drain`
 /// binds its tag once and reuses it.
-fn tag_lets(lx: &Lexed, lo: usize, hi: usize) -> BTreeMap<String, String> {
+pub(crate) fn tag_lets(lx: &Lexed, lo: usize, hi: usize) -> BTreeMap<String, String> {
     let toks = &lx.toks;
     let mut map = BTreeMap::new();
     let hi = hi.min(toks.len());
@@ -607,7 +649,7 @@ fn tag_lets(lx: &Lexed, lo: usize, hi: usize) -> BTreeMap<String, String> {
 
 /// The ctrl tag named in `[lo, hi)`: a literal `tags::NAME`, or an ident
 /// aliased by a `tag_lets` binding.
-fn find_tag(
+pub(crate) fn find_tag(
     lx: &Lexed,
     lo: usize,
     hi: usize,

@@ -32,9 +32,19 @@ pub enum Rule {
     /// Protocol phase-order violation: the extracted ctrl/storage event
     /// sequence leaves the checked-in phase-machine spec (witness path).
     P10,
+    /// Session tag-duality: per protocol `Mode`, a ctrl tag emitted but
+    /// never handled (peer hangs), handled but unemittable (dead handler),
+    /// or emitted and handled under different modes.
+    P20,
+    /// GC-floor soundness: a value read from the *pending* (uncommitted)
+    /// generation ledger flows into a log-trim / floor-advertise sink.
+    P21,
     /// Shard-isolation: shard-local simulator state touched outside the
     /// merge/global-sequence boundary.
     S01,
+    /// Wire-shape pairing: an encoder's ordered field writes diverge from
+    /// its decoder's field reads (arity, order, or payload type).
+    W10,
     /// Stale waiver: it matches no finding on its target line.
     W00,
     /// Waiver without a justification.
@@ -57,7 +67,10 @@ impl Rule {
             Rule::P01 => "P01",
             Rule::P02 => "P02",
             Rule::P10 => "P10",
+            Rule::P20 => "P20",
+            Rule::P21 => "P21",
             Rule::S01 => "S01",
+            Rule::W10 => "W10",
             Rule::W00 => "W00",
             Rule::W01 => "W01",
         }
@@ -79,7 +92,10 @@ impl Rule {
             "P01" => Some(Rule::P01),
             "P02" => Some(Rule::P02),
             "P10" => Some(Rule::P10),
+            "P20" => Some(Rule::P20),
+            "P21" => Some(Rule::P21),
             "S01" => Some(Rule::S01),
+            "W10" => Some(Rule::W10),
             "W00" => Some(Rule::W00),
             "W01" => Some(Rule::W01),
             _ => None,
@@ -100,7 +116,10 @@ impl Rule {
         Rule::P01,
         Rule::P02,
         Rule::P10,
+        Rule::P20,
+        Rule::P21,
         Rule::S01,
+        Rule::W10,
         Rule::W00,
         Rule::W01,
     ];

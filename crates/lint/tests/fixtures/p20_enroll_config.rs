@@ -1,0 +1,7 @@
+// Fixture: a protocol-mode enum with a variant no session table binds
+// (P20 enrollment). `Blocking` is fully live via the companion fixture
+// files; `Extra` is protocol #8 arriving without a session table.
+pub enum Mode {
+    Blocking,
+    Extra,
+}

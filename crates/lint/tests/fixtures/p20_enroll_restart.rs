@@ -1,0 +1,9 @@
+// Fixture: tag-silent restart entries, just enough for the Blocking
+// session table to be fully live in the enrollment fixture workspace.
+pub async fn restart_rank_with_peers(ctx: &mut Ctx) -> Result<(), WaveError> {
+    Ok(())
+}
+
+pub async fn serve_peer_recovery(ctx: &mut Ctx) -> Result<(), WaveError> {
+    Ok(())
+}

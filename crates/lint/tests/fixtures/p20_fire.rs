@@ -1,0 +1,11 @@
+// Fixture: both session tag-duality breaks (P20). The wave emits
+// `tags::MARKER` that no reachable path of its session can receive —
+// the rendezvous blocks the wave forever — and receives `tags::COMMIT`
+// that nothing in any session emits: a dead dispatch arm.
+pub async fn blocking_wave(ctx: &mut Ctx) -> Result<(), WaveError> {
+    for peer in ctx.peers() {
+        ctx.ctrl_send(peer, tags::MARKER, 0).await?;
+    }
+    ctx.ctrl_recv(coord, tags::COMMIT).await?;
+    Ok(())
+}

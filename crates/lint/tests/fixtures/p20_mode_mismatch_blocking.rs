@@ -1,0 +1,7 @@
+// Fixture (half 1): the blocking session *handles* `tags::CVC_CLOCK`,
+// which only the Vcl session emits — a cross-protocol wiring mistake
+// (P20 mode-mismatch). Paired with `p20_mode_mismatch_vcl.rs`.
+pub async fn blocking_wave(ctx: &mut Ctx) -> Result<(), WaveError> {
+    ctx.ctrl_recv(coord, tags::CVC_CLOCK).await?;
+    Ok(())
+}

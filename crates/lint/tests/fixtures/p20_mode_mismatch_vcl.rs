@@ -1,0 +1,9 @@
+// Fixture (half 2): the Vcl session *emits* `tags::CVC_CLOCK`, which
+// only the blocking session handles (P20 mode-mismatch). Paired with
+// `p20_mode_mismatch_blocking.rs`.
+pub async fn vcl_wave(ctx: &mut Ctx) -> Result<(), WaveError> {
+    for peer in ctx.peers() {
+        ctx.ctrl_send(peer, tags::CVC_CLOCK, 0).await?;
+    }
+    Ok(())
+}

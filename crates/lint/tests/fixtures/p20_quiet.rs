@@ -1,0 +1,18 @@
+// Fixture: a tag-dual session (P20 quiet). Every emitted tag has a
+// reachable handler in the same session and vice versa — BOOKMARK is a
+// symmetric exchange, COMMIT pairs the coordinator branch with the
+// member branch.
+pub async fn blocking_wave(ctx: &mut Ctx) -> Result<(), WaveError> {
+    for peer in ctx.peers() {
+        ctx.ctrl_send(peer, tags::BOOKMARK, 0).await?;
+        ctx.ctrl_recv(peer, tags::BOOKMARK).await?;
+    }
+    if is_coord {
+        for peer in ctx.peers() {
+            ctx.ctrl_send(peer, tags::COMMIT, outcome).await?;
+        }
+    } else {
+        ctx.ctrl_recv(coord, tags::COMMIT).await?;
+    }
+    Ok(())
+}

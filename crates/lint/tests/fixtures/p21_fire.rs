@@ -1,0 +1,18 @@
+// Fixture: the GC floor is derived from the *pending* (uncommitted)
+// generation ledger and reaches the advertise/trim surfaces (P21) — a
+// crash between here and the commit leaves peers trimmed past what the
+// fallback restart still needs.
+impl GpState {
+    pub fn on_commit(&self, gen: u64) {
+        let ledger = self.pending.borrow();
+        let floor = floor_of(&ledger, gen);
+        self.vols.borrow_mut().advertise(&floor);
+    }
+
+    pub fn trim(&self, peer: u32) {
+        self.log
+            .borrow_mut()
+            .peer_mut(peer)
+            .gc(self.pending.borrow().len() as u64);
+    }
+}

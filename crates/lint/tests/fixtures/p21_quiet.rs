@@ -1,0 +1,21 @@
+// Fixture: sound GC-floor handling (P21 quiet). The pending snapshot is
+// promoted into the committed ledger before any floor is derived, and a
+// binding that once held pending state is killed by a clean reassignment
+// before reaching a sink.
+impl GpState {
+    pub fn on_commit(&self, gen: u64) {
+        let mut committed = self.committed.borrow_mut();
+        let snap = self.pending.borrow_mut().remove(&gen);
+        committed.push((gen, snap));
+        let idx = committed.len();
+        if let Some((_, floor)) = committed.get(idx) {
+            self.vols.borrow_mut().advertise(&floor.rr);
+        }
+    }
+
+    pub fn rollback_to(&self) {
+        let mut floor = self.pending.borrow().len() as u64;
+        floor = self.committed.borrow().len() as u64;
+        self.vols.borrow_mut().reset_floors(&floor);
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: the encoder writes two-field records, the decoder walks the
+// stream in chunks of three (W10 arity drift) — the third "field" is
+// the next record's comm id.
+pub(crate) fn flatten(clock: &BTreeMap<u64, u64>) -> Vec<u64> {
+    clock.iter().flat_map(|(&c, &v)| [c, v]).collect()
+}
+
+pub(crate) fn merge_max(target: &mut BTreeMap<u64, u64>, flat: &[u64]) {
+    for pair in flat.chunks_exact(3) {
+        if let [comm, val, extra] = pair {
+            let cur = target.entry(*comm).or_insert(0);
+            if *cur < *val + *extra {
+                *cur = *val + *extra;
+            }
+        }
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: the BOOKMARK payload is sent as a `u64` volume but decoded
+// as a `Vec<u64>` (W10 payload-type mismatch) — the `Rc<dyn Any>`
+// downcast returns None on every wave.
+pub async fn blocking_wave(ctx: &mut Ctx) -> Result<(), WaveError> {
+    for peer in ctx.peers() {
+        let my_sent = total_sent(peer);
+        ctx.ctrl_send(peer, tags::BOOKMARK, CTRL_BYTES, Some(Rc::new(my_sent)))
+            .await?;
+        let env = ctx.ctrl_recv(peer, tags::BOOKMARK).await?;
+        let theirs = env.payload_as::<Vec<u64>>();
+        record(theirs);
+    }
+    Ok(())
+}
+
+pub fn total_sent(peer: u32) -> u64 {
+    u64::from(peer)
+}

@@ -1,0 +1,17 @@
+// Fixture: the BOOKMARK payload is sent and decoded as the same type
+// (W10 quiet) — `u64` on both sides of the rendezvous.
+pub async fn blocking_wave(ctx: &mut Ctx) -> Result<(), WaveError> {
+    for peer in ctx.peers() {
+        let my_sent = total_sent(peer);
+        ctx.ctrl_send(peer, tags::BOOKMARK, CTRL_BYTES, Some(Rc::new(my_sent)))
+            .await?;
+        let env = ctx.ctrl_recv(peer, tags::BOOKMARK).await?;
+        let theirs = env.payload_as::<u64>();
+        record(theirs);
+    }
+    Ok(())
+}
+
+pub fn total_sent(peer: u32) -> u64 {
+    u64::from(peer)
+}

@@ -1,0 +1,17 @@
+// Fixture: encoder and decoder agree on the flattened clock's record
+// shape — two fields, comm id first (W10 quiet). The decoder's longer
+// names (`comm`, `val`) pair with the encoder's short ones by prefix.
+pub(crate) fn flatten(clock: &BTreeMap<u64, u64>) -> Vec<u64> {
+    clock.iter().flat_map(|(&c, &v)| [c, v]).collect()
+}
+
+pub(crate) fn merge_max(target: &mut BTreeMap<u64, u64>, flat: &[u64]) {
+    for pair in flat.chunks_exact(2) {
+        if let [comm, val] = pair {
+            let cur = target.entry(*comm).or_insert(0);
+            if *cur < *val {
+                *cur = *val;
+            }
+        }
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: the decoder destructures the flattened clock's fields in the
+// opposite order of the encoder's writes (W10 field-order swap) —
+// every record's comm id and volume silently trade places.
+pub(crate) fn flatten(clock: &BTreeMap<u64, u64>) -> Vec<u64> {
+    clock.iter().flat_map(|(&c, &v)| [c, v]).collect()
+}
+
+pub(crate) fn merge_max(target: &mut BTreeMap<u64, u64>, flat: &[u64]) {
+    for pair in flat.chunks_exact(2) {
+        if let [val, comm] = pair {
+            let cur = target.entry(*comm).or_insert(0);
+            if *cur < *val {
+                *cur = *val;
+            }
+        }
+    }
+}

@@ -69,6 +69,53 @@ fn every_protocol_phase_spec_is_active_on_the_live_workspace() {
 }
 
 #[test]
+fn every_protocol_mode_is_bound_to_a_live_session_table() {
+    // Zero P20 findings is only meaningful if every `Mode` variant bound
+    // to a fully-live session table. This also auto-enrolls protocol #8:
+    // adding a variant without registering its wave/restart/serve
+    // entries in session.rs fails right here (and fires P20 itself).
+    let root = workspace_root();
+    let files = gcr_lint::collect_workspace_files(root).expect("workspace must be readable");
+    let lexed: Vec<_> = files
+        .iter()
+        .map(|(_, src)| gcr_lint::lexer::lex(src))
+        .collect();
+    let views: Vec<(&str, &gcr_lint::lexer::Lexed)> = files
+        .iter()
+        .zip(&lexed)
+        .map(|((rel, _), lx)| (rel.as_str(), lx))
+        .collect();
+    let index = gcr_lint::symbols::build(&views);
+    let active = gcr_lint::session::active_modes(&index, &views);
+    let mode = index
+        .enums
+        .iter()
+        .find(|e| e.name == "Mode" && e.krate == "core")
+        .expect("the core crate defines the protocol Mode enum");
+    assert!(!mode.variants.is_empty(), "Mode enum lost its variants");
+    for v in &mode.variants {
+        assert!(
+            active.contains(&v.as_str()),
+            "protocol mode `{v}` has no fully-live session table — \
+             register its entries in crates/lint/src/session.rs"
+        );
+    }
+    // And the wire pairs still bind, or W10 passes vacuously.
+    let pairs = gcr_lint::wire::active_pairs(&index, &views);
+    for spec in gcr_lint::wire::WIRE_SPECS {
+        assert!(
+            pairs.contains(&spec.name),
+            "wire pair `{}` lost `{}`/`{}` in {} — update the pair table \
+             alongside the codec",
+            spec.name,
+            spec.encoder,
+            spec.decoder,
+            spec.file
+        );
+    }
+}
+
+#[test]
 fn call_graph_resolves_enough_of_the_live_workspace() {
     let root = workspace_root();
     let report =

@@ -222,7 +222,8 @@ USAGE:
                 [--update-baseline]   (--update-baseline also prunes
                  entries that no longer match any finding)
                 [--explain RULE]   (rules: D01 D02 D03 D03-T D04 D10 E01 E02
-                 E03 P01 P02 P10 S01 W00 W01 — prints the entry and exits)
+                 E03 P01 P02 P10 P20 P21 S01 W10 W00 W01 — prints the entry
+                 and exits)
 ";
 
 struct Flags<'a> {
@@ -675,7 +676,11 @@ fn execute_lint(a: LintArgs) -> Result<String, CliError> {
         return Ok(msg);
     }
     let baseline = gcr_lint::load_baseline(&baseline_path).map_err(|e| err(e.to_string()))?;
-    let report = gcr_lint::lint_workspace(&root, &baseline).map_err(|e| err(e.to_string()))?;
+    // Normal runs go through the incremental cache; the report is
+    // bit-identical to the uncached path, only wall-clock differs.
+    let cache_dir = root.join("target").join("lint-cache");
+    let (report, _stats) = gcr_lint::cache::lint_workspace_cached(&root, &baseline, &cache_dir)
+        .map_err(|e| err(e.to_string()))?;
     let rendered = if a.sarif {
         report.to_sarif().pretty()
     } else if a.json {
@@ -1034,7 +1039,7 @@ mod tests {
         let out = execute(parse(&argv("lint --explain E01")).unwrap()).unwrap();
         assert!(out.starts_with("E01:"), "{out}");
         assert!(out.contains("fix"), "{out}");
-        for id in ["P10", "D10", "S01"] {
+        for id in ["P10", "P20", "P21", "D10", "S01", "W10"] {
             let out = execute(parse(&argv(&format!("lint --explain {id}"))).unwrap()).unwrap();
             assert!(out.starts_with(&format!("{id}:")), "{out}");
         }
